@@ -1,0 +1,20 @@
+//! Ablation bench: the SecComm push chain under partial optimizations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdo_bench::ablate::{endpoint_for, CONFIGS};
+
+fn bench_ablation(c: &mut Criterion) {
+    let msg = vec![0x5Au8; 256];
+    let mut group = c.benchmark_group("ablation_push_256");
+    group.sample_size(20);
+    for config in &CONFIGS {
+        let (mut ep, _) = endpoint_for(config, 50);
+        group.bench_function(config.name.replace(' ', "_"), |b| {
+            b.iter(|| ep.push(&msg).expect("push"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Microbench of the dispatch mechanisms themselves: generic registry walk
+//! vs guarded fast path vs guard-miss fallback, over a synthetic event with
+//! a configurable handler count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdo::{optimize, OptimizeOptions};
+use pdo_events::{Runtime, TraceConfig};
+use pdo_ir::{BinOp, FunctionBuilder, Module, RaiseMode, Value};
+use pdo_profile::Profile;
+
+fn build_module(handlers: usize) -> (Module, pdo_ir::EventId, Vec<pdo_ir::FuncId>) {
+    let mut m = Module::new();
+    let e = m.add_event("E");
+    let g = m.add_global("acc", Value::Int(0));
+    let ids = (0..handlers)
+        .map(|i| {
+            let mut b = FunctionBuilder::new(format!("h{i}"), 1);
+            b.lock(g);
+            let v = b.load_global(g);
+            let k = b.const_int(i as i64 + 1);
+            let s = b.bin(BinOp::Add, v, k);
+            b.store_global(g, s);
+            b.unlock(g);
+            b.ret(None);
+            m.add_function(b.finish())
+        })
+        .collect();
+    (m, e, ids)
+}
+
+fn runtime_for(m: &Module, e: pdo_ir::EventId, hs: &[pdo_ir::FuncId]) -> Runtime {
+    let mut rt = Runtime::new(m.clone());
+    for (i, &h) in hs.iter().enumerate() {
+        rt.bind(e, h, i as i32).expect("bind");
+    }
+    rt
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch");
+    group.sample_size(30);
+    for handlers in [1usize, 3, 6] {
+        let (m, e, hs) = build_module(handlers);
+
+        // Generic path.
+        let mut generic = runtime_for(&m, e, &hs);
+        group.bench_function(format!("generic/{handlers}"), |b| {
+            b.iter(|| generic.raise(e, RaiseMode::Sync, &[Value::Unit]).unwrap())
+        });
+
+        // Profile + optimize for the fast path.
+        let mut prof_rt = runtime_for(&m, e, &hs);
+        prof_rt.set_trace_config(TraceConfig::full());
+        for _ in 0..100 {
+            prof_rt.raise(e, RaiseMode::Sync, &[Value::Unit]).unwrap();
+        }
+        let profile = Profile::from_trace(&prof_rt.take_trace(), 50);
+        let opt = optimize(&m, prof_rt.registry(), &profile, &OptimizeOptions::new(50));
+
+        let mut fast = runtime_for(&opt.module, e, &hs);
+        opt.install_chains(&mut fast);
+        group.bench_function(format!("fastpath/{handlers}"), |b| {
+            b.iter(|| fast.raise(e, RaiseMode::Sync, &[Value::Unit]).unwrap())
+        });
+
+        // Guard miss: re-bind after installing.
+        let mut miss = runtime_for(&opt.module, e, &hs);
+        opt.install_chains(&mut miss);
+        miss.unbind(e, hs[0]);
+        miss.bind(e, hs[0], 0).expect("rebind");
+        group.bench_function(format!("guard_miss/{handlers}"), |b| {
+            b.iter(|| miss.raise(e, RaiseMode::Sync, &[Value::Unit]).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

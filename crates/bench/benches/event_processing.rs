@@ -1,0 +1,46 @@
+//! Fig 11 companion bench: per-event dispatch latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdo_bench::video::{VideoLab, THRESHOLD};
+use pdo_ir::{RaiseMode, Value};
+
+fn bench_events(c: &mut Criterion) {
+    let lab = VideoLab::prepare(THRESHOLD);
+    let seg = Value::bytes(vec![0xA5u8; 512]);
+    let cases: [(&str, Vec<Value>); 3] = [
+        ("Adapt", vec![]),
+        ("SegFromUser", vec![seg.clone()]),
+        ("Seg2Net", vec![seg]),
+    ];
+    let mut group = c.benchmark_group("event_processing");
+    group.sample_size(20);
+    for (name, args) in cases {
+        for optimized in [false, true] {
+            let mut endpoint = lab.endpoint(optimized);
+            let event = endpoint
+                .runtime()
+                .module()
+                .event_by_name(name)
+                .expect("event");
+            let label = if optimized { "opt" } else { "orig" };
+            let args = args.clone();
+            let mut n = 0u32;
+            group.bench_function(format!("{name}/{label}"), |b| {
+                b.iter(|| {
+                    endpoint
+                        .runtime_mut()
+                        .raise(event, RaiseMode::Sync, &args)
+                        .expect("raise");
+                    n += 1;
+                    if n.is_multiple_of(1024) {
+                        endpoint.drain(10_000_000_000).expect("drain");
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_events);
+criterion_main!(benches);

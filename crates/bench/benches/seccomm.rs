@@ -1,0 +1,29 @@
+//! Fig 12 companion bench: SecComm push/pop latency by packet size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdo_bench::secc::SecLab;
+
+fn bench_seccomm(c: &mut Criterion) {
+    let lab = SecLab::prepare(50);
+    let mut group = c.benchmark_group("seccomm");
+    group.sample_size(20);
+    for size in [64usize, 512, 2048] {
+        let msg = vec![0x3Cu8; size];
+        for optimized in [false, true] {
+            let label = if optimized { "opt" } else { "orig" };
+            let mut push_ep = lab.endpoint(optimized);
+            group.bench_function(format!("push/{size}/{label}"), |b| {
+                b.iter(|| push_ep.push(&msg).expect("push"))
+            });
+            let wire = lab.endpoint(false).push(&msg).expect("wire");
+            let mut pop_ep = lab.endpoint(optimized);
+            group.bench_function(format!("pop/{size}/{label}"), |b| {
+                b.iter(|| pop_ep.pop(&wire).expect("pop"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_seccomm);
+criterion_main!(benches);

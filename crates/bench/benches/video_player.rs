@@ -1,0 +1,29 @@
+//! Fig 10 companion bench: full playback sessions, original vs optimized.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdo_bench::video::{VideoLab, THRESHOLD};
+use pdo_ctp::VideoPlayer;
+
+fn bench_video(c: &mut Criterion) {
+    let lab = VideoLab::prepare(THRESHOLD);
+    let mut group = c.benchmark_group("video_player_50_frames");
+    group.sample_size(10);
+    for rate in [10u32, 25] {
+        group.bench_function(format!("orig_{rate}fps"), |b| {
+            b.iter(|| {
+                let mut p = VideoPlayer::new(lab.endpoint(false), rate);
+                p.play(50).expect("play")
+            })
+        });
+        group.bench_function(format!("opt_{rate}fps"), |b| {
+            b.iter(|| {
+                let mut p = VideoPlayer::new(lab.endpoint(true), rate);
+                p.play(50).expect("play")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_video);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Fig 13 companion bench: X client Popup and Scroll latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdo_bench::xcli::XLab;
+
+fn bench_xclient(c: &mut Criterion) {
+    let lab = XLab::prepare(100);
+    let mut group = c.benchmark_group("xclient");
+    group.sample_size(30);
+    for optimized in [false, true] {
+        let label = if optimized { "opt" } else { "orig" };
+        let mut popup_client = lab.client(optimized);
+        group.bench_function(format!("popup/{label}"), |b| {
+            b.iter(|| popup_client.popup(10, 20).expect("popup"))
+        });
+        let mut scroll_client = lab.client(optimized);
+        group.bench_function(format!("scroll/{label}"), |b| {
+            b.iter(|| scroll_client.scroll(42).expect("scroll"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_xclient);
+criterion_main!(benches);

@@ -1,0 +1,200 @@
+//! Ablations over the optimizer's design choices (§3.2, §5).
+//!
+//! Each configuration disables or enables one mechanism; the measurement is
+//! the SecComm push-chain latency (a pure synchronous chain, so every
+//! mechanism is exercised) plus abstract cost counters.
+
+use pdo::{optimize, OptimizeOptions};
+use pdo_events::TraceConfig;
+use pdo_profile::Profile;
+use pdo_seccomm::{seccomm_protocol, Endpoint, Keys, CONFIG_PAPER};
+
+/// A named optimizer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AblationConfig {
+    /// Display name.
+    pub name: &'static str,
+    /// Optimize at all (false = generic dispatch baseline).
+    pub enabled: bool,
+    /// Subsume child raises.
+    pub subsume: bool,
+    /// Inline handler bodies.
+    pub inline: bool,
+    /// Run the §3.2.2 compiler passes.
+    pub compiler_passes: bool,
+    /// Partitioned (Fig 14) guards.
+    pub partitioned: bool,
+}
+
+/// The standard ablation ladder.
+pub const CONFIGS: [AblationConfig; 6] = [
+    AblationConfig {
+        name: "generic (no optimization)",
+        enabled: false,
+        subsume: false,
+        inline: false,
+        compiler_passes: false,
+        partitioned: false,
+    },
+    AblationConfig {
+        name: "merge only",
+        enabled: true,
+        subsume: false,
+        inline: false,
+        compiler_passes: false,
+        partitioned: false,
+    },
+    AblationConfig {
+        name: "merge + subsume",
+        enabled: true,
+        subsume: true,
+        inline: false,
+        compiler_passes: false,
+        partitioned: false,
+    },
+    AblationConfig {
+        name: "merge + subsume + inline",
+        enabled: true,
+        subsume: true,
+        inline: true,
+        compiler_passes: false,
+        partitioned: false,
+    },
+    AblationConfig {
+        name: "full (+ compiler passes)",
+        enabled: true,
+        subsume: true,
+        inline: true,
+        compiler_passes: true,
+        partitioned: false,
+    },
+    AblationConfig {
+        name: "full, partitioned guards",
+        enabled: true,
+        subsume: true,
+        inline: true,
+        compiler_passes: true,
+        partitioned: true,
+    },
+];
+
+/// One ablation result row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// Configuration name.
+    pub name: &'static str,
+    /// Average push latency (ns).
+    pub push_ns: f64,
+    /// Abstract weighted cost for one push.
+    pub weighted_cost: u64,
+    /// Super-handler instruction count (0 for the generic baseline).
+    pub super_instrs: usize,
+}
+
+/// Builds an endpoint for one ablation configuration (profiling once per
+/// call; the cost of re-profiling keeps each row independent).
+///
+/// # Panics
+///
+/// Panics on substrate misconfiguration.
+pub fn endpoint_for(config: &AblationConfig, threshold: u64) -> (Endpoint, usize) {
+    let proto = seccomm_protocol();
+    let base = proto.instantiate(CONFIG_PAPER).expect("paper config");
+    let keys = Keys::default();
+    if !config.enabled {
+        return (Endpoint::new(&base, &keys).expect("endpoint"), 0);
+    }
+
+    let mut ep = Endpoint::new(&base, &keys).expect("endpoint");
+    ep.runtime_mut().set_trace_config(TraceConfig::full());
+    let mut wires = Vec::new();
+    for i in 0..100u32 {
+        wires.push(ep.push(&vec![i as u8; 256]).expect("profile push"));
+    }
+    for w in &wires {
+        let _ = ep.pop(w).expect("profile pop");
+    }
+    let profile = Profile::from_trace(&ep.runtime_mut().take_trace(), threshold);
+
+    let mut opts = OptimizeOptions::new(threshold);
+    opts.subsume = config.subsume;
+    opts.inline = config.inline;
+    opts.compiler_passes = config.compiler_passes;
+    opts.partitioned = config.partitioned;
+    let optimization = optimize(&base.module, ep.runtime().registry(), &profile, &opts);
+    let super_instrs = optimization
+        .report
+        .events
+        .iter()
+        .map(|e| e.instrs_optimized)
+        .sum();
+
+    let opt_program = base.with_module(optimization.module.clone());
+    let mut out = Endpoint::new(&opt_program, &keys).expect("opt endpoint");
+    optimization.install_chains(out.runtime_mut());
+    (out, super_instrs)
+}
+
+/// Runs the ablation ladder.
+///
+/// # Panics
+///
+/// Panics on substrate misconfiguration.
+pub fn ablation_rows(threshold: u64, iters: u32) -> Vec<AblationRow> {
+    let msg = vec![0x5Au8; 256];
+    CONFIGS
+        .iter()
+        .map(|config| {
+            let (mut ep, super_instrs) = endpoint_for(config, threshold);
+            let _ = ep.push(&msg).expect("warm");
+            let push_ns = crate::avg_ns(iters / 10, iters, || {
+                let _ = ep.push(&msg).expect("push");
+            });
+            ep.runtime_mut().reset_cost();
+            let _ = ep.push(&msg).expect("cost probe");
+            let weighted_cost = ep.runtime().cost.weighted_total();
+            AblationRow {
+                name: config.name,
+                push_ns,
+                weighted_cost,
+                super_instrs,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_config_stays_byte_compatible() {
+        let msg = vec![9u8; 128];
+        let (mut reference, _) = endpoint_for(&CONFIGS[0], 50);
+        let expected = reference.push(&msg).unwrap();
+        for config in &CONFIGS[1..] {
+            let (mut ep, _) = endpoint_for(config, 50);
+            assert_eq!(
+                ep.push(&msg).unwrap(),
+                expected,
+                "config `{}` diverged",
+                config.name
+            );
+        }
+    }
+
+    #[test]
+    fn abstract_cost_declines_down_the_ladder() {
+        let rows = ablation_rows(50, 50);
+        let generic = rows[0].weighted_cost;
+        let full = rows[4].weighted_cost;
+        assert!(
+            full < generic,
+            "full optimization must beat generic: {rows:#?}"
+        );
+        // Merging alone already removes marshaling + registry walks.
+        assert!(rows[1].weighted_cost < generic);
+        // Compiler passes shrink the super-handler body.
+        assert!(rows[4].super_instrs <= rows[3].super_instrs);
+    }
+}

@@ -1,0 +1,76 @@
+//! # pdo-bench — the paper-reproduction harness
+//!
+//! One module per experiment family, each regenerating a table or figure of
+//! the PLDI 2002 paper:
+//!
+//! | module    | paper artifact |
+//! |-----------|----------------|
+//! | [`video`] | Fig 5 (event graph), Fig 6 (reduced graph), Fig 10 (video player times), Fig 11 (event processing times) |
+//! | [`secc`]  | Fig 12 (SecComm push/pop times by packet size) |
+//! | [`xcli`]  | Fig 13 (X client Scroll/Popup times) |
+//! | [`sizes`] | §4.2 code-size growth |
+//! | [`ablate`]| ablations over the optimizer's design choices (§3.2/§5) |
+//!
+//! The `report` binary prints each table with the paper's reference numbers
+//! alongside; the Criterion benches measure the same paths statistically.
+
+pub mod ablate;
+pub mod paper;
+pub mod secc;
+pub mod sizes;
+pub mod video;
+pub mod xcli;
+
+use std::time::Instant;
+
+/// Measures the average wall-clock nanoseconds of `op` over `iters`
+/// iterations (after `warmup` unmeasured ones). The measurement is the
+/// *best of three* batch averages — the minimum is robust against
+/// scheduler noise on a shared machine, which otherwise swamps the
+/// dispatch-overhead deltas when payload work (e.g. DES) dominates.
+pub fn avg_ns(warmup: u32, iters: u32, mut op: impl FnMut()) -> f64 {
+    for _ in 0..warmup {
+        op();
+    }
+    let batch = iters.max(1);
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            op();
+        }
+        let avg = t0.elapsed().as_nanos() as f64 / f64::from(batch);
+        if avg < best {
+            best = avg;
+        }
+    }
+    best
+}
+
+/// Formats a ratio as the paper's `(%)` columns: optimized as a percentage
+/// of original.
+pub fn percent(optimized: f64, original: f64) -> f64 {
+    if original == 0.0 {
+        100.0
+    } else {
+        optimized * 100.0 / original
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_basics() {
+        assert!((percent(50.0, 100.0) - 50.0).abs() < 1e-9);
+        assert_eq!(percent(1.0, 0.0), 100.0);
+    }
+
+    #[test]
+    fn avg_ns_counts_iterations() {
+        let mut n = 0u32;
+        let _ = avg_ns(2, 10, || n += 1);
+        assert_eq!(n, 2 + 3 * 10);
+    }
+}

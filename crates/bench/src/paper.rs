@@ -1,0 +1,62 @@
+//! The paper's published numbers, for side-by-side comparison in reports
+//! and for shape assertions in integration tests. We do not expect to match
+//! absolute values (different substrate, different decade of hardware);
+//! the *shape* — who wins, roughly by how much, where the crossover falls —
+//! is the reproduction target.
+
+/// Fig 10: video player. `(frame_rate, orig_total_s, opt_total_s,
+/// orig_handler_s, opt_handler_s)`.
+pub const FIG10: [(u32, f64, f64, f64, f64); 4] = [
+    (10, 43.1, 41.9, 2.3, 0.9),
+    (15, 30.9, 30.3, 1.6, 0.6),
+    (20, 24.5, 22.1, 1.5, 0.5),
+    (25, 23.9, 21.3, 1.5, 0.5),
+];
+
+/// Fig 11: event processing times in µs. `(event, orig_us, opt_us)`.
+pub const FIG11: [(&str, f64, f64); 3] = [
+    ("Adapt", 55.0, 11.0),
+    ("SegFromUser", 346.0, 41.0),
+    ("Seg2Net", 137.0, 37.0),
+];
+
+/// Fig 12: SecComm push/pop times in µs.
+/// `(size, push_orig, push_opt, pop_orig, pop_opt)`.
+pub const FIG12: [(usize, f64, f64, f64, f64); 6] = [
+    (64, 274.0, 241.0, 397.0, 378.0),
+    (128, 287.0, 263.0, 460.0, 448.0),
+    (256, 304.0, 273.0, 484.0, 457.0),
+    (512, 336.0, 299.0, 494.0, 470.0),
+    (1024, 430.0, 373.0, 608.0, 570.0),
+    (2048, 572.0, 552.0, 1016.0, 893.0),
+];
+
+/// Fig 13: X event execution times in µs. `(event, orig_us, opt_us)`.
+pub const FIG13: [(&str, f64, f64); 2] = [("Scroll", 158.0, 148.0), ("Popup", 37.0, 31.0)];
+
+/// §4.2 code-size growth percentages: `(program, percent)`.
+pub const CODE_SIZE: [(&str, f64); 2] = [("video player", 1.3), ("SecComm", 1.1)];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers_internally_consistent() {
+        // Optimized is faster everywhere in the paper.
+        for (_, orig_t, opt_t, orig_h, opt_h) in FIG10 {
+            assert!(opt_t <= orig_t);
+            assert!(opt_h < orig_h);
+        }
+        for (_, o, p) in FIG11 {
+            assert!(p < o);
+        }
+        for (_, po, pp, qo, qp) in FIG12 {
+            assert!(pp < po);
+            assert!(qp < qo);
+        }
+        for (_, o, p) in FIG13 {
+            assert!(p < o);
+        }
+    }
+}

@@ -1,0 +1,731 @@
+//! # pdo — profile-directed optimization of event-based programs
+//!
+//! This crate is the reproduction of the PLDI 2002 paper's contribution:
+//! given a program (a `pdo-ir` module executed by the `pdo-events` runtime)
+//! and a [`pdo_profile::Profile`] of its event behaviour, [`optimize`]
+//! applies the paper's graph optimizations —
+//!
+//! * **handler merging** (Fig 7): the stable handler sequence of a hot
+//!   event becomes one *super-handler*;
+//! * **event chains & subsumption** (Figs 8/9): synchronous raises inside
+//!   merged bodies are replaced by direct calls to the child event's
+//!   super-handler, collapsing whole chains into one function;
+//! * **guarded fast paths** (§3.2.1/§3.3): every specialization carries the
+//!   binding versions it assumed; dynamic re-binding makes the dispatch
+//!   fall back to generic code;
+//! * **partitioned super-handlers** (Fig 14, §5 extension): per-segment
+//!   guards compiled into the body, so a re-binding of one chained event
+//!   degrades only that segment;
+//!
+//! — followed by the **compiler optimizations** of §3.2.2 (inlining,
+//! constant propagation, CSE, DCE, lock coalescing, redundant-load
+//! elimination) from `pdo-passes`, applied only to the new super-handlers.
+//!
+//! ```
+//! use pdo_ir::{Module, FunctionBuilder, BinOp, Value, RaiseMode};
+//! use pdo_events::{Runtime, TraceConfig};
+//! use pdo_profile::Profile;
+//! use pdo::{optimize, OptimizeOptions};
+//!
+//! // A module with one event and two handlers.
+//! let mut m = Module::new();
+//! let e = m.add_event("Tick");
+//! let g = m.add_global("count", Value::Int(0));
+//! let mut mk = |m: &mut Module, name: &str, k: i64| {
+//!     let mut b = FunctionBuilder::new(name, 1);
+//!     b.lock(g);
+//!     let v = b.load_global(g);
+//!     let kk = b.const_value(Value::Int(k));
+//!     let s = b.bin(BinOp::Add, v, kk);
+//!     b.store_global(g, s);
+//!     b.unlock(g);
+//!     b.ret(None);
+//!     m.add_function(b.finish())
+//! };
+//! let h1 = mk(&mut m, "h1", 1);
+//! let h2 = mk(&mut m, "h2", 10);
+//!
+//! // Profile a run.
+//! let mut rt = Runtime::new(m.clone());
+//! rt.bind(e, h1, 0)?;
+//! rt.bind(e, h2, 1)?;
+//! rt.set_trace_config(TraceConfig::full());
+//! for _ in 0..100 {
+//!     rt.raise(e, RaiseMode::Sync, &[Value::Unit])?;
+//! }
+//! let profile = Profile::from_trace(&rt.take_trace(), 50);
+//!
+//! // Optimize and run the specialized program.
+//! let opt = optimize(&m, rt.registry(), &profile, &OptimizeOptions::new(50));
+//! assert_eq!(opt.report.events.len(), 1);
+//! let mut fast = Runtime::new(opt.module.clone());
+//! fast.bind(e, h1, 0)?;
+//! fast.bind(e, h2, 1)?;
+//! opt.install_chains(&mut fast);
+//! fast.raise(e, RaiseMode::Sync, &[Value::Unit])?;
+//! assert_eq!(fast.global(g), &Value::Int(11));
+//! assert_eq!(fast.cost.fastpath_hits, 1);
+//! assert_eq!(fast.cost.marshaled_values, 0);
+//! # Ok::<(), pdo_events::RuntimeError>(())
+//! ```
+
+pub mod merge;
+pub mod report;
+pub mod subsume;
+pub mod workflow;
+
+pub use merge::{build_super_handler, MergeSkip};
+pub use report::{EventReport, OptReport};
+pub use subsume::{subsume_direct, subsume_partitioned, sync_raise_sites, RaiseSite};
+pub use workflow::{profile_and_optimize, Deployed, WorkflowError};
+
+use pdo_events::{CompiledChain, Guard, Registry, Runtime};
+use pdo_ir::{EventId, FuncId, Module, NativeId};
+use pdo_passes::optimize_single_function;
+use pdo_profile::Profile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Tuning knobs for [`optimize`]. Start from [`OptimizeOptions::new`] and
+/// toggle the extension flags for ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptimizeOptions {
+    /// Edge-weight threshold for graph reduction (the paper's `T`).
+    pub threshold: u64,
+    /// Replace synchronous raises inside super-handlers with direct calls
+    /// to the child's super-handler (Figs 8/9). Default on.
+    pub subsume: bool,
+    /// Compile per-segment version guards into the super-handler (Fig 14)
+    /// instead of guarding the whole chain. Default off.
+    pub partitioned: bool,
+    /// Merge *every* event with a stable handler sequence, not only hot
+    /// ones (§5 "simple extension"). Default off.
+    pub merge_all: bool,
+    /// Subsume raises even without nested-raise profile evidence (§5
+    /// speculative optimization; always guarded, hence safe). Default off.
+    pub speculative: bool,
+    /// Inline merged handler bodies into the super-handler. Default on.
+    pub inline: bool,
+    /// Run the §3.2.2 compiler passes on super-handlers. Default on.
+    pub compiler_passes: bool,
+    /// Inline size ceiling for handler bodies.
+    pub inline_threshold: usize,
+}
+
+impl OptimizeOptions {
+    /// Defaults matching the paper's main configuration at threshold `t`.
+    pub fn new(threshold: u64) -> Self {
+        OptimizeOptions {
+            threshold,
+            subsume: true,
+            partitioned: false,
+            merge_all: false,
+            speculative: false,
+            inline: true,
+            compiler_passes: true,
+            inline_threshold: 4096,
+        }
+    }
+}
+
+/// The result of [`optimize`]: an extended module (original functions plus
+/// super-handlers), the guarded chains to install, and a report.
+#[derive(Debug, Clone)]
+pub struct Optimization {
+    /// Original module plus the generated super-handlers. Original function
+    /// ids are unchanged, so existing bindings remain valid.
+    pub module: Module,
+    /// Compiled chains, one per optimized event.
+    pub chains: Vec<CompiledChain>,
+    /// What happened.
+    pub report: OptReport,
+}
+
+impl Optimization {
+    /// Installs every chain into `runtime`. The runtime must be executing
+    /// [`Optimization::module`] and its registry must match the binding
+    /// state that was profiled (otherwise the guards simply never pass and
+    /// dispatch stays generic — correct, but unoptimized).
+    pub fn install_chains(&self, runtime: &mut Runtime) {
+        for chain in &self.chains {
+            runtime.install_chain(chain.clone());
+        }
+    }
+}
+
+/// Runs the full profile-directed optimization pipeline.
+///
+/// `registry` is the live binding state of the profiled program — the
+/// specializations are valid exactly for that state and guarded against
+/// any change from it.
+pub fn optimize(
+    module: &Module,
+    registry: &Registry,
+    profile: &Profile,
+    opts: &OptimizeOptions,
+) -> Optimization {
+    let mut builder = Builder {
+        out: module.clone(),
+        registry,
+        profile,
+        opts,
+        version_native: None,
+        memo: BTreeMap::new(),
+        in_progress: BTreeSet::new(),
+        report: OptReport {
+            module_instrs_before: module.instr_count(),
+            ..Default::default()
+        },
+    };
+
+    if opts.partitioned {
+        let id = builder
+            .out
+            .native_by_name(Runtime::NATIVE_BINDING_VERSION)
+            .unwrap_or_else(|| builder.out.add_native(Runtime::NATIVE_BINDING_VERSION));
+        builder.version_native = Some(id);
+    }
+
+    // Candidate events: nodes of the reduced graph, or every profiled event
+    // under `merge_all`.
+    let reduced = profile.event_graph.reduce(opts.threshold);
+    let candidates: BTreeSet<EventId> = if opts.merge_all {
+        profile.handler_graph.sequences.keys().copied().collect()
+    } else {
+        reduced.nodes.keys().copied().collect()
+    };
+
+    for &event in &candidates {
+        builder.build(event);
+    }
+
+    let chains = builder.chains();
+    builder.report.module_instrs_after = builder.out.instr_count();
+    Optimization {
+        module: builder.out,
+        chains,
+        report: builder.report,
+    }
+}
+
+/// A built super-handler and what it covers.
+#[derive(Debug, Clone)]
+struct Built {
+    func: FuncId,
+    params: u16,
+    /// Events whose handlers were folded in (excluding the head).
+    subsumed: BTreeSet<EventId>,
+}
+
+struct Builder<'a> {
+    out: Module,
+    registry: &'a Registry,
+    profile: &'a Profile,
+    opts: &'a OptimizeOptions,
+    version_native: Option<NativeId>,
+    memo: BTreeMap<EventId, Option<Built>>,
+    in_progress: BTreeSet<EventId>,
+    report: OptReport,
+}
+
+impl Builder<'_> {
+    /// Builds (or fetches) the super-handler for `event`.
+    fn build(&mut self, event: EventId) -> Option<Built> {
+        if let Some(b) = self.memo.get(&event) {
+            return b.clone();
+        }
+        if self.in_progress.contains(&event) {
+            return None; // event cycle: leave the raise generic
+        }
+
+        // The profiled sequence must be stable *and* still current.
+        let Some(seq) = self.profile.handler_graph.stable_sequence(event) else {
+            if self.profile.handler_graph.sequences.contains_key(&event) {
+                self.report.skip(event, MergeSkip::UnstableSequence);
+            }
+            self.memo.insert(event, None);
+            return None;
+        };
+        let seq: Vec<FuncId> = seq.to_vec();
+        let live: Vec<FuncId> = self
+            .registry
+            .bindings(event)
+            .iter()
+            .map(|b| b.handler)
+            .collect();
+        if live != seq {
+            self.report.skip(event, MergeSkip::RegistryDrift);
+            self.memo.insert(event, None);
+            return None;
+        }
+        if seq.is_empty() {
+            self.memo.insert(event, None);
+            return None;
+        }
+
+        self.in_progress.insert(event);
+        let name = format!("__super_{}", self.out.event_name(event));
+        let shell = match build_super_handler(&mut self.out, &name, &seq) {
+            Ok(f) => f,
+            Err(reason) => {
+                self.report.skip(event, reason);
+                self.in_progress.remove(&event);
+                self.memo.insert(event, None);
+                return None;
+            }
+        };
+        let params = self.out.function(shell).params;
+        let instrs_original: usize = seq
+            .iter()
+            .map(|&h| self.out.function(h).instr_count())
+            .sum();
+
+        self.cleanup(shell);
+
+        // Subsumption: fold synchronous child raises into the body. Work in
+        // rounds: each round collects the current sites up front and
+        // rewrites them in reverse order (so earlier positions stay valid),
+        // then inlining may expose new sites from spliced child bodies.
+        // Events already given a partitioned guard are excluded in later
+        // rounds — their remaining raise is the slow-arm fallback itself.
+        let mut subsumed: BTreeSet<EventId> = BTreeSet::new();
+        let mut subsume_count = 0usize;
+        if self.opts.subsume {
+            let mut refused: BTreeSet<EventId> = BTreeSet::new();
+            let mut guarded: BTreeSet<EventId> = BTreeSet::new();
+            for _round in 0..4 {
+                let sites: Vec<RaiseSite> =
+                    sync_raise_sites(&self.out.functions[shell.index()])
+                        .into_iter()
+                        .filter(|s| {
+                            !refused.contains(&s.event)
+                                && (!self.opts.partitioned || !guarded.contains(&s.event))
+                                && self.subsume_evidence(event, s.event)
+                        })
+                        .collect();
+                if sites.is_empty() {
+                    break;
+                }
+                let mut did_any = false;
+                for site in sites.into_iter().rev() {
+                    let Some(child) = self.build(site.event) else {
+                        refused.insert(site.event);
+                        continue;
+                    };
+                    if usize::from(child.params) != site.arity {
+                        refused.insert(site.event);
+                        continue;
+                    }
+                    if self.opts.partitioned {
+                        let vn = self.version_native.expect("declared above");
+                        let expected = self.registry.version(site.event);
+                        subsume_partitioned(
+                            &mut self.out.functions[shell.index()],
+                            site,
+                            child.func,
+                            vn,
+                            expected,
+                        );
+                        guarded.insert(site.event);
+                    } else {
+                        subsume_direct(&mut self.out.functions[shell.index()], site, child.func);
+                    }
+                    subsumed.insert(site.event);
+                    subsumed.extend(child.subsumed.iter().copied());
+                    subsume_count += 1;
+                    did_any = true;
+                }
+                if !did_any {
+                    break;
+                }
+                self.cleanup(shell);
+            }
+        }
+
+        self.cleanup(shell);
+        self.in_progress.remove(&event);
+
+        let built = Built {
+            func: shell,
+            params,
+            subsumed,
+        };
+        self.report.events.push(EventReport {
+            event,
+            func: shell,
+            merged_handlers: seq.len(),
+            subsumed_raises: subsume_count,
+            instrs_original,
+            instrs_optimized: self.out.function(shell).instr_count(),
+        });
+        self.memo.insert(event, Some(built.clone()));
+        Some(built)
+    }
+
+    /// Does the profile justify folding `child` into `parent`'s body?
+    ///
+    /// Always-correct guard semantics make the evidence requirement purely
+    /// a cost/benefit heuristic: without [`OptimizeOptions::speculative`],
+    /// we require an observed nested synchronous raise (Fig 8 pattern).
+    fn subsume_evidence(&self, parent: EventId, child: EventId) -> bool {
+        if self.opts.speculative {
+            return true;
+        }
+        self.profile
+            .handler_graph
+            .nested
+            .iter()
+            .any(|(k, &count)| k.parent_event == parent && k.child_event == child && count > 0)
+    }
+
+    /// Applies inlining / compiler passes to one super-handler according to
+    /// the options.
+    fn cleanup(&mut self, func: FuncId) {
+        let inline = self.opts.inline.then_some(self.opts.inline_threshold);
+        if self.opts.compiler_passes {
+            optimize_single_function(&mut self.out, func, inline);
+        } else if let Some(th) = inline {
+            pdo_passes::inline::inline_into(&mut self.out, func.index(), th);
+        }
+    }
+
+    /// Emits the compiled chains for every built event.
+    fn chains(&self) -> Vec<CompiledChain> {
+        let mut chains = Vec::new();
+        for (&event, built) in &self.memo {
+            let Some(built) = built else { continue };
+            let mut guard_events: Vec<EventId> = vec![event];
+            guard_events.extend(built.subsumed.iter().copied());
+            chains.push(CompiledChain {
+                head: event,
+                guards: guard_events
+                    .into_iter()
+                    .map(|e| Guard {
+                        event: e,
+                        version: self.registry.version(e),
+                    })
+                    .collect(),
+                func: built.func,
+                params: built.params,
+                partitioned: self.opts.partitioned,
+            });
+        }
+        chains
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdo_events::{RuntimeError, TraceConfig};
+    use pdo_ir::{BinOp, FunctionBuilder, RaiseMode, Value};
+
+    /// Builds the Fig 8/9 shape: SegFromUser has three handlers, the middle
+    /// one synchronously raises Seg2Net, which has two handlers. Each
+    /// handler appends its digit to a base-100 accumulator so execution
+    /// order is observable.
+    fn chain_module() -> (Module, EventId, EventId, Vec<FuncId>, Vec<FuncId>) {
+        let mut m = Module::new();
+        let sfu = m.add_event("SegFromUser");
+        let s2n = m.add_event("Seg2Net");
+        let g = m.add_global("log", Value::Int(0));
+
+        let digit = |m: &mut Module, name: &str, d: i64, raises: Option<EventId>| {
+            let mut b = FunctionBuilder::new(name, 1);
+            b.lock(g);
+            let v = b.load_global(g);
+            let hundred = b.const_int(100);
+            let scaled = b.bin(BinOp::Mul, v, hundred);
+            let dd = b.const_int(d);
+            let s = b.bin(BinOp::Add, scaled, dd);
+            b.store_global(g, s);
+            b.unlock(g);
+            if let Some(ev) = raises {
+                b.raise(ev, RaiseMode::Sync, &[b.param(0)]);
+            }
+            b.ret(None);
+            m.add_function(b.finish())
+        };
+
+        let h_sfu = vec![
+            digit(&mut m, "fec_sfu1", 1, None),
+            digit(&mut m, "tdriver_sfu", 2, Some(s2n)),
+            digit(&mut m, "fec_sfu2", 3, None),
+        ];
+        let h_s2n = vec![
+            digit(&mut m, "pau_s2n", 7, None),
+            digit(&mut m, "td_s2n", 8, None),
+        ];
+        (m, sfu, s2n, h_sfu, h_s2n)
+    }
+
+    fn setup_runtime(
+        m: &Module,
+        sfu: EventId,
+        s2n: EventId,
+        h_sfu: &[FuncId],
+        h_s2n: &[FuncId],
+    ) -> Result<Runtime, RuntimeError> {
+        let mut rt = Runtime::new(m.clone());
+        for (i, &h) in h_sfu.iter().enumerate() {
+            rt.bind(sfu, h, i as i32)?;
+        }
+        for (i, &h) in h_s2n.iter().enumerate() {
+            rt.bind(s2n, h, i as i32)?;
+        }
+        Ok(rt)
+    }
+
+    fn profile_run(rt: &mut Runtime, sfu: EventId, n: usize) -> Profile {
+        rt.set_trace_config(TraceConfig::full());
+        for _ in 0..n {
+            rt.raise(sfu, RaiseMode::Sync, &[Value::Unit]).unwrap();
+        }
+        Profile::from_trace(&rt.take_trace(), (n / 2) as u64)
+    }
+
+    /// Expected accumulator after one SegFromUser dispatch: digits
+    /// 1,2,(7,8 from subsumed Seg2Net),3 in base 100.
+    fn expected_one_dispatch() -> i64 {
+        let mut v = 0i64;
+        for d in [1, 2, 7, 8, 3] {
+            v = v * 100 + d;
+        }
+        v
+    }
+
+    #[test]
+    fn expected_constant_matches() {
+        assert_eq!(expected_one_dispatch(), 102_070_803);
+    }
+
+    #[test]
+    fn optimizes_chain_and_preserves_behavior() {
+        let (m, sfu, s2n, h_sfu, h_s2n) = chain_module();
+        let g = m.global_by_name("log").unwrap();
+        let mut rt = setup_runtime(&m, sfu, s2n, &h_sfu, &h_s2n).unwrap();
+        let profile = profile_run(&mut rt, sfu, 100);
+
+        let opt = optimize(&m, rt.registry(), &profile, &OptimizeOptions::new(50));
+        assert_eq!(opt.report.events.len(), 2, "{}", opt.report.render(&opt.module));
+        assert_eq!(opt.report.total_subsumed(), 1);
+
+        // Optimized runtime produces identical state with zero marshaling.
+        let mut fast = setup_runtime(&opt.module, sfu, s2n, &h_sfu, &h_s2n).unwrap();
+        opt.install_chains(&mut fast);
+        fast.raise(sfu, RaiseMode::Sync, &[Value::Unit]).unwrap();
+        assert_eq!(fast.global(g), &Value::Int(expected_one_dispatch()));
+        assert_eq!(fast.cost.fastpath_hits, 1);
+        assert_eq!(fast.cost.marshaled_values, 0);
+        assert_eq!(fast.cost.indirect_calls, 0);
+
+        // Baseline runtime for comparison.
+        let mut slow = setup_runtime(&m, sfu, s2n, &h_sfu, &h_s2n).unwrap();
+        slow.raise(sfu, RaiseMode::Sync, &[Value::Unit]).unwrap();
+        assert_eq!(slow.global(g), &Value::Int(expected_one_dispatch()));
+        assert!(slow.cost.weighted_total() > fast.cost.weighted_total());
+    }
+
+    #[test]
+    fn lock_coalescing_happens_inside_super_handler() {
+        let (m, sfu, s2n, h_sfu, h_s2n) = chain_module();
+        let mut rt = setup_runtime(&m, sfu, s2n, &h_sfu, &h_s2n).unwrap();
+        let profile = profile_run(&mut rt, sfu, 100);
+        let opt = optimize(&m, rt.registry(), &profile, &OptimizeOptions::new(50));
+
+        let mut fast = setup_runtime(&opt.module, sfu, s2n, &h_sfu, &h_s2n).unwrap();
+        opt.install_chains(&mut fast);
+        fast.raise(sfu, RaiseMode::Sync, &[Value::Unit]).unwrap();
+        // 5 handlers × lock+unlock = 10 lock ops generically; the merged
+        // body coalesces interior unlock/lock pairs down to one pair.
+        assert_eq!(fast.cost.lock_ops, 2);
+    }
+
+    #[test]
+    fn rebinding_child_falls_back_and_stays_correct() {
+        let (m, sfu, s2n, h_sfu, h_s2n) = chain_module();
+        let g = m.global_by_name("log").unwrap();
+        let mut rt = setup_runtime(&m, sfu, s2n, &h_sfu, &h_s2n).unwrap();
+        let profile = profile_run(&mut rt, sfu, 100);
+        let opt = optimize(&m, rt.registry(), &profile, &OptimizeOptions::new(50));
+
+        let mut fast = setup_runtime(&opt.module, sfu, s2n, &h_sfu, &h_s2n).unwrap();
+        opt.install_chains(&mut fast);
+        // Unbind one Seg2Net handler: the whole SegFromUser chain guard
+        // fails (monolithic mode).
+        fast.unbind(s2n, h_s2n[1]);
+        fast.raise(sfu, RaiseMode::Sync, &[Value::Unit]).unwrap();
+        let mut v = 0i64;
+        for d in [1, 2, 7, 3] {
+            v = v * 100 + d;
+        }
+        assert_eq!(fast.global(g), &Value::Int(v));
+        assert!(fast.cost.fastpath_misses >= 1);
+        assert_eq!(fast.cost.fastpath_hits, 0);
+    }
+
+    #[test]
+    fn partitioned_chain_survives_child_rebinding() {
+        let (m, sfu, s2n, h_sfu, h_s2n) = chain_module();
+        let g = m.global_by_name("log").unwrap();
+        let mut rt = setup_runtime(&m, sfu, s2n, &h_sfu, &h_s2n).unwrap();
+        let profile = profile_run(&mut rt, sfu, 100);
+        let mut opts = OptimizeOptions::new(50);
+        opts.partitioned = true;
+        let opt = optimize(&m, rt.registry(), &profile, &opts);
+
+        let mut fast = setup_runtime(&opt.module, sfu, s2n, &h_sfu, &h_s2n).unwrap();
+        opt.install_chains(&mut fast);
+        fast.unbind(s2n, h_s2n[1]);
+        fast.raise(sfu, RaiseMode::Sync, &[Value::Unit]).unwrap();
+        let mut v = 0i64;
+        for d in [1, 2, 7, 3] {
+            v = v * 100 + d;
+        }
+        assert_eq!(fast.global(g), &Value::Int(v));
+        // Head guard still holds: the fast path is taken; only the Seg2Net
+        // segment fell back (Fig 14).
+        assert_eq!(fast.cost.fastpath_hits, 1);
+    }
+
+    #[test]
+    fn unstable_sequence_skipped() {
+        let (m, sfu, s2n, h_sfu, h_s2n) = chain_module();
+        let mut rt = setup_runtime(&m, sfu, s2n, &h_sfu, &h_s2n).unwrap();
+        rt.set_trace_config(TraceConfig::full());
+        for i in 0..100 {
+            // Alternate Seg2Net's binding so its sequence is unstable.
+            if i == 50 {
+                rt.unbind(s2n, h_s2n[1]);
+            }
+            rt.raise(sfu, RaiseMode::Sync, &[Value::Unit]).unwrap();
+        }
+        let profile = Profile::from_trace(&rt.take_trace(), 50);
+        let opt = optimize(&m, rt.registry(), &profile, &OptimizeOptions::new(50));
+        // Seg2Net skipped (unstable); SegFromUser may still merge but not
+        // subsume the unstable child.
+        assert!(opt
+            .report
+            .skipped
+            .iter()
+            .any(|(e, why)| *e == s2n && why.contains("unstable")));
+        assert_eq!(opt.report.total_subsumed(), 0);
+    }
+
+    #[test]
+    fn registry_drift_skipped() {
+        let (m, sfu, s2n, h_sfu, h_s2n) = chain_module();
+        let mut rt = setup_runtime(&m, sfu, s2n, &h_sfu, &h_s2n).unwrap();
+        let profile = profile_run(&mut rt, sfu, 100);
+        // Re-bind after profiling.
+        rt.unbind(sfu, h_sfu[2]);
+        let opt = optimize(&m, rt.registry(), &profile, &OptimizeOptions::new(50));
+        assert!(opt
+            .report
+            .skipped
+            .iter()
+            .any(|(e, why)| *e == sfu && why.contains("registry")));
+    }
+
+    #[test]
+    fn code_growth_is_reported() {
+        let (m, sfu, s2n, h_sfu, h_s2n) = chain_module();
+        let mut rt = setup_runtime(&m, sfu, s2n, &h_sfu, &h_s2n).unwrap();
+        let profile = profile_run(&mut rt, sfu, 100);
+        let opt = optimize(&m, rt.registry(), &profile, &OptimizeOptions::new(50));
+        assert!(opt.report.code_growth_percent() > 0.0);
+        assert_eq!(
+            opt.report.module_instrs_before,
+            m.instr_count()
+        );
+        assert_eq!(opt.report.module_instrs_after, opt.module.instr_count());
+    }
+
+    #[test]
+    fn merge_all_includes_cold_events() {
+        let (m, sfu, s2n, h_sfu, h_s2n) = chain_module();
+        let mut rt = setup_runtime(&m, sfu, s2n, &h_sfu, &h_s2n).unwrap();
+        // Tiny profile: below any reasonable threshold.
+        rt.set_trace_config(TraceConfig::full());
+        rt.raise(sfu, RaiseMode::Sync, &[Value::Unit]).unwrap();
+        let profile = Profile::from_trace(&rt.take_trace(), 1000);
+
+        let cold = optimize(&m, rt.registry(), &profile, &OptimizeOptions::new(1000));
+        assert!(cold.report.events.is_empty());
+
+        let mut opts = OptimizeOptions::new(1000);
+        opts.merge_all = true;
+        opts.speculative = true;
+        let all = optimize(&m, rt.registry(), &profile, &opts);
+        assert_eq!(all.report.events.len(), 2);
+    }
+
+    #[test]
+    fn no_inline_keeps_direct_calls() {
+        let (m, sfu, s2n, h_sfu, h_s2n) = chain_module();
+        let g = m.global_by_name("log").unwrap();
+        let mut rt = setup_runtime(&m, sfu, s2n, &h_sfu, &h_s2n).unwrap();
+        let profile = profile_run(&mut rt, sfu, 100);
+        let mut opts = OptimizeOptions::new(50);
+        opts.inline = false;
+        opts.compiler_passes = false;
+        let opt = optimize(&m, rt.registry(), &profile, &opts);
+
+        let mut fast = setup_runtime(&opt.module, sfu, s2n, &h_sfu, &h_s2n).unwrap();
+        opt.install_chains(&mut fast);
+        fast.raise(sfu, RaiseMode::Sync, &[Value::Unit]).unwrap();
+        assert_eq!(fast.global(g), &Value::Int(expected_one_dispatch()));
+        // Direct calls instead of inlined bodies, but still no marshaling.
+        assert!(fast.cost.calls >= 5);
+        assert_eq!(fast.cost.marshaled_values, 0);
+    }
+
+    #[test]
+    fn async_child_raise_never_subsumed() {
+        // Like chain_module but the nested raise is asynchronous: it must
+        // survive as a raise (timing semantics, §3.2.1).
+        let mut m = Module::new();
+        let a = m.add_event("A");
+        let b_ev = m.add_event("B");
+        let g = m.add_global("log", Value::Int(0));
+        let mk = |m: &mut Module, name: &str, d: i64, raises: bool| {
+            let mut fb = FunctionBuilder::new(name, 0);
+            let v = fb.load_global(g);
+            let ten = fb.const_int(10);
+            let s = fb.bin(BinOp::Mul, v, ten);
+            let dd = fb.const_int(d);
+            let o = fb.bin(BinOp::Add, s, dd);
+            fb.store_global(g, o);
+            if raises {
+                fb.raise(b_ev, RaiseMode::Async, &[]);
+            }
+            fb.ret(None);
+            m.add_function(fb.finish())
+        };
+        let ha = mk(&mut m, "ha", 1, true);
+        let hb = mk(&mut m, "hb", 2, false);
+
+        let mut rt = Runtime::new(m.clone());
+        rt.bind(a, ha, 0).unwrap();
+        rt.bind(b_ev, hb, 0).unwrap();
+        rt.set_trace_config(TraceConfig::full());
+        for _ in 0..50 {
+            rt.raise(a, RaiseMode::Sync, &[]).unwrap();
+            rt.run_until_idle().unwrap();
+        }
+        let profile = Profile::from_trace(&rt.take_trace(), 10);
+        let mut opts = OptimizeOptions::new(10);
+        opts.speculative = true; // even speculation must not touch async
+        let opt = optimize(&m, rt.registry(), &profile, &opts);
+
+        let sup = opt
+            .module
+            .function_by_name("__super_A")
+            .expect("A merged");
+        let has_async_raise = opt.module.function(sup).blocks.iter().any(|blk| {
+            blk.instrs
+                .iter()
+                .any(|i| matches!(i, pdo_ir::Instr::Raise { mode: RaiseMode::Async, .. }))
+        });
+        assert!(has_async_raise, "async raise must be preserved");
+    }
+}

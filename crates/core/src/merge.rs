@@ -1,0 +1,141 @@
+//! Handler merging (paper Fig 7): building the super-handler shell.
+
+use pdo_ir::{FuncId, FunctionBuilder, Module, Reg};
+
+/// Why an event could not be merged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeSkip {
+    /// The profile observed more than one distinct handler sequence.
+    UnstableSequence,
+    /// The profiled sequence no longer matches the live registry.
+    RegistryDrift,
+    /// Handlers disagree on arity; a single merged body cannot serve them.
+    ArityMismatch,
+    /// No handlers are bound; nothing to merge.
+    NoHandlers,
+}
+
+impl std::fmt::Display for MergeSkip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeSkip::UnstableSequence => write!(f, "handler sequence unstable in profile"),
+            MergeSkip::RegistryDrift => write!(f, "registry changed since profiling"),
+            MergeSkip::ArityMismatch => write!(f, "handlers have differing arities"),
+            MergeSkip::NoHandlers => write!(f, "no handlers bound"),
+        }
+    }
+}
+
+/// Builds the super-handler *shell* for a handler sequence: one function
+/// that calls each handler in order with its own parameters. The shell is
+/// subsequently expanded by aggressive inlining and cleaned by the compiler
+/// passes, yielding the merged body of Fig 7.
+///
+/// Returns the new function's id.
+///
+/// # Errors
+///
+/// Returns [`MergeSkip::NoHandlers`] for an empty sequence and
+/// [`MergeSkip::ArityMismatch`] when the handlers disagree on parameter
+/// count.
+pub fn build_super_handler(
+    module: &mut Module,
+    name: &str,
+    handlers: &[FuncId],
+) -> Result<FuncId, MergeSkip> {
+    let Some(&first) = handlers.first() else {
+        return Err(MergeSkip::NoHandlers);
+    };
+    let params = module.function(first).params;
+    if handlers
+        .iter()
+        .any(|&h| module.function(h).params != params)
+    {
+        return Err(MergeSkip::ArityMismatch);
+    }
+    let mut b = FunctionBuilder::new(name, params);
+    let args: Vec<Reg> = (0..params).map(|i| b.param(i)).collect();
+    for &h in handlers {
+        let _ = b.call(h, &args);
+    }
+    b.ret(None);
+    Ok(module.add_function(b.finish()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdo_ir::interp::{call, BasicEnv};
+    use pdo_ir::parse::parse_module;
+    use pdo_ir::{GlobalId, Value};
+
+    #[test]
+    fn shell_calls_each_handler_in_order() {
+        let mut m = parse_module(
+            "global acc = int 0\n\
+             func @h1(1) {\n\
+             b0:\n\
+               r1 = load $acc\n\
+               r2 = const int 10\n\
+               r3 = mul r1, r2\n\
+               r4 = const int 1\n\
+               r5 = add r3, r4\n\
+               store $acc, r5\n\
+               ret\n\
+             }\n\
+             func @h2(1) {\n\
+             b0:\n\
+               r1 = load $acc\n\
+               r2 = const int 10\n\
+               r3 = mul r1, r2\n\
+               r4 = const int 2\n\
+               r5 = add r3, r4\n\
+               store $acc, r5\n\
+               ret\n\
+             }\n",
+        )
+        .unwrap();
+        let h1 = m.function_by_name("h1").unwrap();
+        let h2 = m.function_by_name("h2").unwrap();
+        let sup = build_super_handler(&mut m, "__super_E", &[h1, h2]).unwrap();
+        pdo_ir::verify_module(&m).unwrap();
+        let mut env = BasicEnv::new(&m);
+        call(&m, &mut env, sup, &[Value::Unit]).unwrap();
+        assert_eq!(env.global(GlobalId(0)), &Value::Int(12));
+    }
+
+    #[test]
+    fn empty_sequence_rejected() {
+        let mut m = Module::new();
+        assert_eq!(
+            build_super_handler(&mut m, "s", &[]),
+            Err(MergeSkip::NoHandlers)
+        );
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut m = parse_module(
+            "func @a(1) {\nb0:\n  ret\n}\n\
+             func @b(2) {\nb0:\n  ret\n}\n",
+        )
+        .unwrap();
+        let a = m.function_by_name("a").unwrap();
+        let b = m.function_by_name("b").unwrap();
+        assert_eq!(
+            build_super_handler(&mut m, "s", &[a, b]),
+            Err(MergeSkip::ArityMismatch)
+        );
+    }
+
+    #[test]
+    fn single_handler_shell_is_valid() {
+        let mut m = parse_module("func @a(2) {\nb0:\n  r2 = add r0, r1\n  ret r2\n}\n").unwrap();
+        let a = m.function_by_name("a").unwrap();
+        let sup = build_super_handler(&mut m, "s", &[a]).unwrap();
+        let mut env = BasicEnv::new(&m);
+        // Shell discards the handler's return value, like dispatch does.
+        let r = call(&m, &mut env, sup, &[Value::Int(1), Value::Int(2)]).unwrap();
+        assert_eq!(r, Value::Unit);
+    }
+}

@@ -1,0 +1,277 @@
+//! Subsumption: rewriting synchronous raises into direct super-handler
+//! calls (paper §3.2.1, Figs 8/9; partitioned form Fig 14).
+
+use pdo_ir::{Block, BlockId, EventId, FuncId, Function, Instr, NativeId, RaiseMode, Terminator, Value};
+
+/// A synchronous raise site found in a function body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaiseSite {
+    /// Block index.
+    pub block: usize,
+    /// Instruction index within the block.
+    pub pos: usize,
+    /// The raised event.
+    pub event: EventId,
+    /// Number of arguments the raise passes.
+    pub arity: usize,
+}
+
+/// Lists every `raise sync` site in `f`, in block/instruction order.
+pub fn sync_raise_sites(f: &Function) -> Vec<RaiseSite> {
+    let mut sites = Vec::new();
+    for (b, block) in f.blocks.iter().enumerate() {
+        for (i, instr) in block.instrs.iter().enumerate() {
+            if let Instr::Raise {
+                event,
+                mode: RaiseMode::Sync,
+                args,
+            } = instr
+            {
+                sites.push(RaiseSite {
+                    block: b,
+                    pos: i,
+                    event: *event,
+                    arity: args.len(),
+                });
+            }
+        }
+    }
+    sites
+}
+
+/// Replaces the raise at `site` with a **direct call** to `target` (the
+/// child event's super-handler). Valid only under a chain-level guard on
+/// the child's binding version: if the child re-binds, the whole chain must
+/// fall back (§3.2.1).
+///
+/// # Panics
+///
+/// Panics if `site` does not address a synchronous raise.
+pub fn subsume_direct(f: &mut Function, site: RaiseSite, target: FuncId) {
+    let instr = &mut f.blocks[site.block].instrs[site.pos];
+    let Instr::Raise {
+        mode: RaiseMode::Sync,
+        args,
+        ..
+    } = instr
+    else {
+        panic!("subsume_direct: site is not a synchronous raise");
+    };
+    let args = args.clone();
+    let dst = f.new_reg();
+    f.blocks[site.block].instrs[site.pos] = Instr::Call {
+        dst,
+        func: target,
+        args,
+    };
+}
+
+/// Replaces the raise at `site` with the **partitioned** guarded form of
+/// Fig 14:
+///
+/// ```text
+/// if binding_version(child) == expected { call super_child(args) }
+/// else                                  { raise sync child(args) }
+/// ```
+///
+/// The chain containing this site then only needs its *head* guard — a
+/// re-binding of the child degrades exactly this segment, not the whole
+/// chain.
+///
+/// # Panics
+///
+/// Panics if `site` does not address a synchronous raise.
+pub fn subsume_partitioned(
+    f: &mut Function,
+    site: RaiseSite,
+    target: FuncId,
+    version_native: NativeId,
+    expected_version: u64,
+) {
+    let block = site.block;
+    let pos = site.pos;
+    let Instr::Raise {
+        event,
+        mode: RaiseMode::Sync,
+        args,
+    } = f.blocks[block].instrs[pos].clone()
+    else {
+        panic!("subsume_partitioned: site is not a synchronous raise");
+    };
+
+    // Split: prefix stays in `block`; suffix moves to a continuation block.
+    let tail: Vec<Instr> = f.blocks[block].instrs.split_off(pos + 1);
+    f.blocks[block].instrs.pop(); // the raise itself
+
+    let cont_id = BlockId::from_index(f.blocks.len());
+    let fast_id = BlockId::from_index(f.blocks.len() + 1);
+    let slow_id = BlockId::from_index(f.blocks.len() + 2);
+
+    // Guard computation appended to the prefix block.
+    let ev_reg = f.new_reg();
+    let ver_reg = f.new_reg();
+    let exp_reg = f.new_reg();
+    let ok_reg = f.new_reg();
+    let call_dst = f.new_reg();
+    let prefix_term = std::mem::replace(
+        &mut f.blocks[block].term,
+        Terminator::Branch {
+            cond: ok_reg,
+            then_blk: fast_id,
+            else_blk: slow_id,
+        },
+    );
+    let prefix = &mut f.blocks[block].instrs;
+    prefix.push(Instr::Const {
+        dst: ev_reg,
+        value: Value::Int(i64::from(event.0)),
+    });
+    prefix.push(Instr::CallNative {
+        dst: ver_reg,
+        native: version_native,
+        args: vec![ev_reg],
+    });
+    prefix.push(Instr::Const {
+        dst: exp_reg,
+        value: Value::Int(expected_version as i64),
+    });
+    prefix.push(Instr::Bin {
+        op: pdo_ir::BinOp::Eq,
+        dst: ok_reg,
+        lhs: ver_reg,
+        rhs: exp_reg,
+    });
+
+    // Continuation with the original suffix and terminator.
+    f.blocks.push(Block {
+        instrs: tail,
+        term: prefix_term,
+    });
+    // Fast arm: direct call to the child's super-handler.
+    f.blocks.push(Block {
+        instrs: vec![Instr::Call {
+            dst: call_dst,
+            func: target,
+            args: args.clone(),
+        }],
+        term: Terminator::Jump(cont_id),
+    });
+    // Slow arm: the original generic raise.
+    f.blocks.push(Block {
+        instrs: vec![Instr::Raise {
+            event,
+            mode: RaiseMode::Sync,
+            args,
+        }],
+        term: Terminator::Jump(cont_id),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdo_ir::interp::{call, BasicEnv};
+    use pdo_ir::parse::parse_module;
+    use pdo_ir::{verify_module, Module};
+
+    fn module_with_raise() -> Module {
+        parse_module(
+            "event Child\n\
+             native __pdo_binding_version\n\
+             func @parent(1) {\n\
+             b0:\n\
+               r1 = const int 5\n\
+               raise sync %Child(r0)\n\
+               r2 = add r0, r1\n\
+               ret r2\n\
+             }\n\
+             func @child_super(1) {\n\
+             b0:\n\
+               ret r0\n\
+             }\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn finds_sync_raise_sites() {
+        let m = module_with_raise();
+        let sites = sync_raise_sites(&m.functions[0]);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].block, 0);
+        assert_eq!(sites[0].pos, 1);
+        assert_eq!(sites[0].event, EventId(0));
+        assert_eq!(sites[0].arity, 1);
+    }
+
+    #[test]
+    fn async_raises_not_listed() {
+        let m = parse_module(
+            "event E\n\
+             func @f(0) {\n\
+             b0:\n\
+               raise async %E()\n\
+               raise timed %E()\n\
+               ret\n\
+             }\n",
+        )
+        .unwrap();
+        assert!(sync_raise_sites(&m.functions[0]).is_empty());
+    }
+
+    #[test]
+    fn direct_subsumption_replaces_raise_with_call() {
+        let mut m = module_with_raise();
+        let site = sync_raise_sites(&m.functions[0])[0];
+        let target = m.function_by_name("child_super").unwrap();
+        subsume_direct(&mut m.functions[0], site, target);
+        verify_module(&m).unwrap();
+        assert!(sync_raise_sites(&m.functions[0]).is_empty());
+        let mut env = BasicEnv::new(&m);
+        let parent = m.function_by_name("parent").unwrap();
+        let r = call(&m, &mut env, parent, &[Value::Int(3)]).unwrap();
+        assert_eq!(r, Value::Int(8));
+        assert!(env.raised.is_empty(), "raise was replaced");
+        assert_eq!(env.cost.calls, 1);
+    }
+
+    #[test]
+    fn partitioned_subsumption_builds_guard() {
+        let mut m = module_with_raise();
+        let site = sync_raise_sites(&m.functions[0])[0];
+        let target = m.function_by_name("child_super").unwrap();
+        let nv = m.native_by_name("__pdo_binding_version").unwrap();
+        subsume_partitioned(&mut m.functions[0], site, target, nv, 7);
+        verify_module(&m).unwrap();
+
+        // Guard matches: direct call, no raise.
+        let parent = m.function_by_name("parent").unwrap();
+        let mut env = BasicEnv::new(&m);
+        env.bind_native(nv, |_| Ok(Value::Int(7)));
+        let r = call(&m, &mut env, parent, &[Value::Int(3)]).unwrap();
+        assert_eq!(r, Value::Int(8));
+        assert!(env.raised.is_empty());
+
+        // Guard fails: falls back to the generic raise.
+        let mut env2 = BasicEnv::new(&m);
+        env2.bind_native(nv, |_| Ok(Value::Int(99)));
+        let r2 = call(&m, &mut env2, parent, &[Value::Int(3)]).unwrap();
+        assert_eq!(r2, Value::Int(8));
+        assert_eq!(env2.raised.len(), 1);
+        assert_eq!(env2.raised[0].0, EventId(0));
+    }
+
+    #[test]
+    fn partitioned_subsumption_preserves_suffix() {
+        // The instructions after the raise must execute on both arms.
+        let mut m = module_with_raise();
+        let site = sync_raise_sites(&m.functions[0])[0];
+        let target = m.function_by_name("child_super").unwrap();
+        let nv = m.native_by_name("__pdo_binding_version").unwrap();
+        subsume_partitioned(&mut m.functions[0], site, target, nv, 0);
+        // `r2 = add r0, r1; ret r2` must live in the continuation block.
+        let cont = &m.functions[0].blocks[1];
+        assert_eq!(cont.instrs.len(), 1);
+        assert!(matches!(cont.term, Terminator::Ret(Some(_))));
+    }
+}

@@ -1,0 +1,456 @@
+//! A runnable CTP endpoint: natives, simulated link, and statistics.
+
+use pdo_cactus::EventProgram;
+use pdo_events::{Runtime, RuntimeError};
+use pdo_ir::{EventId, GlobalId, RaiseMode, Value};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Endpoint tunables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtpParams {
+    /// Every `ack_drop_every`-th segment's acknowledgement is lost,
+    /// triggering the timeout/retransmission path (0 disables loss).
+    pub ack_drop_every: u64,
+    /// Controller clock period in virtual ns. The paper's video player
+    /// fires its controller once per frame (Fig 6 shows the controller
+    /// chain at the same ~391 weight as the sender chain).
+    pub clk_period_ns: u64,
+}
+
+impl Default for CtpParams {
+    fn default() -> Self {
+        CtpParams {
+            ack_drop_every: 50,
+            clk_period_ns: 200_000_000,
+        }
+    }
+}
+
+/// CTP failure.
+#[derive(Debug)]
+pub enum CtpError {
+    /// The event runtime failed.
+    Runtime(RuntimeError),
+    /// The program lacks a CTP symbol (indicates a build bug).
+    MissingSymbol(String),
+}
+
+impl fmt::Display for CtpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtpError::Runtime(e) => write!(f, "runtime error: {e}"),
+            CtpError::MissingSymbol(s) => write!(f, "missing symbol `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for CtpError {}
+
+impl From<RuntimeError> for CtpError {
+    fn from(e: RuntimeError) -> Self {
+        CtpError::Runtime(e)
+    }
+}
+
+/// Mutable native-side state shared with the runtime's natives.
+#[derive(Debug, Default)]
+struct LinkState {
+    unacked: HashMap<i64, Vec<u8>>,
+    wire: Vec<(i64, Vec<u8>)>,
+    retransmissions: u64,
+    sends_since_sample: i64,
+    ack_drop_every: u64,
+}
+
+/// Statistics snapshot of an endpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CtpStats {
+    /// Segments sent (IR counter).
+    pub segments_sent: i64,
+    /// Segments acknowledged.
+    pub segments_acked: i64,
+    /// Retransmissions performed.
+    pub retransmissions: i64,
+    /// Fragment-size adaptations that shrank the fragment.
+    pub resizes: i64,
+    /// Current fragment size.
+    pub frag_size: i64,
+    /// Current quality estimate.
+    pub quality: i64,
+    /// Segments currently unacknowledged (native-side view).
+    pub in_flight_native: usize,
+}
+
+/// A sender endpoint of the CTP composite protocol.
+pub struct CtpEndpoint {
+    rt: Runtime,
+    state: Rc<RefCell<LinkState>>,
+    ev_open: EventId,
+    ev_send: EventId,
+    globals: Globals,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Globals {
+    sent: GlobalId,
+    acked: GlobalId,
+    retrans: GlobalId,
+    resizes: GlobalId,
+    frag_size: GlobalId,
+    quality: GlobalId,
+}
+
+impl fmt::Debug for CtpEndpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CtpEndpoint").field("rt", &self.rt).finish()
+    }
+}
+
+impl CtpEndpoint {
+    /// Builds an endpoint for `program` (plain or optimizer-extended).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the program lacks CTP's events/globals/natives or when
+    /// binding fails.
+    pub fn new(program: &EventProgram, params: CtpParams) -> Result<CtpEndpoint, CtpError> {
+        let mut rt = program.runtime()?;
+        let state = Rc::new(RefCell::new(LinkState {
+            ack_drop_every: params.ack_drop_every,
+            ..Default::default()
+        }));
+        install_natives(&mut rt, &state)?;
+        if let Some(g) = program.module.global_by_name("clk_period_ns") {
+            rt.set_global(g, Value::Int(params.clk_period_ns as i64));
+        }
+
+        let ev = |name: &str| {
+            program
+                .module
+                .event_by_name(name)
+                .ok_or_else(|| CtpError::MissingSymbol(name.to_string()))
+        };
+        let gl = |name: &str| {
+            program
+                .module
+                .global_by_name(name)
+                .ok_or_else(|| CtpError::MissingSymbol(name.to_string()))
+        };
+        Ok(CtpEndpoint {
+            ev_open: ev("Open")?,
+            ev_send: ev("SendMsg")?,
+            globals: Globals {
+                sent: gl("sent_count")?,
+                acked: gl("acked_count")?,
+                retrans: gl("retrans_count")?,
+                resizes: gl("resize_count")?,
+                frag_size: gl("frag_size")?,
+                quality: gl("quality")?,
+            },
+            rt,
+            state,
+        })
+    }
+
+    /// Opens the session: runs setup handlers and starts the controller
+    /// clock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates handler faults.
+    pub fn open(&mut self) -> Result<(), CtpError> {
+        self.rt.raise(self.ev_open, RaiseMode::Sync, &[])?;
+        Ok(())
+    }
+
+    /// Sends one application message through the sender chain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates handler faults.
+    pub fn send(&mut self, payload: &[u8]) -> Result<(), CtpError> {
+        self.rt.raise(
+            self.ev_send,
+            RaiseMode::Sync,
+            &[Value::bytes(payload.to_vec())],
+        )?;
+        Ok(())
+    }
+
+    /// Advances virtual time to `deadline_ns`, firing due timers (acks,
+    /// timeouts, the controller clock).
+    ///
+    /// # Errors
+    ///
+    /// Propagates handler faults.
+    pub fn run_until(&mut self, deadline_ns: u64) -> Result<(), CtpError> {
+        self.rt.run_until(deadline_ns)?;
+        let now = self.rt.clock_ns();
+        if deadline_ns > now {
+            self.rt.advance_clock(deadline_ns - now);
+        }
+        Ok(())
+    }
+
+    /// Drains all remaining queued/timed work (ends the session; the
+    /// controller clock re-arms itself, so this caps at `slack_ns` past the
+    /// current time).
+    ///
+    /// # Errors
+    ///
+    /// Propagates handler faults.
+    pub fn drain(&mut self, slack_ns: u64) -> Result<(), CtpError> {
+        let deadline = self.rt.clock_ns().saturating_add(slack_ns);
+        self.run_until(deadline)
+    }
+
+    /// A statistics snapshot combining IR globals and native state.
+    pub fn stats(&self) -> CtpStats {
+        let int = |g: GlobalId| self.rt.global(g).as_int().unwrap_or(0);
+        let st = self.state.borrow();
+        CtpStats {
+            segments_sent: int(self.globals.sent),
+            segments_acked: int(self.globals.acked),
+            retransmissions: int(self.globals.retrans),
+            resizes: int(self.globals.resizes),
+            frag_size: int(self.globals.frag_size),
+            quality: int(self.globals.quality),
+            in_flight_native: st.unacked.len(),
+        }
+    }
+
+    /// The payload bytes observed on the wire (parity bytes stripped), in
+    /// first-transmission order — reassembles to the concatenation of sent
+    /// messages when nothing needed retransmission.
+    pub fn wire_payload(&self) -> Vec<u8> {
+        let st = self.state.borrow();
+        let mut out = Vec::new();
+        for (_, seg) in &st.wire {
+            if !seg.is_empty() {
+                out.extend_from_slice(&seg[..seg.len() - 1]);
+            }
+        }
+        out
+    }
+
+    /// Number of wire transmissions (including retransmissions).
+    pub fn wire_count(&self) -> usize {
+        self.state.borrow().wire.len()
+    }
+
+    /// The underlying runtime (tracing, cost counters, chains).
+    pub fn runtime_mut(&mut self) -> &mut Runtime {
+        &mut self.rt
+    }
+
+    /// Read-only runtime access.
+    pub fn runtime(&self) -> &Runtime {
+        &self.rt
+    }
+}
+
+fn install_natives(rt: &mut Runtime, state: &Rc<RefCell<LinkState>>) -> Result<(), CtpError> {
+    let int_arg = |args: &[Value], i: usize| -> Result<i64, String> {
+        args.get(i)
+            .and_then(Value::as_int)
+            .ok_or_else(|| format!("expected int argument {i}"))
+    };
+
+    let s = Rc::clone(state);
+    rt.bind_native_by_name("net_send", move |args| {
+        let seq = int_arg(args, 0)?;
+        let data = args
+            .get(1)
+            .and_then(Value::as_bytes)
+            .ok_or("expected bytes")?;
+        let mut st = s.borrow_mut();
+        st.wire.push((seq, data.to_vec()));
+        st.sends_since_sample += 1;
+        Ok(Value::Unit)
+    })
+    .map_err(CtpError::Runtime)?;
+
+    let s = Rc::clone(state);
+    rt.bind_native_by_name("pau_register", move |args| {
+        let seq = int_arg(args, 0)?;
+        let data = args
+            .get(1)
+            .and_then(Value::as_bytes)
+            .ok_or("expected bytes")?;
+        s.borrow_mut().unacked.insert(seq, data.to_vec());
+        Ok(Value::Unit)
+    })
+    .map_err(CtpError::Runtime)?;
+
+    let s = Rc::clone(state);
+    rt.bind_native_by_name("pau_ack", move |args| {
+        let seq = int_arg(args, 0)?;
+        Ok(Value::Bool(s.borrow_mut().unacked.remove(&seq).is_some()))
+    })
+    .map_err(CtpError::Runtime)?;
+
+    let s = Rc::clone(state);
+    rt.bind_native_by_name("pau_is_unacked", move |args| {
+        let seq = int_arg(args, 0)?;
+        Ok(Value::Bool(s.borrow().unacked.contains_key(&seq)))
+    })
+    .map_err(CtpError::Runtime)?;
+
+    let s = Rc::clone(state);
+    rt.bind_native_by_name("retransmit", move |args| {
+        let seq = int_arg(args, 0)?;
+        let mut st = s.borrow_mut();
+        if let Some(data) = st.unacked.get(&seq).cloned() {
+            st.wire.push((seq, data));
+            st.retransmissions += 1;
+        }
+        Ok(Value::Unit)
+    })
+    .map_err(CtpError::Runtime)?;
+
+    rt.bind_native_by_name("fec_parity", move |args| {
+        let data = args
+            .first()
+            .and_then(Value::as_bytes)
+            .ok_or("expected bytes")?;
+        let parity = data.iter().fold(0u8, |a, b| a ^ b);
+        Ok(Value::Int(i64::from(parity)))
+    })
+    .map_err(CtpError::Runtime)?;
+
+    let s = Rc::clone(state);
+    rt.bind_native_by_name("ack_drop", move |args| {
+        let seq = int_arg(args, 0)?;
+        let every = s.borrow().ack_drop_every;
+        Ok(Value::Bool(every != 0 && seq as u64 % every == every - 1))
+    })
+    .map_err(CtpError::Runtime)?;
+
+    let s = Rc::clone(state);
+    rt.bind_native_by_name("controller_sample", move |_args| {
+        let mut st = s.borrow_mut();
+        let v = st.sends_since_sample;
+        st.sends_since_sample = 0;
+        Ok(Value::Int(v))
+    })
+    .map_err(CtpError::Runtime)?;
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ctp_program;
+
+    fn endpoint() -> CtpEndpoint {
+        let mut e = CtpEndpoint::new(&ctp_program(), CtpParams::default()).unwrap();
+        e.open().unwrap();
+        e
+    }
+
+    #[test]
+    fn single_small_message_one_segment() {
+        let mut e = endpoint();
+        e.send(&[7u8; 100]).unwrap();
+        let stats = e.stats();
+        assert_eq!(stats.segments_sent, 1);
+        assert_eq!(e.wire_count(), 1);
+        assert_eq!(e.wire_payload(), vec![7u8; 100]);
+    }
+
+    #[test]
+    fn large_message_fragments() {
+        let mut e = endpoint();
+        e.send(&vec![1u8; 1200]).unwrap(); // frag 512 -> 3 segments
+        assert_eq!(e.stats().segments_sent, 3);
+        assert_eq!(e.wire_payload().len(), 1200);
+    }
+
+    #[test]
+    fn acks_arrive_after_delay() {
+        let mut e = endpoint();
+        e.send(&[1u8; 10]).unwrap();
+        assert_eq!(e.stats().segments_acked, 0);
+        assert_eq!(e.stats().in_flight_native, 1);
+        e.run_until(40_000_000).unwrap(); // > 30ms ack delay
+        assert_eq!(e.stats().segments_acked, 1);
+        assert_eq!(e.stats().in_flight_native, 0);
+    }
+
+    #[test]
+    fn dropped_ack_triggers_retransmission() {
+        let program = ctp_program();
+        let mut e = CtpEndpoint::new(&program, CtpParams { ack_drop_every: 1, ..Default::default() }).unwrap();
+        e.open().unwrap();
+        e.send(&[1u8; 10]).unwrap();
+        // Every ack dropped: the 100ms timeout fires and retransmits, and
+        // the retransmission's ack always arrives.
+        e.run_until(200_000_000).unwrap();
+        let stats = e.stats();
+        assert_eq!(stats.retransmissions, 1);
+        assert_eq!(stats.segments_acked, 1);
+        assert_eq!(e.wire_count(), 2);
+    }
+
+    #[test]
+    fn controller_fires_periodically() {
+        let mut e = endpoint();
+        // 1 second at a 200ms period: ~5 firings.
+        e.run_until(1_000_000_000).unwrap();
+        let quality = e.stats().quality;
+        assert_eq!(quality, 100); // nothing in flight
+        let sample_sum = e.runtime().module().global_by_name("sample_sum").unwrap();
+        // Samples observed (0 sends, but the Sample event fired).
+        assert!(e.runtime().global(sample_sum).as_int().is_some());
+        let last = e
+            .runtime()
+            .module()
+            .global_by_name("last_sample")
+            .unwrap();
+        assert_eq!(e.runtime().global(last).as_int(), Some(0));
+    }
+
+    #[test]
+    fn heavy_loss_shrinks_fragment_size() {
+        let program = ctp_program();
+        let mut e = CtpEndpoint::new(&program, CtpParams { ack_drop_every: 1, ..Default::default() }).unwrap();
+        e.open().unwrap();
+        for i in 0..40 {
+            e.send(&vec![i as u8; 700]).unwrap(); // 2 segments each
+            e.run_until((i + 1) * 50_000_000).unwrap();
+        }
+        e.drain(2_000_000_000).unwrap();
+        let stats = e.stats();
+        assert!(stats.retransmissions > 10);
+        assert!(stats.resizes >= 1, "rate adaptation should have shrunk: {stats:?}");
+        assert!(stats.frag_size < 512);
+    }
+
+    #[test]
+    fn no_loss_grows_fragment_size_back() {
+        let mut e = endpoint();
+        for i in 0..20 {
+            e.send(&[0u8; 64]).unwrap();
+            e.run_until((i + 1) * 250_000_000).unwrap();
+        }
+        // Clock ticked ~20 times with no retransmissions: growth to cap.
+        assert!(e.stats().frag_size > 512);
+    }
+
+    #[test]
+    fn stats_balance_after_drain() {
+        let mut e = endpoint();
+        for i in 0..30 {
+            e.send(&vec![1u8; 300]).unwrap();
+            e.run_until((i + 1) * 40_000_000).unwrap();
+        }
+        e.drain(2_000_000_000).unwrap();
+        let stats = e.stats();
+        assert_eq!(stats.segments_acked, stats.segments_sent);
+        assert_eq!(stats.in_flight_native, 0);
+    }
+}

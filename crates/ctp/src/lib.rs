@@ -1,0 +1,46 @@
+//! # pdo-ctp — the Configurable Transport Protocol and the video player
+//!
+//! CTP is the Cactus-built configurable transport protocol underneath the
+//! paper's video-player experiment (§4.2, Figs 5/6/8/10/11). This crate
+//! reproduces it as a composite protocol with the event vocabulary of
+//! Fig 5:
+//!
+//! * sender chain: `SendMsg` → `MsgFrmUserL` → `MsgFrmUserH` (fragmentation)
+//!   → `SegFromUser` → `Seg2Net` → the wire, with the Fig 8 handler
+//!   structure (`FEC-SFU1`, `SeqSeg-SFU`, `TDriver-SFU` — which raises
+//!   `Seg2Net` synchronously — `FEC-SFU2`; `PAU-S2N`, `WFC-S2N`, `FEC-S2N`,
+//!   `TD-S2N`);
+//! * reliability: `SegmentSent`, `SegmentAcked`, `SegmentTimeout` with a
+//!   positive-ack unit, deterministic ack loss, and retransmission;
+//! * adaptation: the timer-driven controller chain `ControllerClkL` →
+//!   `ControllerClkH` → `ControllerFiring` → `Controller` → `ControllerFired`
+//!   → `Adapt` (rate + quality adaptation, occasionally raising
+//!   `ResizeFragment`), plus asynchronous `Sample` events;
+//! * session setup: `Open`, `AddSysInput`.
+//!
+//! [`VideoPlayer`] drives frames through a [`CtpEndpoint`] at a configurable
+//! frame rate over the virtual clock, measuring real handler busy time and
+//! deriving total execution time from a single-CPU model — reproducing the
+//! shape of Fig 10 (at low frame rates idle time absorbs the event
+//! overhead; at high rates the optimized build pulls ahead).
+//!
+//! ```
+//! use pdo_ctp::{ctp_program, CtpEndpoint, CtpParams, VideoPlayer};
+//!
+//! let program = ctp_program();
+//! let mut endpoint = CtpEndpoint::new(&program, CtpParams::default())?;
+//! endpoint.open()?;
+//! let mut player = VideoPlayer::new(endpoint, 25);
+//! let stats = player.play(50)?;
+//! assert_eq!(stats.frames, 50);
+//! assert!(stats.segments_sent >= 50);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod endpoint;
+pub mod protocol;
+pub mod video;
+
+pub use endpoint::{CtpEndpoint, CtpError, CtpParams, CtpStats};
+pub use protocol::{ctp_program, ctp_protocol};
+pub use video::{PlayStats, VideoPlayer};

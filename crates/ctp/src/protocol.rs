@@ -1,0 +1,499 @@
+//! The CTP composite protocol definition (events + handler IR).
+
+use pdo_cactus::{CompositeBuilder, CompositeProtocol, EventProgram};
+use pdo_ir::{BinOp, RaiseMode, Value};
+
+/// Builds the CTP composite protocol with every micro-protocol.
+///
+/// Micro-protocols: `Driver` (user API + fragmentation), `Fec` (forward
+/// error correction), `Sequencing`, `Transmission` (TDriver + TD),
+/// `PositiveAck` (PAU + acking + retransmission), `WindowFlowControl`,
+/// `Adaptation` (controller chain + adapters), `Session` (open/setup).
+#[allow(clippy::too_many_lines)]
+pub fn ctp_protocol() -> CompositeProtocol {
+    let mut b = CompositeBuilder::new("CTP");
+
+    // Events — the Fig 5 vocabulary.
+    let open = b.event("Open");
+    let add_sys_input = b.event("AddSysInput");
+    let send_msg = b.event("SendMsg");
+    let msg_l = b.event("MsgFrmUserL");
+    let msg_h = b.event("MsgFrmUserH");
+    let seg_from_user = b.event("SegFromUser");
+    let seg2net = b.event("Seg2Net");
+    let segment_sent = b.event("SegmentSent");
+    let segment_acked = b.event("SegmentAcked");
+    let segment_timeout = b.event("SegmentTimeout");
+    let resize_fragment = b.event("ResizeFragment");
+    let adapt = b.event("Adapt");
+    let controller = b.event("Controller");
+    let controller_firing = b.event("ControllerFiring");
+    let controller_fired = b.event("ControllerFired");
+    let clk_l = b.event("ControllerClkL");
+    let clk_h = b.event("ControllerClkH");
+    let sample = b.event("Sample");
+
+    // Shared protocol state (Cactus passes data between handlers through
+    // shared data structures; every access pays lock + load/store).
+    let g_seq = b.global("seq", Value::Int(0));
+    let g_cur_seq = b.global("cur_seq", Value::Int(0));
+    let g_frag_size = b.global("frag_size", Value::Int(512));
+    let g_window = b.global("window", Value::Int(32));
+    let g_in_flight = b.global("in_flight", Value::Int(0));
+    let g_wfc_over = b.global("wfc_overruns", Value::Int(0));
+    let g_sent = b.global("sent_count", Value::Int(0));
+    let g_acked = b.global("acked_count", Value::Int(0));
+    let g_retrans = b.global("retrans_count", Value::Int(0));
+    let g_retrans_seen = b.global("retrans_seen", Value::Int(0));
+    let g_fec_last = b.global("fec_last", Value::Int(0));
+    let g_fec_accum = b.global("fec_accum", Value::Int(0));
+    let g_wire_buf = b.global("wire_buf", Value::bytes(Vec::new()));
+    let g_quality = b.global("quality", Value::Int(100));
+    let g_last_sample = b.global("last_sample", Value::Int(0));
+    let g_sample_sum = b.global("sample_sum", Value::Int(0));
+    let g_resizes = b.global("resize_count", Value::Int(0));
+    let g_ack_delay = b.global("ack_delay_ns", Value::Int(30_000_000));
+    let g_timeout = b.global("timeout_ns", Value::Int(100_000_000));
+    let g_clk_period = b.global("clk_period_ns", Value::Int(200_000_000));
+
+    // Natives (payload work implemented in Rust by the endpoint).
+    let n_net_send = b.native("net_send");
+    let n_pau_register = b.native("pau_register");
+    let n_pau_ack = b.native("pau_ack");
+    let n_pau_unacked = b.native("pau_is_unacked");
+    let n_retransmit = b.native("retransmit");
+    let n_fec_parity = b.native("fec_parity");
+    let n_ack_drop = b.native("ack_drop");
+    let n_sample = b.native("controller_sample");
+
+    // ---- Driver: the user API layers and fragmentation. ----
+    b.micro_protocol("Driver", |mp| {
+        mp.handler(send_msg, 0, "user_send", 1, |f| {
+            f.raise(msg_l, RaiseMode::Sync, &[f.param(0)]);
+            f.ret(None);
+        });
+        mp.handler(msg_l, 0, "msg_low", 1, |f| {
+            f.raise(msg_h, RaiseMode::Sync, &[f.param(0)]);
+            f.ret(None);
+        });
+        // Fragmentation: slice the message into frag_size segments, raising
+        // SegFromUser for each.
+        mp.handler(msg_h, 0, "fragment", 1, |f| {
+            let head = f.new_block();
+            let body = f.new_block();
+            let clip = f.new_block();
+            let emit = f.new_block();
+            let exit = f.new_block();
+
+            f.lock(g_frag_size);
+            let fs = f.load_global(g_frag_size);
+            f.unlock(g_frag_size);
+            let len = f.bytes_len(f.param(0));
+            let off = f.const_int(0);
+            f.jump(head);
+
+            f.switch_to(head);
+            let done = f.bin(BinOp::Ge, off, len);
+            f.branch(done, exit, body);
+
+            f.switch_to(body);
+            let end = f.bin(BinOp::Add, off, fs);
+            let over = f.bin(BinOp::Gt, end, len);
+            f.branch(over, clip, emit);
+
+            f.switch_to(clip);
+            f.push(pdo_ir::Instr::Mov { dst: end, src: len });
+            f.jump(emit);
+
+            f.switch_to(emit);
+            let seg = f.bytes_slice(f.param(0), off, end);
+            f.raise(seg_from_user, RaiseMode::Sync, &[seg]);
+            f.push(pdo_ir::Instr::Mov { dst: off, src: end });
+            f.jump(head);
+
+            f.switch_to(exit);
+            f.ret(None);
+        });
+    });
+
+    // ---- FEC: parity bookkeeping on SegFromUser, wire parity on Seg2Net.
+    b.micro_protocol("Fec", |mp| {
+        mp.handler(seg_from_user, 0, "fec_sfu1", 1, |f| {
+            let parity = f.call_native(n_fec_parity, &[f.param(0)]);
+            f.lock(g_fec_last);
+            f.store_global(g_fec_last, parity);
+            f.unlock(g_fec_last);
+            f.ret(None);
+        });
+        mp.handler(seg_from_user, 3, "fec_sfu2", 1, |f| {
+            f.lock(g_fec_last);
+            let last = f.load_global(g_fec_last);
+            f.unlock(g_fec_last);
+            f.lock(g_fec_accum);
+            let acc = f.load_global(g_fec_accum);
+            let sum = f.bin(BinOp::Add, acc, last);
+            f.store_global(g_fec_accum, sum);
+            f.unlock(g_fec_accum);
+            f.ret(None);
+        });
+        // Seg2Net: append the parity byte to the outgoing segment.
+        mp.handler(seg2net, 2, "fec_s2n", 1, |f| {
+            let parity = f.call_native(n_fec_parity, &[f.param(0)]);
+            let one = f.const_int(1);
+            let pbuf = f.bytes_new(one);
+            let zero = f.const_int(0);
+            f.bytes_set(pbuf, zero, parity);
+            let wire = f.bytes_concat(f.param(0), pbuf);
+            f.lock(g_wire_buf);
+            f.store_global(g_wire_buf, wire);
+            f.unlock(g_wire_buf);
+            f.ret(None);
+        });
+    });
+
+    // ---- Sequencing: assign a sequence number per segment. ----
+    b.micro_protocol("Sequencing", |mp| {
+        mp.handler(seg_from_user, 1, "seqseg_sfu", 1, |f| {
+            f.lock(g_seq);
+            let s = f.load_global(g_seq);
+            let one = f.const_int(1);
+            let next = f.bin(BinOp::Add, s, one);
+            f.store_global(g_seq, next);
+            f.store_global(g_cur_seq, next);
+            f.unlock(g_seq);
+            f.ret(None);
+        });
+    });
+
+    // ---- Transmission: TDriver raises Seg2Net; TD sends on the wire. ----
+    b.micro_protocol("Transmission", |mp| {
+        mp.handler(seg_from_user, 2, "tdriver_sfu", 1, |f| {
+            f.raise(seg2net, RaiseMode::Sync, &[f.param(0)]);
+            f.ret(None);
+        });
+        mp.handler(seg2net, 3, "td_s2n", 1, |f| {
+            let skip = f.new_block();
+            let ack = f.new_block();
+
+            f.lock(g_wire_buf);
+            let wire = f.load_global(g_wire_buf);
+            f.unlock(g_wire_buf);
+            f.lock(g_cur_seq);
+            let sq = f.load_global(g_cur_seq);
+            f.unlock(g_cur_seq);
+            let _ = f.call_native(n_net_send, &[sq, wire]);
+            f.lock(g_sent);
+            let sent = f.load_global(g_sent);
+            let one = f.const_int(1);
+            let sent2 = f.bin(BinOp::Add, sent, one);
+            f.store_global(g_sent, sent2);
+            f.unlock(g_sent);
+            f.raise(segment_sent, RaiseMode::Async, &[sq]);
+            // Simulated network: the ack arrives after ack_delay unless the
+            // deterministic loss model drops it.
+            let dropped = f.call_native(n_ack_drop, &[sq]);
+            f.branch(dropped, skip, ack);
+
+            f.switch_to(ack);
+            let delay = f.load_global(g_ack_delay);
+            f.raise(segment_acked, RaiseMode::Timed, &[delay, sq]);
+            f.ret(None);
+
+            f.switch_to(skip);
+            f.ret(None);
+        });
+    });
+
+    // ---- Positive acknowledgements + retransmission. ----
+    b.micro_protocol("PositiveAck", |mp| {
+        mp.handler(seg2net, 0, "pau_s2n", 1, |f| {
+            f.lock(g_cur_seq);
+            let sq = f.load_global(g_cur_seq);
+            f.unlock(g_cur_seq);
+            let _ = f.call_native(n_pau_register, &[sq, f.param(0)]);
+            let delay = f.load_global(g_timeout);
+            f.raise(segment_timeout, RaiseMode::Timed, &[delay, sq]);
+            f.ret(None);
+        });
+        mp.handler(segment_acked, 0, "pau_on_ack", 1, |f| {
+            let _ = f.call_native(n_pau_ack, &[f.param(0)]);
+            f.lock(g_in_flight);
+            let v = f.load_global(g_in_flight);
+            let one = f.const_int(1);
+            let v2 = f.bin(BinOp::Sub, v, one);
+            f.store_global(g_in_flight, v2);
+            f.unlock(g_in_flight);
+            f.lock(g_acked);
+            let a = f.load_global(g_acked);
+            let a2 = f.bin(BinOp::Add, a, one);
+            f.store_global(g_acked, a2);
+            f.unlock(g_acked);
+            f.ret(None);
+        });
+        mp.handler(segment_timeout, 0, "pau_on_timeout", 1, |f| {
+            let resend = f.new_block();
+            let exit = f.new_block();
+            let still = f.call_native(n_pau_unacked, &[f.param(0)]);
+            f.branch(still, resend, exit);
+
+            f.switch_to(resend);
+            let _ = f.call_native(n_retransmit, &[f.param(0)]);
+            f.lock(g_retrans);
+            let r = f.load_global(g_retrans);
+            let one = f.const_int(1);
+            let r2 = f.bin(BinOp::Add, r, one);
+            f.store_global(g_retrans, r2);
+            f.unlock(g_retrans);
+            // The retransmitted copy is always acknowledged.
+            let delay = f.load_global(g_ack_delay);
+            f.raise(segment_acked, RaiseMode::Timed, &[delay, f.param(0)]);
+            f.ret(None);
+
+            f.switch_to(exit);
+            f.ret(None);
+        });
+        // Stats-only observer for SegmentSent.
+        mp.handler(segment_sent, 0, "sent_observer", 1, |f| {
+            f.ret(None);
+        });
+    });
+
+    // ---- Window flow control. ----
+    b.micro_protocol("WindowFlowControl", |mp| {
+        mp.handler(seg2net, 1, "wfc_s2n", 1, |f| {
+            let over_blk = f.new_block();
+            let exit = f.new_block();
+            f.lock(g_in_flight);
+            let v = f.load_global(g_in_flight);
+            let one = f.const_int(1);
+            let v2 = f.bin(BinOp::Add, v, one);
+            f.store_global(g_in_flight, v2);
+            f.unlock(g_in_flight);
+            let w = f.load_global(g_window);
+            let over = f.bin(BinOp::Gt, v2, w);
+            f.branch(over, over_blk, exit);
+
+            f.switch_to(over_blk);
+            f.lock(g_wfc_over);
+            let o = f.load_global(g_wfc_over);
+            let o2 = f.bin(BinOp::Add, o, one);
+            f.store_global(g_wfc_over, o2);
+            f.unlock(g_wfc_over);
+            f.ret(None);
+
+            f.switch_to(exit);
+            f.ret(None);
+        });
+    });
+
+    // ---- Adaptation: the controller clock chain and the adapters. ----
+    b.micro_protocol("Adaptation", |mp| {
+        mp.handler(clk_l, 0, "clk_low", 0, |f| {
+            f.raise(clk_h, RaiseMode::Sync, &[]);
+            // Re-arm the clock.
+            let period = f.load_global(g_clk_period);
+            f.raise(clk_l, RaiseMode::Timed, &[period]);
+            f.ret(None);
+        });
+        mp.handler(clk_h, 0, "clk_high", 0, |f| {
+            f.raise(controller_firing, RaiseMode::Sync, &[]);
+            f.ret(None);
+        });
+        mp.handler(controller_firing, 0, "firing", 0, |f| {
+            f.raise(controller, RaiseMode::Sync, &[]);
+            f.ret(None);
+        });
+        mp.handler(controller, 0, "controller_body", 0, |f| {
+            let s = f.call_native(n_sample, &[]);
+            f.lock(g_last_sample);
+            f.store_global(g_last_sample, s);
+            f.unlock(g_last_sample);
+            f.raise(sample, RaiseMode::Async, &[s]);
+            f.raise(controller_fired, RaiseMode::Sync, &[]);
+            f.ret(None);
+        });
+        mp.handler(controller_fired, 0, "fired", 0, |f| {
+            f.raise(adapt, RaiseMode::Sync, &[]);
+            f.ret(None);
+        });
+        // Adapt handler 1: fragment-size (rate) adaptation.
+        mp.handler(adapt, 0, "rate_adapt", 0, |f| {
+            let shrink = f.new_block();
+            let clamp_low = f.new_block();
+            let shrink_done = f.new_block();
+            let grow = f.new_block();
+            let clamp_high = f.new_block();
+            let grow_done = f.new_block();
+
+            f.lock(g_retrans);
+            let r = f.load_global(g_retrans);
+            f.unlock(g_retrans);
+            let prev = f.load_global(g_retrans_seen);
+            let delta = f.bin(BinOp::Sub, r, prev);
+            f.store_global(g_retrans_seen, r);
+            let two = f.const_int(2);
+            let high = f.bin(BinOp::Gt, delta, two);
+            let fs = f.load_global(g_frag_size);
+            f.branch(high, shrink, grow);
+
+            f.switch_to(shrink);
+            let half = f.bin(BinOp::Div, fs, two);
+            let min = f.const_int(64);
+            let too_small = f.bin(BinOp::Lt, half, min);
+            f.branch(too_small, clamp_low, shrink_done);
+
+            f.switch_to(clamp_low);
+            f.push(pdo_ir::Instr::Mov { dst: half, src: min });
+            f.jump(shrink_done);
+
+            f.switch_to(shrink_done);
+            f.store_global(g_frag_size, half);
+            f.raise(resize_fragment, RaiseMode::Sync, &[half]);
+            f.ret(None);
+
+            f.switch_to(grow);
+            let sixteen = f.const_int(16);
+            let bigger = f.bin(BinOp::Add, fs, sixteen);
+            let max = f.const_int(1024);
+            let too_big = f.bin(BinOp::Gt, bigger, max);
+            f.branch(too_big, clamp_high, grow_done);
+
+            f.switch_to(clamp_high);
+            f.push(pdo_ir::Instr::Mov {
+                dst: bigger,
+                src: max,
+            });
+            f.jump(grow_done);
+
+            f.switch_to(grow_done);
+            f.store_global(g_frag_size, bigger);
+            f.ret(None);
+        });
+        // Adapt handler 2: quality estimation.
+        mp.handler(adapt, 1, "quality_adapt", 0, |f| {
+            f.lock(g_in_flight);
+            let inflight = f.load_global(g_in_flight);
+            f.unlock(g_in_flight);
+            let hundred = f.const_int(100);
+            let q = f.bin(BinOp::Sub, hundred, inflight);
+            f.lock(g_quality);
+            f.store_global(g_quality, q);
+            f.unlock(g_quality);
+            f.ret(None);
+        });
+        mp.handler(resize_fragment, 0, "on_resize", 1, |f| {
+            f.lock(g_resizes);
+            let n = f.load_global(g_resizes);
+            let one = f.const_int(1);
+            let n2 = f.bin(BinOp::Add, n, one);
+            f.store_global(g_resizes, n2);
+            f.unlock(g_resizes);
+            f.ret(None);
+        });
+        mp.handler(sample, 0, "on_sample", 1, |f| {
+            f.lock(g_sample_sum);
+            let s = f.load_global(g_sample_sum);
+            let s2 = f.bin(BinOp::Add, s, f.param(0));
+            f.store_global(g_sample_sum, s2);
+            f.unlock(g_sample_sum);
+            f.ret(None);
+        });
+    });
+
+    // ---- Session: open + system input registration. ----
+    b.micro_protocol("Session", |mp| {
+        mp.handler(open, 0, "on_open", 0, |f| {
+            f.raise(add_sys_input, RaiseMode::Sync, &[]);
+            let period = f.load_global(g_clk_period);
+            f.raise(clk_l, RaiseMode::Timed, &[period]);
+            f.ret(None);
+        });
+        mp.handler(add_sys_input, 0, "on_add_sys_input", 0, |f| {
+            let hundred = f.const_int(100);
+            f.store_global(g_quality, hundred);
+            f.ret(None);
+        });
+    });
+
+    b.finish()
+}
+
+/// The standard, fully-configured CTP program.
+pub fn ctp_program() -> EventProgram {
+    ctp_protocol().instantiate_all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdo_ir::verify_module;
+
+    #[test]
+    fn protocol_module_verifies() {
+        let proto = ctp_protocol();
+        verify_module(&proto.module).unwrap();
+        assert_eq!(proto.module.events.len(), 18);
+        assert!(proto.micro_protocol_names().contains(&"Adaptation"));
+    }
+
+    #[test]
+    fn all_fig5_events_present() {
+        let m = ctp_protocol().module;
+        for name in [
+            "Open",
+            "AddSysInput",
+            "SendMsg",
+            "MsgFrmUserL",
+            "MsgFrmUserH",
+            "SegFromUser",
+            "Seg2Net",
+            "SegmentSent",
+            "SegmentAcked",
+            "SegmentTimeout",
+            "ResizeFragment",
+            "Adapt",
+            "Controller",
+            "ControllerFiring",
+            "ControllerFired",
+            "ControllerClkL",
+            "ControllerClkH",
+            "Sample",
+        ] {
+            assert!(m.event_by_name(name).is_some(), "missing event {name}");
+        }
+    }
+
+    #[test]
+    fn fig8_handler_structure() {
+        let proto = ctp_protocol();
+        let m = &proto.module;
+        // SegFromUser handlers: fec_sfu1, seqseg_sfu, tdriver_sfu, fec_sfu2.
+        for h in ["fec_sfu1", "seqseg_sfu", "tdriver_sfu", "fec_sfu2"] {
+            assert!(m.function_by_name(h).is_some(), "missing handler {h}");
+        }
+        // Seg2Net handlers: pau_s2n, wfc_s2n, fec_s2n, td_s2n.
+        for h in ["pau_s2n", "wfc_s2n", "fec_s2n", "td_s2n"] {
+            assert!(m.function_by_name(h).is_some(), "missing handler {h}");
+        }
+    }
+
+    #[test]
+    fn partial_configuration_without_adaptation() {
+        let proto = ctp_protocol();
+        let program = proto
+            .instantiate(&[
+                "Driver",
+                "Fec",
+                "Sequencing",
+                "Transmission",
+                "PositiveAck",
+                "WindowFlowControl",
+                "Session",
+            ])
+            .unwrap();
+        // Adaptation handlers absent: Adapt has no bindings.
+        let rt = program.runtime().unwrap();
+        let adapt = program.module.event_by_name("Adapt").unwrap();
+        assert!(rt.registry().bindings(adapt).is_empty());
+    }
+}

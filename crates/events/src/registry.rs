@@ -1,0 +1,194 @@
+//! The event → handler binding registry.
+//!
+//! Bindings are fully dynamic (paper §2.3: "Event handler binding is
+//! completely dynamic"). Each event carries a monotonically increasing
+//! *binding version*, bumped by every mutation; the optimizer's guarded
+//! fast paths compare recorded versions against current ones to detect
+//! re-binding and fall back to generic dispatch.
+
+use pdo_ir::{EventId, FuncId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One handler bound to an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Binding {
+    /// The IR function invoked when the event fires.
+    pub handler: FuncId,
+    /// Execution order: lower runs first; ties run in bind order (§2.3:
+    /// "The order of event handler execution can be specified if desired").
+    pub order: i32,
+}
+
+#[derive(Debug, Clone, Default)]
+struct EventEntry {
+    bindings: Vec<Binding>,
+    version: u64,
+}
+
+/// The registry mapping events to ordered handler lists.
+///
+/// Implemented as a hash map keyed by event — the "shared data structure
+/// like the table shown in the figure" of §2.1 — so generic dispatch pays a
+/// genuine lookup cost.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    entries: HashMap<EventId, EventEntry>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds `handler` to `event` with the given order key and bumps the
+    /// event's binding version.
+    pub fn bind(&mut self, event: EventId, handler: FuncId, order: i32) {
+        let entry = self.entries.entry(event).or_default();
+        let binding = Binding { handler, order };
+        // Stable insertion: after the last binding with order <= new order.
+        let pos = entry
+            .bindings
+            .iter()
+            .rposition(|b| b.order <= order)
+            .map(|p| p + 1)
+            .unwrap_or(0);
+        entry.bindings.insert(pos, binding);
+        entry.version += 1;
+    }
+
+    /// Removes the first binding of `handler` to `event`. Returns `true`
+    /// if a binding was removed (and the version bumped).
+    pub fn unbind(&mut self, event: EventId, handler: FuncId) -> bool {
+        let Some(entry) = self.entries.get_mut(&event) else {
+            return false;
+        };
+        let Some(pos) = entry.bindings.iter().position(|b| b.handler == handler) else {
+            return false;
+        };
+        entry.bindings.remove(pos);
+        entry.version += 1;
+        true
+    }
+
+    /// Removes every binding for `event`.
+    pub fn unbind_all(&mut self, event: EventId) {
+        if let Some(entry) = self.entries.get_mut(&event) {
+            if !entry.bindings.is_empty() {
+                entry.bindings.clear();
+                entry.version += 1;
+            }
+        }
+    }
+
+    /// The current binding list for `event`, in execution order. An event
+    /// with no bindings yields an empty slice (§2.1: "An event is ignored
+    /// if no handlers are bound to the event").
+    pub fn bindings(&self, event: EventId) -> &[Binding] {
+        self.entries
+            .get(&event)
+            .map(|e| e.bindings.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The event's binding version. Events never bound have version 0.
+    pub fn version(&self, event: EventId) -> u64 {
+        self.entries.get(&event).map(|e| e.version).unwrap_or(0)
+    }
+
+    /// Clones the binding list, as generic dispatch must (bindings may
+    /// change while the handlers run).
+    pub fn snapshot(&self, event: EventId) -> Vec<Binding> {
+        self.bindings(event).to_vec()
+    }
+
+    /// Number of events with at least one binding.
+    pub fn bound_event_count(&self) -> usize {
+        self.entries.values().filter(|e| !e.bindings.is_empty()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const E: EventId = EventId(0);
+
+    #[test]
+    fn bind_orders_handlers() {
+        let mut r = Registry::new();
+        r.bind(E, FuncId(2), 10);
+        r.bind(E, FuncId(0), 0);
+        r.bind(E, FuncId(1), 5);
+        let order: Vec<u32> = r.bindings(E).iter().map(|b| b.handler.0).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn equal_order_keeps_bind_sequence() {
+        let mut r = Registry::new();
+        r.bind(E, FuncId(7), 0);
+        r.bind(E, FuncId(8), 0);
+        r.bind(E, FuncId(9), 0);
+        let order: Vec<u32> = r.bindings(E).iter().map(|b| b.handler.0).collect();
+        assert_eq!(order, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn version_bumps_on_every_mutation() {
+        let mut r = Registry::new();
+        assert_eq!(r.version(E), 0);
+        r.bind(E, FuncId(1), 0);
+        assert_eq!(r.version(E), 1);
+        r.bind(E, FuncId(2), 0);
+        assert_eq!(r.version(E), 2);
+        assert!(r.unbind(E, FuncId(1)));
+        assert_eq!(r.version(E), 3);
+        assert!(!r.unbind(E, FuncId(1)));
+        assert_eq!(r.version(E), 3);
+        r.unbind_all(E);
+        assert_eq!(r.version(E), 4);
+        r.unbind_all(E); // already empty: no bump
+        assert_eq!(r.version(E), 4);
+    }
+
+    #[test]
+    fn unbound_event_is_empty() {
+        let r = Registry::new();
+        assert!(r.bindings(EventId(42)).is_empty());
+        assert_eq!(r.version(EventId(42)), 0);
+    }
+
+    #[test]
+    fn handler_bound_to_multiple_events() {
+        let mut r = Registry::new();
+        let h = FuncId(3);
+        r.bind(EventId(0), h, 0);
+        r.bind(EventId(1), h, 0);
+        assert_eq!(r.bindings(EventId(0)).len(), 1);
+        assert_eq!(r.bindings(EventId(1)).len(), 1);
+        assert_eq!(r.bound_event_count(), 2);
+    }
+
+    #[test]
+    fn same_handler_bound_twice_to_one_event() {
+        let mut r = Registry::new();
+        let h = FuncId(3);
+        r.bind(E, h, 0);
+        r.bind(E, h, 0);
+        assert_eq!(r.bindings(E).len(), 2);
+        assert!(r.unbind(E, h));
+        assert_eq!(r.bindings(E).len(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_independent() {
+        let mut r = Registry::new();
+        r.bind(E, FuncId(1), 0);
+        let snap = r.snapshot(E);
+        r.unbind(E, FuncId(1));
+        assert_eq!(snap.len(), 1);
+        assert!(r.bindings(E).is_empty());
+    }
+}

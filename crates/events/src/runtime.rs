@@ -1,0 +1,1082 @@
+//! The event runtime: dispatch, scheduling, state, and instrumentation.
+
+use crate::marshal::{marshal, unmarshal};
+use crate::registry::Registry;
+use crate::sched::{Scheduler, VirtualClock};
+use crate::spec::{CompiledChain, SpecTable};
+use crate::trace::{Trace, TraceConfig, TraceRecord};
+use pdo_ir::interp::{call, Env, ExecError};
+use pdo_ir::{CostCounter, EventId, FuncId, GlobalId, Module, NativeId, RaiseMode, Value};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A native (Rust) function bound into the runtime.
+///
+/// Natives carry the substrate's payload work (crypto, codecs, I/O
+/// simulation); they may capture shared state via `Rc<RefCell<…>>` — the
+/// runtime is single-threaded by design, mirroring the paper's
+/// handler-atomicity guarantee.
+pub type NativeFn = Box<dyn FnMut(&[Value]) -> Result<Value, String>>;
+
+/// Runtime failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// Handler execution failed.
+    Exec(ExecError),
+    /// A raise referenced an event the module does not declare.
+    UnknownEvent(EventId),
+    /// A name-based lookup failed.
+    UnknownName(String),
+    /// Timed raise without a leading non-negative integer delay argument.
+    BadTimedRaise,
+    /// `run_until_idle` exceeded the configured step budget.
+    StepLimit,
+    /// Synchronous raise nesting exceeded the configured depth.
+    SyncDepthExceeded,
+    /// Marshaled arguments failed to unmarshal (indicates corruption).
+    Marshal(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Exec(e) => write!(f, "handler failed: {e}"),
+            RuntimeError::UnknownEvent(e) => write!(f, "unknown event {e}"),
+            RuntimeError::UnknownName(n) => write!(f, "unknown name `{n}`"),
+            RuntimeError::BadTimedRaise => {
+                write!(f, "timed raise requires a leading non-negative delay")
+            }
+            RuntimeError::StepLimit => write!(f, "event-loop step budget exhausted"),
+            RuntimeError::SyncDepthExceeded => write!(f, "synchronous raise nesting too deep"),
+            RuntimeError::Marshal(m) => write!(f, "marshaling failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<ExecError> for RuntimeError {
+    fn from(e: ExecError) -> Self {
+        RuntimeError::Exec(e)
+    }
+}
+
+/// Tunable limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Maximum synchronous raise nesting (default 64).
+    pub max_sync_depth: u32,
+    /// Maximum queue/timer dispatches per `run_until_idle` (default 10M).
+    pub max_steps: u64,
+    /// Optional instruction budget shared by all handler executions.
+    pub fuel: Option<u64>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            max_sync_depth: 64,
+            max_steps: 10_000_000,
+            fuel: None,
+        }
+    }
+}
+
+/// Ids of the runtime-implemented ("reserved") native slots, resolved from
+/// the module's native declarations by name.
+#[derive(Debug, Clone, Copy, Default)]
+struct ReservedNatives {
+    binding_version: Option<NativeId>,
+    bind: Option<NativeId>,
+    unbind: Option<NativeId>,
+    cancel_timer: Option<NativeId>,
+    clock: Option<NativeId>,
+    advance_clock: Option<NativeId>,
+}
+
+impl ReservedNatives {
+    fn resolve(module: &Module) -> Self {
+        ReservedNatives {
+            binding_version: module.native_by_name(Runtime::NATIVE_BINDING_VERSION),
+            bind: module.native_by_name(Runtime::NATIVE_BIND),
+            unbind: module.native_by_name(Runtime::NATIVE_UNBIND),
+            cancel_timer: module.native_by_name(Runtime::NATIVE_CANCEL_TIMER),
+            clock: module.native_by_name(Runtime::NATIVE_CLOCK),
+            advance_clock: module.native_by_name(Runtime::NATIVE_ADVANCE_CLOCK),
+        }
+    }
+}
+
+/// The single-threaded event runtime.
+///
+/// See the crate-level docs for the execution model. All handler execution,
+/// scheduling, and state live here; the [`pdo_ir::interp::Env`]
+/// implementation lets handler IR call back into the runtime for globals,
+/// locks, natives, and nested raises.
+pub struct Runtime {
+    module: Arc<Module>,
+    registry: Registry,
+    globals: Vec<Value>,
+    lock_words: Vec<AtomicU64>,
+    natives: Vec<Option<NativeFn>>,
+    reserved: ReservedNatives,
+    spec: SpecTable,
+    sched: Scheduler,
+    clock: VirtualClock,
+    trace: Trace,
+    trace_config: Option<TraceConfig>,
+    sync_depth: u32,
+    dispatch_seq: u64,
+    fuel: Option<u64>,
+    config: RuntimeConfig,
+    /// Cost counters charged by dispatch and handler execution.
+    pub cost: CostCounter,
+}
+
+impl fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Runtime")
+            .field("events", &self.module.events.len())
+            .field("functions", &self.module.functions.len())
+            .field("clock_ns", &self.clock.now_ns())
+            .field("cost", &self.cost)
+            .finish()
+    }
+}
+
+impl Runtime {
+    /// Reserved native name: `(event:int) -> int` current binding version.
+    pub const NATIVE_BINDING_VERSION: &'static str = "__pdo_binding_version";
+    /// Reserved native name: `(event:int, func:int, order:int) -> unit`.
+    pub const NATIVE_BIND: &'static str = "__pdo_bind";
+    /// Reserved native name: `(event:int, func:int) -> bool`.
+    pub const NATIVE_UNBIND: &'static str = "__pdo_unbind";
+    /// Reserved native name: `(event:int) -> int` timers cancelled.
+    pub const NATIVE_CANCEL_TIMER: &'static str = "__pdo_cancel_timer";
+    /// Reserved native name: `() -> int` virtual time (ns).
+    pub const NATIVE_CLOCK: &'static str = "__pdo_clock";
+    /// Reserved native name: `(ns:int) -> unit` advance virtual time.
+    pub const NATIVE_ADVANCE_CLOCK: &'static str = "__pdo_advance_clock";
+
+    /// Creates a runtime for `module` with default configuration. Globals
+    /// are initialized from the module's declarations.
+    pub fn new(module: impl Into<Arc<Module>>) -> Self {
+        Self::with_config(module, RuntimeConfig::default())
+    }
+
+    /// Creates a runtime with explicit limits.
+    pub fn with_config(module: impl Into<Arc<Module>>, config: RuntimeConfig) -> Self {
+        let module = module.into();
+        let reserved = ReservedNatives::resolve(&module);
+        Runtime {
+            globals: module.globals.iter().map(|g| g.init.clone()).collect(),
+            lock_words: module.globals.iter().map(|_| AtomicU64::new(0)).collect(),
+            natives: module.natives.iter().map(|_| None).collect(),
+            registry: Registry::new(),
+            spec: SpecTable::new(),
+            sched: Scheduler::new(),
+            clock: VirtualClock::new(),
+            trace: Trace::new(),
+            trace_config: None,
+            sync_depth: 0,
+            dispatch_seq: 0,
+            fuel: config.fuel,
+            cost: CostCounter::new(),
+            reserved,
+            config,
+            module,
+        }
+    }
+
+    /// The module this runtime executes.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// A clone of the module handle (for constructing optimized variants).
+    pub fn module_arc(&self) -> Arc<Module> {
+        Arc::clone(&self.module)
+    }
+
+    /// The binding registry (read-only; mutate through [`Runtime::bind`]).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Binds `handler` to `event` with an order key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnknownEvent`] if the module does not declare
+    /// `event`, and [`RuntimeError::UnknownName`] if `handler` is out of
+    /// range.
+    pub fn bind(&mut self, event: EventId, handler: FuncId, order: i32) -> Result<(), RuntimeError> {
+        self.check_event(event)?;
+        if handler.index() >= self.module.functions.len() {
+            return Err(RuntimeError::UnknownName(format!("{handler}")));
+        }
+        self.registry.bind(event, handler, order);
+        Ok(())
+    }
+
+    /// Removes the first binding of `handler` to `event`.
+    pub fn unbind(&mut self, event: EventId, handler: FuncId) -> bool {
+        self.registry.unbind(event, handler)
+    }
+
+    /// Binds a native implementation into slot `native`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is out of range for the module.
+    pub fn bind_native(
+        &mut self,
+        native: NativeId,
+        f: impl FnMut(&[Value]) -> Result<Value, String> + 'static,
+    ) {
+        self.natives[native.index()] = Some(Box::new(f));
+    }
+
+    /// Binds a native implementation by declared name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnknownName`] when the module declares no
+    /// native slot with that name.
+    pub fn bind_native_by_name(
+        &mut self,
+        name: &str,
+        f: impl FnMut(&[Value]) -> Result<Value, String> + 'static,
+    ) -> Result<(), RuntimeError> {
+        let id = self
+            .module
+            .native_by_name(name)
+            .ok_or_else(|| RuntimeError::UnknownName(name.to_string()))?;
+        self.bind_native(id, f);
+        Ok(())
+    }
+
+    /// Installs a compiled super-handler chain.
+    pub fn install_chain(&mut self, chain: CompiledChain) {
+        self.spec.install(chain);
+    }
+
+    /// Removes the chain for `event`, if any.
+    pub fn remove_chain(&mut self, event: EventId) -> Option<CompiledChain> {
+        self.spec.remove(event)
+    }
+
+    /// The installed specialization table.
+    pub fn spec(&self) -> &SpecTable {
+        &self.spec
+    }
+
+    /// Enables tracing with the given configuration (clears prior records).
+    pub fn set_trace_config(&mut self, config: TraceConfig) {
+        self.trace_config = Some(config);
+        self.trace = Trace::new();
+    }
+
+    /// Disables tracing.
+    pub fn disable_tracing(&mut self) {
+        self.trace_config = None;
+    }
+
+    /// Takes the recorded trace, leaving an empty one.
+    pub fn take_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// The recorded trace so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Current value of a global cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `global` is out of range.
+    pub fn global(&self, global: GlobalId) -> &Value {
+        &self.globals[global.index()]
+    }
+
+    /// Overwrites a global cell (test/bench setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `global` is out of range.
+    pub fn set_global(&mut self, global: GlobalId, value: Value) {
+        self.globals[global.index()] = value;
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn clock_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// Advances the virtual clock by `delta_ns` (timers are *not* fired;
+    /// use [`Runtime::run_until_idle`] or [`Runtime::run_until`]).
+    pub fn advance_clock(&mut self, delta_ns: u64) {
+        self.clock.advance_by(delta_ns);
+    }
+
+    /// Pending asynchronous + timed event count.
+    pub fn pending(&self) -> usize {
+        self.sched.queued_len() + self.sched.timer_len()
+    }
+
+    /// Resets cost counters.
+    pub fn reset_cost(&mut self) {
+        self.cost.reset();
+    }
+
+    fn check_event(&self, event: EventId) -> Result<(), RuntimeError> {
+        if event.index() < self.module.events.len() {
+            Ok(())
+        } else {
+            Err(RuntimeError::UnknownEvent(event))
+        }
+    }
+
+    /// Raises `event` with `mode`. For [`RaiseMode::Timed`] the first
+    /// argument must be a non-negative integer delay in virtual ns; the
+    /// remaining arguments are the handler arguments.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown events, malformed timed raises, or handler faults.
+    pub fn raise(
+        &mut self,
+        event: EventId,
+        mode: RaiseMode,
+        args: &[Value],
+    ) -> Result<(), RuntimeError> {
+        let module = self.module_arc();
+        self.raise_inner(&module, event, mode, args)
+    }
+
+    /// Raises an event looked up by name.
+    ///
+    /// # Errors
+    ///
+    /// As [`Runtime::raise`], plus [`RuntimeError::UnknownName`].
+    pub fn raise_by_name(
+        &mut self,
+        name: &str,
+        mode: RaiseMode,
+        args: &[Value],
+    ) -> Result<(), RuntimeError> {
+        let event = self
+            .module
+            .event_by_name(name)
+            .ok_or_else(|| RuntimeError::UnknownName(name.to_string()))?;
+        self.raise(event, mode, args)
+    }
+
+    fn raise_inner(
+        &mut self,
+        module: &Module,
+        event: EventId,
+        mode: RaiseMode,
+        args: &[Value],
+    ) -> Result<(), RuntimeError> {
+        self.check_event(event)?;
+        if self.trace_config.as_ref().is_some_and(|c| c.events) {
+            self.trace.records.push(TraceRecord::Raise {
+                event,
+                mode,
+                depth: self.sync_depth,
+                at: self.clock.now_ns(),
+            });
+        }
+        match mode {
+            RaiseMode::Sync => {
+                if self.sync_depth >= self.config.max_sync_depth {
+                    return Err(RuntimeError::SyncDepthExceeded);
+                }
+                self.sync_depth += 1;
+                let r = self.dispatch_now(module, event, args);
+                self.sync_depth -= 1;
+                r
+            }
+            RaiseMode::Async => {
+                self.sched.push_async(event, args.to_vec());
+                Ok(())
+            }
+            RaiseMode::Timed => {
+                let delay = args
+                    .first()
+                    .and_then(Value::as_int)
+                    .filter(|d| *d >= 0)
+                    .ok_or(RuntimeError::BadTimedRaise)?;
+                self.sched.push_timed(
+                    self.clock.now_ns(),
+                    delay as u64,
+                    event,
+                    args[1..].to_vec(),
+                );
+                Ok(())
+            }
+        }
+    }
+
+    /// Dispatches the handlers of `event` immediately: guarded fast path
+    /// when a chain is installed and valid, generic registry walk otherwise.
+    fn dispatch_now(
+        &mut self,
+        module: &Module,
+        event: EventId,
+        args: &[Value],
+    ) -> Result<(), RuntimeError> {
+        // Fast path: compiled chain with matching guards.
+        if let Some(chain) = self.spec.get(event) {
+            if usize::from(chain.params) == args.len() && chain.guards_hold(&self.registry) {
+                let func = chain.func;
+                self.cost.fastpath_hits += 1;
+                self.cost.direct_handler_calls += 1;
+                let trace_handlers = self
+                    .trace_config
+                    .as_ref()
+                    .is_some_and(|c| c.handlers.traces(event));
+                let dispatch = self.dispatch_seq;
+                self.dispatch_seq += 1;
+                if trace_handlers {
+                    self.trace.records.push(TraceRecord::HandlerEnter {
+                        event,
+                        handler: func,
+                        dispatch,
+                        at: self.clock.now_ns(),
+                    });
+                }
+                call(module, self, func, args)?;
+                if trace_handlers {
+                    self.trace.records.push(TraceRecord::HandlerExit {
+                        event,
+                        handler: func,
+                        dispatch,
+                        at: self.clock.now_ns(),
+                    });
+                }
+                return Ok(());
+            }
+            self.cost.fastpath_misses += 1;
+        }
+
+        // Generic path: registry lookup, snapshot, marshal per handler,
+        // indirect invocation.
+        self.cost.registry_lookups += 1;
+        let dispatch = self.dispatch_seq;
+        self.dispatch_seq += 1;
+        let bindings = self.registry.snapshot(event);
+        for binding in bindings {
+            self.cost.indirect_calls += 1;
+            self.cost.marshaled_values += args.len() as u64;
+            let packed = marshal(args);
+            let unpacked = unmarshal(&packed).map_err(RuntimeError::Marshal)?;
+            let trace_handlers = self
+                .trace_config
+                .as_ref()
+                .is_some_and(|c| c.handlers.traces(event));
+            if trace_handlers {
+                self.trace.records.push(TraceRecord::HandlerEnter {
+                    event,
+                    handler: binding.handler,
+                    dispatch,
+                    at: self.clock.now_ns(),
+                });
+            }
+            call(module, self, binding.handler, &unpacked)?;
+            if trace_handlers {
+                self.trace.records.push(TraceRecord::HandlerExit {
+                    event,
+                    handler: binding.handler,
+                    dispatch,
+                    at: self.clock.now_ns(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains the asynchronous queue and timer heap, advancing the virtual
+    /// clock to each timer deadline. Returns the number of dispatches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates handler faults; fails with [`RuntimeError::StepLimit`] if
+    /// the configured budget is exhausted (guards against self-sustaining
+    /// event cascades).
+    pub fn run_until_idle(&mut self) -> Result<u64, RuntimeError> {
+        self.run_until(u64::MAX)
+    }
+
+    /// As [`Runtime::run_until_idle`], but stops once the next piece of
+    /// work would lie after virtual time `deadline_ns`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Runtime::run_until_idle`].
+    pub fn run_until(&mut self, deadline_ns: u64) -> Result<u64, RuntimeError> {
+        let module = self.module_arc();
+        let mut steps = 0u64;
+        loop {
+            if self.sched.queued_len() > 0 {
+                if steps >= self.config.max_steps {
+                    return Err(RuntimeError::StepLimit);
+                }
+                let p = self.sched.pop_async().expect("queue non-empty");
+                self.dispatch_now(&module, p.event, &p.args)?;
+                steps += 1;
+                continue;
+            }
+            match self.sched.next_deadline() {
+                Some(d) if d <= deadline_ns => {
+                    if steps >= self.config.max_steps {
+                        return Err(RuntimeError::StepLimit);
+                    }
+                    self.clock.advance_to(d);
+                    let t = self
+                        .sched
+                        .pop_due_timer(self.clock.now_ns())
+                        .expect("deadline was due");
+                    self.dispatch_now(&module, t.event, &t.args)?;
+                    steps += 1;
+                }
+                _ => return Ok(steps),
+            }
+        }
+    }
+
+    fn reserved_native(
+        &mut self,
+        native: NativeId,
+        args: &[Value],
+    ) -> Option<Result<Value, ExecError>> {
+        let arg_int = |i: usize| -> Result<i64, ExecError> {
+            args.get(i)
+                .and_then(Value::as_int)
+                .ok_or_else(|| ExecError::Native("reserved native: bad argument".into()))
+        };
+        if Some(native) == self.reserved.binding_version {
+            return Some(arg_int(0).map(|e| {
+                Value::Int(self.registry.version(EventId(e as u32)) as i64)
+            }));
+        }
+        if Some(native) == self.reserved.bind {
+            return Some((|| {
+                let (e, f, o) = (arg_int(0)?, arg_int(1)?, arg_int(2)?);
+                self.registry
+                    .bind(EventId(e as u32), FuncId(f as u32), o as i32);
+                Ok(Value::Unit)
+            })());
+        }
+        if Some(native) == self.reserved.unbind {
+            return Some((|| {
+                let (e, f) = (arg_int(0)?, arg_int(1)?);
+                Ok(Value::Bool(
+                    self.registry.unbind(EventId(e as u32), FuncId(f as u32)),
+                ))
+            })());
+        }
+        if Some(native) == self.reserved.cancel_timer {
+            return Some(
+                arg_int(0)
+                    .map(|e| Value::Int(self.sched.cancel_timers(EventId(e as u32)) as i64)),
+            );
+        }
+        if Some(native) == self.reserved.clock {
+            return Some(Ok(Value::Int(self.clock.now_ns() as i64)));
+        }
+        if Some(native) == self.reserved.advance_clock {
+            return Some(arg_int(0).map(|ns| {
+                self.clock.advance_by(ns.max(0) as u64);
+                Value::Unit
+            }));
+        }
+        None
+    }
+}
+
+impl Env for Runtime {
+    fn load_global(&mut self, global: GlobalId) -> Result<Value, ExecError> {
+        self.globals
+            .get(global.index())
+            .cloned()
+            .ok_or(ExecError::GlobalOutOfRange(global))
+    }
+
+    fn store_global(&mut self, global: GlobalId, value: Value) -> Result<(), ExecError> {
+        match self.globals.get_mut(global.index()) {
+            Some(slot) => {
+                *slot = value;
+                Ok(())
+            }
+            None => Err(ExecError::GlobalOutOfRange(global)),
+        }
+    }
+
+    fn lock(&mut self, global: GlobalId) -> Result<(), ExecError> {
+        match self.lock_words.get(global.index()) {
+            Some(w) => {
+                // A real atomic RMW: this is the measurable state-maintenance
+                // cost the paper's lock elimination removes.
+                w.fetch_add(1, Ordering::AcqRel);
+                Ok(())
+            }
+            None => Err(ExecError::GlobalOutOfRange(global)),
+        }
+    }
+
+    fn unlock(&mut self, global: GlobalId) -> Result<(), ExecError> {
+        match self.lock_words.get(global.index()) {
+            Some(w) => {
+                w.fetch_sub(1, Ordering::AcqRel);
+                Ok(())
+            }
+            None => Err(ExecError::GlobalOutOfRange(global)),
+        }
+    }
+
+    fn call_native(&mut self, native: NativeId, args: &[Value]) -> Result<Value, ExecError> {
+        if let Some(result) = self.reserved_native(native, args) {
+            return result;
+        }
+        match self.natives.get_mut(native.index()) {
+            Some(Some(f)) => f(args).map_err(ExecError::Native),
+            Some(None) | None => Err(ExecError::UnboundNative(native)),
+        }
+    }
+
+    fn raise(
+        &mut self,
+        module: &Module,
+        event: EventId,
+        mode: RaiseMode,
+        args: &[Value],
+    ) -> Result<(), ExecError> {
+        self.raise_inner(module, event, mode, args).map_err(|e| match e {
+            RuntimeError::Exec(inner) => inner,
+            other => ExecError::Raise(other.to_string()),
+        })
+    }
+
+    fn cost(&mut self) -> &mut CostCounter {
+        &mut self.cost
+    }
+
+    fn fuel(&mut self) -> Option<&mut u64> {
+        self.fuel.as_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Guard;
+    use pdo_ir::{BinOp, FunctionBuilder};
+
+    /// Module with one event `E` and two handlers that append 1 / 2 to a
+    /// global accumulator encoded as `acc = acc * 10 + k`.
+    fn two_handler_module() -> (Module, EventId, GlobalId, FuncId, FuncId) {
+        let mut m = Module::new();
+        let e = m.add_event("E");
+        let g = m.add_global("acc", Value::Int(0));
+        let mk = |m: &mut Module, name: &str, k: i64| {
+            let mut b = FunctionBuilder::new(name, 1);
+            let v = b.load_global(g);
+            let ten = b.const_int(10);
+            let scaled = b.bin(BinOp::Mul, v, ten);
+            let kk = b.const_int(k);
+            let out = b.bin(BinOp::Add, scaled, kk);
+            b.store_global(g, out);
+            b.ret(None);
+            m.add_function(b.finish())
+        };
+        let h1 = mk(&mut m, "h1", 1);
+        let h2 = mk(&mut m, "h2", 2);
+        (m, e, g, h1, h2)
+    }
+
+    #[test]
+    fn sync_raise_runs_handlers_in_order() {
+        let (m, e, g, h1, h2) = two_handler_module();
+        let mut rt = Runtime::new(m);
+        rt.bind(e, h1, 0).unwrap();
+        rt.bind(e, h2, 1).unwrap();
+        rt.raise(e, RaiseMode::Sync, &[Value::Unit]).unwrap();
+        assert_eq!(rt.global(g), &Value::Int(12));
+    }
+
+    #[test]
+    fn order_key_reorders_handlers() {
+        let (m, e, g, h1, h2) = two_handler_module();
+        let mut rt = Runtime::new(m);
+        rt.bind(e, h1, 5).unwrap();
+        rt.bind(e, h2, 0).unwrap();
+        rt.raise(e, RaiseMode::Sync, &[Value::Unit]).unwrap();
+        assert_eq!(rt.global(g), &Value::Int(21));
+    }
+
+    #[test]
+    fn async_raise_deferred_until_run() {
+        let (m, e, g, h1, _) = two_handler_module();
+        let mut rt = Runtime::new(m);
+        rt.bind(e, h1, 0).unwrap();
+        rt.raise(e, RaiseMode::Async, &[Value::Unit]).unwrap();
+        assert_eq!(rt.global(g), &Value::Int(0));
+        assert_eq!(rt.pending(), 1);
+        let steps = rt.run_until_idle().unwrap();
+        assert_eq!(steps, 1);
+        assert_eq!(rt.global(g), &Value::Int(1));
+    }
+
+    #[test]
+    fn timed_raise_advances_clock() {
+        let (m, e, g, h1, _) = two_handler_module();
+        let mut rt = Runtime::new(m);
+        rt.bind(e, h1, 0).unwrap();
+        rt.raise(e, RaiseMode::Timed, &[Value::Int(5_000), Value::Unit])
+            .unwrap();
+        assert_eq!(rt.clock_ns(), 0);
+        rt.run_until_idle().unwrap();
+        assert_eq!(rt.clock_ns(), 5_000);
+        assert_eq!(rt.global(g), &Value::Int(1));
+    }
+
+    #[test]
+    fn timed_raise_requires_delay() {
+        let (m, e, _, h1, _) = two_handler_module();
+        let mut rt = Runtime::new(m);
+        rt.bind(e, h1, 0).unwrap();
+        assert_eq!(
+            rt.raise(e, RaiseMode::Timed, &[Value::Unit]),
+            Err(RuntimeError::BadTimedRaise)
+        );
+        assert_eq!(
+            rt.raise(e, RaiseMode::Timed, &[Value::Int(-1), Value::Unit]),
+            Err(RuntimeError::BadTimedRaise)
+        );
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let (m, e, g, h1, _) = two_handler_module();
+        let mut rt = Runtime::new(m);
+        rt.bind(e, h1, 0).unwrap();
+        rt.raise(e, RaiseMode::Timed, &[Value::Int(100), Value::Unit])
+            .unwrap();
+        rt.raise(e, RaiseMode::Timed, &[Value::Int(10_000), Value::Unit])
+            .unwrap();
+        rt.run_until(1_000).unwrap();
+        assert_eq!(rt.global(g), &Value::Int(1));
+        assert_eq!(rt.pending(), 1);
+        rt.run_until_idle().unwrap();
+        assert_eq!(rt.global(g), &Value::Int(11));
+    }
+
+    #[test]
+    fn unbound_event_is_ignored() {
+        let (m, e, g, _, _) = two_handler_module();
+        let mut rt = Runtime::new(m);
+        rt.raise(e, RaiseMode::Sync, &[Value::Unit]).unwrap();
+        assert_eq!(rt.global(g), &Value::Int(0));
+    }
+
+    #[test]
+    fn unknown_event_rejected() {
+        let (m, _, _, _, _) = two_handler_module();
+        let mut rt = Runtime::new(m);
+        assert!(matches!(
+            rt.raise(EventId(99), RaiseMode::Sync, &[]),
+            Err(RuntimeError::UnknownEvent(_))
+        ));
+    }
+
+    #[test]
+    fn nested_raise_from_handler() {
+        // h raises F sync; F's handler bumps the global.
+        let mut m = Module::new();
+        let e = m.add_event("E");
+        let f = m.add_event("F");
+        let g = m.add_global("acc", Value::Int(0));
+        let mut hb = FunctionBuilder::new("hf", 1);
+        let v = hb.load_global(g);
+        let one = hb.const_int(1);
+        let out = hb.bin(BinOp::Add, v, one);
+        hb.store_global(g, out);
+        hb.ret(None);
+        let hf = m.add_function(hb.finish());
+
+        let mut eb = FunctionBuilder::new("he", 1);
+        eb.raise(f, RaiseMode::Sync, &[eb.param(0)]);
+        eb.raise(f, RaiseMode::Sync, &[eb.param(0)]);
+        eb.ret(None);
+        let he = m.add_function(eb.finish());
+
+        let mut rt = Runtime::new(m);
+        rt.bind(e, he, 0).unwrap();
+        rt.bind(f, hf, 0).unwrap();
+        rt.raise(e, RaiseMode::Sync, &[Value::Unit]).unwrap();
+        assert_eq!(rt.global(g), &Value::Int(2));
+        assert_eq!(rt.cost.raises_sync, 2); // the two nested raises
+    }
+
+    #[test]
+    fn runaway_sync_recursion_detected() {
+        let mut m = Module::new();
+        let e = m.add_event("E");
+        let mut b = FunctionBuilder::new("h", 0);
+        b.raise(e, RaiseMode::Sync, &[]);
+        b.ret(None);
+        let h = m.add_function(b.finish());
+        let mut rt = Runtime::new(m);
+        rt.bind(e, h, 0).unwrap();
+        let err = rt.raise(e, RaiseMode::Sync, &[]).unwrap_err();
+        assert!(matches!(err, RuntimeError::Exec(ExecError::Raise(_))));
+    }
+
+    #[test]
+    fn runaway_async_cascade_hits_step_limit() {
+        let mut m = Module::new();
+        let e = m.add_event("E");
+        let mut b = FunctionBuilder::new("h", 0);
+        b.raise(e, RaiseMode::Async, &[]);
+        b.ret(None);
+        let h = m.add_function(b.finish());
+        let mut rt = Runtime::with_config(
+            m,
+            RuntimeConfig {
+                max_steps: 1000,
+                ..Default::default()
+            },
+        );
+        rt.bind(e, h, 0).unwrap();
+        rt.raise(e, RaiseMode::Async, &[]).unwrap();
+        assert_eq!(rt.run_until_idle(), Err(RuntimeError::StepLimit));
+    }
+
+    #[test]
+    fn tracing_records_raises_and_handlers() {
+        let (m, e, _, h1, h2) = two_handler_module();
+        let mut rt = Runtime::new(m);
+        rt.bind(e, h1, 0).unwrap();
+        rt.bind(e, h2, 1).unwrap();
+        rt.set_trace_config(TraceConfig::full());
+        rt.raise(e, RaiseMode::Sync, &[Value::Unit]).unwrap();
+        let t = rt.take_trace();
+        assert_eq!(t.raise_count(), 1);
+        let kinds: Vec<&'static str> = t
+            .records
+            .iter()
+            .map(|r| match r {
+                TraceRecord::Raise { .. } => "raise",
+                TraceRecord::HandlerEnter { .. } => "enter",
+                TraceRecord::HandlerExit { .. } => "exit",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["raise", "enter", "exit", "enter", "exit"]);
+    }
+
+    #[test]
+    fn cost_counters_track_generic_overheads() {
+        let (m, e, _, h1, h2) = two_handler_module();
+        let mut rt = Runtime::new(m);
+        rt.bind(e, h1, 0).unwrap();
+        rt.bind(e, h2, 1).unwrap();
+        rt.raise(e, RaiseMode::Sync, &[Value::Int(1), Value::Int(2)])
+            .unwrap_err(); // arity mismatch faults; counters still charged
+        rt.reset_cost();
+        rt.raise(e, RaiseMode::Sync, &[Value::Unit]).unwrap();
+        assert_eq!(rt.cost.registry_lookups, 1);
+        assert_eq!(rt.cost.indirect_calls, 2);
+        assert_eq!(rt.cost.marshaled_values, 2);
+        assert_eq!(rt.cost.fastpath_hits, 0);
+    }
+
+    #[test]
+    fn fast_path_dispatch_with_valid_guard() {
+        let (m, e, g, h1, h2) = two_handler_module();
+        // Build a "merged" super-handler equivalent to h1;h2.
+        let mut m = m;
+        let mut b = FunctionBuilder::new("super", 1);
+        let v = b.load_global(g);
+        let ten = b.const_int(10);
+        let s1 = b.bin(BinOp::Mul, v, ten);
+        let one = b.const_int(1);
+        let a1 = b.bin(BinOp::Add, s1, one);
+        let s2 = b.bin(BinOp::Mul, a1, ten);
+        let two = b.const_int(2);
+        let a2 = b.bin(BinOp::Add, s2, two);
+        b.store_global(g, a2);
+        b.ret(None);
+        let sup = m.add_function(b.finish());
+
+        let mut rt = Runtime::new(m);
+        rt.bind(e, h1, 0).unwrap();
+        rt.bind(e, h2, 1).unwrap();
+        rt.install_chain(CompiledChain {
+            head: e,
+            guards: vec![Guard {
+                event: e,
+                version: rt.registry().version(e),
+            }],
+            func: sup,
+            params: 1,
+            partitioned: false,
+        });
+        rt.raise(e, RaiseMode::Sync, &[Value::Unit]).unwrap();
+        assert_eq!(rt.global(g), &Value::Int(12));
+        assert_eq!(rt.cost.fastpath_hits, 1);
+        assert_eq!(rt.cost.registry_lookups, 0);
+        assert_eq!(rt.cost.marshaled_values, 0);
+    }
+
+    #[test]
+    fn rebinding_invalidates_fast_path() {
+        let (m, e, g, h1, h2) = two_handler_module();
+        let mut rt = Runtime::new(m);
+        rt.bind(e, h1, 0).unwrap();
+        rt.install_chain(CompiledChain {
+            head: e,
+            guards: vec![Guard {
+                event: e,
+                version: rt.registry().version(e),
+            }],
+            func: h1, // "merged" = just h1 at this point
+            params: 1,
+            partitioned: false,
+        });
+        // Re-bind: guard version no longer matches.
+        rt.bind(e, h2, 1).unwrap();
+        rt.raise(e, RaiseMode::Sync, &[Value::Unit]).unwrap();
+        assert_eq!(rt.cost.fastpath_misses, 1);
+        assert_eq!(rt.cost.fastpath_hits, 0);
+        // Generic path ran both current handlers.
+        assert_eq!(rt.global(g), &Value::Int(12));
+    }
+
+    #[test]
+    fn reserved_natives_bind_and_version() {
+        let mut m = Module::new();
+        let e = m.add_event("E");
+        let g = m.add_global("acc", Value::Int(0));
+        let nv = m.add_native(Runtime::NATIVE_BINDING_VERSION);
+        let nb = m.add_native(Runtime::NATIVE_BIND);
+
+        // target handler: acc += 1
+        let mut tb = FunctionBuilder::new("target", 0);
+        let v = tb.load_global(g);
+        let one = tb.const_int(1);
+        let out = tb.bin(BinOp::Add, v, one);
+        tb.store_global(g, out);
+        tb.ret(None);
+        let target_id_placeholder = 1u32; // will be function index 1
+
+        // driver: binds `target` to E via reserved native, then returns the
+        // binding version of E.
+        let mut db = FunctionBuilder::new("driver", 0);
+        let ev = db.const_int(e.0 as i64);
+        let fv = db.const_int(target_id_placeholder as i64);
+        let ord = db.const_int(0);
+        let _ = db.call_native(nb, &[ev, fv, ord]);
+        let ver = db.call_native(nv, &[ev]);
+        db.ret(Some(ver));
+        let driver = m.add_function(db.finish());
+        let target = m.add_function(tb.finish());
+        assert_eq!(target.0, target_id_placeholder);
+
+        let mut rt = Runtime::new(m);
+        let module = rt.module_arc();
+        let ver = call(&module, &mut rt, driver, &[]).unwrap();
+        assert_eq!(ver, Value::Int(1));
+        rt.raise(e, RaiseMode::Sync, &[]).unwrap();
+        assert_eq!(rt.global(g), &Value::Int(1));
+    }
+
+    #[test]
+    fn reserved_clock_natives() {
+        let mut m = Module::new();
+        m.add_event("E");
+        let nc = m.add_native(Runtime::NATIVE_CLOCK);
+        let na = m.add_native(Runtime::NATIVE_ADVANCE_CLOCK);
+        let mut b = FunctionBuilder::new("f", 0);
+        let delta = b.const_int(250);
+        let _ = b.call_native(na, &[delta]);
+        let now = b.call_native(nc, &[]);
+        b.ret(Some(now));
+        let f = m.add_function(b.finish());
+        let mut rt = Runtime::new(m);
+        let module = rt.module_arc();
+        assert_eq!(call(&module, &mut rt, f, &[]).unwrap(), Value::Int(250));
+        assert_eq!(rt.clock_ns(), 250);
+    }
+
+    #[test]
+    fn handler_rebinding_mid_dispatch_uses_snapshot() {
+        // h1 unbinds h2 while handling E; h2 still runs this dispatch
+        // because generic dispatch snapshots the binding list.
+        let mut m = Module::new();
+        let e = m.add_event("E");
+        let g = m.add_global("acc", Value::Int(0));
+        let nu = m.add_native(Runtime::NATIVE_UNBIND);
+
+        let mut b1 = FunctionBuilder::new("h1", 0);
+        let ev = b1.const_int(e.0 as i64);
+        let h2id = b1.const_int(1); // function index 1 = h2
+        let _ = b1.call_native(nu, &[ev, h2id]);
+        b1.ret(None);
+        let h1 = m.add_function(b1.finish());
+
+        let mut b2 = FunctionBuilder::new("h2", 0);
+        let v = b2.load_global(g);
+        let one = b2.const_int(1);
+        let out = b2.bin(BinOp::Add, v, one);
+        b2.store_global(g, out);
+        b2.ret(None);
+        let h2 = m.add_function(b2.finish());
+
+        let mut rt = Runtime::new(m);
+        rt.bind(e, h1, 0).unwrap();
+        rt.bind(e, h2, 1).unwrap();
+        rt.raise(e, RaiseMode::Sync, &[]).unwrap();
+        assert_eq!(rt.global(g), &Value::Int(1)); // ran from snapshot
+        rt.raise(e, RaiseMode::Sync, &[]).unwrap();
+        assert_eq!(rt.global(g), &Value::Int(1)); // now unbound
+    }
+
+    #[test]
+    fn lock_instructions_exercise_lock_words() {
+        let mut m = Module::new();
+        m.add_event("E");
+        let g = m.add_global("st", Value::Int(0));
+        let mut b = FunctionBuilder::new("h", 0);
+        b.lock(g);
+        let v = b.load_global(g);
+        let one = b.const_int(1);
+        let out = b.bin(BinOp::Add, v, one);
+        b.store_global(g, out);
+        b.unlock(g);
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        let mut rt = Runtime::new(m);
+        let module = rt.module_arc();
+        call(&module, &mut rt, f, &[]).unwrap();
+        assert_eq!(rt.cost.lock_ops, 2);
+        assert_eq!(rt.global(g), &Value::Int(1));
+    }
+
+    #[test]
+    fn raise_by_name_and_errors() {
+        let (m, e, g, h1, _) = two_handler_module();
+        let mut rt = Runtime::new(m);
+        rt.bind(e, h1, 0).unwrap();
+        rt.raise_by_name("E", RaiseMode::Sync, &[Value::Unit]).unwrap();
+        assert_eq!(rt.global(g), &Value::Int(1));
+        assert!(matches!(
+            rt.raise_by_name("Nope", RaiseMode::Sync, &[]),
+            Err(RuntimeError::UnknownName(_))
+        ));
+    }
+}

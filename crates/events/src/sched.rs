@@ -1,0 +1,235 @@
+//! Virtual time and the pending-event scheduler.
+//!
+//! The runtime executes against a deterministic virtual clock: asynchronous
+//! raises join a FIFO queue, timed raises join a deadline-ordered heap, and
+//! [`crate::Runtime::run_until_idle`] drains both, advancing the clock to
+//! the next deadline when the FIFO is empty (paper §2.2: timed events "are
+//! activated at a specified time or after a specified delay").
+
+use pdo_ir::{EventId, Value};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// A monotonically advancing virtual clock in nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VirtualClock {
+    now_ns: u64,
+}
+
+impl VirtualClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now_ns(self) -> u64 {
+        self.now_ns
+    }
+
+    /// Advances to `t` (saturating: never moves backwards).
+    pub fn advance_to(&mut self, t: u64) {
+        self.now_ns = self.now_ns.max(t);
+    }
+
+    /// Advances by `delta` nanoseconds.
+    pub fn advance_by(&mut self, delta: u64) {
+        self.now_ns = self.now_ns.saturating_add(delta);
+    }
+}
+
+/// An event waiting in the asynchronous queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pending {
+    /// The event to dispatch.
+    pub event: EventId,
+    /// Its arguments.
+    pub args: Vec<Value>,
+}
+
+/// A timed event waiting for its deadline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimerEntry {
+    /// Virtual deadline (ns).
+    pub deadline_ns: u64,
+    /// Tie-break: insertion sequence (FIFO among equal deadlines).
+    pub seq: u64,
+    /// The event to dispatch.
+    pub event: EventId,
+    /// Its arguments.
+    pub args: Vec<Value>,
+}
+
+impl Eq for TimerEntry {}
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we want the earliest
+        // deadline (then lowest seq) on top.
+        other
+            .deadline_ns
+            .cmp(&self.deadline_ns)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// FIFO queue plus timer heap.
+#[derive(Debug, Default)]
+pub struct Scheduler {
+    queue: VecDeque<Pending>,
+    timers: BinaryHeap<TimerEntry>,
+    seq: u64,
+}
+
+impl Scheduler {
+    /// An empty scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues an asynchronous event.
+    pub fn push_async(&mut self, event: EventId, args: Vec<Value>) {
+        self.queue.push_back(Pending { event, args });
+    }
+
+    /// Schedules a timed event `delay_ns` after `now_ns`.
+    pub fn push_timed(&mut self, now_ns: u64, delay_ns: u64, event: EventId, args: Vec<Value>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.timers.push(TimerEntry {
+            deadline_ns: now_ns.saturating_add(delay_ns),
+            seq,
+            event,
+            args,
+        });
+    }
+
+    /// Removes every scheduled timer for `event` (Cactus's "canceling a
+    /// delayed event"). Returns how many were cancelled.
+    pub fn cancel_timers(&mut self, event: EventId) -> usize {
+        let before = self.timers.len();
+        let kept: Vec<TimerEntry> = std::mem::take(&mut self.timers)
+            .into_iter()
+            .filter(|t| t.event != event)
+            .collect();
+        self.timers = kept.into();
+        before - self.timers.len()
+    }
+
+    /// Next queued asynchronous event, if any.
+    pub fn pop_async(&mut self) -> Option<Pending> {
+        self.queue.pop_front()
+    }
+
+    /// Pops the earliest timer whose deadline is `<= now_ns`.
+    pub fn pop_due_timer(&mut self, now_ns: u64) -> Option<TimerEntry> {
+        if self.timers.peek().is_some_and(|t| t.deadline_ns <= now_ns) {
+            self.timers.pop()
+        } else {
+            None
+        }
+    }
+
+    /// The earliest timer deadline, if any timer is scheduled.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.timers.peek().map(|t| t.deadline_ns)
+    }
+
+    /// True when no work is queued or scheduled.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.timers.is_empty()
+    }
+
+    /// Queued (async) event count.
+    pub fn queued_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Scheduled (timed) event count.
+    pub fn timer_len(&self) -> usize {
+        self.timers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone() {
+        let mut c = VirtualClock::new();
+        c.advance_to(100);
+        c.advance_to(50);
+        assert_eq!(c.now_ns(), 100);
+        c.advance_by(10);
+        assert_eq!(c.now_ns(), 110);
+    }
+
+    #[test]
+    fn async_queue_is_fifo() {
+        let mut s = Scheduler::new();
+        s.push_async(EventId(1), vec![]);
+        s.push_async(EventId(2), vec![]);
+        assert_eq!(s.pop_async().unwrap().event, EventId(1));
+        assert_eq!(s.pop_async().unwrap().event, EventId(2));
+        assert!(s.pop_async().is_none());
+    }
+
+    #[test]
+    fn timers_pop_in_deadline_order() {
+        let mut s = Scheduler::new();
+        s.push_timed(0, 300, EventId(3), vec![]);
+        s.push_timed(0, 100, EventId(1), vec![]);
+        s.push_timed(0, 200, EventId(2), vec![]);
+        assert_eq!(s.next_deadline(), Some(100));
+        assert!(s.pop_due_timer(50).is_none());
+        assert_eq!(s.pop_due_timer(100).unwrap().event, EventId(1));
+        assert_eq!(s.pop_due_timer(1000).unwrap().event, EventId(2));
+        assert_eq!(s.pop_due_timer(1000).unwrap().event, EventId(3));
+    }
+
+    #[test]
+    fn equal_deadlines_fifo_by_seq() {
+        let mut s = Scheduler::new();
+        s.push_timed(0, 100, EventId(1), vec![]);
+        s.push_timed(0, 100, EventId(2), vec![]);
+        assert_eq!(s.pop_due_timer(100).unwrap().event, EventId(1));
+        assert_eq!(s.pop_due_timer(100).unwrap().event, EventId(2));
+    }
+
+    #[test]
+    fn cancel_timers_removes_matching() {
+        let mut s = Scheduler::new();
+        s.push_timed(0, 100, EventId(1), vec![]);
+        s.push_timed(0, 200, EventId(2), vec![]);
+        s.push_timed(0, 300, EventId(1), vec![]);
+        assert_eq!(s.cancel_timers(EventId(1)), 2);
+        assert_eq!(s.timer_len(), 1);
+        assert_eq!(s.pop_due_timer(u64::MAX).unwrap().event, EventId(2));
+    }
+
+    #[test]
+    fn idle_reflects_both_queues() {
+        let mut s = Scheduler::new();
+        assert!(s.is_idle());
+        s.push_async(EventId(0), vec![]);
+        assert!(!s.is_idle());
+        s.pop_async();
+        assert!(s.is_idle());
+        s.push_timed(0, 5, EventId(0), vec![]);
+        assert!(!s.is_idle());
+    }
+
+    #[test]
+    fn timed_deadline_saturates() {
+        let mut s = Scheduler::new();
+        s.push_timed(u64::MAX - 1, 100, EventId(0), vec![]);
+        assert_eq!(s.next_deadline(), Some(u64::MAX));
+    }
+}

@@ -1,0 +1,181 @@
+//! Specialization table: guarded super-handler fast paths.
+//!
+//! The optimizer registers one [`CompiledChain`] per optimized event. A
+//! synchronous raise of that event first compares the recorded binding
+//! versions ([`Guard`]s) against the live registry; on a match the runtime
+//! invokes the super-handler directly — no registry walk, no marshaling, one
+//! call instead of N. On a mismatch it falls back to generic dispatch
+//! ("checking whether any changes have been made to the list of handlers
+//! bound to an event when it is raised, and then dropping back into the
+//! original unoptimized code if a change is detected", §3.2.1).
+
+use crate::registry::Registry;
+use pdo_ir::{EventId, FuncId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One binding-version expectation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Guard {
+    /// Event whose bindings the chain depends on.
+    pub event: EventId,
+    /// Registry version recorded at optimization time.
+    pub version: u64,
+}
+
+/// A compiled, guarded super-handler for one head event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompiledChain {
+    /// The event this chain specializes.
+    pub head: EventId,
+    /// Every event whose bindings were folded into the super-handler (the
+    /// head plus any subsumed/chained events).
+    pub guards: Vec<Guard>,
+    /// The merged super-handler.
+    pub func: FuncId,
+    /// Arity the super-handler expects (must match the head event's raise).
+    pub params: u16,
+    /// True when the super-handler carries internal per-event guards
+    /// (partitioned form, paper Fig 14) and therefore only the *head*
+    /// guard must hold for entry.
+    pub partitioned: bool,
+}
+
+impl CompiledChain {
+    /// Checks the guards against the live registry.
+    ///
+    /// A partitioned chain only requires its head guard (segment guards are
+    /// compiled into the body); a monolithic chain requires every guard.
+    pub fn guards_hold(&self, registry: &Registry) -> bool {
+        if self.partitioned {
+            self.guards
+                .iter()
+                .find(|g| g.event == self.head)
+                .map(|g| registry.version(g.event) == g.version)
+                .unwrap_or(false)
+        } else {
+            self.guards
+                .iter()
+                .all(|g| registry.version(g.event) == g.version)
+        }
+    }
+}
+
+/// All installed chains, keyed by head event.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpecTable {
+    chains: HashMap<EventId, CompiledChain>,
+}
+
+impl SpecTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs (or replaces) the chain for its head event.
+    pub fn install(&mut self, chain: CompiledChain) {
+        self.chains.insert(chain.head, chain);
+    }
+
+    /// Removes the chain for `event`, returning it if present.
+    pub fn remove(&mut self, event: EventId) -> Option<CompiledChain> {
+        self.chains.remove(&event)
+    }
+
+    /// The chain for `event`, if installed.
+    pub fn get(&self, event: EventId) -> Option<&CompiledChain> {
+        self.chains.get(&event)
+    }
+
+    /// Number of installed chains.
+    pub fn len(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// True when no chains are installed.
+    pub fn is_empty(&self) -> bool {
+        self.chains.is_empty()
+    }
+
+    /// Iterates over installed chains.
+    pub fn iter(&self) -> impl Iterator<Item = &CompiledChain> {
+        self.chains.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(head: u32, guards: &[(u32, u64)], partitioned: bool) -> CompiledChain {
+        CompiledChain {
+            head: EventId(head),
+            guards: guards
+                .iter()
+                .map(|&(e, v)| Guard {
+                    event: EventId(e),
+                    version: v,
+                })
+                .collect(),
+            func: FuncId(0),
+            params: 1,
+            partitioned,
+        }
+    }
+
+    #[test]
+    fn monolithic_guard_requires_all() {
+        let mut reg = Registry::new();
+        reg.bind(EventId(0), FuncId(1), 0); // version 1
+        reg.bind(EventId(1), FuncId(2), 0); // version 1
+        let c = chain(0, &[(0, 1), (1, 1)], false);
+        assert!(c.guards_hold(&reg));
+        reg.bind(EventId(1), FuncId(3), 0); // bump event 1
+        assert!(!c.guards_hold(&reg));
+    }
+
+    #[test]
+    fn partitioned_guard_requires_head_only() {
+        let mut reg = Registry::new();
+        reg.bind(EventId(0), FuncId(1), 0);
+        reg.bind(EventId(1), FuncId(2), 0);
+        let c = chain(0, &[(0, 1), (1, 1)], true);
+        reg.bind(EventId(1), FuncId(3), 0); // non-head change
+        assert!(c.guards_hold(&reg));
+        reg.bind(EventId(0), FuncId(4), 0); // head change
+        assert!(!c.guards_hold(&reg));
+    }
+
+    #[test]
+    fn partitioned_without_head_guard_never_holds() {
+        let reg = Registry::new();
+        let c = chain(0, &[(1, 0)], true);
+        assert!(!c.guards_hold(&reg));
+    }
+
+    #[test]
+    fn table_install_and_lookup() {
+        let mut t = SpecTable::new();
+        assert!(t.is_empty());
+        t.install(chain(0, &[(0, 1)], false));
+        t.install(chain(1, &[(1, 1)], false));
+        assert_eq!(t.len(), 2);
+        assert!(t.get(EventId(0)).is_some());
+        assert!(t.get(EventId(9)).is_none());
+        assert!(t.remove(EventId(0)).is_some());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn reinstall_replaces() {
+        let mut t = SpecTable::new();
+        t.install(chain(0, &[(0, 1)], false));
+        t.install(CompiledChain {
+            func: FuncId(9),
+            ..chain(0, &[(0, 2)], false)
+        });
+        assert_eq!(t.get(EventId(0)).unwrap().func, FuncId(9));
+        assert_eq!(t.len(), 1);
+    }
+}

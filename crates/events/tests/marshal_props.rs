@@ -1,0 +1,53 @@
+//! Property tests for argument marshaling: roundtrip fidelity over
+//! arbitrary value mixes, matching what the generic dispatch path does for
+//! every handler invocation.
+
+use pdo_events::marshal::{marshal, unmarshal, Tag};
+use pdo_ir::Value;
+use proptest::prelude::*;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Unit),
+        any::<i64>().prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bool),
+        prop::collection::vec(any::<u8>(), 0..64).prop_map(Value::bytes),
+        "[a-zA-Z0-9 ]{0,32}".prop_map(|s| Value::str(&s)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn marshal_roundtrips_any_argument_list(
+        args in prop::collection::vec(value_strategy(), 0..8)
+    ) {
+        let m = marshal(&args);
+        prop_assert_eq!(m.len(), args.len());
+        let back = unmarshal(&m).expect("tags match by construction");
+        prop_assert_eq!(back, args);
+    }
+
+    #[test]
+    fn tags_always_describe_their_values(
+        args in prop::collection::vec(value_strategy(), 0..8)
+    ) {
+        let m = marshal(&args);
+        for (v, t) in m.values.iter().zip(m.tags.iter()) {
+            prop_assert_eq!(Tag::of(v), *t);
+        }
+    }
+
+    #[test]
+    fn marshaled_bytes_share_no_mutation_with_source(
+        data in prop::collection::vec(any::<u8>(), 1..32)
+    ) {
+        let mut original = Value::bytes(data.clone());
+        let m = marshal(std::slice::from_ref(&original));
+        // Mutating the original after marshaling must not change the
+        // marshaled copy (copy-on-write).
+        original.bytes_mut().expect("bytes")[0] ^= 0xFF;
+        prop_assert_eq!(m.values[0].as_bytes().expect("bytes"), &data[..]);
+    }
+}

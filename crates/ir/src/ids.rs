@@ -1,0 +1,122 @@
+//! Typed indices used throughout the IR.
+//!
+//! Every entity (register, basic block, function, event, global, native) is
+//! referenced by a small newtype index ([C-NEWTYPE]); this keeps the IR
+//! compact and makes it impossible to confuse, say, an event id with a
+//! function id at compile time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $repr:ty, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// Returns the raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Creates an id from a raw index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in the id's representation.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                Self(<$repr>::try_from(index).expect("id index out of range"))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$repr> for $name {
+            fn from(raw: $repr) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A virtual register within one function. Parameters occupy `r0..rN`.
+    Reg,
+    u16,
+    "r"
+);
+id_type!(
+    /// A basic block within one function. Block 0 is the entry block.
+    BlockId,
+    u32,
+    "b"
+);
+id_type!(
+    /// A function in a [`crate::Module`].
+    FuncId,
+    u32,
+    "f"
+);
+id_type!(
+    /// An event declared in a [`crate::Module`]. Bindings from events to
+    /// handler functions live in the event runtime, not in the IR.
+    EventId,
+    u32,
+    "e"
+);
+id_type!(
+    /// A mutable global cell (program state shared between handlers).
+    GlobalId,
+    u32,
+    "g"
+);
+id_type!(
+    /// A native (Rust) function slot. The IR only declares the slot; the
+    /// event runtime binds the actual closure.
+    NativeId,
+    u32,
+    "n"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let r = Reg::from_index(7);
+        assert_eq!(r.index(), 7);
+        assert_eq!(r, Reg(7));
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(Reg(3).to_string(), "r3");
+        assert_eq!(BlockId(0).to_string(), "b0");
+        assert_eq!(FuncId(1).to_string(), "f1");
+        assert_eq!(EventId(2).to_string(), "e2");
+        assert_eq!(GlobalId(4).to_string(), "g4");
+        assert_eq!(NativeId(5).to_string(), "n5");
+    }
+
+    #[test]
+    #[should_panic(expected = "id index out of range")]
+    fn from_index_overflow_panics() {
+        let _ = Reg::from_index(usize::from(u16::MAX) + 1);
+    }
+
+    #[test]
+    fn ordering_follows_raw() {
+        assert!(Reg(1) < Reg(2));
+        assert!(BlockId(0) < BlockId(10));
+    }
+}

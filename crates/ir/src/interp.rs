@@ -1,0 +1,792 @@
+//! The IR interpreter.
+//!
+//! Execution is parameterized over an [`Env`] that supplies global state,
+//! native functions, and — crucially — the semantics of the `raise`
+//! instruction. The event runtime in `pdo-events` implements [`Env`] so a
+//! synchronous raise recursively dispatches bound handlers; the
+//! self-contained [`BasicEnv`] here records raises for inspection, which is
+//! what unit tests and the optimizer's equivalence checks need.
+
+use crate::cost::CostCounter;
+use crate::func::Module;
+use crate::ids::{EventId, FuncId, GlobalId, NativeId};
+use crate::instr::{EvalError, Instr, RaiseMode, Terminator};
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// Maximum depth of nested IR `call` instructions within one entry call.
+pub const MAX_CALL_DEPTH: usize = 256;
+
+/// Execution failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// Arithmetic failure (type mismatch, division by zero).
+    Eval(EvalError),
+    /// A `call` referenced a function id outside the module.
+    UnknownFunction(FuncId),
+    /// A call passed the wrong number of arguments.
+    BadArgCount {
+        /// Function that was called.
+        func: String,
+        /// Parameters the function declares.
+        expected: u16,
+        /// Arguments the call site passed.
+        got: usize,
+    },
+    /// A branch condition was not a boolean.
+    BranchOnNonBool(String),
+    /// A bytes instruction received a non-bytes or non-int operand.
+    BytesTypeError(&'static str),
+    /// Byte index/slice out of bounds.
+    OutOfBounds {
+        /// Offending index (or slice end).
+        index: i64,
+        /// Buffer length.
+        len: usize,
+    },
+    /// A negative length/index where a non-negative value was required.
+    NegativeSize(i64),
+    /// The instruction budget was exhausted (guards against non-termination
+    /// in generated code).
+    OutOfFuel,
+    /// Too many nested IR calls.
+    DepthExceeded,
+    /// A global id outside the environment's global store.
+    GlobalOutOfRange(GlobalId),
+    /// A native slot with no bound implementation.
+    UnboundNative(NativeId),
+    /// A native implementation failed.
+    Native(String),
+    /// The environment rejected a raise (e.g. unknown event).
+    Raise(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Eval(e) => write!(f, "{e}"),
+            ExecError::UnknownFunction(id) => write!(f, "unknown function {id}"),
+            ExecError::BadArgCount {
+                func,
+                expected,
+                got,
+            } => write!(f, "function `{func}` expects {expected} arguments, got {got}"),
+            ExecError::BranchOnNonBool(t) => write!(f, "branch condition has type {t}"),
+            ExecError::BytesTypeError(op) => write!(f, "type error in bytes operation `{op}`"),
+            ExecError::OutOfBounds { index, len } => {
+                write!(f, "byte index {index} out of bounds for length {len}")
+            }
+            ExecError::NegativeSize(n) => write!(f, "negative size or index {n}"),
+            ExecError::OutOfFuel => write!(f, "instruction budget exhausted"),
+            ExecError::DepthExceeded => write!(f, "call depth exceeded"),
+            ExecError::GlobalOutOfRange(g) => write!(f, "global {g} out of range"),
+            ExecError::UnboundNative(n) => write!(f, "native slot {n} has no implementation"),
+            ExecError::Native(msg) => write!(f, "native call failed: {msg}"),
+            ExecError::Raise(msg) => write!(f, "raise failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<EvalError> for ExecError {
+    fn from(e: EvalError) -> Self {
+        ExecError::Eval(e)
+    }
+}
+
+/// The execution environment: global state, natives, raise semantics, and
+/// cost accounting.
+pub trait Env {
+    /// Reads a global cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::GlobalOutOfRange`] for unknown globals.
+    fn load_global(&mut self, global: GlobalId) -> Result<Value, ExecError>;
+
+    /// Writes a global cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::GlobalOutOfRange`] for unknown globals.
+    fn store_global(&mut self, global: GlobalId, value: Value) -> Result<(), ExecError>;
+
+    /// Acquires the state lock guarding `global`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::GlobalOutOfRange`] for unknown globals.
+    fn lock(&mut self, global: GlobalId) -> Result<(), ExecError>;
+
+    /// Releases the state lock guarding `global`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::GlobalOutOfRange`] for unknown globals.
+    fn unlock(&mut self, global: GlobalId) -> Result<(), ExecError>;
+
+    /// Invokes a native function slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::UnboundNative`] for empty slots and
+    /// [`ExecError::Native`] when the implementation fails.
+    fn call_native(&mut self, native: NativeId, args: &[Value]) -> Result<Value, ExecError>;
+
+    /// Services a `raise` instruction.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`ExecError::Raise`] for unknown events or
+    /// propagate handler failures.
+    fn raise(
+        &mut self,
+        module: &Module,
+        event: EventId,
+        mode: RaiseMode,
+        args: &[Value],
+    ) -> Result<(), ExecError>;
+
+    /// The cost counters to charge execution to.
+    fn cost(&mut self) -> &mut CostCounter;
+
+    /// Remaining instruction budget, if the environment enforces one.
+    /// Implementations returning `Some` have the budget decremented once per
+    /// executed instruction; execution fails with [`ExecError::OutOfFuel`]
+    /// when it reaches zero.
+    fn fuel(&mut self) -> Option<&mut u64> {
+        None
+    }
+}
+
+/// Calls IR function `func` with `args` under environment `env`.
+///
+/// This is the single entry point the event runtime uses to run handlers.
+///
+/// # Errors
+///
+/// Propagates any [`ExecError`] raised during execution.
+pub fn call<E: Env + ?Sized>(
+    module: &Module,
+    env: &mut E,
+    func: FuncId,
+    args: &[Value],
+) -> Result<Value, ExecError> {
+    call_at_depth(module, env, func, args, 0)
+}
+
+fn call_at_depth<E: Env + ?Sized>(
+    module: &Module,
+    env: &mut E,
+    func: FuncId,
+    args: &[Value],
+    depth: usize,
+) -> Result<Value, ExecError> {
+    if depth > MAX_CALL_DEPTH {
+        return Err(ExecError::DepthExceeded);
+    }
+    let f = module
+        .functions
+        .get(func.index())
+        .ok_or(ExecError::UnknownFunction(func))?;
+    if args.len() != usize::from(f.params) {
+        return Err(ExecError::BadArgCount {
+            func: f.name.clone(),
+            expected: f.params,
+            got: args.len(),
+        });
+    }
+    let mut regs: Vec<Value> = vec![Value::Unit; usize::from(f.reg_count)];
+    regs[..args.len()].clone_from_slice(args);
+
+    let mut block = 0usize;
+    loop {
+        let b = &f.blocks[block];
+        for instr in &b.instrs {
+            charge(env)?;
+            step(module, env, &mut regs, instr, depth)?;
+        }
+        charge(env)?;
+        match &b.term {
+            Terminator::Jump(t) => block = t.index(),
+            Terminator::Branch {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let c = &regs[cond.index()];
+                match c {
+                    Value::Bool(true) => block = then_blk.index(),
+                    Value::Bool(false) => block = else_blk.index(),
+                    other => return Err(ExecError::BranchOnNonBool(other.type_name().into())),
+                }
+            }
+            Terminator::Ret(v) => {
+                return Ok(match v {
+                    Some(r) => regs[r.index()].clone(),
+                    None => Value::Unit,
+                });
+            }
+        }
+    }
+}
+
+fn charge<E: Env + ?Sized>(env: &mut E) -> Result<(), ExecError> {
+    env.cost().instrs += 1;
+    if let Some(fuel) = env.fuel() {
+        if *fuel == 0 {
+            return Err(ExecError::OutOfFuel);
+        }
+        *fuel -= 1;
+    }
+    Ok(())
+}
+
+fn index_of(v: &Value, len: usize, op: &'static str) -> Result<usize, ExecError> {
+    let i = v.as_int().ok_or(ExecError::BytesTypeError(op))?;
+    if i < 0 {
+        return Err(ExecError::NegativeSize(i));
+    }
+    let i = i as usize;
+    if i >= len {
+        return Err(ExecError::OutOfBounds {
+            index: i as i64,
+            len,
+        });
+    }
+    Ok(i)
+}
+
+fn step<E: Env + ?Sized>(
+    module: &Module,
+    env: &mut E,
+    regs: &mut [Value],
+    instr: &Instr,
+    depth: usize,
+) -> Result<(), ExecError> {
+    match instr {
+        Instr::Const { dst, value } => regs[dst.index()] = value.clone(),
+        Instr::Mov { dst, src } => regs[dst.index()] = regs[src.index()].clone(),
+        Instr::Bin { op, dst, lhs, rhs } => {
+            regs[dst.index()] = op.eval(&regs[lhs.index()], &regs[rhs.index()])?;
+        }
+        Instr::Un { op, dst, src } => {
+            regs[dst.index()] = op.eval(&regs[src.index()])?;
+        }
+        Instr::LoadGlobal { dst, global } => {
+            regs[dst.index()] = env.load_global(*global)?;
+        }
+        Instr::StoreGlobal { global, src } => {
+            let v = regs[src.index()].clone();
+            env.store_global(*global, v)?;
+        }
+        Instr::Lock { global } => {
+            env.cost().lock_ops += 1;
+            env.lock(*global)?;
+        }
+        Instr::Unlock { global } => {
+            env.cost().lock_ops += 1;
+            env.unlock(*global)?;
+        }
+        Instr::Call { dst, func, args } => {
+            env.cost().calls += 1;
+            let argv: Vec<Value> = args.iter().map(|r| regs[r.index()].clone()).collect();
+            regs[dst.index()] = call_at_depth(module, env, *func, &argv, depth + 1)?;
+        }
+        Instr::CallNative { dst, native, args } => {
+            env.cost().native_calls += 1;
+            let argv: Vec<Value> = args.iter().map(|r| regs[r.index()].clone()).collect();
+            regs[dst.index()] = env.call_native(*native, &argv)?;
+        }
+        Instr::Raise { event, mode, args } => {
+            match mode {
+                RaiseMode::Sync => env.cost().raises_sync += 1,
+                RaiseMode::Async | RaiseMode::Timed => env.cost().raises_async += 1,
+            }
+            let argv: Vec<Value> = args.iter().map(|r| regs[r.index()].clone()).collect();
+            env.raise(module, *event, *mode, &argv)?;
+        }
+        Instr::BytesNew { dst, len } => {
+            let n = regs[len.index()]
+                .as_int()
+                .ok_or(ExecError::BytesTypeError("bnew"))?;
+            if n < 0 {
+                return Err(ExecError::NegativeSize(n));
+            }
+            regs[dst.index()] = Value::Bytes(Arc::new(vec![0u8; n as usize]));
+        }
+        Instr::BytesLen { dst, bytes } => {
+            let b = regs[bytes.index()]
+                .as_bytes()
+                .ok_or(ExecError::BytesTypeError("blen"))?;
+            regs[dst.index()] = Value::Int(b.len() as i64);
+        }
+        Instr::BytesGet { dst, bytes, index } => {
+            let b = regs[bytes.index()]
+                .as_bytes()
+                .ok_or(ExecError::BytesTypeError("bget"))?;
+            let i = index_of(&regs[index.index()], b.len(), "bget")?;
+            regs[dst.index()] = Value::Int(i64::from(b[i]));
+        }
+        Instr::BytesSet {
+            bytes,
+            index,
+            value,
+        } => {
+            let v = regs[value.index()]
+                .as_int()
+                .ok_or(ExecError::BytesTypeError("bset"))?;
+            let idx = regs[index.index()].clone();
+            let buf = regs[bytes.index()]
+                .bytes_mut()
+                .ok_or(ExecError::BytesTypeError("bset"))?;
+            let i = index_of(&idx, buf.len(), "bset")?;
+            buf[i] = v as u8;
+        }
+        Instr::BytesConcat { dst, lhs, rhs } => {
+            let a = regs[lhs.index()]
+                .as_bytes()
+                .ok_or(ExecError::BytesTypeError("bcat"))?;
+            let b = regs[rhs.index()]
+                .as_bytes()
+                .ok_or(ExecError::BytesTypeError("bcat"))?;
+            let mut out = Vec::with_capacity(a.len() + b.len());
+            out.extend_from_slice(a);
+            out.extend_from_slice(b);
+            regs[dst.index()] = Value::Bytes(Arc::new(out));
+        }
+        Instr::BytesSlice {
+            dst,
+            bytes,
+            start,
+            end,
+        } => {
+            let b = regs[bytes.index()]
+                .as_bytes()
+                .ok_or(ExecError::BytesTypeError("bslice"))?;
+            let s = regs[start.index()]
+                .as_int()
+                .ok_or(ExecError::BytesTypeError("bslice"))?;
+            let e = regs[end.index()]
+                .as_int()
+                .ok_or(ExecError::BytesTypeError("bslice"))?;
+            if s < 0 || e < s {
+                return Err(ExecError::NegativeSize(s.min(e)));
+            }
+            if e as usize > b.len() {
+                return Err(ExecError::OutOfBounds {
+                    index: e,
+                    len: b.len(),
+                });
+            }
+            regs[dst.index()] = Value::Bytes(Arc::new(b[s as usize..e as usize].to_vec()));
+        }
+    }
+    Ok(())
+}
+
+/// A boxed native implementation.
+pub type NativeFn = Box<dyn FnMut(&[Value]) -> Result<Value, String> + Send>;
+
+/// A self-contained [`Env`] for tests and standalone execution.
+///
+/// Globals are initialized from the module's declarations; raises are
+/// *recorded* (not dispatched) in [`BasicEnv::raised`] so callers can assert
+/// on them; locks are counted for balance checking.
+pub struct BasicEnv {
+    globals: Vec<Value>,
+    lock_depths: Vec<u32>,
+    natives: Vec<Option<NativeFn>>,
+    /// Every raise executed, in order.
+    pub raised: Vec<(EventId, RaiseMode, Vec<Value>)>,
+    /// Cost counters charged by the interpreter.
+    pub cost: CostCounter,
+    /// Optional instruction budget.
+    pub fuel: Option<u64>,
+}
+
+impl fmt::Debug for BasicEnv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BasicEnv")
+            .field("globals", &self.globals)
+            .field("raised", &self.raised.len())
+            .field("cost", &self.cost)
+            .finish()
+    }
+}
+
+impl BasicEnv {
+    /// Creates an environment whose globals mirror `module`'s declarations
+    /// and whose native slots are all unbound.
+    pub fn new(module: &Module) -> Self {
+        BasicEnv {
+            globals: module.globals.iter().map(|g| g.init.clone()).collect(),
+            lock_depths: vec![0; module.globals.len()],
+            natives: module.natives.iter().map(|_| None).collect(),
+            raised: Vec::new(),
+            cost: CostCounter::new(),
+            fuel: None,
+        }
+    }
+
+    /// Binds a native implementation to a slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot id is out of range for the module this environment
+    /// was built from.
+    pub fn bind_native(
+        &mut self,
+        native: NativeId,
+        f: impl FnMut(&[Value]) -> Result<Value, String> + Send + 'static,
+    ) {
+        self.natives[native.index()] = Some(Box::new(f));
+    }
+
+    /// Current value of a global.
+    pub fn global(&self, g: GlobalId) -> &Value {
+        &self.globals[g.index()]
+    }
+
+    /// Overwrites a global (test setup).
+    pub fn set_global(&mut self, g: GlobalId, v: Value) {
+        self.globals[g.index()] = v;
+    }
+
+    /// True when every lock acquired has been released.
+    pub fn locks_balanced(&self) -> bool {
+        self.lock_depths.iter().all(|&d| d == 0)
+    }
+}
+
+impl Env for BasicEnv {
+    fn load_global(&mut self, global: GlobalId) -> Result<Value, ExecError> {
+        self.globals
+            .get(global.index())
+            .cloned()
+            .ok_or(ExecError::GlobalOutOfRange(global))
+    }
+
+    fn store_global(&mut self, global: GlobalId, value: Value) -> Result<(), ExecError> {
+        match self.globals.get_mut(global.index()) {
+            Some(slot) => {
+                *slot = value;
+                Ok(())
+            }
+            None => Err(ExecError::GlobalOutOfRange(global)),
+        }
+    }
+
+    fn lock(&mut self, global: GlobalId) -> Result<(), ExecError> {
+        match self.lock_depths.get_mut(global.index()) {
+            Some(d) => {
+                *d += 1;
+                Ok(())
+            }
+            None => Err(ExecError::GlobalOutOfRange(global)),
+        }
+    }
+
+    fn unlock(&mut self, global: GlobalId) -> Result<(), ExecError> {
+        match self.lock_depths.get_mut(global.index()) {
+            Some(d) => {
+                *d = d.saturating_sub(1);
+                Ok(())
+            }
+            None => Err(ExecError::GlobalOutOfRange(global)),
+        }
+    }
+
+    fn call_native(&mut self, native: NativeId, args: &[Value]) -> Result<Value, ExecError> {
+        match self.natives.get_mut(native.index()) {
+            Some(Some(f)) => f(args).map_err(ExecError::Native),
+            Some(None) | None => Err(ExecError::UnboundNative(native)),
+        }
+    }
+
+    fn raise(
+        &mut self,
+        _module: &Module,
+        event: EventId,
+        mode: RaiseMode,
+        args: &[Value],
+    ) -> Result<(), ExecError> {
+        self.raised.push((event, mode, args.to_vec()));
+        Ok(())
+    }
+
+    fn cost(&mut self) -> &mut CostCounter {
+        &mut self.cost
+    }
+
+    fn fuel(&mut self) -> Option<&mut u64> {
+        self.fuel.as_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::instr::BinOp;
+
+    fn run(module: &Module, name: &str, args: &[Value]) -> Result<Value, ExecError> {
+        let mut env = BasicEnv::new(module);
+        let f = module.function_by_name(name).unwrap();
+        call(module, &mut env, f, args)
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("f", 2);
+        let s = b.bin(BinOp::Add, b.param(0), b.param(1));
+        let two = b.const_int(2);
+        let p = b.bin(BinOp::Mul, s, two);
+        b.ret(Some(p));
+        m.add_function(b.finish());
+        assert_eq!(
+            run(&m, "f", &[Value::Int(3), Value::Int(4)]).unwrap(),
+            Value::Int(14)
+        );
+    }
+
+    #[test]
+    fn branch_and_loop() {
+        // sum 0..n via a loop.
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("sum", 1);
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let acc = b.const_int(0);
+        let i = b.const_int(0);
+        b.jump(head);
+
+        b.switch_to(head);
+        let done = b.bin(BinOp::Ge, i, b.param(0));
+        b.branch(done, exit, body);
+
+        b.switch_to(body);
+        let acc2 = b.bin(BinOp::Add, acc, i);
+        b.push(Instr::Mov { dst: acc, src: acc2 });
+        let one = b.const_int(1);
+        let i2 = b.bin(BinOp::Add, i, one);
+        b.push(Instr::Mov { dst: i, src: i2 });
+        b.jump(head);
+
+        b.switch_to(exit);
+        b.ret(Some(acc));
+        m.add_function(b.finish());
+
+        assert_eq!(run(&m, "sum", &[Value::Int(5)]).unwrap(), Value::Int(10));
+        assert_eq!(run(&m, "sum", &[Value::Int(0)]).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn globals_persist_within_env() {
+        let mut m = Module::new();
+        let g = m.add_global("acc", Value::Int(100));
+        let mut b = FunctionBuilder::new("bump", 0);
+        b.lock(g);
+        let v = b.load_global(g);
+        let one = b.const_int(1);
+        let v2 = b.bin(BinOp::Add, v, one);
+        b.store_global(g, v2);
+        b.unlock(g);
+        b.ret(Some(v2));
+        let f = m.add_function(b.finish());
+
+        let mut env = BasicEnv::new(&m);
+        assert_eq!(call(&m, &mut env, f, &[]).unwrap(), Value::Int(101));
+        assert_eq!(call(&m, &mut env, f, &[]).unwrap(), Value::Int(102));
+        assert_eq!(env.global(g), &Value::Int(102));
+        assert!(env.locks_balanced());
+        assert_eq!(env.cost.lock_ops, 4);
+    }
+
+    #[test]
+    fn nested_direct_calls() {
+        let mut m = Module::new();
+        let mut inner = FunctionBuilder::new("inner", 1);
+        let one = inner.const_int(1);
+        let r = inner.bin(BinOp::Add, inner.param(0), one);
+        inner.ret(Some(r));
+        let inner_id = m.add_function(inner.finish());
+
+        let mut outer = FunctionBuilder::new("outer", 1);
+        let c1 = outer.call(inner_id, &[outer.param(0)]);
+        let c2 = outer.call(inner_id, &[c1]);
+        outer.ret(Some(c2));
+        m.add_function(outer.finish());
+
+        assert_eq!(run(&m, "outer", &[Value::Int(10)]).unwrap(), Value::Int(12));
+    }
+
+    #[test]
+    fn raise_recorded_by_basic_env() {
+        let mut m = Module::new();
+        let e = m.add_event("Ping");
+        let mut b = FunctionBuilder::new("f", 1);
+        b.raise(e, RaiseMode::Sync, &[b.param(0)]);
+        b.raise(e, RaiseMode::Async, &[]);
+        b.ret(None);
+        let f = m.add_function(b.finish());
+
+        let mut env = BasicEnv::new(&m);
+        call(&m, &mut env, f, &[Value::Int(7)]).unwrap();
+        assert_eq!(env.raised.len(), 2);
+        assert_eq!(env.raised[0], (e, RaiseMode::Sync, vec![Value::Int(7)]));
+        assert_eq!(env.raised[1], (e, RaiseMode::Async, vec![]));
+        assert_eq!(env.cost.raises_sync, 1);
+        assert_eq!(env.cost.raises_async, 1);
+    }
+
+    #[test]
+    fn native_calls() {
+        let mut m = Module::new();
+        let n = m.add_native("triple");
+        let mut b = FunctionBuilder::new("f", 1);
+        let r = b.call_native(n, &[b.param(0)]);
+        b.ret(Some(r));
+        let f = m.add_function(b.finish());
+
+        let mut env = BasicEnv::new(&m);
+        env.bind_native(n, |args| {
+            Ok(Value::Int(args[0].as_int().ok_or("not int")? * 3))
+        });
+        assert_eq!(call(&m, &mut env, f, &[Value::Int(4)]).unwrap(), Value::Int(12));
+
+        let mut unbound = BasicEnv::new(&m);
+        assert_eq!(
+            call(&m, &mut unbound, f, &[Value::Int(4)]),
+            Err(ExecError::UnboundNative(n))
+        );
+    }
+
+    #[test]
+    fn bytes_operations() {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("f", 0);
+        let four = b.const_int(4);
+        let buf = b.bytes_new(four);
+        let zero = b.const_int(0);
+        let val = b.const_int(0xAB);
+        b.bytes_set(buf, zero, val);
+        let got = b.bytes_get(buf, zero);
+        let len = b.bytes_len(buf);
+        let sum = b.bin(BinOp::Add, got, len);
+        b.ret(Some(sum));
+        m.add_function(b.finish());
+        assert_eq!(run(&m, "f", &[]).unwrap(), Value::Int(0xAB + 4));
+    }
+
+    #[test]
+    fn bytes_concat_and_slice() {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("f", 2);
+        let cat = b.bytes_concat(b.param(0), b.param(1));
+        let one = b.const_int(1);
+        let three = b.const_int(3);
+        let mid = b.bytes_slice(cat, one, three);
+        b.ret(Some(mid));
+        m.add_function(b.finish());
+        let r = run(
+            &m,
+            "f",
+            &[Value::bytes(vec![1, 2]), Value::bytes(vec![3, 4])],
+        )
+        .unwrap();
+        assert_eq!(r, Value::bytes(vec![2, 3]));
+    }
+
+    #[test]
+    fn bytes_out_of_bounds_faults() {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("f", 1);
+        let two = b.const_int(2);
+        let buf = b.bytes_new(two);
+        let _ = b.bytes_get(buf, b.param(0));
+        b.ret(None);
+        m.add_function(b.finish());
+        assert_eq!(
+            run(&m, "f", &[Value::Int(5)]),
+            Err(ExecError::OutOfBounds { index: 5, len: 2 })
+        );
+        assert_eq!(
+            run(&m, "f", &[Value::Int(-1)]),
+            Err(ExecError::NegativeSize(-1))
+        );
+    }
+
+    #[test]
+    fn fuel_limits_infinite_loops() {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("spin", 0);
+        b.jump(BlockId(0));
+        m.add_function(b.finish());
+        let f = m.function_by_name("spin").unwrap();
+        let mut env = BasicEnv::new(&m);
+        env.fuel = Some(1000);
+        assert_eq!(call(&m, &mut env, f, &[]), Err(ExecError::OutOfFuel));
+    }
+
+    use crate::ids::BlockId;
+
+    #[test]
+    fn arg_count_checked() {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("f", 2);
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        let mut env = BasicEnv::new(&m);
+        let err = call(&m, &mut env, f, &[Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, ExecError::BadArgCount { expected: 2, got: 1, .. }));
+    }
+
+    #[test]
+    fn branch_on_non_bool_faults() {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("f", 1);
+        let t = b.new_block();
+        let e = b.new_block();
+        b.branch(b.param(0), t, e);
+        b.switch_to(t);
+        b.ret(None);
+        b.switch_to(e);
+        b.ret(None);
+        m.add_function(b.finish());
+        assert!(matches!(
+            run(&m, "f", &[Value::Int(1)]),
+            Err(ExecError::BranchOnNonBool(_))
+        ));
+    }
+
+    #[test]
+    fn recursion_depth_limited() {
+        let mut m = Module::new();
+        // Reserve id 0 for the recursive function we are about to add.
+        let mut b = FunctionBuilder::new("rec", 0);
+        let r = b.call(FuncId(0), &[]);
+        b.ret(Some(r));
+        let f = m.add_function(b.finish());
+        let mut env = BasicEnv::new(&m);
+        assert_eq!(call(&m, &mut env, f, &[]), Err(ExecError::DepthExceeded));
+    }
+
+    #[test]
+    fn instruction_cost_charged() {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("f", 0);
+        let _ = b.const_int(1);
+        let _ = b.const_int(2);
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        let mut env = BasicEnv::new(&m);
+        call(&m, &mut env, f, &[]).unwrap();
+        // 2 consts + 1 terminator.
+        assert_eq!(env.cost.instrs, 3);
+    }
+}

@@ -1,0 +1,52 @@
+//! Robustness: the assembler must never panic — any input either parses or
+//! returns a `ParseError` with a line number.
+
+use pdo_ir::parse::parse_module;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_text_never_panics(text in ".{0,400}") {
+        let _ = parse_module(&text);
+    }
+
+    #[test]
+    fn arbitrary_assembler_like_text_never_panics(
+        lines in prop::collection::vec(
+            prop_oneof![
+                Just("func @f(1) {".to_string()),
+                Just("}".to_string()),
+                Just("b0:".to_string()),
+                Just("b1:".to_string()),
+                Just("  ret".to_string()),
+                Just("  ret r0".to_string()),
+                Just("  jump b0".to_string()),
+                Just("  r1 = const int 5".to_string()),
+                Just("  r1 = add r0, r0".to_string()),
+                Just("  raise sync %E(r0)".to_string()),
+                Just("event E".to_string()),
+                Just("global g = int 0".to_string()),
+                Just("native n".to_string()),
+                "[a-z =%@!$(){}:0-9]{0,30}".prop_map(|s| format!("  {s}")),
+            ],
+            0..25,
+        )
+    ) {
+        let text = lines.join("\n");
+        if let Ok(m) = parse_module(&text) {
+            // Whatever parses must verify or at least not crash Display.
+            let _ = pdo_ir::display::print_module(&m);
+        }
+    }
+
+    #[test]
+    fn error_line_numbers_are_in_range(text in "[a-z @%!$(){}:=0-9\n]{0,300}") {
+        if let Err(e) = parse_module(&text) {
+            let line_count = text.lines().count();
+            prop_assert!(e.line <= line_count.max(1));
+            prop_assert!(!e.message.is_empty());
+        }
+    }
+}

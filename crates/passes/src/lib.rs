@@ -1,0 +1,278 @@
+//! # pdo-passes — compiler optimizations over the handler IR
+//!
+//! The PLDI 2002 paper applies "standard compiler optimizations, such as
+//! common subexpression elimination and dead-code elimination" to the
+//! super-handlers produced by its graph optimizations (§3.2.2). This crate
+//! provides those passes over the `pdo-ir` representation:
+//!
+//! * [`ConstFold`] — constant propagation/folding plus algebraic identity
+//!   simplification and branch folding,
+//! * [`CopyProp`] — copy propagation,
+//! * [`Cse`] — local common-subexpression elimination,
+//! * [`Dce`] — liveness-based dead-code elimination,
+//! * [`Cleanup`] — CFG simplification (unreachable blocks, jump threading,
+//!   block merging),
+//! * [`Inline`] — function inlining (used to inline direct handler calls
+//!   into super-handlers),
+//! * [`LockCoalesce`] — elimination of redundant unlock/lock pairs across
+//!   merged handler boundaries (the paper's "state maintenance" savings),
+//! * [`RedundantLoadElim`] — global load/store forwarding within blocks
+//!   (the paper's "redundant initializations and code fragments").
+//!
+//! Passes implement [`Pass`] and run under a [`PassManager`], which iterates
+//! the pipeline to a fixed point and verifies the module after every
+//! mutation in debug builds.
+//!
+//! ```
+//! use pdo_ir::{parse::parse_module, interp::{BasicEnv, call}, Value, FuncId};
+//! use pdo_passes::PassManager;
+//!
+//! let mut m = parse_module(
+//!     "func @f(1) {\n\
+//!      b0:\n\
+//!        r1 = const int 2\n\
+//!        r2 = const int 3\n\
+//!        r3 = mul r1, r2\n\
+//!        r4 = add r0, r3\n\
+//!        ret r4\n\
+//!      }\n",
+//! )?;
+//! let before = m.instr_count();
+//! PassManager::standard().run(&mut m);
+//! assert!(m.instr_count() < before);
+//! let mut env = BasicEnv::new(&m);
+//! assert_eq!(call(&m, &mut env, FuncId(0), &[Value::Int(1)])?, Value::Int(7));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod analysis;
+pub mod cleanup;
+pub mod constfold;
+pub mod copyprop;
+pub mod cse;
+pub mod dce;
+pub mod inline;
+pub mod locks;
+
+pub use cleanup::Cleanup;
+pub use constfold::ConstFold;
+pub use copyprop::CopyProp;
+pub use cse::Cse;
+pub use dce::Dce;
+pub use inline::Inline;
+pub use locks::{LockCoalesce, RedundantLoadElim};
+
+use pdo_ir::Module;
+
+/// A module-level transformation.
+pub trait Pass {
+    /// A short identifier used in pipeline reports.
+    fn name(&self) -> &'static str;
+
+    /// Applies the pass; returns `true` if the module changed.
+    fn run(&self, module: &mut Module) -> bool;
+}
+
+/// Statistics from one [`PassManager::run`] invocation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineReport {
+    /// Instruction count before the pipeline ran.
+    pub instrs_before: usize,
+    /// Instruction count after the pipeline ran.
+    pub instrs_after: usize,
+    /// `(pass name, times it reported a change)` in pipeline order.
+    pub pass_changes: Vec<(&'static str, usize)>,
+    /// Fixed-point iterations executed.
+    pub iterations: usize,
+}
+
+/// Runs a sequence of passes to a fixed point.
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    max_iterations: usize,
+}
+
+impl std::fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PassManager")
+            .field(
+                "passes",
+                &self.passes.iter().map(|p| p.name()).collect::<Vec<_>>(),
+            )
+            .field("max_iterations", &self.max_iterations)
+            .finish()
+    }
+}
+
+impl PassManager {
+    /// An empty manager; add passes with [`PassManager::add`].
+    pub fn new() -> Self {
+        PassManager {
+            passes: Vec::new(),
+            max_iterations: 8,
+        }
+    }
+
+    /// The standard pipeline used by the optimizer after handler merging:
+    /// inline, then scalar cleanups, then CFG and lock cleanups.
+    pub fn standard() -> Self {
+        let mut pm = PassManager::new();
+        pm.add(Inline::default())
+            .add(CopyProp)
+            .add(ConstFold)
+            .add(Cse)
+            .add(RedundantLoadElim)
+            .add(LockCoalesce)
+            .add(Dce)
+            .add(Cleanup);
+        pm
+    }
+
+    /// A pipeline with every pass *except* inlining, for ablation studies.
+    pub fn without_inline() -> Self {
+        let mut pm = PassManager::new();
+        pm.add(CopyProp)
+            .add(ConstFold)
+            .add(Cse)
+            .add(RedundantLoadElim)
+            .add(LockCoalesce)
+            .add(Dce)
+            .add(Cleanup);
+        pm
+    }
+
+    /// Appends a pass.
+    pub fn add(&mut self, pass: impl Pass + 'static) -> &mut Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Caps fixed-point iterations (default 8).
+    pub fn max_iterations(&mut self, n: usize) -> &mut Self {
+        self.max_iterations = n.max(1);
+        self
+    }
+
+    /// Runs the pipeline to a fixed point (or the iteration cap).
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if a pass produces a module that fails
+    /// [`pdo_ir::verify_module`].
+    pub fn run(&self, module: &mut Module) -> PipelineReport {
+        let mut report = PipelineReport {
+            instrs_before: module.instr_count(),
+            pass_changes: self.passes.iter().map(|p| (p.name(), 0)).collect(),
+            ..Default::default()
+        };
+        for _ in 0..self.max_iterations {
+            report.iterations += 1;
+            let mut changed = false;
+            for (i, pass) in self.passes.iter().enumerate() {
+                if pass.run(module) {
+                    changed = true;
+                    report.pass_changes[i].1 += 1;
+                    debug_assert!(
+                        pdo_ir::verify_module(module).is_ok(),
+                        "pass `{}` broke the module: {:?}",
+                        pass.name(),
+                        pdo_ir::verify_module(module)
+                    );
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        report.instrs_after = module.instr_count();
+        report
+    }
+}
+
+/// Runs the scalar and CFG pipeline on **one** function, optionally
+/// inlining call sites within it first (`inline_threshold`). All other
+/// functions in the module are left untouched — this is how the optimizer
+/// cleans up freshly built super-handlers without perturbing the original
+/// handler bodies whose generic dispatch path must remain intact.
+///
+/// Returns `true` if the function changed.
+pub fn optimize_single_function(
+    module: &mut Module,
+    func: pdo_ir::FuncId,
+    inline_threshold: Option<usize>,
+) -> bool {
+    let mut any = false;
+    for _ in 0..8 {
+        let mut changed = false;
+        if let Some(th) = inline_threshold {
+            changed |= inline::inline_into(module, func.index(), th);
+        }
+        let f = &mut module.functions[func.index()];
+        changed |= copyprop::propagate_function(f);
+        changed |= constfold::fold_function(f);
+        changed |= cse::cse_function(f);
+        changed |= locks::forward_function(f);
+        changed |= locks::coalesce_function(f);
+        changed |= dce::dce_function(f);
+        changed |= cleanup::cleanup_function(f);
+        if !changed {
+            break;
+        }
+        any = true;
+        debug_assert!(
+            pdo_ir::verify_module(module).is_ok(),
+            "optimize_single_function broke the module: {:?}",
+            pdo_ir::verify_module(module)
+        );
+    }
+    any
+}
+
+impl Default for PassManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdo_ir::parse::parse_module;
+
+    #[test]
+    fn standard_pipeline_shrinks_constant_code() {
+        let mut m = parse_module(
+            "func @f(0) {\n\
+             b0:\n\
+               r0 = const int 6\n\
+               r1 = const int 7\n\
+               r2 = mul r0, r1\n\
+               ret r2\n\
+             }\n",
+        )
+        .unwrap();
+        let report = PassManager::standard().run(&mut m);
+        assert!(report.instrs_after < report.instrs_before);
+        // Result should be a single const + ret.
+        assert_eq!(m.functions[0].instr_count(), 2);
+    }
+
+    #[test]
+    fn empty_manager_is_identity() {
+        let mut m = parse_module("func @f(0) {\nb0:\n  ret\n}\n").unwrap();
+        let before = m.clone();
+        let report = PassManager::new().run(&mut m);
+        assert_eq!(m, before);
+        assert_eq!(report.iterations, 1);
+    }
+
+    #[test]
+    fn report_tracks_pass_names() {
+        let pm = PassManager::standard();
+        let mut m = parse_module("func @f(0) {\nb0:\n  ret\n}\n").unwrap();
+        let report = pm.run(&mut m);
+        let names: Vec<&str> = report.pass_changes.iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"constfold"));
+        assert!(names.contains(&"dce"));
+    }
+}

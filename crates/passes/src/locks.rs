@@ -1,0 +1,355 @@
+//! State-maintenance optimizations: lock coalescing and redundant global
+//! load/store elimination.
+//!
+//! The paper lists "state maintenance (synchronization and locking) costs
+//! for global variables" and "redundant initializations and code fragments
+//! for events with multiple handlers" among the overheads its optimizations
+//! remove (§3.2). After handler merging, adjacent handlers' critical
+//! sections on the same state become `unlock g; lock g` pairs and repeated
+//! `load g` instructions; these two passes remove them.
+
+use crate::Pass;
+use pdo_ir::{Function, GlobalId, Instr, Module, Reg};
+use std::collections::HashMap;
+
+/// Deletes `unlock g; …; lock g` pairs when nothing between them can
+/// observe the lock (no calls, raises, or other lock operations). Deleting
+/// the pair *extends* the critical section, which is always safe under the
+/// runtime's handler-atomicity guarantee (§2.3: "handler execution is
+/// atomic with respect to concurrency").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LockCoalesce;
+
+impl Pass for LockCoalesce {
+    fn name(&self) -> &'static str {
+        "lockcoalesce"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        for f in &mut module.functions {
+            changed |= coalesce_function(f);
+        }
+        changed
+    }
+}
+
+pub(crate) fn coalesce_function(f: &mut Function) -> bool {
+    let mut changed = false;
+    for block in &mut f.blocks {
+        while let Some((i, j)) = find_pair(&block.instrs) {
+            // Remove j first so i's index stays valid.
+            block.instrs.remove(j);
+            block.instrs.remove(i);
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Finds `(unlock_index, lock_index)` of the first removable pair.
+fn find_pair(instrs: &[Instr]) -> Option<(usize, usize)> {
+    for (i, instr) in instrs.iter().enumerate() {
+        let Instr::Unlock { global } = instr else {
+            continue;
+        };
+        for (j, candidate) in instrs.iter().enumerate().skip(i + 1) {
+            match candidate {
+                Instr::Lock { global: g2 } if g2 == global => return Some((i, j)),
+                // Anything that could observe or contend the lock ends the
+                // window.
+                Instr::Lock { .. }
+                | Instr::Unlock { .. }
+                | Instr::Call { .. }
+                | Instr::CallNative { .. }
+                | Instr::Raise { .. } => break,
+                _ => continue,
+            }
+        }
+    }
+    None
+}
+
+/// Forwards globals held in registers: a `load g` whose value is already in
+/// a register (from an earlier `load g` or `store g`) becomes a `mov`; a
+/// `store g, r` that would write back the value `g` already holds is
+/// deleted.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RedundantLoadElim;
+
+impl Pass for RedundantLoadElim {
+    fn name(&self) -> &'static str {
+        "redundantload"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        for f in &mut module.functions {
+            changed |= forward_function(f);
+        }
+        changed
+    }
+}
+
+pub(crate) fn forward_function(f: &mut Function) -> bool {
+    let mut changed = false;
+    for block in &mut f.blocks {
+        // For each global: the register currently known to hold its value.
+        let mut held: HashMap<GlobalId, Reg> = HashMap::new();
+        let mut remove = vec![false; block.instrs.len()];
+
+        for (idx, instr) in block.instrs.iter_mut().enumerate() {
+            match instr {
+                Instr::LoadGlobal { dst, global } => {
+                    if let Some(&r) = held.get(global) {
+                        if r != *dst {
+                            let (d, g) = (*dst, *global);
+                            *instr = Instr::Mov { dst: d, src: r };
+                            changed = true;
+                            invalidate_def(&mut held, d);
+                            held.insert(g, d);
+                            continue;
+                        }
+                    }
+                    let (d, g) = (*dst, *global);
+                    invalidate_def(&mut held, d);
+                    held.insert(g, d);
+                }
+                Instr::StoreGlobal { global, src } => {
+                    if held.get(global) == Some(src) {
+                        // The global already holds this exact value.
+                        remove[idx] = true;
+                        changed = true;
+                    } else {
+                        held.insert(*global, *src);
+                    }
+                }
+                // Calls and raises may read or write any global.
+                Instr::Call { .. } | Instr::CallNative { .. } | Instr::Raise { .. } => {
+                    held.clear();
+                    if let Some(d) = instr.def() {
+                        invalidate_def(&mut held, d);
+                    }
+                }
+                // Lock operations are barriers out of caution: in the
+                // unlocked window another activation could mutate state.
+                Instr::Lock { .. } | Instr::Unlock { .. } => {
+                    held.clear();
+                }
+                // In-place buffer mutation diverges the register from the
+                // global's snapshot.
+                Instr::BytesSet { bytes, .. } => {
+                    let b = *bytes;
+                    held.retain(|_, r| *r != b);
+                }
+                other => {
+                    if let Some(d) = other.def() {
+                        invalidate_def(&mut held, d);
+                    }
+                }
+            }
+        }
+
+        if remove.iter().any(|&r| r) {
+            let mut it = remove.iter();
+            block.instrs.retain(|_| !*it.next().expect("mask"));
+        }
+    }
+    changed
+}
+
+fn invalidate_def(held: &mut HashMap<GlobalId, Reg>, def: Reg) {
+    held.retain(|_, r| *r != def);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdo_ir::interp::{call, BasicEnv};
+    use pdo_ir::parse::parse_module;
+    use pdo_ir::Value;
+
+    fn exec(m: &Module, name: &str, args: &[Value]) -> (Value, Vec<Value>, u64) {
+        let id = m.function_by_name(name).unwrap();
+        let mut env = BasicEnv::new(m);
+        let r = call(m, &mut env, id, args).unwrap();
+        let globals = (0..m.globals.len())
+            .map(|g| env.global(GlobalId::from_index(g)).clone())
+            .collect();
+        (r, globals, env.cost.lock_ops)
+    }
+
+    #[test]
+    fn coalesces_adjacent_unlock_lock() {
+        let text = "global g = int 0\n\
+             func @f(1) {\n\
+             b0:\n\
+               lock $g\n\
+               store $g, r0\n\
+               unlock $g\n\
+               lock $g\n\
+               r1 = load $g\n\
+               unlock $g\n\
+               ret r1\n\
+             }\n";
+        let mut m = parse_module(text).unwrap();
+        let before = exec(&m, "f", &[Value::Int(5)]);
+        assert!(LockCoalesce.run(&mut m));
+        pdo_ir::verify_module(&m).unwrap();
+        let after = exec(&m, "f", &[Value::Int(5)]);
+        assert_eq!(before.0, after.0);
+        assert_eq!(before.1, after.1);
+        assert_eq!(before.2, 4);
+        assert_eq!(after.2, 2);
+    }
+
+    #[test]
+    fn call_between_blocks_coalescing() {
+        let text = "global g = int 0\n\
+             native w\n\
+             func @f(1) {\n\
+             b0:\n\
+               unlock $g\n\
+               r1 = native !w(r0)\n\
+               lock $g\n\
+               ret r1\n\
+             }\n";
+        let mut m = parse_module(text).unwrap();
+        assert!(!LockCoalesce.run(&mut m));
+    }
+
+    #[test]
+    fn different_globals_not_paired() {
+        let text = "global a = int 0\n\
+             global b = int 0\n\
+             func @f(0) {\n\
+             b0:\n\
+               unlock $a\n\
+               lock $b\n\
+               ret\n\
+             }\n";
+        let mut m = parse_module(text).unwrap();
+        assert!(!LockCoalesce.run(&mut m));
+    }
+
+    #[test]
+    fn forwards_repeated_loads() {
+        let text = "global g = int 7\n\
+             func @f(0) {\n\
+             b0:\n\
+               r0 = load $g\n\
+               r1 = load $g\n\
+               r2 = add r0, r1\n\
+               ret r2\n\
+             }\n";
+        let mut m = parse_module(text).unwrap();
+        assert!(RedundantLoadElim.run(&mut m));
+        assert!(matches!(
+            m.functions[0].blocks[0].instrs[1],
+            Instr::Mov { src: Reg(0), .. }
+        ));
+        assert_eq!(exec(&m, "f", &[]).0, Value::Int(14));
+    }
+
+    #[test]
+    fn store_then_load_forwarded() {
+        let text = "global g = int 0\n\
+             func @f(1) {\n\
+             b0:\n\
+               store $g, r0\n\
+               r1 = load $g\n\
+               ret r1\n\
+             }\n";
+        let mut m = parse_module(text).unwrap();
+        assert!(RedundantLoadElim.run(&mut m));
+        assert!(matches!(
+            m.functions[0].blocks[0].instrs[1],
+            Instr::Mov { src: Reg(0), .. }
+        ));
+        let (r, globals, _) = exec(&m, "f", &[Value::Int(9)]);
+        assert_eq!(r, Value::Int(9));
+        assert_eq!(globals[0], Value::Int(9));
+    }
+
+    #[test]
+    fn redundant_store_removed() {
+        let text = "global g = int 0\n\
+             func @f(1) {\n\
+             b0:\n\
+               store $g, r0\n\
+               store $g, r0\n\
+               ret\n\
+             }\n";
+        let mut m = parse_module(text).unwrap();
+        assert!(RedundantLoadElim.run(&mut m));
+        assert_eq!(
+            m.functions[0]
+                .blocks[0]
+                .instrs
+                .iter()
+                .filter(|i| matches!(i, Instr::StoreGlobal { .. }))
+                .count(),
+            1
+        );
+        assert_eq!(exec(&m, "f", &[Value::Int(3)]).1[0], Value::Int(3));
+    }
+
+    #[test]
+    fn raise_is_a_barrier() {
+        let text = "event E\n\
+             global g = int 7\n\
+             func @f(0) {\n\
+             b0:\n\
+               r0 = load $g\n\
+               raise sync %E()\n\
+               r1 = load $g\n\
+               r2 = add r0, r1\n\
+               ret r2\n\
+             }\n";
+        let mut m = parse_module(text).unwrap();
+        assert!(!RedundantLoadElim.run(&mut m));
+    }
+
+    #[test]
+    fn register_redefinition_invalidates_forwarding() {
+        let text = "global g = int 7\n\
+             func @f(0) {\n\
+             b0:\n\
+               r0 = load $g\n\
+               r1 = const int 0\n\
+               r0 = mov r1\n\
+               r2 = load $g\n\
+               ret r2\n\
+             }\n";
+        let mut m = parse_module(text).unwrap();
+        RedundantLoadElim.run(&mut m);
+        // The second load must NOT become `mov r0` (r0 was clobbered).
+        assert!(matches!(
+            m.functions[0].blocks[0].instrs[3],
+            Instr::LoadGlobal { .. }
+        ));
+        assert_eq!(exec(&m, "f", &[]).0, Value::Int(7));
+    }
+
+    #[test]
+    fn bset_on_held_register_invalidates() {
+        let text = "global g = bytes 00\n\
+             func @f(0) {\n\
+             b0:\n\
+               r0 = load $g\n\
+               r1 = const int 0\n\
+               r2 = const int 9\n\
+               bset r0, r1, r2\n\
+               r3 = load $g\n\
+               ret r3\n\
+             }\n";
+        let mut m = parse_module(text).unwrap();
+        RedundantLoadElim.run(&mut m);
+        assert!(matches!(
+            m.functions[0].blocks[0].instrs[4],
+            Instr::LoadGlobal { .. }
+        ));
+        // Global is unchanged by the register-local mutation.
+        assert_eq!(exec(&m, "f", &[]).0, Value::bytes(vec![0]));
+    }
+}

@@ -1,0 +1,195 @@
+//! Event paths and event chains (paper §3.1, §3.2.1).
+
+use crate::graph::EventGraph;
+use pdo_ir::EventId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Events that appear in the reduced graph at `threshold` — the candidates
+/// the paper selects for handler-level profiling ("The event paths in the
+/// event graph are used to identify the most promising events for handler
+/// level profiling").
+pub fn hot_events(graph: &EventGraph, threshold: u64) -> BTreeSet<EventId> {
+    graph.reduce(threshold).nodes.keys().copied().collect()
+}
+
+/// Maximal *event paths* in the (already reduced) graph: simple paths that
+/// follow edges greedily from nodes with no qualifying predecessor,
+/// extending while the current node has exactly one successor.
+///
+/// Event paths differ from chains in that their edges may be asynchronous;
+/// they indicate frequent sequences, not guaranteed ones.
+pub fn event_paths(reduced: &EventGraph) -> Vec<Vec<EventId>> {
+    extract_paths(reduced, false)
+}
+
+/// *Event chains* (§3.2.1): paths `v1 … vk` where every vertex except
+/// possibly the last has exactly one successor edge, and every edge is a
+/// synchronous activation — sequences guaranteed to occur when the head
+/// occurs. (The head's own activation mode is unconstrained: "the current
+/// optimization can only address event paths in which all activations but
+/// the initial one are synchronous", §5.)
+pub fn event_chains(reduced: &EventGraph) -> Vec<Vec<EventId>> {
+    extract_paths(reduced, true)
+}
+
+fn extract_paths(reduced: &EventGraph, sync_only: bool) -> Vec<Vec<EventId>> {
+    // next(v) = the unique successor of v (respecting sync_only).
+    let mut next: BTreeMap<EventId, EventId> = BTreeMap::new();
+    for &node in reduced.nodes.keys() {
+        let succs: Vec<(EventId, bool)> = reduced
+            .successors(node)
+            .map(|(to, data)| (to, data.is_pure_sync()))
+            .collect();
+        if succs.len() == 1 {
+            let (to, pure_sync) = succs[0];
+            if !sync_only || pure_sync {
+                next.insert(node, to);
+            }
+        }
+    }
+
+    // Heads: nodes with a next pointer that are not the target of another
+    // node's next pointer (or that only appear as targets in cycles).
+    let targets: BTreeSet<EventId> = next.values().copied().collect();
+    let mut consumed: BTreeSet<EventId> = BTreeSet::new();
+    let mut paths = Vec::new();
+
+    let walk = |head: EventId, next: &BTreeMap<EventId, EventId>, consumed: &mut BTreeSet<EventId>| {
+        let mut path = vec![head];
+        consumed.insert(head);
+        let mut cur = head;
+        while let Some(&n) = next.get(&cur) {
+            if path.contains(&n) {
+                break; // cycle: stop before repeating
+            }
+            path.push(n);
+            consumed.insert(n);
+            cur = n;
+        }
+        path
+    };
+
+    for &head in next.keys() {
+        if !targets.contains(&head) && !consumed.contains(&head) {
+            let p = walk(head, &next, &mut consumed);
+            if p.len() >= 2 {
+                paths.push(p);
+            }
+        }
+    }
+    // Remaining unconsumed nodes with next pointers are cycle members.
+    let keys: Vec<EventId> = next.keys().copied().collect();
+    for head in keys {
+        if !consumed.contains(&head) {
+            let p = walk(head, &next, &mut consumed);
+            if p.len() >= 2 {
+                paths.push(p);
+            }
+        }
+    }
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeData;
+
+    fn graph(edges: &[(u32, u32, u64, bool)]) -> EventGraph {
+        let mut g = EventGraph::new();
+        for &(from, to, weight, sync) in edges {
+            g.nodes.entry(EventId(from)).or_insert(1);
+            g.nodes.entry(EventId(to)).or_insert(1);
+            g.edges.insert(
+                (EventId(from), EventId(to)),
+                EdgeData {
+                    weight,
+                    sync: if sync { weight } else { 0 },
+                    asynchronous: if sync { 0 } else { weight },
+                },
+            );
+        }
+        g
+    }
+
+    fn ids(v: &[u32]) -> Vec<EventId> {
+        v.iter().map(|&i| EventId(i)).collect()
+    }
+
+    #[test]
+    fn straight_chain_extracted() {
+        let g = graph(&[(0, 1, 100, true), (1, 2, 100, true), (2, 3, 100, true)]);
+        let chains = event_chains(&g);
+        assert_eq!(chains, vec![ids(&[0, 1, 2, 3])]);
+    }
+
+    #[test]
+    fn async_edge_breaks_chain_but_not_path() {
+        let g = graph(&[(0, 1, 100, true), (1, 2, 100, false), (2, 3, 100, true)]);
+        let chains = event_chains(&g);
+        // 0->1 sync chain; 1's only successor edge is async so the chain
+        // stops at 1; 2->3 forms its own chain.
+        assert!(chains.contains(&ids(&[0, 1])), "chains: {chains:?}");
+        assert!(chains.contains(&ids(&[2, 3])), "chains: {chains:?}");
+        let paths = event_paths(&g);
+        assert_eq!(paths, vec![ids(&[0, 1, 2, 3])]);
+    }
+
+    #[test]
+    fn branching_node_ends_chain() {
+        // 0 -> 1 -> {2, 3}: 1 has two successors, so the chain is 0,1.
+        let g = graph(&[(0, 1, 100, true), (1, 2, 60, true), (1, 3, 40, true)]);
+        let chains = event_chains(&g);
+        assert_eq!(chains, vec![ids(&[0, 1])]);
+    }
+
+    #[test]
+    fn last_vertex_may_branch() {
+        // 0 -> 1, 1 -> {2,3}; chain (0,1) is valid because only interior
+        // vertices need unique successors.
+        let g = graph(&[(0, 1, 100, true), (1, 2, 50, true), (1, 3, 50, true)]);
+        assert_eq!(event_chains(&g), vec![ids(&[0, 1])]);
+    }
+
+    #[test]
+    fn cycle_terminates() {
+        let g = graph(&[(0, 1, 100, true), (1, 0, 100, true)]);
+        let chains = event_chains(&g);
+        assert_eq!(chains.len(), 1);
+        assert_eq!(chains[0].len(), 2);
+    }
+
+    #[test]
+    fn two_independent_chains() {
+        let g = graph(&[(0, 1, 100, true), (5, 6, 100, true), (6, 7, 100, true)]);
+        let chains = event_chains(&g);
+        assert_eq!(chains.len(), 2);
+        assert!(chains.contains(&ids(&[0, 1])));
+        assert!(chains.contains(&ids(&[5, 6, 7])));
+    }
+
+    #[test]
+    fn mixed_mode_edge_not_chainable() {
+        let mut g = graph(&[(0, 1, 100, true)]);
+        // Make edge mixed.
+        g.edges.get_mut(&(EventId(0), EventId(1))).unwrap().asynchronous = 3;
+        assert!(event_chains(&g).is_empty());
+        assert_eq!(event_paths(&g).len(), 1);
+    }
+
+    #[test]
+    fn hot_events_from_threshold() {
+        let g = graph(&[(0, 1, 100, true), (1, 2, 3, true)]);
+        let hot = hot_events(&g, 50);
+        assert!(hot.contains(&EventId(0)));
+        assert!(hot.contains(&EventId(1)));
+        assert!(!hot.contains(&EventId(2)));
+    }
+
+    #[test]
+    fn chain_head_into_existing_chain_merges() {
+        // 9 -> 0 -> 1 -> 2 should be one chain, head 9.
+        let g = graph(&[(9, 0, 100, true), (0, 1, 100, true), (1, 2, 100, true)]);
+        assert_eq!(event_chains(&g), vec![ids(&[9, 0, 1, 2])]);
+    }
+}

@@ -1,0 +1,68 @@
+//! # pdo-profile — event and handler profiling
+//!
+//! Implements §3.1 of the paper:
+//!
+//! 1. Run the instrumented program and collect a [`pdo_events::Trace`].
+//! 2. Build the **event graph** with the Fig 4 `GraphBuilder` algorithm:
+//!    an edge `(e1, e2)` weighted by how many times `e2` immediately
+//!    followed `e1` in the trace, annotated with the raise mode of `e2`.
+//! 3. **Reduce** the graph by a threshold `T` (Fig 5 → Fig 6) and extract
+//!    *event paths* and *event chains* (sequences guaranteed to follow
+//!    their head, all activations after the head synchronous).
+//! 4. Instrument the handlers of hot events and build the **handler
+//!    graph**: the observed handler sequence per event and the nesting
+//!    structure that reveals subsumable synchronous raises (Fig 8).
+//!
+//! The assembled [`Profile`] is a serializable artifact: produce it once,
+//! save it as JSON, and feed it to the optimizer offline — the workflow the
+//! paper describes ("the analysis and optimizations are currently performed
+//! manually off-line after the program … has been executed enough times to
+//! develop an adequate profile").
+
+pub mod chains;
+pub mod graph;
+pub mod handlers;
+pub mod ser_map;
+pub mod store;
+
+pub use chains::{event_chains, event_paths, hot_events};
+pub use graph::{EdgeData, EdgeMode, EventGraph};
+pub use handlers::{HandlerGraph, HandlerSeq, NestedRaise};
+pub use store::{load_profile, save_profile, StoreError};
+
+use pdo_events::Trace;
+use pdo_ir::EventId;
+use serde::{Deserialize, Serialize};
+
+/// A complete profile of one program configuration.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    /// The event graph from the event-profiling phase.
+    pub event_graph: EventGraph,
+    /// The handler graph from the handler-profiling phase.
+    pub handler_graph: HandlerGraph,
+    /// Threshold used when reducing (recorded for reports).
+    pub threshold: u64,
+}
+
+impl Profile {
+    /// Builds a profile from a single fully-instrumented trace (both event
+    /// and handler records), using `threshold` for reduction.
+    pub fn from_trace(trace: &Trace, threshold: u64) -> Self {
+        Profile {
+            event_graph: EventGraph::from_trace(trace),
+            handler_graph: HandlerGraph::from_trace(trace),
+            threshold,
+        }
+    }
+
+    /// The reduced event graph at this profile's threshold.
+    pub fn reduced(&self) -> EventGraph {
+        self.event_graph.reduce(self.threshold)
+    }
+
+    /// Event chains in the reduced graph (candidates for chain merging).
+    pub fn chains(&self) -> Vec<Vec<EventId>> {
+        event_chains(&self.reduced())
+    }
+}

@@ -1,0 +1,58 @@
+//! Serde adapter: (de)serializes `BTreeMap`s with non-string keys as entry
+//! lists, so profiles round-trip through JSON.
+
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use std::collections::BTreeMap;
+
+/// Serializes a map as a `Vec` of `(key, value)` pairs.
+///
+/// # Errors
+///
+/// Propagates serializer errors.
+pub fn serialize<K, V, S>(map: &BTreeMap<K, V>, serializer: S) -> Result<S::Ok, S::Error>
+where
+    K: Serialize + Ord,
+    V: Serialize,
+    S: Serializer,
+{
+    let entries: Vec<(&K, &V)> = map.iter().collect();
+    entries.serialize(serializer)
+}
+
+/// Deserializes a map from a `Vec` of `(key, value)` pairs.
+///
+/// # Errors
+///
+/// Propagates deserializer errors.
+pub fn deserialize<'de, K, V, D>(deserializer: D) -> Result<BTreeMap<K, V>, D::Error>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+    D: Deserializer<'de>,
+{
+    let entries: Vec<(K, V)> = Vec::deserialize(deserializer)?;
+    Ok(entries.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Holder {
+        #[serde(with = "super")]
+        map: BTreeMap<(u32, u32), String>,
+    }
+
+    #[test]
+    fn tuple_keys_roundtrip_through_json() {
+        let mut map = BTreeMap::new();
+        map.insert((1, 2), "a".to_string());
+        map.insert((3, 4), "b".to_string());
+        let h = Holder { map };
+        let json = serde_json::to_string(&h).unwrap();
+        let back: Holder = serde_json::from_str(&json).unwrap();
+        assert_eq!(h, back);
+    }
+}

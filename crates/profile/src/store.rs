@@ -1,0 +1,117 @@
+//! Saving and loading profiles as JSON artifacts.
+//!
+//! The paper's workflow is offline: run the instrumented program, persist
+//! the profile, then optimize a fresh build against it. These helpers give
+//! that persistence a concrete format.
+
+use crate::Profile;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Failure to save or load a profile.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Serialization or deserialization failure.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "profile i/o failed: {e}"),
+            StoreError::Json(e) => write!(f, "profile encoding failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Json(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for StoreError {
+    fn from(e: serde_json::Error) -> Self {
+        StoreError::Json(e)
+    }
+}
+
+/// Writes `profile` to `path` as pretty-printed JSON.
+///
+/// # Errors
+///
+/// Returns [`StoreError`] on filesystem or serialization failure.
+pub fn save_profile(profile: &Profile, path: impl AsRef<Path>) -> Result<(), StoreError> {
+    let json = serde_json::to_string_pretty(profile)?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Reads a profile previously written by [`save_profile`].
+///
+/// # Errors
+///
+/// Returns [`StoreError`] on filesystem or deserialization failure.
+pub fn load_profile(path: impl AsRef<Path>) -> Result<Profile, StoreError> {
+    let json = fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&json)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{EdgeData, EventGraph};
+    use pdo_ir::EventId;
+
+    #[test]
+    fn roundtrip_via_tempfile() {
+        let mut g = EventGraph::new();
+        g.nodes.insert(EventId(0), 5);
+        g.edges.insert(
+            (EventId(0), EventId(0)),
+            EdgeData {
+                weight: 4,
+                sync: 4,
+                asynchronous: 0,
+            },
+        );
+        let p = Profile {
+            event_graph: g,
+            handler_graph: Default::default(),
+            threshold: 3,
+        };
+        let path = std::env::temp_dir().join(format!("pdo-profile-test-{}.json", std::process::id()));
+        save_profile(&p, &path).unwrap();
+        let back = load_profile(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let err = load_profile("/nonexistent/definitely/missing.json").unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)));
+        assert!(err.to_string().contains("i/o"));
+    }
+
+    #[test]
+    fn load_malformed_json_errors() {
+        let path = std::env::temp_dir().join(format!("pdo-profile-bad-{}.json", std::process::id()));
+        std::fs::write(&path, "{ not json").unwrap();
+        let err = load_profile(&path).unwrap_err();
+        let _ = std::fs::remove_file(&path);
+        assert!(matches!(err, StoreError::Json(_)));
+    }
+}

@@ -1,0 +1,44 @@
+//! # pdo-seccomm — the SecComm configurable secure-communication service
+//!
+//! SecComm (paper §4.2) is a Cactus composite protocol that lets a
+//! connection's security attributes — privacy, authenticity, integrity —
+//! be configured by selecting micro-protocols. The paper measures a
+//! three-micro-protocol configuration: **DES** encryption, a **trivial XOR
+//! cipher**, and a **coordinator** that sequences them; most execution time
+//! is spent in the cryptographic routines.
+//!
+//! This crate reproduces that service on the `pdo-cactus` layer:
+//!
+//! * [`seccomm_protocol`] — the composite protocol: events
+//!   (`msgFromUser`, `EncodeMsg`, `msgToNet`, `msgFromNet`, `DecodeMsg`,
+//!   `msgToUser`) and micro-protocols (`Coordinator`, `DESPrivacy`,
+//!   `XorPrivacy`, `KeyedMd5Integrity`);
+//! * [`Endpoint`] — a runnable endpoint: `push` a plaintext through the
+//!   outbound chain to a wire message, `pop` a wire message through the
+//!   inbound chain back to plaintext;
+//! * [`crypto`] — DES, MD5, and XOR implemented from scratch.
+//!
+//! The push path forms one synchronous event chain and the pop path
+//! another, exactly the structure the paper reports ("there is one event
+//! chain on the sender and one chain on the receiver").
+//!
+//! ```
+//! use pdo_seccomm::{seccomm_protocol, Endpoint, Keys, CONFIG_PAPER};
+//!
+//! let proto = seccomm_protocol();
+//! let program = proto.instantiate(CONFIG_PAPER)?;
+//! let keys = Keys::default();
+//! let mut sender = Endpoint::new(&program, &keys)?;
+//! let mut receiver = Endpoint::new(&program, &keys)?;
+//!
+//! let wire = sender.push(b"hello over the secure channel")?;
+//! assert_ne!(&wire[..], b"hello over the secure channel");
+//! let plain = receiver.pop(&wire)?;
+//! assert_eq!(&plain[..], b"hello over the secure channel");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod crypto;
+pub mod service;
+
+pub use service::{seccomm_protocol, Endpoint, Keys, SecCommError, CONFIG_FULL, CONFIG_PAPER};

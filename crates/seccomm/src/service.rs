@@ -1,0 +1,437 @@
+//! The SecComm composite protocol and its runnable endpoints.
+
+use crate::crypto::{des_decrypt, des_encrypt, keyed_md5, xor_cipher, DesKey};
+use pdo_cactus::{CompositeBuilder, CompositeProtocol, EventProgram};
+use pdo_events::{Runtime, RuntimeError};
+use pdo_ir::{EventId, RaiseMode, Value};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+/// The configuration measured in the paper's Fig 12: DES + XOR + the
+/// coordinator.
+pub const CONFIG_PAPER: &[&str] = &["Coordinator", "DESPrivacy", "XorPrivacy"];
+
+/// The full configuration: paper config plus keyed-MD5 integrity (the Fig 2
+/// style richer stack).
+pub const CONFIG_FULL: &[&str] = &[
+    "Coordinator",
+    "DESPrivacy",
+    "XorPrivacy",
+    "KeyedMd5Integrity",
+];
+
+/// Session keys for the micro-protocols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Keys {
+    /// 8-byte DES key.
+    pub des: [u8; 8],
+    /// XOR keystream (cycled).
+    pub xor: Vec<u8>,
+    /// MAC key for keyed MD5.
+    pub mac: Vec<u8>,
+}
+
+impl Default for Keys {
+    fn default() -> Self {
+        Keys {
+            des: *b"\x13\x34\x57\x79\x9b\xbc\xdf\xf1",
+            xor: b"keystream".to_vec(),
+            mac: b"integrity-key".to_vec(),
+        }
+    }
+}
+
+/// SecComm failure.
+#[derive(Debug)]
+pub enum SecCommError {
+    /// The event runtime failed.
+    Runtime(RuntimeError),
+    /// The protocol definition is missing a symbol (indicates a build bug).
+    MissingSymbol(String),
+    /// `push` produced no wire message / `pop` delivered nothing.
+    NoOutput,
+}
+
+impl fmt::Display for SecCommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SecCommError::Runtime(e) => write!(f, "runtime error: {e}"),
+            SecCommError::MissingSymbol(s) => write!(f, "missing symbol `{s}`"),
+            SecCommError::NoOutput => write!(f, "the chain produced no output message"),
+        }
+    }
+}
+
+impl std::error::Error for SecCommError {}
+
+impl From<RuntimeError> for SecCommError {
+    fn from(e: RuntimeError) -> Self {
+        SecCommError::Runtime(e)
+    }
+}
+
+/// Builds the SecComm composite protocol.
+///
+/// Push path: `msgFromUser` → (coordinator) → `EncodeMsg` (privacy and
+/// integrity handlers transform the shared `push_buf`) → `msgToNet`
+/// (hands `push_buf` to the network native). Pop path mirrors it through
+/// `msgFromNet` → `DecodeMsg` → `msgToUser`.
+pub fn seccomm_protocol() -> CompositeProtocol {
+    let mut b = CompositeBuilder::new("SecComm");
+
+    let msg_from_user = b.event("msgFromUser");
+    let encode = b.event("EncodeMsg");
+    let msg_to_net = b.event("msgToNet");
+    let msg_from_net = b.event("msgFromNet");
+    let decode = b.event("DecodeMsg");
+    let msg_to_user = b.event("msgToUser");
+
+    let push_buf = b.global("push_buf", Value::bytes(Vec::new()));
+    let pop_buf = b.global("pop_buf", Value::bytes(Vec::new()));
+
+    let n_des_enc = b.native("des_encrypt");
+    let n_des_dec = b.native("des_decrypt");
+    let n_xor = b.native("xor_apply");
+    let n_mac_add = b.native("mac_append");
+    let n_mac_strip = b.native("mac_verify_strip");
+    let n_net_send = b.native("net_send");
+    let n_deliver = b.native("deliver");
+
+    // Coordinator: stages a message into the shared buffer, drives the
+    // chain, and hands the result off.
+    b.micro_protocol("Coordinator", |mp| {
+        mp.handler(msg_from_user, 0, "coord_push", 1, |f| {
+            f.lock(push_buf);
+            f.store_global(push_buf, f.param(0));
+            f.unlock(push_buf);
+            f.raise(encode, RaiseMode::Sync, &[]);
+            f.raise(msg_to_net, RaiseMode::Sync, &[]);
+            f.ret(None);
+        });
+        mp.handler(msg_to_net, 0, "coord_send", 0, |f| {
+            f.lock(push_buf);
+            let buf = f.load_global(push_buf);
+            f.unlock(push_buf);
+            let _ = f.call_native(n_net_send, &[buf]);
+            f.ret(None);
+        });
+        mp.handler(msg_from_net, 0, "coord_pop", 1, |f| {
+            f.lock(pop_buf);
+            f.store_global(pop_buf, f.param(0));
+            f.unlock(pop_buf);
+            f.raise(decode, RaiseMode::Sync, &[]);
+            f.raise(msg_to_user, RaiseMode::Sync, &[]);
+            f.ret(None);
+        });
+        mp.handler(msg_to_user, 0, "coord_deliver", 0, |f| {
+            f.lock(pop_buf);
+            let buf = f.load_global(pop_buf);
+            f.unlock(pop_buf);
+            let _ = f.call_native(n_deliver, &[buf]);
+            f.ret(None);
+        });
+    });
+
+    // A privacy/integrity handler body: buf = native(buf), under the lock.
+    let transform = |f: &mut pdo_ir::FunctionBuilder,
+                     global: pdo_ir::GlobalId,
+                     native: pdo_ir::NativeId| {
+        f.lock(global);
+        let v = f.load_global(global);
+        let out = f.call_native(native, &[v]);
+        f.store_global(global, out);
+        f.unlock(global);
+        f.ret(None);
+    };
+
+    // Encode order: DES (10) then XOR (20) then MAC (30).
+    // Decode order mirrors: MAC strip (5), XOR (10), DES (20).
+    b.micro_protocol("DESPrivacy", |mp| {
+        mp.handler(encode, 10, "des_push", 0, |f| transform(f, push_buf, n_des_enc));
+        mp.handler(decode, 20, "des_pop", 0, |f| transform(f, pop_buf, n_des_dec));
+    });
+    b.micro_protocol("XorPrivacy", |mp| {
+        mp.handler(encode, 20, "xor_push", 0, |f| transform(f, push_buf, n_xor));
+        mp.handler(decode, 10, "xor_pop", 0, |f| transform(f, pop_buf, n_xor));
+    });
+    b.micro_protocol("KeyedMd5Integrity", |mp| {
+        mp.handler(encode, 30, "mac_push", 0, |f| transform(f, push_buf, n_mac_add));
+        mp.handler(decode, 5, "mac_pop", 0, |f| transform(f, pop_buf, n_mac_strip));
+    });
+
+    b.finish()
+}
+
+/// Shared state of one endpoint's natives.
+#[derive(Debug, Default)]
+struct Wire {
+    outbox: VecDeque<Vec<u8>>,
+    delivered: VecDeque<Vec<u8>>,
+}
+
+/// A runnable SecComm endpoint.
+///
+/// `push` runs the outbound chain on a plaintext and returns the wire
+/// message; `pop` runs the inbound chain on a wire message and returns the
+/// recovered plaintext.
+pub struct Endpoint {
+    rt: Runtime,
+    wire: Rc<RefCell<Wire>>,
+    msg_from_user: EventId,
+    msg_from_net: EventId,
+}
+
+impl fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Endpoint").field("rt", &self.rt).finish()
+    }
+}
+
+impl Endpoint {
+    /// Builds an endpoint for `program` (the plain program or the
+    /// optimizer's extended module via [`EventProgram::with_module`]) using
+    /// `keys` for the crypto natives.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the program lacks SecComm's events or natives, or if
+    /// binding fails.
+    pub fn new(program: &EventProgram, keys: &Keys) -> Result<Endpoint, SecCommError> {
+        let mut rt = program.runtime()?;
+        let wire = Rc::new(RefCell::new(Wire::default()));
+        Self::install_natives(&mut rt, keys, &wire)?;
+        let find = |name: &str| {
+            program
+                .module
+                .event_by_name(name)
+                .ok_or_else(|| SecCommError::MissingSymbol(name.to_string()))
+        };
+        Ok(Endpoint {
+            msg_from_user: find("msgFromUser")?,
+            msg_from_net: find("msgFromNet")?,
+            rt,
+            wire,
+        })
+    }
+
+    /// Binds the crypto and I/O natives into `rt`.
+    fn install_natives(
+        rt: &mut Runtime,
+        keys: &Keys,
+        wire: &Rc<RefCell<Wire>>,
+    ) -> Result<(), SecCommError> {
+        let bytes_arg = |args: &[Value]| -> Result<Vec<u8>, String> {
+            args.first()
+                .and_then(Value::as_bytes)
+                .map(<[u8]>::to_vec)
+                .ok_or_else(|| "expected a bytes argument".to_string())
+        };
+
+        let des = DesKey::new(&keys.des);
+        let des2 = des.clone();
+        let xor_key = keys.xor.clone();
+        let mac_key = keys.mac.clone();
+        let mac_key2 = keys.mac.clone();
+        let out_wire = Rc::clone(wire);
+        let del_wire = Rc::clone(wire);
+
+        rt.bind_native_by_name("des_encrypt", move |args| {
+            Ok(Value::bytes(des_encrypt(&des, &bytes_arg(args)?)))
+        })
+        .and_then(|()| {
+            rt.bind_native_by_name("des_decrypt", move |args| {
+                des_decrypt(&des2, &bytes_arg(args)?).map(Value::bytes)
+            })
+        })
+        .and_then(|()| {
+            rt.bind_native_by_name("xor_apply", move |args| {
+                Ok(Value::bytes(xor_cipher(&xor_key, &bytes_arg(args)?)))
+            })
+        })
+        .and_then(|()| {
+            rt.bind_native_by_name("mac_append", move |args| {
+                let mut data = bytes_arg(args)?;
+                let mac = keyed_md5(&mac_key, &data);
+                data.extend_from_slice(&mac);
+                Ok(Value::bytes(data))
+            })
+        })
+        .and_then(|()| {
+            rt.bind_native_by_name("mac_verify_strip", move |args| {
+                let data = bytes_arg(args)?;
+                if data.len() < 16 {
+                    return Err("message shorter than its MAC".to_string());
+                }
+                let (body, mac) = data.split_at(data.len() - 16);
+                if keyed_md5(&mac_key2, body) != *mac {
+                    return Err("MAC verification failed".to_string());
+                }
+                Ok(Value::bytes(body.to_vec()))
+            })
+        })
+        .and_then(|()| {
+            rt.bind_native_by_name("net_send", move |args| {
+                let data = bytes_arg(args)?;
+                out_wire.borrow_mut().outbox.push_back(data);
+                Ok(Value::Unit)
+            })
+        })
+        .and_then(|()| {
+            rt.bind_native_by_name("deliver", move |args| {
+                let data = bytes_arg(args)?;
+                del_wire.borrow_mut().delivered.push_back(data);
+                Ok(Value::Unit)
+            })
+        })
+        .map_err(SecCommError::from)
+    }
+
+    /// Pushes a plaintext through the outbound chain; returns the wire
+    /// message.
+    ///
+    /// # Errors
+    ///
+    /// Propagates handler faults; [`SecCommError::NoOutput`] if the chain
+    /// never reached `net_send` (misconfiguration).
+    pub fn push(&mut self, payload: &[u8]) -> Result<Vec<u8>, SecCommError> {
+        self.rt.raise(
+            self.msg_from_user,
+            RaiseMode::Sync,
+            &[Value::bytes(payload.to_vec())],
+        )?;
+        self.wire
+            .borrow_mut()
+            .outbox
+            .pop_front()
+            .ok_or(SecCommError::NoOutput)
+    }
+
+    /// Pops a wire message through the inbound chain; returns the
+    /// recovered plaintext.
+    ///
+    /// # Errors
+    ///
+    /// Propagates handler faults (including MAC verification failure);
+    /// [`SecCommError::NoOutput`] if nothing was delivered.
+    pub fn pop(&mut self, wire_msg: &[u8]) -> Result<Vec<u8>, SecCommError> {
+        self.rt.raise(
+            self.msg_from_net,
+            RaiseMode::Sync,
+            &[Value::bytes(wire_msg.to_vec())],
+        )?;
+        self.wire
+            .borrow_mut()
+            .delivered
+            .pop_front()
+            .ok_or(SecCommError::NoOutput)
+    }
+
+    /// The underlying runtime (tracing, cost counters, chain installation).
+    pub fn runtime_mut(&mut self) -> &mut Runtime {
+        &mut self.rt
+    }
+
+    /// Read-only runtime access.
+    pub fn runtime(&self) -> &Runtime {
+        &self.rt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdo_events::TraceConfig;
+
+    fn endpoints(config: &[&str]) -> (Endpoint, Endpoint) {
+        let proto = seccomm_protocol();
+        let program = proto.instantiate(config).unwrap();
+        let keys = Keys::default();
+        (
+            Endpoint::new(&program, &keys).unwrap(),
+            Endpoint::new(&program, &keys).unwrap(),
+        )
+    }
+
+    #[test]
+    fn paper_config_roundtrip() {
+        let (mut tx, mut rx) = endpoints(CONFIG_PAPER);
+        for len in [0usize, 1, 64, 128, 1024] {
+            let msg: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let wire = tx.push(&msg).unwrap();
+            assert_ne!(wire, msg, "wire must be encrypted (len {len})");
+            assert_eq!(rx.pop(&wire).unwrap(), msg, "len {len}");
+        }
+    }
+
+    #[test]
+    fn full_config_roundtrip_and_tamper_detection() {
+        let (mut tx, mut rx) = endpoints(CONFIG_FULL);
+        let wire = tx.push(b"payload").unwrap();
+        assert_eq!(rx.pop(&wire).unwrap(), b"payload");
+
+        let mut tampered = tx.push(b"payload").unwrap();
+        let last = tampered.len() - 1;
+        tampered[last] ^= 0xFF;
+        assert!(rx.pop(&tampered).is_err(), "tampering must be detected");
+    }
+
+    #[test]
+    fn des_only_config() {
+        let (mut tx, mut rx) = endpoints(&["Coordinator", "DESPrivacy"]);
+        let wire = tx.push(b"just des").unwrap();
+        assert_eq!(rx.pop(&wire).unwrap(), b"just des");
+    }
+
+    #[test]
+    fn xor_only_config() {
+        let (mut tx, mut rx) = endpoints(&["Coordinator", "XorPrivacy"]);
+        let wire = tx.push(b"just xor").unwrap();
+        assert_eq!(wire, xor_cipher(&Keys::default().xor, b"just xor"));
+        assert_eq!(rx.pop(&wire).unwrap(), b"just xor");
+    }
+
+    #[test]
+    fn coordinator_only_is_plaintext_passthrough() {
+        let (mut tx, mut rx) = endpoints(&["Coordinator"]);
+        let wire = tx.push(b"clear").unwrap();
+        assert_eq!(wire, b"clear");
+        assert_eq!(rx.pop(&wire).unwrap(), b"clear");
+    }
+
+    #[test]
+    fn wrong_keys_fail_roundtrip() {
+        let proto = seccomm_protocol();
+        let program = proto.instantiate(CONFIG_PAPER).unwrap();
+        let mut tx = Endpoint::new(&program, &Keys::default()).unwrap();
+        let other = Keys {
+            des: *b"otherkey",
+            ..Keys::default()
+        };
+        let mut rx = Endpoint::new(&program, &other).unwrap();
+        let wire = tx.push(b"secret").unwrap();
+        if let Ok(plain) = rx.pop(&wire) { assert_ne!(plain, b"secret".to_vec()) }
+    }
+
+    #[test]
+    fn push_pop_chains_visible_in_trace() {
+        let (mut tx, _) = endpoints(CONFIG_PAPER);
+        tx.runtime_mut().set_trace_config(TraceConfig::full());
+        let _ = tx.push(b"msg").unwrap();
+        let trace = tx.runtime_mut().take_trace();
+        let seq: Vec<EventId> = trace.event_sequence().iter().map(|&(e, _)| e).collect();
+        // msgFromUser, EncodeMsg, msgToNet.
+        assert_eq!(seq.len(), 3);
+    }
+
+    #[test]
+    fn many_messages_fifo() {
+        let (mut tx, mut rx) = endpoints(CONFIG_PAPER);
+        for i in 0..20 {
+            let msg = vec![i as u8; 32];
+            let wire = tx.push(&msg).unwrap();
+            assert_eq!(rx.pop(&wire).unwrap(), msg);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests for the X client: display-state accounting over random
+//! gesture sequences, and sync/queued delivery equivalence.
+
+use pdo_xwin::{x_client_program, XClient};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Gesture {
+    Popup(i64, i64),
+    PlainClick(i64, i64),
+    Scroll(i64),
+}
+
+fn gesture_strategy() -> impl Strategy<Value = Gesture> {
+    prop_oneof![
+        (0i64..640, 0i64..480).prop_map(|(x, y)| Gesture::Popup(x, y)),
+        (0i64..640, 0i64..480).prop_map(|(x, y)| Gesture::PlainClick(x, y)),
+        (0i64..400).prop_map(Gesture::Scroll),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn display_state_accounts_for_every_gesture(
+        gestures in prop::collection::vec(gesture_strategy(), 0..40)
+    ) {
+        let program = x_client_program();
+        let mut c = XClient::new(&program).expect("client");
+        let mut popups = 0u64;
+        let mut scrolls = 0u64;
+        for g in &gestures {
+            match *g {
+                Gesture::Popup(x, y) => {
+                    c.popup(x, y).expect("popup");
+                    popups += 1;
+                }
+                Gesture::PlainClick(x, y) => c.plain_click(x, y).expect("click"),
+                Gesture::Scroll(y) => {
+                    c.scroll(y).expect("scroll");
+                    scrolls += 1;
+                }
+            }
+        }
+        let st = c.state();
+        prop_assert_eq!(st.menus_created, popups);
+        prop_assert_eq!(st.menus_placed, popups);
+        prop_assert_eq!(st.thumb_draws, scrolls);
+        prop_assert_eq!(st.position_updates, scrolls);
+        // Popups fire two motion callbacks, scrolls one.
+        prop_assert_eq!(st.motion_tracks, popups * 2 + scrolls);
+    }
+
+    #[test]
+    fn queued_delivery_matches_synchronous_delivery(
+        ys in prop::collection::vec(0i64..400, 1..20)
+    ) {
+        let program = x_client_program();
+        let mut sync_client = XClient::new(&program).expect("client");
+        let mut queued_client = XClient::new(&program).expect("client");
+        for &y in &ys {
+            sync_client.scroll(y).expect("scroll");
+            queued_client.queue_scroll_and_pump(y).expect("queued scroll");
+        }
+        prop_assert_eq!(sync_client.state(), queued_client.state());
+    }
+}

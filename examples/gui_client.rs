@@ -1,0 +1,83 @@
+//! The X-client scenario: xterm's menu Popup and gvim's scrollbar Scroll,
+//! optimized at the action-handler level (paper §4.3).
+//!
+//! ```text
+//! cargo run --release --example gui_client
+//! ```
+
+use pdo::{optimize, OptimizeOptions};
+use pdo_events::TraceConfig;
+use pdo_profile::Profile;
+use pdo_xwin::{x_client_program, XClient};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = x_client_program();
+
+    // Profile 250 of each gesture, as in the paper's measurements.
+    let mut client = XClient::new(&program)?;
+    client.runtime_mut().set_trace_config(TraceConfig::full());
+    for i in 0..250 {
+        client.popup(i, i + 1)?;
+        client.scroll(i)?;
+    }
+    let profile = Profile::from_trace(&client.runtime_mut().take_trace(), 100);
+
+    let opt = optimize(
+        &program.module,
+        client.runtime().registry(),
+        &profile,
+        &OptimizeOptions::new(100),
+    );
+    println!("{}", opt.report.render(&opt.module));
+
+    let opt_program = program.with_module(opt.module.clone());
+    for (label, prog, install) in [
+        ("original", &program, false),
+        ("optimized", &opt_program, true),
+    ] {
+        let mut c = XClient::new(prog)?;
+        if install {
+            opt.install_chains(c.runtime_mut());
+        }
+        let t0 = Instant::now();
+        for i in 0..5000 {
+            c.popup(i % 640, i % 480)?;
+        }
+        let popup_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        for i in 0..5000 {
+            c.scroll(i % 400)?;
+        }
+        let scroll_ms = t0.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "{label:>9}: 5000 popups in {popup_ms:.2} ms, 5000 scrolls in {scroll_ms:.2} ms \
+             (menus placed: {}, thumb draws: {})",
+            c.state().menus_placed,
+            c.state().thumb_draws,
+        );
+    }
+
+    // Dynamic re-binding: drop one motion callback at runtime. The guarded
+    // fast path detects the change and falls back — behaviour stays
+    // correct without re-optimization.
+    let mut c = XClient::new(&opt_program)?;
+    opt.install_chains(c.runtime_mut());
+    c.popup(1, 2)?;
+    let cb_event = opt_program
+        .module
+        .event_by_name("PopupMotionCallback")
+        .expect("event");
+    let cb2 = opt_program
+        .module
+        .function_by_name("popup_track_cb2")
+        .expect("handler");
+    c.runtime_mut().unbind(cb_event, cb2);
+    c.popup(3, 4)?;
+    println!(
+        "\nafter unbinding one callback: motion tracks = {} (2 + 1), fast-path misses = {}",
+        c.state().motion_tracks,
+        c.runtime().cost.fastpath_misses,
+    );
+    Ok(())
+}

@@ -1,0 +1,113 @@
+//! Quickstart: the full profile-directed optimization cycle on a small
+//! event program.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! 1. Declare events, state, and handlers (in the handler IR).
+//! 2. Run a profiling session with tracing enabled.
+//! 3. Build the event/handler profile and optimize.
+//! 4. Run the optimized program on its guarded fast path and compare the
+//!    dispatch cost counters.
+
+use pdo::{optimize, OptimizeOptions};
+use pdo_events::{Runtime, TraceConfig};
+use pdo_ir::{BinOp, FunctionBuilder, Module, RaiseMode, Value};
+use pdo_profile::Profile;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. The program: one event, three handlers sharing state. -------
+    let mut module = Module::new();
+    let packet_in = module.add_event("PacketIn");
+    let checksum_ok = module.add_event("ChecksumOk");
+    let stats = module.add_global("packets", Value::Int(0));
+    let bytes_total = module.add_global("bytes", Value::Int(0));
+
+    // Handler 1: count the packet.
+    let mut b = FunctionBuilder::new("count_packet", 1);
+    b.lock(stats);
+    let v = b.load_global(stats);
+    let one = b.const_int(1);
+    let v2 = b.bin(BinOp::Add, v, one);
+    b.store_global(stats, v2);
+    b.unlock(stats);
+    b.ret(None);
+    let count_packet = module.add_function(b.finish());
+
+    // Handler 2: account its bytes, then raise ChecksumOk synchronously —
+    // an event chain in the making.
+    let mut b = FunctionBuilder::new("account_bytes", 1);
+    b.lock(bytes_total);
+    let t = b.load_global(bytes_total);
+    let len = b.bytes_len(b.param(0));
+    let t2 = b.bin(BinOp::Add, t, len);
+    b.store_global(bytes_total, t2);
+    b.unlock(bytes_total);
+    b.raise(checksum_ok, RaiseMode::Sync, &[b.param(0)]);
+    b.ret(None);
+    let account_bytes = module.add_function(b.finish());
+
+    // ChecksumOk handler: verify the first byte (toy checksum).
+    let mut b = FunctionBuilder::new("verify", 1);
+    let zero = b.const_int(0);
+    let _first = b.bytes_get(b.param(0), zero);
+    b.ret(None);
+    let verify = module.add_function(b.finish());
+
+    // --- 2. Profile a run. ----------------------------------------------
+    let mut rt = Runtime::new(module.clone());
+    rt.bind(packet_in, count_packet, 0)?;
+    rt.bind(packet_in, account_bytes, 1)?;
+    rt.bind(checksum_ok, verify, 0)?;
+    rt.set_trace_config(TraceConfig::full());
+    for i in 0..1000u32 {
+        let payload = Value::bytes(vec![i as u8; 64]);
+        rt.raise(packet_in, RaiseMode::Sync, &[payload])?;
+    }
+    let profile = Profile::from_trace(&rt.take_trace(), 500);
+    println!(
+        "profiled: {} events in the graph, {} chains",
+        profile.event_graph.node_count(),
+        profile.chains().len()
+    );
+
+    // --- 3. Optimize. ----------------------------------------------------
+    let opt = optimize(
+        &module,
+        rt.registry(),
+        &profile,
+        &OptimizeOptions::new(500),
+    );
+    println!("{}", opt.report.render(&opt.module));
+
+    // --- 4. Run both and compare dispatch costs. --------------------------
+    let run = |m: &Module, install: bool| -> Result<_, Box<dyn std::error::Error>> {
+        let mut rt = Runtime::new(m.clone());
+        rt.bind(packet_in, count_packet, 0)?;
+        rt.bind(packet_in, account_bytes, 1)?;
+        rt.bind(checksum_ok, verify, 0)?;
+        if install {
+            opt.install_chains(&mut rt);
+        }
+        for i in 0..1000u32 {
+            let payload = Value::bytes(vec![i as u8; 64]);
+            rt.raise(packet_in, RaiseMode::Sync, &[payload])?;
+        }
+        Ok((rt.global(stats).clone(), rt.cost))
+    };
+
+    let (packets_orig, cost_orig) = run(&module, false)?;
+    let (packets_opt, cost_opt) = run(&opt.module, true)?;
+    assert_eq!(packets_orig, packets_opt, "same observable behaviour");
+
+    println!("\ndispatch cost, original : {cost_orig}");
+    println!("dispatch cost, optimized: {cost_opt}");
+    println!(
+        "\nabstract work: {} -> {} ({}% of original)",
+        cost_orig.weighted_total(),
+        cost_opt.weighted_total(),
+        cost_opt.weighted_total() * 100 / cost_orig.weighted_total().max(1)
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! # pdo-repro — workspace facade
+//!
+//! This crate hosts the cross-crate integration tests (`tests/`) and the
+//! runnable examples (`examples/`), and re-exports the workspace's public
+//! surface so downstream code can depend on one crate:
+//!
+//! ```
+//! use pdo_repro::prelude::*;
+//!
+//! let mut module = Module::new();
+//! let tick = module.add_event("Tick");
+//! assert_eq!(module.event_name(tick), "Tick");
+//! ```
+//!
+//! See the [README](https://example.org/pdo) for the full tour, `DESIGN.md`
+//! for the system inventory, and `EXPERIMENTS.md` for the paper-vs-measured
+//! results.
+
+pub use pdo as optimizer;
+pub use pdo_cactus as cactus;
+pub use pdo_ctp as ctp;
+pub use pdo_events as events;
+pub use pdo_ir as ir;
+pub use pdo_passes as passes;
+pub use pdo_profile as profile;
+pub use pdo_seccomm as seccomm;
+pub use pdo_xwin as xwin;
+
+/// The most commonly used items, in one import.
+pub mod prelude {
+    pub use pdo::{optimize, OptimizeOptions, Optimization};
+    pub use pdo_cactus::{CompositeBuilder, CompositeProtocol, EventProgram};
+    pub use pdo_events::{Runtime, RuntimeConfig, RuntimeError, Trace, TraceConfig};
+    pub use pdo_ir::{
+        BinOp, EventId, FuncId, FunctionBuilder, GlobalId, Module, NativeId, RaiseMode, Value,
+    };
+    pub use pdo_profile::Profile;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_provides_a_working_surface() {
+        let mut m = Module::new();
+        let e = m.add_event("E");
+        let g = m.add_global("n", Value::Int(0));
+        let mut b = FunctionBuilder::new("h", 0);
+        let v = b.load_global(g);
+        let one = b.const_value(Value::Int(1));
+        let s = b.bin(BinOp::Add, v, one);
+        b.store_global(g, s);
+        b.ret(None);
+        let h = m.add_function(b.finish());
+
+        let mut rt = Runtime::new(m);
+        rt.bind(e, h, 0).unwrap();
+        rt.raise(e, RaiseMode::Sync, &[]).unwrap();
+        assert_eq!(rt.global(g), &Value::Int(1));
+    }
+}

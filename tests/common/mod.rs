@@ -1,0 +1,165 @@
+//! Shared generators for the property-based integration tests.
+
+use pdo_ir::{BinOp, Block, BlockId, Function, GlobalId, Instr, Module, Reg, Terminator, UnOp, Value};
+use proptest::prelude::*;
+
+/// Number of globals declared in generated modules.
+pub const GEN_GLOBALS: u16 = 3;
+
+/// A generated instruction template (registers resolved at build time).
+#[derive(Debug, Clone)]
+pub enum GenInstr {
+    ConstInt(u16, i64),
+    ConstBool(u16, bool),
+    Mov(u16, u16),
+    Bin(usize, u16, u16, u16),
+    Un(usize, u16, u16),
+    Load(u16, u16),
+    Store(u16, u16),
+    Lock(u16),
+    Unlock(u16),
+}
+
+/// A generated terminator template.
+#[derive(Debug, Clone)]
+pub enum GenTerm {
+    Ret(Option<u16>),
+    /// Jump forward by `1 + offset` blocks (clamped; ret if out of range).
+    Jump(u16),
+    /// Branch on a register to two forward offsets.
+    Branch(u16, u16, u16),
+}
+
+/// A generated function: register count, blocks of (instrs, term).
+#[derive(Debug, Clone)]
+pub struct GenFunction {
+    pub params: u16,
+    pub regs: u16,
+    pub blocks: Vec<(Vec<GenInstr>, GenTerm)>,
+}
+
+pub fn gen_instr(regs: u16) -> impl Strategy<Value = GenInstr> {
+    let r = 0..regs;
+    prop_oneof![
+        (r.clone(), -20i64..20).prop_map(|(d, v)| GenInstr::ConstInt(d, v)),
+        (r.clone(), any::<bool>()).prop_map(|(d, v)| GenInstr::ConstBool(d, v)),
+        (r.clone(), r.clone()).prop_map(|(d, s)| GenInstr::Mov(d, s)),
+        (0..BinOp::ALL.len(), r.clone(), r.clone(), r.clone())
+            .prop_map(|(op, d, a, b)| GenInstr::Bin(op, d, a, b)),
+        (0..UnOp::ALL.len(), r.clone(), r.clone()).prop_map(|(op, d, s)| GenInstr::Un(op, d, s)),
+        (r.clone(), 0..GEN_GLOBALS).prop_map(|(d, g)| GenInstr::Load(d, g)),
+        (r.clone(), 0..GEN_GLOBALS).prop_map(|(s, g)| GenInstr::Store(s, g)),
+        (0..GEN_GLOBALS).prop_map(GenInstr::Lock),
+        (0..GEN_GLOBALS).prop_map(GenInstr::Unlock),
+    ]
+}
+
+pub fn gen_term(regs: u16) -> impl Strategy<Value = GenTerm> {
+    prop_oneof![
+        prop::option::of(0..regs).prop_map(GenTerm::Ret),
+        (0u16..3).prop_map(GenTerm::Jump),
+        (0..regs, 0u16..3, 0u16..3).prop_map(|(c, a, b)| GenTerm::Branch(c, a, b)),
+    ]
+}
+
+pub fn gen_function() -> impl Strategy<Value = GenFunction> {
+    (1u16..6, 0u16..3).prop_flat_map(|(extra_regs, params)| {
+        let regs = params + extra_regs;
+        let block = (
+            prop::collection::vec(gen_instr(regs), 0..8),
+            gen_term(regs),
+        );
+        prop::collection::vec(block, 1..5).prop_map(move |blocks| GenFunction {
+            params,
+            regs,
+            blocks,
+        })
+    })
+}
+
+/// Materializes a generated function into a module with `GEN_GLOBALS`
+/// globals. All control flow is forward-only, so execution terminates.
+pub fn build_module(f: &GenFunction) -> Module {
+    let mut m = Module::new();
+    for g in 0..GEN_GLOBALS {
+        m.add_global(format!("g{g}"), Value::Int(0));
+    }
+    let n_blocks = f.blocks.len();
+    let blocks: Vec<Block> = f
+        .blocks
+        .iter()
+        .enumerate()
+        .map(|(i, (instrs, term))| {
+            let instrs = instrs
+                .iter()
+                .map(|gi| match *gi {
+                    GenInstr::ConstInt(d, v) => Instr::Const {
+                        dst: Reg(d),
+                        value: Value::Int(v),
+                    },
+                    GenInstr::ConstBool(d, v) => Instr::Const {
+                        dst: Reg(d),
+                        value: Value::Bool(v),
+                    },
+                    GenInstr::Mov(d, s) => Instr::Mov {
+                        dst: Reg(d),
+                        src: Reg(s),
+                    },
+                    GenInstr::Bin(op, d, a, b) => Instr::Bin {
+                        op: BinOp::ALL[op],
+                        dst: Reg(d),
+                        lhs: Reg(a),
+                        rhs: Reg(b),
+                    },
+                    GenInstr::Un(op, d, s) => Instr::Un {
+                        op: UnOp::ALL[op],
+                        dst: Reg(d),
+                        src: Reg(s),
+                    },
+                    GenInstr::Load(d, g) => Instr::LoadGlobal {
+                        dst: Reg(d),
+                        global: GlobalId(u32::from(g)),
+                    },
+                    GenInstr::Store(s, g) => Instr::StoreGlobal {
+                        global: GlobalId(u32::from(g)),
+                        src: Reg(s),
+                    },
+                    GenInstr::Lock(g) => Instr::Lock {
+                        global: GlobalId(u32::from(g)),
+                    },
+                    GenInstr::Unlock(g) => Instr::Unlock {
+                        global: GlobalId(u32::from(g)),
+                    },
+                })
+                .collect();
+            let fwd = |off: u16| -> Option<BlockId> {
+                let t = i + 1 + usize::from(off);
+                (t < n_blocks).then(|| BlockId::from_index(t))
+            };
+            let term = match *term {
+                GenTerm::Ret(r) => Terminator::Ret(r.map(Reg)),
+                GenTerm::Jump(off) => match fwd(off) {
+                    Some(t) => Terminator::Jump(t),
+                    None => Terminator::Ret(None),
+                },
+                GenTerm::Branch(c, a, b) => match (fwd(a), fwd(b)) {
+                    (Some(t), Some(e)) => Terminator::Branch {
+                        cond: Reg(c),
+                        then_blk: t,
+                        else_blk: e,
+                    },
+                    (Some(t), None) | (None, Some(t)) => Terminator::Jump(t),
+                    (None, None) => Terminator::Ret(None),
+                },
+            };
+            Block { instrs, term }
+        })
+        .collect();
+    m.add_function(Function {
+        name: "gen".into(),
+        params: f.params,
+        reg_count: f.regs,
+        blocks,
+    });
+    m
+}

@@ -1,0 +1,58 @@
+//! Property tests for the interpreter and the assembler: determinism, and
+//! execution equivalence across a print/parse round-trip.
+
+mod common;
+
+use common::{build_module, gen_function, GEN_GLOBALS};
+use pdo_ir::display::print_module;
+use pdo_ir::interp::{call, BasicEnv};
+use pdo_ir::parse::parse_module;
+use pdo_ir::{FuncId, GlobalId, Module, Value};
+use proptest::prelude::*;
+
+fn observe(m: &Module, args: &[Value]) -> (Result<Value, String>, Vec<Value>, u64) {
+    let mut env = BasicEnv::new(m);
+    env.fuel = Some(100_000);
+    let r = call(m, &mut env, FuncId(0), args).map_err(|e| e.to_string());
+    let globals = (0..GEN_GLOBALS)
+        .map(|g| env.global(GlobalId(u32::from(g))).clone())
+        .collect();
+    (r, globals, env.cost.instrs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn execution_is_deterministic(
+        f in gen_function(),
+        seed in -10i64..10,
+    ) {
+        let m = build_module(&f);
+        let args: Vec<Value> = (0..f.params).map(|i| Value::Int(seed + i64::from(i))).collect();
+        let a = observe(&m, &args);
+        let b = observe(&m, &args);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn printed_and_reparsed_module_executes_identically(
+        f in gen_function(),
+        seed in -10i64..10,
+    ) {
+        let m = build_module(&f);
+        let text = print_module(&m);
+        let reparsed = parse_module(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        let args: Vec<Value> = (0..f.params).map(|i| Value::Int(seed - i64::from(i))).collect();
+        let a = observe(&m, &args);
+        let b = observe(&reparsed, &args);
+        prop_assert_eq!(a, b, "module text was:\n{}", text);
+    }
+
+    #[test]
+    fn generated_modules_always_verify(f in gen_function()) {
+        let m = build_module(&f);
+        prop_assert!(pdo_ir::verify_module(&m).is_ok());
+    }
+}

@@ -1,0 +1,73 @@
+//! Property test: the assembler and disassembler round-trip
+//! (`parse(print(m)) == m`) on randomly generated modules.
+
+mod common;
+
+use common::{build_module, gen_function};
+use pdo_ir::display::print_module;
+use pdo_ir::parse::parse_module;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_roundtrip(f in gen_function()) {
+        let m = build_module(&f);
+        let text = print_module(&m);
+        let back = parse_module(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        // The parser recomputes reg_count as max-used + 1, which may be
+        // tighter than the generator's allocation; align before comparing.
+        let mut m_norm = m;
+        for (f1, f2) in m_norm.functions.iter_mut().zip(&back.functions) {
+            if f2.reg_count <= f1.reg_count {
+                f1.reg_count = f2.reg_count;
+            }
+        }
+        prop_assert_eq!(m_norm, back, "roundtrip diverged; text was:\n{}", text);
+    }
+}
+
+#[test]
+fn roundtrip_of_every_instruction_form() {
+    let text = "event A\n\
+                global st = int 7\n\
+                global buf = bytes 00ff\n\
+                native work\n\
+                func @all(2) {\n\
+                b0:\n\
+                  r2 = const int -9\n\
+                  r3 = const bool false\n\
+                  r4 = const unit\n\
+                  r5 = const str \"s\"\n\
+                  r6 = const bytes aa\n\
+                  r7 = mov r2\n\
+                  r8 = add r2, r7\n\
+                  r9 = neg r8\n\
+                  r10 = load $st\n\
+                  store $st, r9\n\
+                  lock $st\n\
+                  unlock $st\n\
+                  r11 = call @all(r2, r3)\n\
+                  r12 = native !work(r2)\n\
+                  raise sync %A(r2)\n\
+                  raise async %A()\n\
+                  raise timed %A(r2, r3)\n\
+                  r13 = bnew r2\n\
+                  r14 = blen r13\n\
+                  r15 = bget r13, r2\n\
+                  bset r13, r2, r8\n\
+                  r16 = bcat r13, r13\n\
+                  r17 = bslice r13, r2, r14\n\
+                  br r3, b1, b2\n\
+                b1:\n\
+                  jump b2\n\
+                b2:\n\
+                  ret r8\n\
+                }\n";
+    let m = parse_module(text).expect("parse");
+    let printed = print_module(&m);
+    let back = parse_module(&printed).expect("reparse");
+    assert_eq!(m, back, "printed:\n{printed}");
+}

@@ -1,0 +1,61 @@
+//! Property test: the compiler pass pipeline preserves semantics —
+//! result value, faults, and global side effects — on randomly generated
+//! IR functions.
+
+mod common;
+
+use common::{build_module, gen_function, GEN_GLOBALS};
+use pdo_ir::interp::{call, BasicEnv};
+use pdo_ir::{FuncId, GlobalId, Module, Value};
+use pdo_passes::PassManager;
+use proptest::prelude::*;
+
+/// Runs `gen` in a fresh environment; returns the result (errors reduced
+/// to their display string) and the final globals.
+fn observe(m: &Module, args: &[Value]) -> (Result<Value, String>, Vec<Value>) {
+    let mut env = BasicEnv::new(m);
+    env.fuel = Some(100_000);
+    let r = call(m, &mut env, FuncId(0), args).map_err(|e| e.to_string());
+    let globals = (0..GEN_GLOBALS)
+        .map(|g| env.global(GlobalId(u32::from(g))).clone())
+        .collect();
+    (r, globals)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn standard_pipeline_preserves_behaviour(
+        f in gen_function(),
+        arg_vals in prop::collection::vec(-10i64..10, 0..3),
+    ) {
+        let original = build_module(&f);
+        pdo_ir::verify_module(&original).expect("generated module verifies");
+
+        let mut optimized = original.clone();
+        PassManager::standard().run(&mut optimized);
+        pdo_ir::verify_module(&optimized).expect("optimized module verifies");
+
+        let args: Vec<Value> = (0..f.params)
+            .map(|i| Value::Int(arg_vals.get(usize::from(i)).copied().unwrap_or(1)))
+            .collect();
+
+        let before = observe(&original, &args);
+        let after = observe(&optimized, &args);
+        prop_assert_eq!(&before.1, &after.1, "globals diverged");
+        match (&before.0, &after.0) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "results diverged"),
+            (Err(_), Err(_)) => {} // both fault; fault kinds may be refined
+            (a, b) => prop_assert!(false, "fault behaviour diverged: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn pipeline_never_grows_code(f in gen_function()) {
+        let original = build_module(&f);
+        let mut optimized = original.clone();
+        let report = PassManager::standard().run(&mut optimized);
+        prop_assert!(report.instrs_after <= report.instrs_before);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the profiling pipeline: GraphBuilder invariants,
+//! reduction monotonicity, and chain well-formedness.
+
+use pdo_events::{Trace, TraceRecord};
+use pdo_ir::{EventId, RaiseMode};
+use pdo_profile::{event_chains, event_paths, EventGraph};
+use proptest::prelude::*;
+
+fn trace_strategy() -> impl Strategy<Value = Trace> {
+    prop::collection::vec((0u32..8, 0u8..3), 0..200).prop_map(|seq| Trace {
+        records: seq
+            .into_iter()
+            .map(|(e, m)| TraceRecord::Raise {
+                event: EventId(e),
+                mode: match m {
+                    0 => RaiseMode::Sync,
+                    1 => RaiseMode::Async,
+                    _ => RaiseMode::Timed,
+                },
+                depth: 0,
+                at: 0,
+            })
+            .collect(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn edge_weights_sum_to_pairs(trace in trace_strategy()) {
+        let g = EventGraph::from_trace(&trace);
+        let total: u64 = g.edges.values().map(|d| d.weight).sum();
+        let raises = trace.raise_count() as u64;
+        prop_assert_eq!(total, raises.saturating_sub(1));
+        // Node occurrence counts sum to the raise count.
+        let nodes: u64 = g.nodes.values().sum();
+        prop_assert_eq!(nodes, raises);
+    }
+
+    #[test]
+    fn edge_mode_counts_are_consistent(trace in trace_strategy()) {
+        let g = EventGraph::from_trace(&trace);
+        for data in g.edges.values() {
+            prop_assert_eq!(data.sync + data.asynchronous, data.weight);
+            prop_assert!(data.weight > 0);
+        }
+    }
+
+    #[test]
+    fn reduction_is_monotone(trace in trace_strategy(), t1 in 1u64..10, dt in 0u64..10) {
+        let g = EventGraph::from_trace(&trace);
+        let loose = g.reduce(t1);
+        let tight = g.reduce(t1 + dt);
+        // Every edge surviving the tighter threshold survives the looser one.
+        for (k, v) in &tight.edges {
+            prop_assert_eq!(loose.edges.get(k), Some(v));
+        }
+        // Reduction at threshold 1 keeps everything except isolated nodes.
+        let full = g.reduce(1);
+        prop_assert_eq!(full.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn chains_are_well_formed(trace in trace_strategy(), t in 1u64..6) {
+        let g = EventGraph::from_trace(&trace).reduce(t);
+        let chains = event_chains(&g);
+        for chain in &chains {
+            prop_assert!(chain.len() >= 2);
+            // No repeated vertex inside a chain.
+            let mut seen = std::collections::BTreeSet::new();
+            for &v in chain {
+                prop_assert!(seen.insert(v), "duplicate vertex in chain");
+            }
+            // Every interior vertex has exactly one successor, and every
+            // chain edge is purely synchronous.
+            for window in chain.windows(2) {
+                let (a, b) = (window[0], window[1]);
+                let succs: Vec<_> = g.successors(a).collect();
+                prop_assert_eq!(succs.len(), 1, "interior vertex must have unique successor");
+                let data = g.edges.get(&(a, b)).expect("edge exists");
+                prop_assert!(data.is_pure_sync(), "chain edge must be pure sync");
+            }
+        }
+        // Chains are vertex-disjoint.
+        let mut all = std::collections::BTreeSet::new();
+        for chain in &chains {
+            for &v in chain {
+                prop_assert!(all.insert(v), "chains must not share vertices");
+            }
+        }
+    }
+
+    #[test]
+    fn paths_are_supersets_of_chains(trace in trace_strategy(), t in 1u64..6) {
+        let g = EventGraph::from_trace(&trace).reduce(t);
+        // Every chain is a valid path prefix set: paths ignore the sync
+        // requirement, so chain heads with a unique successor always appear
+        // somewhere in a path too. (Weak but useful sanity relation: the
+        // *number* of path vertices is at least the number of chain
+        // vertices.)
+        let chain_vertices: usize = event_chains(&g).iter().map(Vec::len).sum();
+        let path_vertices: usize = event_paths(&g).iter().map(Vec::len).sum();
+        prop_assert!(path_vertices >= chain_vertices);
+    }
+
+    #[test]
+    fn graph_is_deterministic(trace in trace_strategy()) {
+        let g1 = EventGraph::from_trace(&trace);
+        let g2 = EventGraph::from_trace(&trace);
+        prop_assert_eq!(g1, g2);
+    }
+}
