@@ -69,7 +69,11 @@ impl SecLab {
     ///
     /// Panics on substrate misconfiguration.
     pub fn endpoint(&self, optimized: bool) -> Endpoint {
-        let program = if optimized { &self.opt_program } else { &self.base };
+        let program = if optimized {
+            &self.opt_program
+        } else {
+            &self.base
+        };
         let mut ep = Endpoint::new(program, &self.keys).expect("endpoint");
         if optimized {
             self.optimization.install_chains(ep.runtime_mut());

@@ -21,6 +21,7 @@ pub fn video_params() -> CtpParams {
     CtpParams {
         ack_drop_every: 50,
         clk_period_ns: 40_000_000,
+        ..Default::default()
     }
 }
 
@@ -46,9 +47,7 @@ impl VideoLab {
         let base = ctp_program();
         let mut endpoint = CtpEndpoint::new(&base, video_params()).expect("base endpoint");
         endpoint.open().expect("open");
-        endpoint
-            .runtime_mut()
-            .set_trace_config(TraceConfig::full());
+        endpoint.runtime_mut().set_trace_config(TraceConfig::full());
         let mut player = VideoPlayer::new(endpoint, 25);
         player.play(SESSION_FRAMES).expect("profiling session");
         let mut endpoint = player.into_endpoint();
@@ -76,7 +75,11 @@ impl VideoLab {
     ///
     /// Panics on substrate misconfiguration.
     pub fn endpoint(&self, optimized: bool) -> CtpEndpoint {
-        let program = if optimized { &self.opt_program } else { &self.base };
+        let program = if optimized {
+            &self.opt_program
+        } else {
+            &self.base
+        };
         let mut e = CtpEndpoint::new(program, video_params()).expect("endpoint");
         if optimized {
             self.optimization.install_chains(e.runtime_mut());

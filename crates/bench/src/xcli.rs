@@ -56,7 +56,11 @@ impl XLab {
     ///
     /// Panics on substrate misconfiguration.
     pub fn client(&self, optimized: bool) -> XClient {
-        let program = if optimized { &self.opt_program } else { &self.base };
+        let program = if optimized {
+            &self.opt_program
+        } else {
+            &self.base
+        };
         let mut c = XClient::new(program).expect("client");
         if optimized {
             self.optimization.install_chains(c.runtime_mut());

@@ -91,13 +91,20 @@ impl CompositeProtocol {
 
     /// Instantiates with every micro-protocol, in declaration order.
     pub fn instantiate_all(&self) -> EventProgram {
-        let names: Vec<&str> = self.micro_protocols.iter().map(|m| m.name.as_str()).collect();
+        let names: Vec<&str> = self
+            .micro_protocols
+            .iter()
+            .map(|m| m.name.as_str())
+            .collect();
         self.instantiate(&names).expect("own names are known")
     }
 
     /// Names of all micro-protocols.
     pub fn micro_protocol_names(&self) -> Vec<&str> {
-        self.micro_protocols.iter().map(|m| m.name.as_str()).collect()
+        self.micro_protocols
+            .iter()
+            .map(|m| m.name.as_str())
+            .collect()
     }
 }
 

@@ -69,12 +69,16 @@
 //! # Ok::<(), pdo_events::RuntimeError>(())
 //! ```
 
+pub mod heal;
 pub mod merge;
+pub mod quarantine;
 pub mod report;
 pub mod subsume;
 pub mod workflow;
 
+pub use heal::{HealReport, SelfHealer};
 pub use merge::{build_super_handler, MergeSkip};
+pub use quarantine::{Quarantine, QuarantineConfig};
 pub use report::{EventReport, OptReport};
 pub use subsume::{subsume_direct, subsume_partitioned, sync_raise_sites, RaiseSite};
 pub use workflow::{profile_and_optimize, Deployed, WorkflowError};
@@ -293,15 +297,14 @@ impl Builder<'_> {
             let mut refused: BTreeSet<EventId> = BTreeSet::new();
             let mut guarded: BTreeSet<EventId> = BTreeSet::new();
             for _round in 0..4 {
-                let sites: Vec<RaiseSite> =
-                    sync_raise_sites(&self.out.functions[shell.index()])
-                        .into_iter()
-                        .filter(|s| {
-                            !refused.contains(&s.event)
-                                && (!self.opts.partitioned || !guarded.contains(&s.event))
-                                && self.subsume_evidence(event, s.event)
-                        })
-                        .collect();
+                let sites: Vec<RaiseSite> = sync_raise_sites(&self.out.functions[shell.index()])
+                    .into_iter()
+                    .filter(|s| {
+                        !refused.contains(&s.event)
+                            && (!self.opts.partitioned || !guarded.contains(&s.event))
+                            && self.subsume_evidence(event, s.event)
+                    })
+                    .collect();
                 if sites.is_empty() {
                     break;
                 }
@@ -506,7 +509,12 @@ mod tests {
         let profile = profile_run(&mut rt, sfu, 100);
 
         let opt = optimize(&m, rt.registry(), &profile, &OptimizeOptions::new(50));
-        assert_eq!(opt.report.events.len(), 2, "{}", opt.report.render(&opt.module));
+        assert_eq!(
+            opt.report.events.len(),
+            2,
+            "{}",
+            opt.report.render(&opt.module)
+        );
         assert_eq!(opt.report.total_subsumed(), 1);
 
         // Optimized runtime produces identical state with zero marshaling.
@@ -633,10 +641,7 @@ mod tests {
         let profile = profile_run(&mut rt, sfu, 100);
         let opt = optimize(&m, rt.registry(), &profile, &OptimizeOptions::new(50));
         assert!(opt.report.code_growth_percent() > 0.0);
-        assert_eq!(
-            opt.report.module_instrs_before,
-            m.instr_count()
-        );
+        assert_eq!(opt.report.module_instrs_before, m.instr_count());
         assert_eq!(opt.report.module_instrs_after, opt.module.instr_count());
     }
 
@@ -717,14 +722,17 @@ mod tests {
         opts.speculative = true; // even speculation must not touch async
         let opt = optimize(&m, rt.registry(), &profile, &opts);
 
-        let sup = opt
-            .module
-            .function_by_name("__super_A")
-            .expect("A merged");
+        let sup = opt.module.function_by_name("__super_A").expect("A merged");
         let has_async_raise = opt.module.function(sup).blocks.iter().any(|blk| {
-            blk.instrs
-                .iter()
-                .any(|i| matches!(i, pdo_ir::Instr::Raise { mode: RaiseMode::Async, .. }))
+            blk.instrs.iter().any(|i| {
+                matches!(
+                    i,
+                    pdo_ir::Instr::Raise {
+                        mode: RaiseMode::Async,
+                        ..
+                    }
+                )
+            })
         });
         assert!(has_async_raise, "async raise must be preserved");
     }

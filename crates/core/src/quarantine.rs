@@ -1,0 +1,268 @@
+//! Specialization quarantine with exponential backoff.
+//!
+//! A compiled chain that keeps faulting (or whose guards keep failing
+//! because the program re-binds handlers at a high rate) is worse than
+//! generic dispatch: every occurrence pays the guard check, the containment
+//! bookkeeping, or both. The quarantine tracks per-event fault and
+//! guard-churn counters from [`pdo_events::RuntimeStats`] deltas and, once a
+//! counter crosses its threshold, bars the event from specialization for an
+//! exponentially growing window of *virtual* time (the runtime's clock, so
+//! tests and simulations stay deterministic).
+//!
+//! The counters are per-epoch accumulators with a forgiveness rule: an
+//! epoch in which a tracked event records neither faults nor guard misses
+//! resets that event's accumulators (but not its strike count, so repeat
+//! offenders keep doubling their backoff). This is what keeps one-off
+//! transients from eventually adding up to a quarantine.
+
+use pdo_events::RuntimeStats;
+use pdo_ir::EventId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Thresholds and backoff shape for [`Quarantine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantineConfig {
+    /// Accumulated faults (injected or contained traps) above which an
+    /// event is quarantined. The comparison is strict (`> fault_threshold`).
+    pub fault_threshold: u64,
+    /// Accumulated guard misses above which an event is quarantined
+    /// (strict comparison), catching re-binding churn.
+    pub churn_threshold: u64,
+    /// Backoff after the first quarantine, in virtual ns; doubles with
+    /// every strike.
+    pub base_backoff_ns: u64,
+    /// Backoff ceiling in virtual ns.
+    pub max_backoff_ns: u64,
+}
+
+impl Default for QuarantineConfig {
+    fn default() -> Self {
+        QuarantineConfig {
+            fault_threshold: 3,
+            churn_threshold: 8,
+            base_backoff_ns: 1_000_000,
+            max_backoff_ns: 1_000_000_000,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct Entry {
+    faults: u64,
+    guard_misses: u64,
+    strikes: u32,
+    until_ns: Option<u64>,
+}
+
+/// Per-event quarantine state. Feed it one [`RuntimeStats`] delta per epoch
+/// via [`Quarantine::observe`]; query with [`Quarantine::is_quarantined`].
+#[derive(Debug, Clone)]
+pub struct Quarantine {
+    config: QuarantineConfig,
+    entries: BTreeMap<EventId, Entry>,
+}
+
+impl Quarantine {
+    /// An empty quarantine with the given thresholds.
+    pub fn new(config: QuarantineConfig) -> Self {
+        Quarantine {
+            config,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// The configured thresholds.
+    pub fn config(&self) -> &QuarantineConfig {
+        &self.config
+    }
+
+    /// Merges one epoch's stats delta at virtual time `now_ns` and returns
+    /// the events that crossed a threshold *this* epoch (in id order).
+    ///
+    /// `stats` must be a delta (e.g. from [`pdo_events::Runtime::take_stats`]
+    /// called once per epoch), not a cumulative snapshot — feeding the same
+    /// counts twice doubles them.
+    pub fn observe(&mut self, stats: &RuntimeStats, now_ns: u64) -> Vec<EventId> {
+        let active: BTreeSet<EventId> = stats
+            .faults_by_event
+            .keys()
+            .chain(stats.guard_misses_by_event.keys())
+            .copied()
+            .collect();
+
+        // Forgiveness: a clean epoch resets an event's accumulators.
+        for (event, entry) in self.entries.iter_mut() {
+            if !active.contains(event) {
+                entry.faults = 0;
+                entry.guard_misses = 0;
+            }
+        }
+
+        for (&event, &n) in &stats.faults_by_event {
+            self.entries.entry(event).or_default().faults += n;
+        }
+        for (&event, &n) in &stats.guard_misses_by_event {
+            self.entries.entry(event).or_default().guard_misses += n;
+        }
+
+        let mut newly = Vec::new();
+        for &event in &active {
+            let config = self.config;
+            let entry = self.entries.entry(event).or_default();
+            let already = entry.until_ns.is_some_and(|u| u > now_ns);
+            if !already
+                && (entry.faults > config.fault_threshold
+                    || entry.guard_misses > config.churn_threshold)
+            {
+                entry.strikes += 1;
+                let shift = u32::min(entry.strikes - 1, 63);
+                let backoff = config
+                    .base_backoff_ns
+                    .saturating_mul(1u64 << shift)
+                    .min(config.max_backoff_ns);
+                entry.until_ns = Some(now_ns.saturating_add(backoff));
+                entry.faults = 0;
+                entry.guard_misses = 0;
+                newly.push(event);
+            }
+        }
+        newly
+    }
+
+    /// Is `event` barred from specialization at virtual time `now_ns`?
+    /// The bar lifts exactly at the recorded deadline: at `now_ns ==
+    /// until_ns` the event is eligible again.
+    pub fn is_quarantined(&self, event: EventId, now_ns: u64) -> bool {
+        self.entries
+            .get(&event)
+            .and_then(|e| e.until_ns)
+            .is_some_and(|u| u > now_ns)
+    }
+
+    /// The virtual time at which `event`'s current (or most recent)
+    /// quarantine expires, if it was ever quarantined.
+    pub fn quarantined_until(&self, event: EventId) -> Option<u64> {
+        self.entries.get(&event).and_then(|e| e.until_ns)
+    }
+
+    /// How many times `event` has been quarantined (drives the exponent).
+    pub fn strikes(&self, event: EventId) -> u32 {
+        self.entries.get(&event).map_or(0, |e| e.strikes)
+    }
+
+    /// Current fault/guard-miss accumulators for `event` (testing and
+    /// report rendering).
+    pub fn counters(&self, event: EventId) -> (u64, u64) {
+        self.entries
+            .get(&event)
+            .map_or((0, 0), |e| (e.faults, e.guard_misses))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with_faults(event: EventId, n: u64) -> RuntimeStats {
+        let mut s = RuntimeStats::default();
+        s.faults_by_event.insert(event, n);
+        s
+    }
+
+    fn stats_with_misses(event: EventId, n: u64) -> RuntimeStats {
+        let mut s = RuntimeStats::default();
+        s.guard_misses_by_event.insert(event, n);
+        s
+    }
+
+    fn config() -> QuarantineConfig {
+        QuarantineConfig {
+            fault_threshold: 3,
+            churn_threshold: 8,
+            base_backoff_ns: 1_000,
+            max_backoff_ns: 16_000,
+        }
+    }
+
+    #[test]
+    fn faults_below_threshold_do_not_quarantine() {
+        let e = EventId(0);
+        let mut q = Quarantine::new(config());
+        assert!(q.observe(&stats_with_faults(e, 3), 0).is_empty());
+        assert!(!q.is_quarantined(e, 0));
+    }
+
+    #[test]
+    fn crossing_threshold_quarantines_with_base_backoff() {
+        let e = EventId(0);
+        let mut q = Quarantine::new(config());
+        assert_eq!(q.observe(&stats_with_faults(e, 4), 100), vec![e]);
+        assert!(q.is_quarantined(e, 100));
+        assert_eq!(q.quarantined_until(e), Some(1_100));
+        // Eligible again exactly at expiry, not one tick before.
+        assert!(q.is_quarantined(e, 1_099));
+        assert!(!q.is_quarantined(e, 1_100));
+    }
+
+    #[test]
+    fn faults_accumulate_across_dirty_epochs() {
+        let e = EventId(0);
+        let mut q = Quarantine::new(config());
+        assert!(q.observe(&stats_with_faults(e, 2), 0).is_empty());
+        assert_eq!(q.observe(&stats_with_faults(e, 2), 10), vec![e]);
+    }
+
+    #[test]
+    fn clean_epoch_resets_accumulators() {
+        let e = EventId(0);
+        let mut q = Quarantine::new(config());
+        q.observe(&stats_with_misses(e, 8), 0); // at threshold, not over
+        assert_eq!(q.counters(e).1, 8);
+        // Clean epoch (no entry for e): counter forgiven.
+        q.observe(&RuntimeStats::default(), 10);
+        assert_eq!(q.counters(e), (0, 0));
+        // Another 8 misses alone no longer quarantine.
+        assert!(q.observe(&stats_with_misses(e, 8), 20).is_empty());
+    }
+
+    #[test]
+    fn backoff_doubles_per_strike_and_caps() {
+        let e = EventId(0);
+        let mut q = Quarantine::new(config());
+        let mut now = 0u64;
+        let mut windows = Vec::new();
+        for _ in 0..7 {
+            assert_eq!(q.observe(&stats_with_faults(e, 4), now), vec![e]);
+            let until = q.quarantined_until(e).unwrap();
+            windows.push(until - now);
+            now = until; // expiry: eligible again, fault again
+        }
+        assert_eq!(
+            windows,
+            vec![1_000, 2_000, 4_000, 8_000, 16_000, 16_000, 16_000]
+        );
+        assert_eq!(q.strikes(e), 7);
+    }
+
+    #[test]
+    fn faults_during_quarantine_do_not_extend_it() {
+        let e = EventId(0);
+        let mut q = Quarantine::new(config());
+        q.observe(&stats_with_faults(e, 4), 0);
+        let until = q.quarantined_until(e).unwrap();
+        // Still quarantined: further faults accumulate but do not re-arm.
+        assert!(q.observe(&stats_with_faults(e, 40), 10).is_empty());
+        assert_eq!(q.quarantined_until(e), Some(until));
+    }
+
+    #[test]
+    fn events_are_tracked_independently() {
+        let (a, b) = (EventId(1), EventId(2));
+        let mut q = Quarantine::new(config());
+        let mut s = stats_with_faults(a, 4);
+        s.guard_misses_by_event.insert(b, 2);
+        assert_eq!(q.observe(&s, 0), vec![a]);
+        assert!(q.is_quarantined(a, 0));
+        assert!(!q.is_quarantined(b, 0));
+    }
+}

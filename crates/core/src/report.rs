@@ -3,11 +3,10 @@
 
 use crate::merge::MergeSkip;
 use pdo_ir::{EventId, FuncId, Module};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Per-event outcome.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EventReport {
     /// The optimized event.
     pub event: EventId,
@@ -24,7 +23,7 @@ pub struct EventReport {
 }
 
 /// Whole-run outcome.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct OptReport {
     /// Successful per-event reports.
     pub events: Vec<EventReport>,

@@ -1,7 +1,9 @@
 //! Subsumption: rewriting synchronous raises into direct super-handler
 //! calls (paper §3.2.1, Figs 8/9; partitioned form Fig 14).
 
-use pdo_ir::{Block, BlockId, EventId, FuncId, Function, Instr, NativeId, RaiseMode, Terminator, Value};
+use pdo_ir::{
+    Block, BlockId, EventId, FuncId, Function, Instr, NativeId, RaiseMode, Terminator, Value,
+};
 
 /// A synchronous raise site found in a function body.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

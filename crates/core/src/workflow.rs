@@ -7,6 +7,8 @@
 //! packages that loop (§3.1's "executed enough times to develop an adequate
 //! profile" workflow).
 
+use crate::heal::SelfHealer;
+use crate::quarantine::QuarantineConfig;
 use crate::{optimize, Optimization, OptimizeOptions};
 use pdo_events::{Runtime, RuntimeConfig, RuntimeError, TraceConfig};
 use pdo_ir::{EventId, FuncId, Module};
@@ -55,6 +57,15 @@ impl fmt::Debug for Deployed {
             .field("runtime", &self.runtime)
             .field("report", &self.optimization.report)
             .finish()
+    }
+}
+
+impl Deployed {
+    /// A [`SelfHealer`] for this deployment: captures the chains and the
+    /// current (guard-valid) binding state so the re-optimization loop can
+    /// quarantine faulting chains and re-install them after backoff.
+    pub fn self_healer(&self, config: QuarantineConfig) -> SelfHealer {
+        SelfHealer::new(config, &self.optimization, self.runtime.registry())
     }
 }
 

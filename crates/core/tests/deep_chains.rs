@@ -107,7 +107,8 @@ fn conditional_raise_subsumed_speculatively_keeps_both_branches() {
     rt.set_trace_config(TraceConfig::full());
     // Profile only odd inputs: the nested raise is NEVER observed.
     for i in 0..40 {
-        rt.raise(e0, RaiseMode::Sync, &[Value::Int(i * 2 + 1)]).unwrap();
+        rt.raise(e0, RaiseMode::Sync, &[Value::Int(i * 2 + 1)])
+            .unwrap();
     }
     let profile = Profile::from_trace(&rt.take_trace(), 20);
 

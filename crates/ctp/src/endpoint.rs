@@ -4,9 +4,28 @@ use pdo_cactus::EventProgram;
 use pdo_events::{Runtime, RuntimeError};
 use pdo_ir::{EventId, GlobalId, RaiseMode, Value};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::rc::Rc;
+
+/// Seeded fault model for the simulated link. Each field is a probability
+/// in permille (0 = never, 1000 = always), rolled independently per
+/// transmission from a deterministic splitmix64 stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkFaults {
+    /// Segment lost in transit (never reaches the receiver; no ack).
+    pub drop_per_mille: u16,
+    /// Segment delivered twice (the receiver must deduplicate).
+    pub dup_per_mille: u16,
+    /// Segment held back and overtaken by the next transmission (the
+    /// receiver must restore order).
+    pub reorder_per_mille: u16,
+    /// A payload byte flipped in transit; the receiver's parity check
+    /// rejects the segment (counts as loss, no ack).
+    pub corrupt_per_mille: u16,
+    /// RNG seed; identical seeds reproduce identical fault sequences.
+    pub seed: u64,
+}
 
 /// Endpoint tunables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,6 +37,12 @@ pub struct CtpParams {
     /// fires its controller once per frame (Fig 6 shows the controller
     /// chain at the same ~391 weight as the sender chain).
     pub clk_period_ns: u64,
+    /// Link-level fault injection (defaults to a perfect link).
+    pub link_faults: LinkFaults,
+    /// Retransmission attempts per segment before the protocol gives up
+    /// and reports [`CtpError::PeerUnreachable`]. Each retry doubles the
+    /// previous timeout.
+    pub max_retries: u32,
 }
 
 impl Default for CtpParams {
@@ -25,6 +50,8 @@ impl Default for CtpParams {
         CtpParams {
             ack_drop_every: 50,
             clk_period_ns: 200_000_000,
+            link_faults: LinkFaults::default(),
+            max_retries: 8,
         }
     }
 }
@@ -36,6 +63,9 @@ pub enum CtpError {
     Runtime(RuntimeError),
     /// The program lacks a CTP symbol (indicates a build bug).
     MissingSymbol(String),
+    /// A segment exhausted its retransmission budget; the link is treated
+    /// as dead instead of retrying (and hanging) forever.
+    PeerUnreachable,
 }
 
 impl fmt::Display for CtpError {
@@ -43,6 +73,9 @@ impl fmt::Display for CtpError {
         match self {
             CtpError::Runtime(e) => write!(f, "runtime error: {e}"),
             CtpError::MissingSymbol(s) => write!(f, "missing symbol `{s}`"),
+            CtpError::PeerUnreachable => {
+                write!(f, "peer unreachable: retransmission retries exhausted")
+            }
         }
     }
 }
@@ -55,7 +88,8 @@ impl From<RuntimeError> for CtpError {
     }
 }
 
-/// Mutable native-side state shared with the runtime's natives.
+/// Mutable native-side state shared with the runtime's natives: the
+/// sender's positive-ack unit plus the simulated link and its receiver.
 #[derive(Debug, Default)]
 struct LinkState {
     unacked: HashMap<i64, Vec<u8>>,
@@ -63,6 +97,116 @@ struct LinkState {
     retransmissions: u64,
     sends_since_sample: i64,
     ack_drop_every: u64,
+    // Link fault model.
+    faults: LinkFaults,
+    rng: u64,
+    held: Option<(i64, Vec<u8>, u32)>,
+    outcome: HashMap<i64, bool>,
+    link_dropped: u64,
+    link_duplicated: u64,
+    link_reordered: u64,
+    link_corrupted: u64,
+    // Retry/backoff bookkeeping.
+    max_retries: u32,
+    retries: HashMap<i64, u32>,
+    timeout_base_ns: i64,
+    unreachable: bool,
+    // Receiver: dedup + in-order release.
+    rx_next: i64,
+    rx_buffer: BTreeMap<i64, Vec<u8>>,
+    delivered: Vec<(i64, Vec<u8>)>,
+    rx_duplicates: u64,
+    rx_corrupt_dropped: u64,
+}
+
+/// Trailing-byte parity check (the FEC micro-protocol appends the xor of
+/// the payload; the receiver verifies it).
+fn parity_ok(segment: &[u8]) -> bool {
+    match segment.split_last() {
+        Some((p, body)) => body.iter().fold(0u8, |a, b| a ^ b) == *p,
+        None => false,
+    }
+}
+
+impl LinkState {
+    fn next_roll(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn roll(&mut self, per_mille: u16) -> bool {
+        per_mille > 0 && self.next_roll() % 1000 < u64::from(per_mille)
+    }
+
+    /// One transmission over the faulty link. Returns whether the segment
+    /// reaches the receiver intact (i.e. whether an ack will come back).
+    fn transmit(&mut self, seq: i64, data: Vec<u8>) -> bool {
+        self.wire.push((seq, data.clone()));
+        if self.roll(self.faults.drop_per_mille) {
+            self.link_dropped += 1;
+            self.outcome.insert(seq, false);
+            self.flush_held();
+            return false;
+        }
+        let mut payload = data;
+        if self.roll(self.faults.corrupt_per_mille) {
+            self.link_corrupted += 1;
+            match payload.first_mut() {
+                Some(b) => *b ^= 0xFF,
+                None => payload.push(0xFF),
+            }
+        }
+        let copies = if self.roll(self.faults.dup_per_mille) {
+            self.link_duplicated += 1;
+            2
+        } else {
+            1
+        };
+        let ok = parity_ok(&payload);
+        self.outcome.insert(seq, ok);
+        if !ok {
+            self.rx_corrupt_dropped += 1;
+            self.flush_held();
+            return false;
+        }
+        if self.held.is_none() && self.roll(self.faults.reorder_per_mille) {
+            // Hold this transmission back; the next one overtakes it.
+            self.link_reordered += 1;
+            self.held = Some((seq, payload, copies));
+            return true;
+        }
+        for _ in 0..copies {
+            self.deliver(seq, payload.clone());
+        }
+        self.flush_held();
+        true
+    }
+
+    /// Delivers a transmission the reordering stage parked earlier.
+    fn flush_held(&mut self) {
+        if let Some((seq, payload, copies)) = self.held.take() {
+            for _ in 0..copies {
+                self.deliver(seq, payload.clone());
+            }
+        }
+    }
+
+    /// Receiver intake: deduplicate by sequence number, buffer
+    /// out-of-order arrivals, release consecutively.
+    fn deliver(&mut self, seq: i64, payload: Vec<u8>) {
+        if seq < self.rx_next || self.rx_buffer.contains_key(&seq) {
+            self.rx_duplicates += 1;
+            return;
+        }
+        self.rx_buffer.insert(seq, payload);
+        while let Some(p) = self.rx_buffer.remove(&self.rx_next) {
+            self.delivered.push((self.rx_next, p));
+            self.rx_next += 1;
+        }
+    }
 }
 
 /// Statistics snapshot of an endpoint.
@@ -82,6 +226,22 @@ pub struct CtpStats {
     pub quality: i64,
     /// Segments currently unacknowledged (native-side view).
     pub in_flight_native: usize,
+    /// Transmissions lost by the link fault model.
+    pub link_dropped: u64,
+    /// Transmissions duplicated by the link fault model.
+    pub link_duplicated: u64,
+    /// Transmissions held back (reordered) by the link fault model.
+    pub link_reordered: u64,
+    /// Transmissions corrupted by the link fault model.
+    pub link_corrupted: u64,
+    /// Segments the receiver accepted and released in order.
+    pub rx_delivered: usize,
+    /// Duplicate arrivals the receiver discarded.
+    pub rx_duplicates: u64,
+    /// Arrivals the receiver rejected on the parity check.
+    pub rx_corrupt_dropped: u64,
+    /// True once any segment exhausted its retransmission budget.
+    pub peer_unreachable: bool,
 }
 
 /// A sender endpoint of the CTP composite protocol.
@@ -120,11 +280,21 @@ impl CtpEndpoint {
         let mut rt = program.runtime()?;
         let state = Rc::new(RefCell::new(LinkState {
             ack_drop_every: params.ack_drop_every,
+            faults: params.link_faults,
+            rng: params.link_faults.seed,
+            max_retries: params.max_retries,
+            timeout_base_ns: 100_000_000,
+            rx_next: 1,
             ..Default::default()
         }));
         install_natives(&mut rt, &state)?;
         if let Some(g) = program.module.global_by_name("clk_period_ns") {
             rt.set_global(g, Value::Int(params.clk_period_ns as i64));
+        }
+        if let Some(g) = program.module.global_by_name("timeout_ns") {
+            if let Some(t) = rt.global(g).as_int() {
+                state.borrow_mut().timeout_base_ns = t;
+            }
         }
 
         let ev = |name: &str| {
@@ -163,7 +333,7 @@ impl CtpEndpoint {
     /// Propagates handler faults.
     pub fn open(&mut self) -> Result<(), CtpError> {
         self.rt.raise(self.ev_open, RaiseMode::Sync, &[])?;
-        Ok(())
+        self.link_check()
     }
 
     /// Sends one application message through the sender chain.
@@ -177,7 +347,7 @@ impl CtpEndpoint {
             RaiseMode::Sync,
             &[Value::bytes(payload.to_vec())],
         )?;
-        Ok(())
+        self.link_check()
     }
 
     /// Advances virtual time to `deadline_ns`, firing due timers (acks,
@@ -192,7 +362,19 @@ impl CtpEndpoint {
         if deadline_ns > now {
             self.rt.advance_clock(deadline_ns - now);
         }
-        Ok(())
+        // A transmission parked by the reordering stage with nothing left
+        // to overtake it finally arrives.
+        self.state.borrow_mut().flush_held();
+        self.link_check()
+    }
+
+    /// Fails fast once the retry budget of any segment is exhausted.
+    fn link_check(&self) -> Result<(), CtpError> {
+        if self.state.borrow().unreachable {
+            Err(CtpError::PeerUnreachable)
+        } else {
+            Ok(())
+        }
     }
 
     /// Drains all remaining queued/timed work (ends the session; the
@@ -219,7 +401,30 @@ impl CtpEndpoint {
             frag_size: int(self.globals.frag_size),
             quality: int(self.globals.quality),
             in_flight_native: st.unacked.len(),
+            link_dropped: st.link_dropped,
+            link_duplicated: st.link_duplicated,
+            link_reordered: st.link_reordered,
+            link_corrupted: st.link_corrupted,
+            rx_delivered: st.delivered.len(),
+            rx_duplicates: st.rx_duplicates,
+            rx_corrupt_dropped: st.rx_corrupt_dropped,
+            peer_unreachable: st.unreachable,
         }
+    }
+
+    /// The payload bytes the **receiver** accepted, deduplicated and in
+    /// sequence order, parity bytes stripped — under any fault plan this
+    /// reassembles to a prefix of the concatenation of sent messages, and
+    /// to the whole of it once every segment is delivered.
+    pub fn received_payload(&self) -> Vec<u8> {
+        let st = self.state.borrow();
+        let mut out = Vec::new();
+        for (_, seg) in &st.delivered {
+            if !seg.is_empty() {
+                out.extend_from_slice(&seg[..seg.len() - 1]);
+            }
+        }
+        out
     }
 
     /// The payload bytes observed on the wire (parity bytes stripped), in
@@ -267,7 +472,7 @@ fn install_natives(rt: &mut Runtime, state: &Rc<RefCell<LinkState>>) -> Result<(
             .and_then(Value::as_bytes)
             .ok_or("expected bytes")?;
         let mut st = s.borrow_mut();
-        st.wire.push((seq, data.to_vec()));
+        st.transmit(seq, data.to_vec());
         st.sends_since_sample += 1;
         Ok(Value::Unit)
     })
@@ -288,7 +493,9 @@ fn install_natives(rt: &mut Runtime, state: &Rc<RefCell<LinkState>>) -> Result<(
     let s = Rc::clone(state);
     rt.bind_native_by_name("pau_ack", move |args| {
         let seq = int_arg(args, 0)?;
-        Ok(Value::Bool(s.borrow_mut().unacked.remove(&seq).is_some()))
+        let mut st = s.borrow_mut();
+        st.retries.remove(&seq);
+        Ok(Value::Bool(st.unacked.remove(&seq).is_some()))
     })
     .map_err(CtpError::Runtime)?;
 
@@ -299,15 +506,47 @@ fn install_natives(rt: &mut Runtime, state: &Rc<RefCell<LinkState>>) -> Result<(
     })
     .map_err(CtpError::Runtime)?;
 
+    // Returns whether the retransmitted copy reached the receiver (i.e.
+    // whether its ack will come back). The PAU registered the raw fragment
+    // (it runs before the FEC handler), so the wire parity byte is
+    // re-appended here.
     let s = Rc::clone(state);
     rt.bind_native_by_name("retransmit", move |args| {
         let seq = int_arg(args, 0)?;
         let mut st = s.borrow_mut();
-        if let Some(data) = st.unacked.get(&seq).cloned() {
-            st.wire.push((seq, data));
+        if let Some(mut data) = st.unacked.get(&seq).cloned() {
+            let parity = data.iter().fold(0u8, |a, b| a ^ b);
+            data.push(parity);
             st.retransmissions += 1;
+            let ok = st.transmit(seq, data);
+            Ok(Value::Bool(ok))
+        } else {
+            Ok(Value::Bool(false))
         }
-        Ok(Value::Unit)
+    })
+    .map_err(CtpError::Runtime)?;
+
+    // Doubles the retransmission timeout per retry; returns 0 once the
+    // budget is exhausted, marking the peer unreachable.
+    let s = Rc::clone(state);
+    rt.bind_native_by_name("retry_backoff", move |args| {
+        let seq = int_arg(args, 0)?;
+        let mut st = s.borrow_mut();
+        let count = {
+            let r = st.retries.entry(seq).or_insert(0);
+            *r += 1;
+            *r
+        };
+        if count > st.max_retries {
+            st.retries.remove(&seq);
+            if st.unacked.remove(&seq).is_some() {
+                st.unreachable = true;
+            }
+            Ok(Value::Int(0))
+        } else {
+            let shift = count.min(20);
+            Ok(Value::Int(st.timeout_base_ns.saturating_mul(1 << shift)))
+        }
     })
     .map_err(CtpError::Runtime)?;
 
@@ -321,11 +560,17 @@ fn install_natives(rt: &mut Runtime, state: &Rc<RefCell<LinkState>>) -> Result<(
     })
     .map_err(CtpError::Runtime)?;
 
+    // "Will no ack arrive for this first transmission?" — true when the
+    // legacy deterministic pattern drops the ack or when the link fault
+    // model lost/corrupted the segment itself.
     let s = Rc::clone(state);
     rt.bind_native_by_name("ack_drop", move |args| {
         let seq = int_arg(args, 0)?;
-        let every = s.borrow().ack_drop_every;
-        Ok(Value::Bool(every != 0 && seq as u64 % every == every - 1))
+        let st = s.borrow();
+        let every = st.ack_drop_every;
+        let legacy = every != 0 && seq as u64 % every == every - 1;
+        let delivered = st.outcome.get(&seq).copied().unwrap_or(true);
+        Ok(Value::Bool(legacy || !delivered))
     })
     .map_err(CtpError::Runtime)?;
 
@@ -384,7 +629,14 @@ mod tests {
     #[test]
     fn dropped_ack_triggers_retransmission() {
         let program = ctp_program();
-        let mut e = CtpEndpoint::new(&program, CtpParams { ack_drop_every: 1, ..Default::default() }).unwrap();
+        let mut e = CtpEndpoint::new(
+            &program,
+            CtpParams {
+                ack_drop_every: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         e.open().unwrap();
         e.send(&[1u8; 10]).unwrap();
         // Every ack dropped: the 100ms timeout fires and retransmits, and
@@ -406,18 +658,21 @@ mod tests {
         let sample_sum = e.runtime().module().global_by_name("sample_sum").unwrap();
         // Samples observed (0 sends, but the Sample event fired).
         assert!(e.runtime().global(sample_sum).as_int().is_some());
-        let last = e
-            .runtime()
-            .module()
-            .global_by_name("last_sample")
-            .unwrap();
+        let last = e.runtime().module().global_by_name("last_sample").unwrap();
         assert_eq!(e.runtime().global(last).as_int(), Some(0));
     }
 
     #[test]
     fn heavy_loss_shrinks_fragment_size() {
         let program = ctp_program();
-        let mut e = CtpEndpoint::new(&program, CtpParams { ack_drop_every: 1, ..Default::default() }).unwrap();
+        let mut e = CtpEndpoint::new(
+            &program,
+            CtpParams {
+                ack_drop_every: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         e.open().unwrap();
         for i in 0..40 {
             e.send(&vec![i as u8; 700]).unwrap(); // 2 segments each
@@ -426,7 +681,10 @@ mod tests {
         e.drain(2_000_000_000).unwrap();
         let stats = e.stats();
         assert!(stats.retransmissions > 10);
-        assert!(stats.resizes >= 1, "rate adaptation should have shrunk: {stats:?}");
+        assert!(
+            stats.resizes >= 1,
+            "rate adaptation should have shrunk: {stats:?}"
+        );
         assert!(stats.frag_size < 512);
     }
 
@@ -452,5 +710,129 @@ mod tests {
         let stats = e.stats();
         assert_eq!(stats.segments_acked, stats.segments_sent);
         assert_eq!(stats.in_flight_native, 0);
+    }
+
+    fn faulty_endpoint(faults: LinkFaults, max_retries: u32) -> CtpEndpoint {
+        let mut e = CtpEndpoint::new(
+            &ctp_program(),
+            CtpParams {
+                ack_drop_every: 0, // isolate the link fault model
+                link_faults: faults,
+                max_retries,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        e.open().unwrap();
+        e
+    }
+
+    fn send_sequence(e: &mut CtpEndpoint, msgs: u8, size: usize) -> Vec<u8> {
+        let mut expected = Vec::new();
+        for i in 0..msgs {
+            let msg = vec![i; size];
+            expected.extend_from_slice(&msg);
+            e.send(&msg).unwrap();
+            e.run_until((u64::from(i) + 1) * 50_000_000).unwrap();
+        }
+        expected
+    }
+
+    #[test]
+    fn lossy_link_delivers_everything_in_order() {
+        let faults = LinkFaults {
+            drop_per_mille: 200,
+            seed: 7,
+            ..Default::default()
+        };
+        let mut e = faulty_endpoint(faults, 8);
+        let expected = send_sequence(&mut e, 30, 300);
+        e.drain(60_000_000_000).unwrap();
+        let stats = e.stats();
+        assert!(stats.link_dropped > 0, "{stats:?}");
+        assert!(stats.retransmissions > 0);
+        assert_eq!(stats.segments_acked, stats.segments_sent);
+        assert_eq!(stats.in_flight_native, 0);
+        assert!(!stats.peer_unreachable);
+        assert_eq!(e.received_payload(), expected);
+    }
+
+    #[test]
+    fn dead_link_reports_peer_unreachable() {
+        let faults = LinkFaults {
+            drop_per_mille: 1000,
+            seed: 1,
+            ..Default::default()
+        };
+        let mut e = faulty_endpoint(faults, 3);
+        e.send(&[9u8; 40]).unwrap();
+        let err = e.drain(60_000_000_000).unwrap_err();
+        assert!(matches!(err, CtpError::PeerUnreachable), "{err}");
+        let stats = e.stats();
+        assert!(stats.peer_unreachable);
+        assert_eq!(stats.segments_acked, 0);
+        // 1 initial timeout retransmission + max_retries backed-off ones.
+        assert_eq!(stats.retransmissions, 4);
+        assert_eq!(stats.in_flight_native, 0, "gave up, not leaked");
+        assert!(e.received_payload().is_empty());
+    }
+
+    #[test]
+    fn duplicating_link_is_deduplicated_by_the_receiver() {
+        let faults = LinkFaults {
+            dup_per_mille: 1000,
+            seed: 3,
+            ..Default::default()
+        };
+        let mut e = faulty_endpoint(faults, 8);
+        let expected = send_sequence(&mut e, 6, 700); // 2 segments each
+        e.drain(5_000_000_000).unwrap();
+        let stats = e.stats();
+        assert_eq!(stats.link_duplicated, stats.segments_sent as u64);
+        assert!(stats.rx_duplicates >= stats.segments_sent as u64);
+        assert_eq!(stats.rx_delivered, stats.segments_sent as usize);
+        assert_eq!(e.received_payload(), expected);
+    }
+
+    #[test]
+    fn corrupting_link_retries_until_clean() {
+        let faults = LinkFaults {
+            corrupt_per_mille: 400,
+            seed: 11,
+            ..Default::default()
+        };
+        let mut e = faulty_endpoint(faults, 8);
+        let expected = send_sequence(&mut e, 20, 300);
+        e.drain(60_000_000_000).unwrap();
+        let stats = e.stats();
+        assert!(stats.link_corrupted > 0, "{stats:?}");
+        assert_eq!(stats.rx_corrupt_dropped, stats.link_corrupted);
+        assert_eq!(stats.segments_acked, stats.segments_sent);
+        assert_eq!(e.received_payload(), expected);
+    }
+
+    #[test]
+    fn reordering_link_is_released_in_order() {
+        let faults = LinkFaults {
+            reorder_per_mille: 500,
+            seed: 5,
+            ..Default::default()
+        };
+        let mut e = faulty_endpoint(faults, 8);
+        let expected = send_sequence(&mut e, 10, 700);
+        e.drain(5_000_000_000).unwrap();
+        let stats = e.stats();
+        assert!(stats.link_reordered > 0, "{stats:?}");
+        assert_eq!(stats.rx_delivered, stats.segments_sent as usize);
+        assert_eq!(e.received_payload(), expected);
+    }
+
+    #[test]
+    fn perfect_link_receiver_matches_wire() {
+        let mut e = endpoint();
+        let expected = send_sequence(&mut e, 10, 300);
+        e.drain(2_000_000_000).unwrap();
+        assert_eq!(e.received_payload(), expected);
+        assert_eq!(e.stats().rx_corrupt_dropped, 0);
     }
 }

@@ -62,6 +62,7 @@ pub fn ctp_protocol() -> CompositeProtocol {
     let n_pau_ack = b.native("pau_ack");
     let n_pau_unacked = b.native("pau_is_unacked");
     let n_retransmit = b.native("retransmit");
+    let n_retry_backoff = b.native("retry_backoff");
     let n_fec_parity = b.native("fec_parity");
     let n_ack_drop = b.native("ack_drop");
     let n_sample = b.native("controller_sample");
@@ -232,21 +233,39 @@ pub fn ctp_protocol() -> CompositeProtocol {
         });
         mp.handler(segment_timeout, 0, "pau_on_timeout", 1, |f| {
             let resend = f.new_block();
+            let ack_arm = f.new_block();
+            let rearm = f.new_block();
+            let retry = f.new_block();
             let exit = f.new_block();
             let still = f.call_native(n_pau_unacked, &[f.param(0)]);
             f.branch(still, resend, exit);
 
             f.switch_to(resend);
-            let _ = f.call_native(n_retransmit, &[f.param(0)]);
+            let delivered = f.call_native(n_retransmit, &[f.param(0)]);
             f.lock(g_retrans);
             let r = f.load_global(g_retrans);
             let one = f.const_int(1);
             let r2 = f.bin(BinOp::Add, r, one);
             f.store_global(g_retrans, r2);
             f.unlock(g_retrans);
-            // The retransmitted copy is always acknowledged.
+            f.branch(delivered, ack_arm, rearm);
+
+            // The copy reached the receiver: its ack is on the way.
+            f.switch_to(ack_arm);
             let delay = f.load_global(g_ack_delay);
             f.raise(segment_acked, RaiseMode::Timed, &[delay, f.param(0)]);
+            f.ret(None);
+
+            // Lost again: back off exponentially; a non-positive delay
+            // means the retry budget is exhausted (peer unreachable).
+            f.switch_to(rearm);
+            let next = f.call_native(n_retry_backoff, &[f.param(0)]);
+            let zero = f.const_int(0);
+            let alive = f.bin(BinOp::Gt, next, zero);
+            f.branch(alive, retry, exit);
+
+            f.switch_to(retry);
+            f.raise(segment_timeout, RaiseMode::Timed, &[next, f.param(0)]);
             f.ret(None);
 
             f.switch_to(exit);
@@ -343,7 +362,10 @@ pub fn ctp_protocol() -> CompositeProtocol {
             f.branch(too_small, clamp_low, shrink_done);
 
             f.switch_to(clamp_low);
-            f.push(pdo_ir::Instr::Mov { dst: half, src: min });
+            f.push(pdo_ir::Instr::Mov {
+                dst: half,
+                src: min,
+            });
             f.jump(shrink_done);
 
             f.switch_to(shrink_done);

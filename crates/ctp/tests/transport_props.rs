@@ -10,6 +10,7 @@ fn endpoint(drop_every: u64) -> CtpEndpoint {
         CtpParams {
             ack_drop_every: drop_every,
             clk_period_ns: 200_000_000,
+            ..Default::default()
         },
     )
     .expect("endpoint");

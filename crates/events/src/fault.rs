@@ -1,0 +1,303 @@
+//! Deterministic fault injection and fault-containment policy.
+//!
+//! Event-driven systems are exactly where fault interleavings hide bugs, so
+//! the runtime carries a first-class, **seeded and deterministic** fault
+//! substrate: a [`FaultInjector`] holds a plan of [`FaultSpec`]s, each
+//! targeting the N-th *top-level* occurrence of an event, and the
+//! [`FaultPolicy`] on [`crate::RuntimeConfig`] decides what a fault does to
+//! the event loop.
+//!
+//! ## Why faults key on *top-level* occurrences
+//!
+//! The optimizer may subsume a nested synchronous raise into its parent's
+//! super-handler (paper Fig 9), so the *nested* dispatch count of an event
+//! differs between an original and an optimized run of the same program.
+//! Top-level occurrences — workload raises and queue/timer pops — are
+//! preserved exactly by every optimization, so a plan keyed on them hits the
+//! same logical occurrence in both runs. That is what makes the chaos
+//! equivalence property (`tests/chaos_equivalence.rs`) well defined: the
+//! paper's equivalence guarantee holds *under faults*, not just on the happy
+//! path.
+//!
+//! ## Equivalence-safe vs best-effort kinds
+//!
+//! [`FaultKind::TrapDispatch`], [`FaultKind::CorruptArg`],
+//! [`FaultKind::DropTimed`] and [`FaultKind::DelayTimed`] fire at a dispatch
+//! or raise boundary, *before* any handler effect, so original and optimized
+//! runs observe them identically. [`FaultKind::ExhaustFuel`] fires
+//! mid-handler after a fixed instruction budget; original and merged
+//! super-handlers reach that budget at different program points, so it is
+//! excluded from the equivalence property (it still exercises containment).
+
+use pdo_ir::{EventId, Value};
+use std::collections::BTreeMap;
+
+/// What happens when a handler faults (injected or organic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultPolicy {
+    /// Propagate the error out of `raise`/`run_until_idle` (the pre-fault
+    /// behavior, and still the default).
+    #[default]
+    Abort,
+    /// Contain the fault: record it, skip the rest of the occurrence's
+    /// dispatch, keep draining the queue.
+    SkipEvent,
+    /// Contain the fault *and* remove the faulting event's compiled chain
+    /// so later occurrences fall back to generic dispatch. The occurrence
+    /// itself is re-dispatched generically where that is safe (no handler
+    /// effects have happened yet).
+    Despecialize,
+}
+
+/// The kinds of fault the injector can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// The target occurrence's dispatch traps before any handler runs.
+    TrapDispatch,
+    /// One argument of the target occurrence is corrupted at the marshaling
+    /// boundary (both the fast path and the generic path see the corrupted
+    /// value). `index` is reduced modulo the argument count.
+    CorruptArg {
+        /// Which argument to corrupt (modulo arity; no-op on zero arity).
+        index: u16,
+    },
+    /// The target occurrence runs under a tiny instruction budget and
+    /// exhausts it mid-handler. **Not equivalence-safe** (see module docs).
+    ExhaustFuel,
+    /// The target timed raise is silently dropped (timer never scheduled).
+    DropTimed,
+    /// The target timed raise is delayed by an extra virtual-clock interval.
+    DelayTimed {
+        /// Additional delay in virtual nanoseconds.
+        extra_ns: u64,
+    },
+    /// An organic (non-injected) handler trap contained by the policy.
+    /// Never appears in plans; recorded in stats and traces.
+    HandlerTrap,
+}
+
+impl FaultKind {
+    /// True for kinds that target the timed-raise counter rather than the
+    /// dispatch counter.
+    pub fn is_timed(self) -> bool {
+        matches!(self, FaultKind::DropTimed | FaultKind::DelayTimed { .. })
+    }
+
+    /// True for kinds whose effect is identical in original and optimized
+    /// runs (see module docs).
+    pub fn is_equivalence_safe(self) -> bool {
+        !matches!(self, FaultKind::ExhaustFuel | FaultKind::HandlerTrap)
+    }
+}
+
+/// One planned fault: `kind` fires on the `occurrence`-th (0-based)
+/// top-level dispatch of `event` — or, for timed kinds, on the
+/// `occurrence`-th timed raise of `event`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// The targeted event.
+    pub event: EventId,
+    /// 0-based occurrence index within the event's own counter.
+    pub occurrence: u64,
+    /// What to inject.
+    pub kind: FaultKind,
+}
+
+/// Instruction budget used for [`FaultKind::ExhaustFuel`] dispatches: small
+/// enough that any non-trivial handler trips it mid-body.
+pub const EXHAUST_FUEL_BUDGET: u64 = 24;
+
+/// Deterministically corrupts a value (used by [`FaultKind::CorruptArg`]).
+/// The transform is pure, so both the original and the optimized run of a
+/// program observe the same corrupted argument.
+pub fn corrupt_value(v: &Value) -> Value {
+    match v {
+        Value::Unit => Value::Int(-1),
+        Value::Int(n) => Value::Int(!n),
+        Value::Bool(b) => Value::Bool(!b),
+        Value::Bytes(bs) => {
+            let mut out = bs.as_ref().clone();
+            match out.first_mut() {
+                Some(b) => *b ^= 0xFF,
+                None => out.push(0xFF),
+            }
+            Value::bytes(out)
+        }
+        Value::Str(s) => Value::str(format!("\u{fffd}{s}")),
+    }
+}
+
+/// A seeded, deterministic fault plan with per-event occurrence counters.
+///
+/// Counting is the injector's whole contract: `on_dispatch` must be called
+/// exactly once per top-level occurrence and `on_timed` once per timed
+/// raise, which [`crate::Runtime`] does. Two runtimes driven by the same
+/// logical workload therefore consume the plan identically.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    /// Dispatch-targeted faults keyed by `(event, occurrence)`.
+    dispatch_plan: BTreeMap<(EventId, u64), FaultKind>,
+    /// Timed-raise-targeted faults keyed by `(event, occurrence)`.
+    timed_plan: BTreeMap<(EventId, u64), FaultKind>,
+    dispatch_counts: BTreeMap<EventId, u64>,
+    timed_counts: BTreeMap<EventId, u64>,
+}
+
+impl FaultInjector {
+    /// An injector with an empty plan (counts occurrences, fires nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an injector from an explicit plan. Later specs overwrite
+    /// earlier ones targeting the same `(event, occurrence)` slot.
+    pub fn from_plan(plan: impl IntoIterator<Item = FaultSpec>) -> Self {
+        let mut fi = FaultInjector::new();
+        for spec in plan {
+            let key = (spec.event, spec.occurrence);
+            if spec.kind.is_timed() {
+                fi.timed_plan.insert(key, spec.kind);
+            } else if spec.kind != FaultKind::HandlerTrap {
+                fi.dispatch_plan.insert(key, spec.kind);
+            }
+        }
+        fi
+    }
+
+    /// Generates a seeded random plan of `count` faults over `events`, with
+    /// occurrence indices below `occurrences`. Deterministic in `seed`.
+    pub fn random(seed: u64, events: &[EventId], occurrences: u64, count: usize) -> Self {
+        let mut state = seed ^ 0x6A09_E667_F3BC_C908;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut plan = Vec::with_capacity(count);
+        if events.is_empty() || occurrences == 0 {
+            return Self::from_plan(plan);
+        }
+        for _ in 0..count {
+            let event = events[(next() % events.len() as u64) as usize];
+            let occurrence = next() % occurrences;
+            let kind = match next() % 5 {
+                0 => FaultKind::TrapDispatch,
+                1 => FaultKind::CorruptArg {
+                    index: (next() % 4) as u16,
+                },
+                2 => FaultKind::ExhaustFuel,
+                3 => FaultKind::DropTimed,
+                _ => FaultKind::DelayTimed {
+                    extra_ns: 1 + next() % 10_000,
+                },
+            };
+            plan.push(FaultSpec {
+                event,
+                occurrence,
+                kind,
+            });
+        }
+        Self::from_plan(plan)
+    }
+
+    /// Number of faults still pending (not yet fired).
+    pub fn pending(&self) -> usize {
+        self.dispatch_plan.len() + self.timed_plan.len()
+    }
+
+    /// Advances the dispatch counter for `event` and returns a fault if this
+    /// occurrence is targeted. Called by the runtime once per top-level
+    /// occurrence.
+    pub(crate) fn on_dispatch(&mut self, event: EventId) -> Option<FaultKind> {
+        let n = self.dispatch_counts.entry(event).or_insert(0);
+        let occurrence = *n;
+        *n += 1;
+        self.dispatch_plan.remove(&(event, occurrence))
+    }
+
+    /// Advances the timed-raise counter for `event` and returns a fault if
+    /// this raise is targeted.
+    pub(crate) fn on_timed(&mut self, event: EventId) -> Option<FaultKind> {
+        let n = self.timed_counts.entry(event).or_insert(0);
+        let occurrence = *n;
+        *n += 1;
+        self.timed_plan.remove(&(event, occurrence))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_fires_on_exact_occurrence() {
+        let e = EventId(2);
+        let mut fi = FaultInjector::from_plan([FaultSpec {
+            event: e,
+            occurrence: 1,
+            kind: FaultKind::TrapDispatch,
+        }]);
+        assert_eq!(fi.on_dispatch(e), None);
+        assert_eq!(fi.on_dispatch(e), Some(FaultKind::TrapDispatch));
+        assert_eq!(fi.on_dispatch(e), None);
+        assert_eq!(fi.pending(), 0);
+    }
+
+    #[test]
+    fn timed_and_dispatch_counters_are_independent() {
+        let e = EventId(0);
+        let mut fi = FaultInjector::from_plan([
+            FaultSpec {
+                event: e,
+                occurrence: 0,
+                kind: FaultKind::DropTimed,
+            },
+            FaultSpec {
+                event: e,
+                occurrence: 0,
+                kind: FaultKind::CorruptArg { index: 0 },
+            },
+        ]);
+        assert_eq!(fi.on_timed(e), Some(FaultKind::DropTimed));
+        assert_eq!(fi.on_dispatch(e), Some(FaultKind::CorruptArg { index: 0 }));
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_in_seed() {
+        let events = [EventId(0), EventId(1), EventId(2)];
+        let a = FaultInjector::random(7, &events, 50, 10);
+        let b = FaultInjector::random(7, &events, 50, 10);
+        assert_eq!(a.dispatch_plan, b.dispatch_plan);
+        assert_eq!(a.timed_plan, b.timed_plan);
+        let c = FaultInjector::random(8, &events, 50, 10);
+        assert!(a.dispatch_plan != c.dispatch_plan || a.timed_plan != c.timed_plan);
+    }
+
+    #[test]
+    fn corruption_is_pure_and_changes_the_value() {
+        for v in [
+            Value::Unit,
+            Value::Int(42),
+            Value::Bool(false),
+            Value::bytes(vec![1, 2, 3]),
+            Value::bytes(Vec::<u8>::new()),
+        ] {
+            let a = corrupt_value(&v);
+            let b = corrupt_value(&v);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+            assert_ne!(format!("{a:?}"), format!("{v:?}"));
+        }
+    }
+
+    #[test]
+    fn handler_trap_specs_are_ignored_in_plans() {
+        let fi = FaultInjector::from_plan([FaultSpec {
+            event: EventId(0),
+            occurrence: 0,
+            kind: FaultKind::HandlerTrap,
+        }]);
+        assert_eq!(fi.pending(), 0);
+    }
+}

@@ -50,6 +50,7 @@
 //! # Ok::<(), pdo_events::RuntimeError>(())
 //! ```
 
+pub mod fault;
 pub mod marshal;
 pub mod registry;
 pub mod runtime;
@@ -57,8 +58,9 @@ pub mod sched;
 pub mod spec;
 pub mod trace;
 
+pub use fault::{corrupt_value, FaultInjector, FaultKind, FaultPolicy, FaultSpec};
 pub use registry::{Binding, Registry};
-pub use runtime::{Runtime, RuntimeConfig, RuntimeError};
+pub use runtime::{Runtime, RuntimeConfig, RuntimeError, RuntimeStats};
 pub use sched::VirtualClock;
 pub use spec::{CompiledChain, Guard, SpecTable};
 pub use trace::{HandlerTraceMode, Trace, TraceConfig, TraceRecord};

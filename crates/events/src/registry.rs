@@ -7,11 +7,10 @@
 //! re-binding and fall back to generic dispatch.
 
 use pdo_ir::{EventId, FuncId};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One handler bound to an event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Binding {
     /// The IR function invoked when the event fires.
     pub handler: FuncId,
@@ -105,7 +104,10 @@ impl Registry {
 
     /// Number of events with at least one binding.
     pub fn bound_event_count(&self) -> usize {
-        self.entries.values().filter(|e| !e.bindings.is_empty()).count()
+        self.entries
+            .values()
+            .filter(|e| !e.bindings.is_empty())
+            .count()
     }
 }
 

@@ -1,5 +1,6 @@
 //! The event runtime: dispatch, scheduling, state, and instrumentation.
 
+use crate::fault::{corrupt_value, FaultInjector, FaultKind, FaultPolicy, EXHAUST_FUEL_BUDGET};
 use crate::marshal::{marshal, unmarshal};
 use crate::registry::Registry;
 use crate::sched::{Scheduler, VirtualClock};
@@ -7,6 +8,7 @@ use crate::spec::{CompiledChain, SpecTable};
 use crate::trace::{Trace, TraceConfig, TraceRecord};
 use pdo_ir::interp::{call, Env, ExecError};
 use pdo_ir::{CostCounter, EventId, FuncId, GlobalId, Module, NativeId, RaiseMode, Value};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -36,6 +38,13 @@ pub enum RuntimeError {
     SyncDepthExceeded,
     /// Marshaled arguments failed to unmarshal (indicates corruption).
     Marshal(String),
+    /// An injected fault fired under [`FaultPolicy::Abort`].
+    Fault {
+        /// The event whose occurrence was targeted.
+        event: EventId,
+        /// The injected fault kind.
+        kind: FaultKind,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -50,6 +59,9 @@ impl fmt::Display for RuntimeError {
             RuntimeError::StepLimit => write!(f, "event-loop step budget exhausted"),
             RuntimeError::SyncDepthExceeded => write!(f, "synchronous raise nesting too deep"),
             RuntimeError::Marshal(m) => write!(f, "marshaling failed: {m}"),
+            RuntimeError::Fault { event, kind } => {
+                write!(f, "injected fault {kind:?} on {event}")
+            }
         }
     }
 }
@@ -71,6 +83,9 @@ pub struct RuntimeConfig {
     pub max_steps: u64,
     /// Optional instruction budget shared by all handler executions.
     pub fuel: Option<u64>,
+    /// What a handler fault (injected or organic) does to the event loop
+    /// (default [`FaultPolicy::Abort`], the pre-fault-harness behavior).
+    pub fault_policy: FaultPolicy,
 }
 
 impl Default for RuntimeConfig {
@@ -79,7 +94,69 @@ impl Default for RuntimeConfig {
             max_sync_depth: 64,
             max_steps: 10_000_000,
             fuel: None,
+            fault_policy: FaultPolicy::Abort,
         }
+    }
+}
+
+/// Observable robustness counters, recorded per run.
+///
+/// These are part of the runtime's *observable behavior* for the chaos
+/// equivalence property: an original and an optimized run of the same
+/// workload under the same fault plan must agree on every field except the
+/// specialization-dependent ones (`chains_removed`,
+/// `despecialized_by_event`, `guard_misses_by_event`), which necessarily
+/// differ between a run with chains installed and one without.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Faults recorded per event (injected and contained-organic).
+    pub faults_by_event: BTreeMap<EventId, u64>,
+    /// Injected faults that fired.
+    pub injected_faults: u64,
+    /// Organic handler traps contained by the policy.
+    pub handler_traps: u64,
+    /// Dispatches skipped (entirely or partially) by containment.
+    pub skipped_dispatches: u64,
+    /// Timed raises dropped by [`FaultKind::DropTimed`].
+    pub dropped_timed: u64,
+    /// Timed raises delayed by [`FaultKind::DelayTimed`].
+    pub delayed_timed: u64,
+    /// Compiled chains removed by [`FaultPolicy::Despecialize`].
+    pub chains_removed: u64,
+    /// Despecializations per event (chains actually removed).
+    pub despecialized_by_event: BTreeMap<EventId, u64>,
+    /// Guard misses per event (chain installed but stale), for
+    /// quarantine-churn accounting in the optimizer's workflow loop.
+    pub guard_misses_by_event: BTreeMap<EventId, u64>,
+}
+
+impl RuntimeStats {
+    /// Recorded faults for one event.
+    pub fn faults(&self, event: EventId) -> u64 {
+        self.faults_by_event.get(&event).copied().unwrap_or(0)
+    }
+
+    /// Guard misses for one event.
+    pub fn guard_misses(&self, event: EventId) -> u64 {
+        self.guard_misses_by_event.get(&event).copied().unwrap_or(0)
+    }
+
+    /// Total recorded faults.
+    pub fn total_faults(&self) -> u64 {
+        self.faults_by_event.values().sum()
+    }
+
+    /// The fields every equivalent pair of runs must agree on, independent
+    /// of whether chains are installed (see the struct docs).
+    pub fn observable(&self) -> (Vec<(EventId, u64)>, u64, u64, u64, u64, u64) {
+        (
+            self.faults_by_event.iter().map(|(e, n)| (*e, *n)).collect(),
+            self.injected_faults,
+            self.handler_traps,
+            self.skipped_dispatches,
+            self.dropped_timed,
+            self.delayed_timed,
+        )
     }
 }
 
@@ -130,6 +207,8 @@ pub struct Runtime {
     dispatch_seq: u64,
     fuel: Option<u64>,
     config: RuntimeConfig,
+    faults: Option<FaultInjector>,
+    stats: RuntimeStats,
     /// Cost counters charged by dispatch and handler execution.
     pub cost: CostCounter,
 }
@@ -182,6 +261,8 @@ impl Runtime {
             sync_depth: 0,
             dispatch_seq: 0,
             fuel: config.fuel,
+            faults: None,
+            stats: RuntimeStats::default(),
             cost: CostCounter::new(),
             reserved,
             config,
@@ -211,7 +292,12 @@ impl Runtime {
     /// Returns [`RuntimeError::UnknownEvent`] if the module does not declare
     /// `event`, and [`RuntimeError::UnknownName`] if `handler` is out of
     /// range.
-    pub fn bind(&mut self, event: EventId, handler: FuncId, order: i32) -> Result<(), RuntimeError> {
+    pub fn bind(
+        &mut self,
+        event: EventId,
+        handler: FuncId,
+        order: i32,
+    ) -> Result<(), RuntimeError> {
         self.check_event(event)?;
         if handler.index() >= self.module.functions.len() {
             return Err(RuntimeError::UnknownName(format!("{handler}")));
@@ -281,6 +367,32 @@ impl Runtime {
     /// Disables tracing.
     pub fn disable_tracing(&mut self) {
         self.trace_config = None;
+    }
+
+    /// Installs a fault injector (replacing any previous one; occurrence
+    /// counters start fresh).
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.faults = Some(injector);
+    }
+
+    /// Removes the fault injector, returning it with its counters.
+    pub fn take_fault_injector(&mut self) -> Option<FaultInjector> {
+        self.faults.take()
+    }
+
+    /// Changes the fault-containment policy mid-run.
+    pub fn set_fault_policy(&mut self, policy: FaultPolicy) {
+        self.config.fault_policy = policy;
+    }
+
+    /// Robustness counters recorded so far.
+    pub fn stats(&self) -> &RuntimeStats {
+        &self.stats
+    }
+
+    /// Takes the robustness counters, leaving zeroed ones.
+    pub fn take_stats(&mut self) -> RuntimeStats {
+        std::mem::take(&mut self.stats)
     }
 
     /// Takes the recorded trace, leaving an empty one.
@@ -411,57 +523,202 @@ impl Runtime {
                     .and_then(Value::as_int)
                     .filter(|d| *d >= 0)
                     .ok_or(RuntimeError::BadTimedRaise)?;
-                self.sched.push_timed(
-                    self.clock.now_ns(),
-                    delay as u64,
-                    event,
-                    args[1..].to_vec(),
-                );
+                let mut delay = delay as u64;
+                // Timed raises are never subsumed by the optimizer, so the
+                // injector counts every one of them (unlike dispatches,
+                // which count only top-level occurrences).
+                match self.faults.as_mut().and_then(|f| f.on_timed(event)) {
+                    Some(kind @ FaultKind::DropTimed) => {
+                        self.note_fault(event, kind);
+                        self.stats.dropped_timed += 1;
+                        return Ok(());
+                    }
+                    Some(kind @ FaultKind::DelayTimed { extra_ns }) => {
+                        self.note_fault(event, kind);
+                        self.stats.delayed_timed += 1;
+                        delay = delay.saturating_add(extra_ns);
+                    }
+                    _ => {}
+                }
+                self.sched
+                    .push_timed(self.clock.now_ns(), delay, event, args[1..].to_vec());
                 Ok(())
             }
         }
     }
 
+    /// Records one fault occurrence in stats and (when event tracing is on)
+    /// in the trace.
+    fn note_fault(&mut self, event: EventId, kind: FaultKind) {
+        *self.stats.faults_by_event.entry(event).or_insert(0) += 1;
+        if kind == FaultKind::HandlerTrap {
+            self.stats.handler_traps += 1;
+        } else {
+            self.stats.injected_faults += 1;
+        }
+        if self.trace_config.as_ref().is_some_and(|c| c.events) {
+            self.trace.records.push(TraceRecord::Fault {
+                event,
+                kind,
+                at: self.clock.now_ns(),
+            });
+        }
+    }
+
+    /// Removes `event`'s compiled chain as a containment action, updating
+    /// despecialization stats. No-op when no chain is installed, which is
+    /// what makes [`FaultPolicy::Despecialize`] equivalence-safe: the
+    /// original (chain-less) run takes the same generic path afterwards.
+    fn despecialize(&mut self, event: EventId) {
+        if self.spec.remove(event).is_some() {
+            self.stats.chains_removed += 1;
+            *self.stats.despecialized_by_event.entry(event).or_insert(0) += 1;
+        }
+    }
+
+    /// Records an organic handler trap (unless it is the fuel exhaustion we
+    /// injected ourselves, which was already noted at injection time).
+    fn note_trap(&mut self, event: EventId, err: &ExecError, injected_fuel: bool) {
+        if injected_fuel && matches!(err, ExecError::OutOfFuel) {
+            return;
+        }
+        self.note_fault(event, FaultKind::HandlerTrap);
+    }
+
     /// Dispatches the handlers of `event` immediately: guarded fast path
     /// when a chain is installed and valid, generic registry walk otherwise.
+    ///
+    /// Fault injection happens here, but only for *top-level* occurrences
+    /// (workload raises and queue/timer pops, `sync_depth <= 1`): nested
+    /// synchronous dispatch counts differ between original and optimized
+    /// runs because of subsumption, so keying faults on them would make the
+    /// chaos equivalence property ill-defined (see `crate::fault`).
     fn dispatch_now(
         &mut self,
         module: &Module,
         event: EventId,
         args: &[Value],
     ) -> Result<(), RuntimeError> {
-        // Fast path: compiled chain with matching guards.
-        if let Some(chain) = self.spec.get(event) {
-            if usize::from(chain.params) == args.len() && chain.guards_hold(&self.registry) {
-                let func = chain.func;
-                self.cost.fastpath_hits += 1;
-                self.cost.direct_handler_calls += 1;
-                let trace_handlers = self
-                    .trace_config
-                    .as_ref()
-                    .is_some_and(|c| c.handlers.traces(event));
-                let dispatch = self.dispatch_seq;
-                self.dispatch_seq += 1;
-                if trace_handlers {
-                    self.trace.records.push(TraceRecord::HandlerEnter {
-                        event,
-                        handler: func,
-                        dispatch,
-                        at: self.clock.now_ns(),
-                    });
+        let injected = if self.sync_depth <= 1 {
+            self.faults.as_mut().and_then(|f| f.on_dispatch(event))
+        } else {
+            None
+        };
+        let Some(kind) = injected else {
+            return self.dispatch_handlers(module, event, args, false, false);
+        };
+        self.note_fault(event, kind);
+        match kind {
+            FaultKind::TrapDispatch => match self.config.fault_policy {
+                FaultPolicy::Abort => Err(RuntimeError::Fault { event, kind }),
+                FaultPolicy::SkipEvent => {
+                    self.stats.skipped_dispatches += 1;
+                    Ok(())
                 }
-                call(module, self, func, args)?;
-                if trace_handlers {
-                    self.trace.records.push(TraceRecord::HandlerExit {
-                        event,
-                        handler: func,
-                        dispatch,
-                        at: self.clock.now_ns(),
-                    });
+                FaultPolicy::Despecialize => {
+                    // No handler effect has happened yet, so removing the
+                    // chain and dispatching this occurrence generically is
+                    // observably identical in original and optimized runs.
+                    self.despecialize(event);
+                    self.dispatch_handlers(module, event, args, true, false)
                 }
-                return Ok(());
+            },
+            FaultKind::CorruptArg { index } if !args.is_empty() => {
+                let mut owned = args.to_vec();
+                let i = usize::from(index) % owned.len();
+                owned[i] = corrupt_value(&owned[i]);
+                self.dispatch_handlers(module, event, &owned, false, false)
             }
-            self.cost.fastpath_misses += 1;
+            FaultKind::CorruptArg { .. } => {
+                self.dispatch_handlers(module, event, args, false, false)
+            }
+            FaultKind::ExhaustFuel => {
+                // Run this occurrence under a tiny instruction budget and
+                // restore the configured budget afterwards.
+                let saved = self.fuel;
+                self.fuel = Some(EXHAUST_FUEL_BUDGET);
+                let r = self.dispatch_handlers(module, event, args, false, true);
+                self.fuel = saved;
+                r
+            }
+            // Timed kinds never reach the dispatch plan (see
+            // `FaultInjector::from_plan`) and HandlerTrap is never planned.
+            FaultKind::DropTimed | FaultKind::DelayTimed { .. } | FaultKind::HandlerTrap => {
+                self.dispatch_handlers(module, event, args, false, false)
+            }
+        }
+    }
+
+    /// The actual fast-path / generic dispatch, with per-call trap
+    /// containment according to the configured [`FaultPolicy`].
+    fn dispatch_handlers(
+        &mut self,
+        module: &Module,
+        event: EventId,
+        args: &[Value],
+        force_generic: bool,
+        injected_fuel: bool,
+    ) -> Result<(), RuntimeError> {
+        // Fast path: compiled chain with matching guards.
+        if !force_generic {
+            if let Some(chain) = self.spec.get(event) {
+                if usize::from(chain.params) == args.len() && chain.guards_hold(&self.registry) {
+                    let func = chain.func;
+                    self.cost.fastpath_hits += 1;
+                    self.cost.direct_handler_calls += 1;
+                    let trace_handlers = self
+                        .trace_config
+                        .as_ref()
+                        .is_some_and(|c| c.handlers.traces(event));
+                    let dispatch = self.dispatch_seq;
+                    self.dispatch_seq += 1;
+                    if trace_handlers {
+                        self.trace.records.push(TraceRecord::HandlerEnter {
+                            event,
+                            handler: func,
+                            dispatch,
+                            at: self.clock.now_ns(),
+                        });
+                    }
+                    let result = call(module, self, func, args);
+                    if trace_handlers {
+                        // Pushed even on a trap so handler-profile stacks
+                        // stay balanced under containment.
+                        self.trace.records.push(TraceRecord::HandlerExit {
+                            event,
+                            handler: func,
+                            dispatch,
+                            at: self.clock.now_ns(),
+                        });
+                    }
+                    return match result {
+                        Ok(_) => Ok(()),
+                        Err(err) => match self.config.fault_policy {
+                            FaultPolicy::Abort => Err(RuntimeError::Exec(err)),
+                            FaultPolicy::SkipEvent => {
+                                self.note_trap(event, &err, injected_fuel);
+                                self.stats.skipped_dispatches += 1;
+                                Ok(())
+                            }
+                            FaultPolicy::Despecialize => {
+                                self.note_trap(event, &err, injected_fuel);
+                                self.stats.skipped_dispatches += 1;
+                                self.despecialize(event);
+                                // Best-effort generic re-dispatch: the chain
+                                // may have applied partial effects, so this
+                                // is NOT equivalence-preserving — it keeps
+                                // the occurrence from being lost entirely.
+                                if injected_fuel {
+                                    self.fuel = None; // restored by caller
+                                }
+                                self.dispatch_handlers(module, event, args, true, false)
+                            }
+                        },
+                    };
+                }
+                self.cost.fastpath_misses += 1;
+                *self.stats.guard_misses_by_event.entry(event).or_insert(0) += 1;
+            }
         }
 
         // Generic path: registry lookup, snapshot, marshal per handler,
@@ -487,7 +744,7 @@ impl Runtime {
                     at: self.clock.now_ns(),
                 });
             }
-            call(module, self, binding.handler, &unpacked)?;
+            let result = call(module, self, binding.handler, &unpacked);
             if trace_handlers {
                 self.trace.records.push(TraceRecord::HandlerExit {
                     event,
@@ -495,6 +752,20 @@ impl Runtime {
                     dispatch,
                     at: self.clock.now_ns(),
                 });
+            }
+            if let Err(err) = result {
+                match self.config.fault_policy {
+                    FaultPolicy::Abort => return Err(RuntimeError::Exec(err)),
+                    policy => {
+                        // Contain: record, skip the rest of this dispatch.
+                        self.note_trap(event, &err, injected_fuel);
+                        self.stats.skipped_dispatches += 1;
+                        if policy == FaultPolicy::Despecialize {
+                            self.despecialize(event); // stale chain, if any
+                        }
+                        return Ok(());
+                    }
+                }
             }
         }
         Ok(())
@@ -560,9 +831,9 @@ impl Runtime {
                 .ok_or_else(|| ExecError::Native("reserved native: bad argument".into()))
         };
         if Some(native) == self.reserved.binding_version {
-            return Some(arg_int(0).map(|e| {
-                Value::Int(self.registry.version(EventId(e as u32)) as i64)
-            }));
+            return Some(
+                arg_int(0).map(|e| Value::Int(self.registry.version(EventId(e as u32)) as i64)),
+            );
         }
         if Some(native) == self.reserved.bind {
             return Some((|| {
@@ -582,8 +853,7 @@ impl Runtime {
         }
         if Some(native) == self.reserved.cancel_timer {
             return Some(
-                arg_int(0)
-                    .map(|e| Value::Int(self.sched.cancel_timers(EventId(e as u32)) as i64)),
+                arg_int(0).map(|e| Value::Int(self.sched.cancel_timers(EventId(e as u32)) as i64)),
             );
         }
         if Some(native) == self.reserved.clock {
@@ -656,10 +926,11 @@ impl Env for Runtime {
         mode: RaiseMode,
         args: &[Value],
     ) -> Result<(), ExecError> {
-        self.raise_inner(module, event, mode, args).map_err(|e| match e {
-            RuntimeError::Exec(inner) => inner,
-            other => ExecError::Raise(other.to_string()),
-        })
+        self.raise_inner(module, event, mode, args)
+            .map_err(|e| match e {
+                RuntimeError::Exec(inner) => inner,
+                other => ExecError::Raise(other.to_string()),
+            })
     }
 
     fn cost(&mut self) -> &mut CostCounter {
@@ -874,6 +1145,7 @@ mod tests {
                 TraceRecord::Raise { .. } => "raise",
                 TraceRecord::HandlerEnter { .. } => "enter",
                 TraceRecord::HandlerExit { .. } => "exit",
+                TraceRecord::Fault { .. } => "fault",
             })
             .collect();
         assert_eq!(kinds, vec!["raise", "enter", "exit", "enter", "exit"]);
@@ -1072,11 +1344,262 @@ mod tests {
         let (m, e, g, h1, _) = two_handler_module();
         let mut rt = Runtime::new(m);
         rt.bind(e, h1, 0).unwrap();
-        rt.raise_by_name("E", RaiseMode::Sync, &[Value::Unit]).unwrap();
+        rt.raise_by_name("E", RaiseMode::Sync, &[Value::Unit])
+            .unwrap();
         assert_eq!(rt.global(g), &Value::Int(1));
         assert!(matches!(
             rt.raise_by_name("Nope", RaiseMode::Sync, &[]),
             Err(RuntimeError::UnknownName(_))
         ));
+    }
+
+    use crate::fault::{FaultInjector, FaultKind, FaultPolicy, FaultSpec};
+
+    fn trap_on_second(e: EventId) -> FaultInjector {
+        FaultInjector::from_plan([FaultSpec {
+            event: e,
+            occurrence: 1,
+            kind: FaultKind::TrapDispatch,
+        }])
+    }
+
+    #[test]
+    fn injected_trap_aborts_by_default() {
+        let (m, e, g, h1, _) = two_handler_module();
+        let mut rt = Runtime::new(m);
+        rt.bind(e, h1, 0).unwrap();
+        rt.set_fault_injector(trap_on_second(e));
+        rt.raise(e, RaiseMode::Sync, &[Value::Unit]).unwrap();
+        let err = rt.raise(e, RaiseMode::Sync, &[Value::Unit]).unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::Fault {
+                kind: FaultKind::TrapDispatch,
+                ..
+            }
+        ));
+        assert_eq!(rt.global(g), &Value::Int(1)); // second occurrence had no effect
+        assert_eq!(rt.stats().faults(e), 1);
+    }
+
+    #[test]
+    fn skip_event_contains_injected_trap() {
+        let (m, e, g, h1, _) = two_handler_module();
+        let mut rt = Runtime::with_config(
+            m,
+            RuntimeConfig {
+                fault_policy: FaultPolicy::SkipEvent,
+                ..Default::default()
+            },
+        );
+        rt.bind(e, h1, 0).unwrap();
+        rt.set_fault_injector(trap_on_second(e));
+        for _ in 0..3 {
+            rt.raise(e, RaiseMode::Async, &[Value::Unit]).unwrap();
+        }
+        assert_eq!(rt.run_until_idle().unwrap(), 3);
+        assert_eq!(rt.global(g), &Value::Int(11)); // occurrence 1 skipped
+        assert_eq!(rt.stats().skipped_dispatches, 1);
+        assert_eq!(rt.stats().injected_faults, 1);
+    }
+
+    #[test]
+    fn despecialize_removes_chain_and_dispatches_generically() {
+        let (m, e, g, h1, h2) = two_handler_module();
+        let mut rt = Runtime::with_config(
+            m,
+            RuntimeConfig {
+                fault_policy: FaultPolicy::Despecialize,
+                ..Default::default()
+            },
+        );
+        rt.bind(e, h1, 0).unwrap();
+        rt.bind(e, h2, 1).unwrap();
+        // Broken "merged" chain: runs only h1, so its effect differs from
+        // generic dispatch — we only check it is *removed* on fault.
+        rt.install_chain(CompiledChain {
+            head: e,
+            guards: vec![Guard {
+                event: e,
+                version: rt.registry().version(e),
+            }],
+            func: h1,
+            params: 1,
+            partitioned: false,
+        });
+        rt.set_fault_injector(trap_on_second(e));
+        rt.raise(e, RaiseMode::Sync, &[Value::Unit]).unwrap();
+        assert_eq!(rt.cost.fastpath_hits, 1);
+        assert_eq!(rt.global(g), &Value::Int(1)); // chain ran h1 only
+        rt.raise(e, RaiseMode::Sync, &[Value::Unit]).unwrap();
+        // Fault fired: chain removed, occurrence dispatched generically.
+        assert!(rt.spec().get(e).is_none());
+        assert_eq!(rt.stats().chains_removed, 1);
+        assert_eq!(rt.global(g), &Value::Int(112)); // generic ran h1 and h2
+        rt.raise(e, RaiseMode::Sync, &[Value::Unit]).unwrap();
+        assert_eq!(rt.global(g), &Value::Int(11212));
+        assert_eq!(rt.cost.fastpath_hits, 1); // never took the fast path again
+    }
+
+    #[test]
+    fn corrupt_arg_reaches_handler_on_both_paths() {
+        // Handler stores its argument into the global.
+        let mut m = Module::new();
+        let e = m.add_event("E");
+        let g = m.add_global("seen", Value::Int(0));
+        let mut b = FunctionBuilder::new("h", 1);
+        let p = b.param(0);
+        b.store_global(g, p);
+        b.ret(None);
+        let h = m.add_function(b.finish());
+        let mut rt = Runtime::new(m);
+        rt.bind(e, h, 0).unwrap();
+        rt.set_fault_injector(FaultInjector::from_plan([FaultSpec {
+            event: e,
+            occurrence: 0,
+            kind: FaultKind::CorruptArg { index: 0 },
+        }]));
+        rt.raise(e, RaiseMode::Sync, &[Value::Int(7)]).unwrap();
+        assert_eq!(rt.global(g), &Value::Int(!7)); // corrupt_value on Int
+        rt.raise(e, RaiseMode::Sync, &[Value::Int(7)]).unwrap();
+        assert_eq!(rt.global(g), &Value::Int(7)); // only occurrence 0 targeted
+    }
+
+    #[test]
+    fn dropped_and_delayed_timed_raises() {
+        let (m, e, g, h1, _) = two_handler_module();
+        let mut rt = Runtime::new(m);
+        rt.bind(e, h1, 0).unwrap();
+        rt.set_fault_injector(FaultInjector::from_plan([
+            FaultSpec {
+                event: e,
+                occurrence: 0,
+                kind: FaultKind::DropTimed,
+            },
+            FaultSpec {
+                event: e,
+                occurrence: 1,
+                kind: FaultKind::DelayTimed { extra_ns: 500 },
+            },
+        ]));
+        rt.raise(e, RaiseMode::Timed, &[Value::Int(100), Value::Unit])
+            .unwrap(); // dropped
+        rt.raise(e, RaiseMode::Timed, &[Value::Int(100), Value::Unit])
+            .unwrap(); // delayed to t=600
+        assert_eq!(rt.pending(), 1);
+        rt.run_until_idle().unwrap();
+        assert_eq!(rt.global(g), &Value::Int(1));
+        assert_eq!(rt.clock_ns(), 600);
+        assert_eq!(rt.stats().dropped_timed, 1);
+        assert_eq!(rt.stats().delayed_timed, 1);
+    }
+
+    #[test]
+    fn nested_dispatches_do_not_consume_the_plan() {
+        // E's handler raises F synchronously; a fault planned for F's
+        // occurrence 0 must NOT fire on the nested dispatch (depth 2), only
+        // on a top-level raise of F.
+        let mut m = Module::new();
+        let e = m.add_event("E");
+        let f = m.add_event("F");
+        let g = m.add_global("acc", Value::Int(0));
+        let mut fb = FunctionBuilder::new("hf", 0);
+        let v = fb.load_global(g);
+        let one = fb.const_int(1);
+        let out = fb.bin(BinOp::Add, v, one);
+        fb.store_global(g, out);
+        fb.ret(None);
+        let hf = m.add_function(fb.finish());
+        let mut eb = FunctionBuilder::new("he", 0);
+        eb.raise(f, RaiseMode::Sync, &[]);
+        eb.ret(None);
+        let he = m.add_function(eb.finish());
+
+        let mut rt = Runtime::new(m);
+        rt.bind(e, he, 0).unwrap();
+        rt.bind(f, hf, 0).unwrap();
+        rt.set_fault_injector(FaultInjector::from_plan([FaultSpec {
+            event: f,
+            occurrence: 0,
+            kind: FaultKind::TrapDispatch,
+        }]));
+        rt.raise(e, RaiseMode::Sync, &[]).unwrap(); // nested F unharmed
+        assert_eq!(rt.global(g), &Value::Int(1));
+        // Top-level F raise is occurrence 0 and faults.
+        let err = rt.raise(f, RaiseMode::Sync, &[]).unwrap_err();
+        assert!(matches!(err, RuntimeError::Fault { .. }));
+    }
+
+    #[test]
+    fn organic_trap_contained_and_counted() {
+        // Handler always traps (calls an unbound native).
+        let mut m = Module::new();
+        let e = m.add_event("E");
+        let n = m.add_native("boom");
+        let mut b = FunctionBuilder::new("h", 0);
+        let _ = b.call_native(n, &[]);
+        b.ret(None);
+        let h = m.add_function(b.finish());
+        let mut rt = Runtime::with_config(
+            m,
+            RuntimeConfig {
+                fault_policy: FaultPolicy::SkipEvent,
+                ..Default::default()
+            },
+        );
+        rt.bind(e, h, 0).unwrap();
+        rt.raise(e, RaiseMode::Async, &[]).unwrap();
+        rt.raise(e, RaiseMode::Async, &[]).unwrap();
+        assert_eq!(rt.run_until_idle().unwrap(), 2);
+        assert_eq!(rt.stats().handler_traps, 2);
+        assert_eq!(rt.stats().skipped_dispatches, 2);
+        assert_eq!(rt.stats().injected_faults, 0);
+    }
+
+    #[test]
+    fn fault_records_appear_in_trace() {
+        let (m, e, _, h1, _) = two_handler_module();
+        let mut rt = Runtime::with_config(
+            m,
+            RuntimeConfig {
+                fault_policy: FaultPolicy::SkipEvent,
+                ..Default::default()
+            },
+        );
+        rt.bind(e, h1, 0).unwrap();
+        rt.set_trace_config(TraceConfig::events_only());
+        rt.set_fault_injector(FaultInjector::from_plan([FaultSpec {
+            event: e,
+            occurrence: 0,
+            kind: FaultKind::TrapDispatch,
+        }]));
+        rt.raise(e, RaiseMode::Sync, &[Value::Unit]).unwrap();
+        let t = rt.take_trace();
+        assert_eq!(t.fault_sequence(), vec![(e, FaultKind::TrapDispatch)]);
+    }
+
+    #[test]
+    fn exhaust_fuel_restores_budget_after_occurrence() {
+        let (m, e, g, h1, _) = two_handler_module();
+        let mut rt = Runtime::with_config(
+            m,
+            RuntimeConfig {
+                fault_policy: FaultPolicy::SkipEvent,
+                fuel: Some(1_000_000),
+                ..Default::default()
+            },
+        );
+        rt.bind(e, h1, 0).unwrap();
+        rt.set_fault_injector(FaultInjector::from_plan([FaultSpec {
+            event: e,
+            occurrence: 0,
+            kind: FaultKind::ExhaustFuel,
+        }]));
+        // h1 is tiny (7 instructions), so EXHAUST_FUEL_BUDGET may or may not
+        // trip it; either way the configured budget must be restored and the
+        // next occurrence must run normally.
+        let _ = rt.raise(e, RaiseMode::Sync, &[Value::Unit]);
+        rt.raise(e, RaiseMode::Sync, &[Value::Unit]).unwrap();
+        assert!(matches!(rt.global(g), Value::Int(n) if *n > 0));
     }
 }

@@ -11,11 +11,10 @@
 
 use crate::registry::Registry;
 use pdo_ir::{EventId, FuncId};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One binding-version expectation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Guard {
     /// Event whose bindings the chain depends on.
     pub event: EventId,
@@ -24,7 +23,7 @@ pub struct Guard {
 }
 
 /// A compiled, guarded super-handler for one head event.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompiledChain {
     /// The event this chain specializes.
     pub head: EventId,
@@ -62,7 +61,7 @@ impl CompiledChain {
 }
 
 /// All installed chains, keyed by head event.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SpecTable {
     chains: HashMap<EventId, CompiledChain>,
 }

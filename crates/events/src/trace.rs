@@ -5,12 +5,12 @@
 //! second run additionally instruments the handlers of selected events
 //! (handler profiling). [`TraceConfig`] selects the phase.
 
+use crate::fault::FaultKind;
 use pdo_ir::{EventId, FuncId, RaiseMode};
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// One record in an execution trace.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceRecord {
     /// An event was raised. `depth` is the synchronous nesting depth at the
     /// raise site: a non-zero depth means the raise happened from inside
@@ -48,10 +48,20 @@ pub enum TraceRecord {
         /// Virtual-clock timestamp (ns).
         at: u64,
     },
+    /// A fault (injected or contained organic trap) was recorded for
+    /// `event`. Only present when event tracing is enabled.
+    Fault {
+        /// The faulting event.
+        event: EventId,
+        /// The fault kind.
+        kind: FaultKind,
+        /// Virtual-clock timestamp (ns).
+        at: u64,
+    },
 }
 
 /// Which handlers to instrument.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum HandlerTraceMode {
     /// No handler records (event-profiling phase).
     #[default]
@@ -75,7 +85,7 @@ impl HandlerTraceMode {
 }
 
 /// Tracing configuration.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceConfig {
     /// Record [`TraceRecord::Raise`] entries.
     pub events: bool,
@@ -116,7 +126,7 @@ impl TraceConfig {
 }
 
 /// A recorded execution trace.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     /// Records in execution order.
     pub records: Vec<TraceRecord>,
@@ -145,6 +155,18 @@ impl Trace {
             .iter()
             .filter(|r| matches!(r, TraceRecord::Raise { .. }))
             .count()
+    }
+
+    /// The recorded fault events, in order, as `(event, kind)` pairs. Part
+    /// of the observable behavior the chaos equivalence property compares.
+    pub fn fault_sequence(&self) -> Vec<(EventId, FaultKind)> {
+        self.records
+            .iter()
+            .filter_map(|r| match r {
+                TraceRecord::Fault { event, kind, .. } => Some((*event, *kind)),
+                _ => None,
+            })
+            .collect()
     }
 }
 
@@ -193,23 +215,33 @@ mod tests {
         };
         assert_eq!(
             t.event_sequence(),
-            vec![(EventId(0), RaiseMode::Sync), (EventId(1), RaiseMode::Async)]
+            vec![
+                (EventId(0), RaiseMode::Sync),
+                (EventId(1), RaiseMode::Async)
+            ]
         );
         assert_eq!(t.raise_count(), 2);
     }
 
     #[test]
-    fn trace_serializes() {
+    fn fault_records_are_separated_from_raises() {
         let t = Trace {
-            records: vec![TraceRecord::Raise {
-                event: EventId(3),
-                mode: RaiseMode::Timed,
-                depth: 0,
-                at: 99,
-            }],
+            records: vec![
+                TraceRecord::Raise {
+                    event: EventId(3),
+                    mode: RaiseMode::Timed,
+                    depth: 0,
+                    at: 99,
+                },
+                TraceRecord::Fault {
+                    event: EventId(3),
+                    kind: FaultKind::DropTimed,
+                    at: 99,
+                },
+            ],
         };
-        let json = serde_json::to_string(&t).unwrap();
-        let back: Trace = serde_json::from_str(&json).unwrap();
-        assert_eq!(t, back);
+        assert_eq!(t.raise_count(), 1);
+        assert_eq!(t.event_sequence(), vec![(EventId(3), RaiseMode::Timed)]);
+        assert_eq!(t.fault_sequence(), vec![(EventId(3), FaultKind::DropTimed)]);
     }
 }

@@ -1,8 +1,8 @@
 //! A convenience builder for constructing IR functions.
 
+use crate::func::{Block, Function};
 use crate::ids::{BlockId, EventId, FuncId, GlobalId, NativeId, Reg};
 use crate::instr::{BinOp, Instr, RaiseMode, Terminator, UnOp};
-use crate::func::{Block, Function};
 use crate::value::Value;
 
 /// Incrementally builds a [`Function`].

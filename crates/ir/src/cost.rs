@@ -7,12 +7,11 @@
 //! each source deterministically (wall-clock benches measure the same paths
 //! with Criterion).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign};
 
 /// Deterministic execution cost counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CostCounter {
     /// IR instructions executed (including terminators).
     pub instrs: u64,

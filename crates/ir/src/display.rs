@@ -86,7 +86,11 @@ fn instr_text(i: &Instr, sym: &Symbols<'_>) -> String {
             format!("{dst} = call {}({})", sym.func(*func), regs_text(args))
         }
         Instr::CallNative { dst, native, args } => {
-            format!("{dst} = native {}({})", sym.native(*native), regs_text(args))
+            format!(
+                "{dst} = native {}({})",
+                sym.native(*native),
+                regs_text(args)
+            )
         }
         Instr::Raise { event, mode, args } => format!(
             "raise {} {}({})",

@@ -3,11 +3,10 @@
 use crate::ids::{BlockId, EventId, FuncId, GlobalId, NativeId, Reg};
 use crate::instr::{Instr, Terminator};
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A basic block: straight-line instructions ending in one [`Terminator`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Block {
     /// The instructions executed in order.
     pub instrs: Vec<Instr>,
@@ -27,7 +26,7 @@ impl Block {
 
 /// An IR function. Parameters are passed in registers `r0..r<params>`;
 /// block 0 is the entry block.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Function {
     /// Symbolic name (unique within a module by convention, not enforced).
     pub name: String,
@@ -79,14 +78,14 @@ impl Function {
 }
 
 /// A declared event. Bindings live in the runtime; the IR only knows names.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EventDecl {
     /// The event's symbolic name (e.g. `SegFromUser`).
     pub name: String,
 }
 
 /// A declared mutable global cell, with its initial value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GlobalDecl {
     /// The global's symbolic name.
     pub name: String,
@@ -95,7 +94,7 @@ pub struct GlobalDecl {
 }
 
 /// A declared native-function slot. The runtime binds the Rust closure.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NativeDecl {
     /// The slot's symbolic name (e.g. `des_encrypt`).
     pub name: String,
@@ -105,7 +104,7 @@ pub struct NativeDecl {
 ///
 /// A `Module` is the unit the profiler observes and the optimizer rewrites;
 /// the event runtime executes one module at a time.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Module {
     /// All functions; [`FuncId`] indexes this vector.
     pub functions: Vec<Function>,

@@ -2,7 +2,6 @@
 
 use crate::ids::{EventId, FuncId, GlobalId, NativeId, Reg};
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Binary arithmetic / logical / comparison operators.
@@ -10,7 +9,7 @@ use std::fmt;
 /// Arithmetic and bitwise operators apply to [`Value::Int`]; `And`/`Or` apply
 /// to [`Value::Bool`]; the comparisons `Eq`/`Ne` apply to any pair of values
 /// and the ordered comparisons to integers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     /// Integer addition (wrapping).
     Add,
@@ -170,7 +169,7 @@ impl BinOp {
 }
 
 /// Unary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnOp {
     /// Integer negation.
     Neg,
@@ -241,7 +240,7 @@ impl std::error::Error for EvalError {}
 /// Synchronous raises run all bound handlers to completion before the raiser
 /// continues; asynchronous raises enqueue the event; timed raises enqueue it
 /// with a virtual-clock delay.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RaiseMode {
     /// Handlers execute before the raise returns.
     Sync,
@@ -273,7 +272,7 @@ impl fmt::Display for RaiseMode {
 ///
 /// All instructions read registers and (except stores, locks, and raises)
 /// write a destination register.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Instr {
     /// `dst = value`
     Const { dst: Reg, value: Value },
@@ -362,7 +361,10 @@ impl Instr {
     /// Calls `f` for every register read by this instruction.
     pub fn for_each_use(&self, mut f: impl FnMut(Reg)) {
         match self {
-            Instr::Const { .. } | Instr::LoadGlobal { .. } | Instr::Lock { .. } | Instr::Unlock { .. } => {}
+            Instr::Const { .. }
+            | Instr::LoadGlobal { .. }
+            | Instr::Lock { .. }
+            | Instr::Unlock { .. } => {}
             Instr::Mov { src, .. } | Instr::Un { src, .. } => f(*src),
             Instr::Bin { lhs, rhs, .. } | Instr::BytesConcat { lhs, rhs, .. } => {
                 f(*lhs);
@@ -404,7 +406,10 @@ impl Instr {
     /// Rewrites every register the instruction reads through `f`.
     pub fn map_uses(&mut self, mut f: impl FnMut(Reg) -> Reg) {
         match self {
-            Instr::Const { .. } | Instr::LoadGlobal { .. } | Instr::Lock { .. } | Instr::Unlock { .. } => {}
+            Instr::Const { .. }
+            | Instr::LoadGlobal { .. }
+            | Instr::Lock { .. }
+            | Instr::Unlock { .. } => {}
             Instr::Mov { src, .. } | Instr::Un { src, .. } => *src = f(*src),
             Instr::Bin { lhs, rhs, .. } | Instr::BytesConcat { lhs, rhs, .. } => {
                 *lhs = f(*lhs);
@@ -488,7 +493,7 @@ impl Instr {
 }
 
 /// A basic-block terminator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Terminator {
     /// Unconditional jump.
     Jump(crate::ids::BlockId),
@@ -518,7 +523,10 @@ impl Terminator {
     }
 
     /// Rewrites each successor block through `f`.
-    pub fn map_successors(&mut self, mut f: impl FnMut(crate::ids::BlockId) -> crate::ids::BlockId) {
+    pub fn map_successors(
+        &mut self,
+        mut f: impl FnMut(crate::ids::BlockId) -> crate::ids::BlockId,
+    ) {
         match self {
             Terminator::Jump(b) => *b = f(*b),
             Terminator::Branch {
@@ -571,9 +579,7 @@ mod tests {
             Value::Bool(true)
         );
         assert_eq!(
-            BinOp::Eq
-                .eval(&Value::str("a"), &Value::str("a"))
-                .unwrap(),
+            BinOp::Eq.eval(&Value::str("a"), &Value::str("a")).unwrap(),
             Value::Bool(true)
         );
         assert_eq!(
@@ -591,7 +597,9 @@ mod tests {
     #[test]
     fn binop_wrapping_overflow() {
         assert_eq!(
-            BinOp::Add.eval(&Value::Int(i64::MAX), &Value::Int(1)).unwrap(),
+            BinOp::Add
+                .eval(&Value::Int(i64::MAX), &Value::Int(1))
+                .unwrap(),
             Value::Int(i64::MIN)
         );
         // i64::MIN / -1 overflows with a plain `/`; wrapping_div must not panic.
@@ -614,7 +622,10 @@ mod tests {
     #[test]
     fn unop_eval() {
         assert_eq!(UnOp::Neg.eval(&Value::Int(5)).unwrap(), Value::Int(-5));
-        assert_eq!(UnOp::Not.eval(&Value::Bool(false)).unwrap(), Value::Bool(true));
+        assert_eq!(
+            UnOp::Not.eval(&Value::Bool(false)).unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(UnOp::BNot.eval(&Value::Int(0)).unwrap(), Value::Int(-1));
         assert!(UnOp::Not.eval(&Value::Int(0)).is_err());
     }
@@ -649,8 +660,15 @@ mod tests {
 
     #[test]
     fn side_effects_classification() {
-        assert!(Instr::Lock { global: GlobalId(0) }.has_side_effect());
-        assert!(!Instr::Mov { dst: Reg(0), src: Reg(1) }.has_side_effect());
+        assert!(Instr::Lock {
+            global: GlobalId(0)
+        }
+        .has_side_effect());
+        assert!(!Instr::Mov {
+            dst: Reg(0),
+            src: Reg(1)
+        }
+        .has_side_effect());
         assert!(Instr::Bin {
             op: BinOp::Div,
             dst: Reg(0),

@@ -71,7 +71,10 @@ impl fmt::Display for ExecError {
                 func,
                 expected,
                 got,
-            } => write!(f, "function `{func}` expects {expected} arguments, got {got}"),
+            } => write!(
+                f,
+                "function `{func}` expects {expected} arguments, got {got}"
+            ),
             ExecError::BranchOnNonBool(t) => write!(f, "branch condition has type {t}"),
             ExecError::BytesTypeError(op) => write!(f, "type error in bytes operation `{op}`"),
             ExecError::OutOfBounds { index, len } => {
@@ -571,7 +574,10 @@ mod tests {
 
         b.switch_to(body);
         let acc2 = b.bin(BinOp::Add, acc, i);
-        b.push(Instr::Mov { dst: acc, src: acc2 });
+        b.push(Instr::Mov {
+            dst: acc,
+            src: acc2,
+        });
         let one = b.const_int(1);
         let i2 = b.bin(BinOp::Add, i, one);
         b.push(Instr::Mov { dst: i, src: i2 });
@@ -657,7 +663,10 @@ mod tests {
         env.bind_native(n, |args| {
             Ok(Value::Int(args[0].as_int().ok_or("not int")? * 3))
         });
-        assert_eq!(call(&m, &mut env, f, &[Value::Int(4)]).unwrap(), Value::Int(12));
+        assert_eq!(
+            call(&m, &mut env, f, &[Value::Int(4)]).unwrap(),
+            Value::Int(12)
+        );
 
         let mut unbound = BasicEnv::new(&m);
         assert_eq!(
@@ -743,7 +752,14 @@ mod tests {
         let f = m.add_function(b.finish());
         let mut env = BasicEnv::new(&m);
         let err = call(&m, &mut env, f, &[Value::Int(1)]).unwrap_err();
-        assert!(matches!(err, ExecError::BadArgCount { expected: 2, got: 1, .. }));
+        assert!(matches!(
+            err,
+            ExecError::BadArgCount {
+                expected: 2,
+                got: 1,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -106,10 +106,13 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
                 line: ln,
                 message: "func header missing `)`".into(),
             })?;
-            let params: u16 = rest[open + 1..close].trim().parse().map_err(|_| ParseError {
-                line: ln,
-                message: "bad parameter count".into(),
-            })?;
+            let params: u16 = rest[open + 1..close]
+                .trim()
+                .parse()
+                .map_err(|_| ParseError {
+                    line: ln,
+                    message: "bad parameter count".into(),
+                })?;
             if !rest[close + 1..].trim().starts_with('{') {
                 return err(ln, "func header missing `{`");
             }
@@ -310,11 +313,10 @@ fn parse_function_body(
                 block_ids.push(bid);
                 blocks.push(Block {
                     instrs,
-                    term: term
-                        .ok_or_else(|| ParseError {
-                            line: ln,
-                            message: format!("block {bid} missing terminator"),
-                        })?,
+                    term: term.ok_or_else(|| ParseError {
+                        line: ln,
+                        message: format!("block {bid} missing terminator"),
+                    })?,
                 });
             }
             if blocks.is_empty() {
@@ -323,7 +325,10 @@ fn parse_function_body(
             // Verify blocks were declared densely in order b0, b1, ...
             for (i, bid) in block_ids.iter().enumerate() {
                 if bid.index() != i {
-                    return err(ln, format!("blocks must be declared in order; found {bid} at position {i}"));
+                    return err(
+                        ln,
+                        format!("blocks must be declared in order; found {bid} at position {i}"),
+                    );
                 }
             }
             let f = Function {
@@ -342,11 +347,10 @@ fn parse_function_body(
                 block_ids.push(bid);
                 blocks.push(Block {
                     instrs,
-                    term: term
-                        .ok_or_else(|| ParseError {
-                            line: ln,
-                            message: format!("block {bid} missing terminator"),
-                        })?,
+                    term: term.ok_or_else(|| ParseError {
+                        line: ln,
+                        message: format!("block {bid} missing terminator"),
+                    })?,
                 });
             }
             current = Some((parse_block_id(label.trim(), ln)?, Vec::new(), None));

@@ -1,6 +1,5 @@
 //! Runtime values manipulated by handler code.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
@@ -9,8 +8,7 @@ use std::sync::Arc;
 /// Values are cheap to clone: byte buffers and strings are reference-counted.
 /// Byte buffers use copy-on-write semantics (see [`Value::bytes_mut`]) so a
 /// handler mutating a packet does not disturb other holders of the buffer.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub enum Value {
     /// The unit value, produced by instructions without a meaningful result.
     #[default]
@@ -97,7 +95,6 @@ impl Value {
         matches!(self, Value::Bool(true))
     }
 }
-
 
 impl PartialEq for Value {
     fn eq(&self, other: &Self) -> bool {

@@ -31,11 +31,20 @@ pub enum VerifyError {
     /// A call references a function id outside the module.
     UnknownFunction { func: String, callee: FuncId },
     /// A reference to an undeclared event.
-    UnknownEvent { func: String, event: crate::ids::EventId },
+    UnknownEvent {
+        func: String,
+        event: crate::ids::EventId,
+    },
     /// A reference to an undeclared global.
-    UnknownGlobal { func: String, global: crate::ids::GlobalId },
+    UnknownGlobal {
+        func: String,
+        global: crate::ids::GlobalId,
+    },
     /// A reference to an undeclared native slot.
-    UnknownNative { func: String, native: crate::ids::NativeId },
+    UnknownNative {
+        func: String,
+        native: crate::ids::NativeId,
+    },
 }
 
 impl fmt::Display for VerifyError {

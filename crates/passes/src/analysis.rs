@@ -179,16 +179,14 @@ pub fn const_transfer(state: &mut ConstState, instr: &Instr) {
         Instr::Const { dst, value } => state[dst.index()] = Lattice::Const(value.clone()),
         Instr::Mov { dst, src } => state[dst.index()] = state[src.index()].clone(),
         Instr::Bin { op, dst, lhs, rhs } => {
-            state[dst.index()] = match (
-                state[lhs.index()].as_const(),
-                state[rhs.index()].as_const(),
-            ) {
-                (Some(a), Some(b)) => match op.eval(a, b) {
-                    Ok(v) => Lattice::Const(v),
-                    Err(_) => Lattice::Bottom,
-                },
-                _ => Lattice::Bottom,
-            };
+            state[dst.index()] =
+                match (state[lhs.index()].as_const(), state[rhs.index()].as_const()) {
+                    (Some(a), Some(b)) => match op.eval(a, b) {
+                        Ok(v) => Lattice::Const(v),
+                        Err(_) => Lattice::Bottom,
+                    },
+                    _ => Lattice::Bottom,
+                };
         }
         Instr::Un { op, dst, src } => {
             state[dst.index()] = match state[src.index()].as_const() {

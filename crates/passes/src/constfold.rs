@@ -70,7 +70,10 @@ fn simplify(instr: &Instr, state: &ConstState, tys: &TyState) -> Option<Instr> {
             // Full fold when both operands are known.
             if let (Some(a), Some(b)) = (konst(*lhs), konst(*rhs)) {
                 if let Ok(v) = op.eval(a, b) {
-                    return Some(Instr::Const { dst: *dst, value: v });
+                    return Some(Instr::Const {
+                        dst: *dst,
+                        value: v,
+                    });
                 }
                 return None; // would fault; leave it to fault at runtime
             }
@@ -213,7 +216,10 @@ mod tests {
         // Both operands constant: full fold wins over the identity.
         assert!(matches!(
             m.functions[0].blocks[0].instrs[2],
-            Instr::Const { value: Value::Int(7), .. }
+            Instr::Const {
+                value: Value::Int(7),
+                ..
+            }
         ));
     }
 
@@ -236,7 +242,10 @@ mod tests {
         // dataflow proves r2: Int and `add r2, 0` becomes a mov.
         assert!(matches!(
             m.functions[0].blocks[0].instrs[3],
-            Instr::Mov { src: pdo_ir::Reg(2), .. }
+            Instr::Mov {
+                src: pdo_ir::Reg(2),
+                ..
+            }
         ));
     }
 

@@ -75,9 +75,9 @@ impl ExprKey {
     fn mentions(&self, r: Reg) -> bool {
         match self {
             ExprKey::Const(_) => false,
-            ExprKey::Bin(_, a, b)
-            | ExprKey::BytesGet(a, b)
-            | ExprKey::BytesConcat(a, b) => *a == r || *b == r,
+            ExprKey::Bin(_, a, b) | ExprKey::BytesGet(a, b) | ExprKey::BytesConcat(a, b) => {
+                *a == r || *b == r
+            }
             ExprKey::Un(_, a) | ExprKey::BytesLen(a) => *a == r,
             ExprKey::BytesSlice(a, b, c) => *a == r || *b == r || *c == r,
         }

@@ -71,7 +71,11 @@ pub fn inline_into(module: &mut Module, caller_idx: usize, threshold: usize) -> 
 
 /// Finds the first inlinable call site in `caller`: returns
 /// `(block index, instruction index, callee function index)`.
-fn find_site(module: &Module, caller_idx: usize, threshold: usize) -> Option<(usize, usize, usize)> {
+fn find_site(
+    module: &Module,
+    caller_idx: usize,
+    threshold: usize,
+) -> Option<(usize, usize, usize)> {
     let caller = &module.functions[caller_idx];
     for (b, block) in caller.blocks.iter().enumerate() {
         for (i, instr) in block.instrs.iter().enumerate() {
@@ -303,7 +307,9 @@ mod tests {
 
     #[test]
     fn oversized_callee_skipped() {
-        let mut big = String::from("func @main(1) {\nb0:\n  r1 = call @big(r0)\n  ret r1\n}\nfunc @big(1) {\nb0:\n");
+        let mut big = String::from(
+            "func @main(1) {\nb0:\n  r1 = call @big(r0)\n  ret r1\n}\nfunc @big(1) {\nb0:\n",
+        );
         for i in 1..=60 {
             big.push_str(&format!("  r{i} = const int {i}\n"));
         }

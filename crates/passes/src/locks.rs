@@ -283,8 +283,7 @@ mod tests {
         let mut m = parse_module(text).unwrap();
         assert!(RedundantLoadElim.run(&mut m));
         assert_eq!(
-            m.functions[0]
-                .blocks[0]
+            m.functions[0].blocks[0]
                 .instrs
                 .iter()
                 .filter(|i| matches!(i, Instr::StoreGlobal { .. }))

@@ -87,10 +87,7 @@ fn inline_then_fold_collapses_branches() {
     assert_eq!(main.blocks.len(), 1, "{main}");
     assert!(main.instr_count() <= 2, "{main}");
     let mut env = BasicEnv::new(&m);
-    assert_eq!(
-        call(&m, &mut env, FuncId(0), &[]).unwrap(),
-        Value::Int(100)
-    );
+    assert_eq!(call(&m, &mut env, FuncId(0), &[]).unwrap(), Value::Int(100));
 }
 
 /// The scoped pipeline must not touch other functions.
@@ -145,12 +142,24 @@ fn repeated_checks_across_merged_handlers_are_deduplicated() {
         .flat_map(|b| &b.instrs)
         .filter(|i| matches!(i, Instr::BytesLen { .. }))
         .count();
-    assert_eq!(blens, 1, "duplicate length check removed: {}", m.functions[0]);
+    assert_eq!(
+        blens, 1,
+        "duplicate length check removed: {}",
+        m.functions[0]
+    );
     let gts = m.functions[0]
         .blocks
         .iter()
         .flat_map(|b| &b.instrs)
-        .filter(|i| matches!(i, Instr::Bin { op: pdo_ir::BinOp::Gt, .. }))
+        .filter(|i| {
+            matches!(
+                i,
+                Instr::Bin {
+                    op: pdo_ir::BinOp::Gt,
+                    ..
+                }
+            )
+        })
         .count();
     assert_eq!(gts, 1, "duplicate comparison removed: {}", m.functions[0]);
 

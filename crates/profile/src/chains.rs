@@ -54,20 +54,21 @@ fn extract_paths(reduced: &EventGraph, sync_only: bool) -> Vec<Vec<EventId>> {
     let mut consumed: BTreeSet<EventId> = BTreeSet::new();
     let mut paths = Vec::new();
 
-    let walk = |head: EventId, next: &BTreeMap<EventId, EventId>, consumed: &mut BTreeSet<EventId>| {
-        let mut path = vec![head];
-        consumed.insert(head);
-        let mut cur = head;
-        while let Some(&n) = next.get(&cur) {
-            if path.contains(&n) {
-                break; // cycle: stop before repeating
+    let walk =
+        |head: EventId, next: &BTreeMap<EventId, EventId>, consumed: &mut BTreeSet<EventId>| {
+            let mut path = vec![head];
+            consumed.insert(head);
+            let mut cur = head;
+            while let Some(&n) = next.get(&cur) {
+                if path.contains(&n) {
+                    break; // cycle: stop before repeating
+                }
+                path.push(n);
+                consumed.insert(n);
+                cur = n;
             }
-            path.push(n);
-            consumed.insert(n);
-            cur = n;
-        }
-        path
-    };
+            path
+        };
 
     for &head in next.keys() {
         if !targets.contains(&head) && !consumed.contains(&head) {
@@ -172,7 +173,10 @@ mod tests {
     fn mixed_mode_edge_not_chainable() {
         let mut g = graph(&[(0, 1, 100, true)]);
         // Make edge mixed.
-        g.edges.get_mut(&(EventId(0), EventId(1))).unwrap().asynchronous = 3;
+        g.edges
+            .get_mut(&(EventId(0), EventId(1)))
+            .unwrap()
+            .asynchronous = 3;
         assert!(event_chains(&g).is_empty());
         assert_eq!(event_paths(&g).len(), 1);
     }

@@ -2,12 +2,11 @@
 
 use pdo_events::{Trace, TraceRecord};
 use pdo_ir::{EventId, Module, RaiseMode};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Activation-mode classification of an edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EdgeMode {
     /// Every traversal raised the successor synchronously.
     Sync,
@@ -18,7 +17,7 @@ pub enum EdgeMode {
 }
 
 /// Weight and activation statistics of one edge.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EdgeData {
     /// Times the successor immediately followed the predecessor.
     pub weight: u64,
@@ -49,13 +48,11 @@ impl EdgeData {
 ///
 /// Built with the `GraphBuilder` algorithm of Fig 4: consecutive raises
 /// `(prev, next)` in the trace add (or bump) the edge `prev → next`.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EventGraph {
     /// Occurrence count per event (node weights).
-    #[serde(with = "crate::ser_map")]
     pub nodes: BTreeMap<EventId, u64>,
     /// Edge data keyed by `(from, to)`.
-    #[serde(with = "crate::ser_map")]
     pub edges: BTreeMap<(EventId, EventId), EdgeData>,
 }
 
@@ -97,7 +94,8 @@ impl EventGraph {
                 g.edges.insert((from, to), data);
                 g.nodes
                     .insert(from, self.nodes.get(&from).copied().unwrap_or(0));
-                g.nodes.insert(to, self.nodes.get(&to).copied().unwrap_or(0));
+                g.nodes
+                    .insert(to, self.nodes.get(&to).copied().unwrap_or(0));
             }
         }
         g

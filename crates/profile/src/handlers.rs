@@ -13,11 +13,10 @@
 
 use pdo_events::{Trace, TraceRecord};
 use pdo_ir::{EventId, FuncId, RaiseMode};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// An observed handler sequence with its occurrence count.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HandlerSeq {
     /// Handlers in execution order.
     pub handlers: Vec<FuncId>,
@@ -26,7 +25,7 @@ pub struct HandlerSeq {
 }
 
 /// A synchronous raise observed inside a handler.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct NestedRaise {
     /// The event whose handler performed the raise.
     pub parent_event: EventId,
@@ -37,13 +36,11 @@ pub struct NestedRaise {
 }
 
 /// Per-event handler observations.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct HandlerGraph {
     /// For each event: the distinct handler sequences observed.
-    #[serde(with = "crate::ser_map")]
     pub sequences: BTreeMap<EventId, Vec<HandlerSeq>>,
     /// Counts of synchronous raises nested within handlers.
-    #[serde(with = "crate::ser_map")]
     pub nested: BTreeMap<NestedRaise, u64>,
 }
 
@@ -93,6 +90,8 @@ impl HandlerGraph {
                         }
                     }
                 }
+                // Fault records carry no handler-nesting information.
+                TraceRecord::Fault { .. } => {}
             }
         }
 
@@ -232,10 +231,7 @@ mod tests {
         };
         let g = HandlerGraph::from_trace(&t);
         assert_eq!(g.nested_count(EventId(0), FuncId(10), EventId(1)), 1);
-        assert_eq!(
-            g.raises_from(EventId(0), FuncId(10)),
-            vec![(EventId(1), 1)]
-        );
+        assert_eq!(g.raises_from(EventId(0), FuncId(10)), vec![(EventId(1), 1)]);
         // The inner handler raised nothing.
         assert!(g.raises_from(EventId(1), FuncId(20)).is_empty());
     }

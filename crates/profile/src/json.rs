@@ -1,0 +1,367 @@
+//! A minimal JSON reader/writer for profile artifacts.
+//!
+//! The build environment has no registry access (see EXPERIMENTS.md), so the
+//! profile store cannot use `serde_json`; this module implements the small
+//! JSON subset the store needs — objects, arrays, unsigned integers, and
+//! strings — with precise error positions for malformed input.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value (subset: no floats, no escapes beyond `\"`/`\\`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Unsigned integer (profiles only store counts and ids).
+    UInt(u64),
+    /// String literal.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with preserved-order-irrelevant keys.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The value as `u64`, or a type error.
+    pub fn as_u64(&self) -> Result<u64, ParseError> {
+        match self {
+            Json::UInt(n) => Ok(*n),
+            other => Err(ParseError::type_mismatch("unsigned integer", other)),
+        }
+    }
+
+    /// The value as an array slice, or a type error.
+    pub fn as_arr(&self) -> Result<&[Json], ParseError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(ParseError::type_mismatch("array", other)),
+        }
+    }
+
+    /// A required object member, or an error naming the missing key.
+    pub fn get(&self, key: &str) -> Result<&Json, ParseError> {
+        match self {
+            Json::Obj(map) => map.get(key).ok_or_else(|| ParseError {
+                at: 0,
+                msg: format!("missing object key `{key}`"),
+            }),
+            other => Err(ParseError::type_mismatch("object", other)),
+        }
+    }
+
+    /// Serializes with two-space indentation.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                // Flat arrays of scalars print on one line; nested ones wrap.
+                let flat = items
+                    .iter()
+                    .all(|i| !matches!(i, Json::Arr(_) | Json::Obj(_)));
+                if flat {
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        item.write(out, 0);
+                    }
+                    out.push(']');
+                } else {
+                    out.push_str("[\n");
+                    for (i, item) in items.iter().enumerate() {
+                        let _ = write!(out, "{pad}  ");
+                        item.write(out, indent + 1);
+                        if i + 1 < items.len() {
+                            out.push(',');
+                        }
+                        out.push('\n');
+                    }
+                    let _ = write!(out, "{pad}]");
+                }
+            }
+            Json::Obj(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in map.iter().enumerate() {
+                    let _ = write!(out, "{pad}  \"{k}\": ");
+                    v.write(out, indent + 1);
+                    if i + 1 < map.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                let _ = write!(out, "{pad}}}");
+            }
+        }
+    }
+}
+
+/// A parse or schema error with a byte offset (0 for schema errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error in the input (0 when not positional).
+    pub at: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl ParseError {
+    fn type_mismatch(wanted: &str, got: &Json) -> Self {
+        let kind = match got {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::UInt(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        };
+        ParseError {
+            at: 0,
+            msg: format!("expected {wanted}, found {kind}"),
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a complete JSON document (trailing whitespace allowed).
+pub fn parse(input: &str) -> Result<Json, ParseError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err(pos, "trailing characters after value"));
+    }
+    Ok(value)
+}
+
+fn err(at: usize, msg: impl Into<String>) -> ParseError {
+    ParseError {
+        at,
+        msg: msg.into(),
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), ParseError> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(err(*pos, format!("expected `{}`", b as char)))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'{') => parse_obj(bytes, pos),
+        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b'0'..=b'9') => parse_number(bytes, pos),
+        Some(b't') => parse_keyword(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Json::Null),
+        Some(&c) => Err(err(*pos, format!("unexpected character `{}`", c as char))),
+    }
+}
+
+fn parse_keyword(bytes: &[u8], pos: &mut usize, kw: &str, value: Json) -> Result<Json, ParseError> {
+    if bytes[*pos..].starts_with(kw.as_bytes()) {
+        *pos += kw.len();
+        Ok(value)
+    } else {
+        Err(err(*pos, format!("expected `{kw}`")))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    let start = *pos;
+    while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("digits are utf8");
+    text.parse::<u64>()
+        .map(Json::UInt)
+        .map_err(|_| err(start, "integer out of range"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    _ => return Err(err(*pos, "unsupported escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Copy one UTF-8 scalar (profiles only emit ASCII keys, but
+                // be safe for hand-edited files).
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| err(*pos, "invalid utf8 in string"))?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(err(*pos, "expected `,` or `]` in array")),
+        }
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    expect(bytes, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            _ => return Err(err(*pos, "expected `,` or `}` in object")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_nested_structure() {
+        let mut obj = BTreeMap::new();
+        obj.insert(
+            "k".to_string(),
+            Json::Arr(vec![Json::UInt(1), Json::UInt(2)]),
+        );
+        obj.insert("s".to_string(), Json::Str("a\"b\\c".to_string()));
+        obj.insert(
+            "nested".to_string(),
+            Json::Arr(vec![
+                Json::Arr(vec![Json::UInt(7)]),
+                Json::Obj(BTreeMap::new()),
+            ]),
+        );
+        let v = Json::Obj(obj);
+        assert_eq!(parse(&v.pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("{ not json").is_err());
+        assert!(parse("[1, 2").is_err());
+        assert!(parse("12x").is_err());
+        assert!(parse("").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn accessors_report_type_mismatches() {
+        let v = parse("{\"a\": [3]}").unwrap();
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[0].as_u64().unwrap(),
+            3
+        );
+        assert!(v.get("b").is_err());
+        assert!(v.get("a").unwrap().as_u64().is_err());
+        assert!(Json::UInt(1).get("x").is_err());
+    }
+}

@@ -22,7 +22,7 @@
 pub mod chains;
 pub mod graph;
 pub mod handlers;
-pub mod ser_map;
+pub mod json;
 pub mod store;
 
 pub use chains::{event_chains, event_paths, hot_events};
@@ -32,10 +32,9 @@ pub use store::{load_profile, save_profile, StoreError};
 
 use pdo_events::Trace;
 use pdo_ir::EventId;
-use serde::{Deserialize, Serialize};
 
 /// A complete profile of one program configuration.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Profile {
     /// The event graph from the event-profiling phase.
     pub event_graph: EventGraph,

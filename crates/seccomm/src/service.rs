@@ -52,6 +52,9 @@ pub enum SecCommError {
     MissingSymbol(String),
     /// `push` produced no wire message / `pop` delivered nothing.
     NoOutput,
+    /// KeyedMD5 verification failed on the inbound packet; it was dropped
+    /// and counted, and the rest of the decode chain was skipped.
+    IntegrityFailure,
 }
 
 impl fmt::Display for SecCommError {
@@ -60,6 +63,9 @@ impl fmt::Display for SecCommError {
             SecCommError::Runtime(e) => write!(f, "runtime error: {e}"),
             SecCommError::MissingSymbol(s) => write!(f, "missing symbol `{s}`"),
             SecCommError::NoOutput => write!(f, "the chain produced no output message"),
+            SecCommError::IntegrityFailure => {
+                write!(f, "MAC verification failed; packet dropped")
+            }
         }
     }
 }
@@ -98,6 +104,7 @@ pub fn seccomm_protocol() -> CompositeProtocol {
     let n_mac_strip = b.native("mac_verify_strip");
     let n_net_send = b.native("net_send");
     let n_deliver = b.native("deliver");
+    let n_decode_ok = b.native("decode_ok");
 
     // Coordinator: stages a message into the shared buffer, drives the
     // chain, and hands the result off.
@@ -125,50 +132,100 @@ pub fn seccomm_protocol() -> CompositeProtocol {
             f.raise(msg_to_user, RaiseMode::Sync, &[]);
             f.ret(None);
         });
+        // Delivery is gated on the integrity verdict: a packet that failed
+        // MAC verification is dropped, never handed to the user.
         mp.handler(msg_to_user, 0, "coord_deliver", 0, |f| {
+            let work = f.new_block();
+            let skip = f.new_block();
+            let ok = f.call_native(n_decode_ok, &[]);
+            f.branch(ok, work, skip);
+            f.switch_to(work);
             f.lock(pop_buf);
             let buf = f.load_global(pop_buf);
             f.unlock(pop_buf);
             let _ = f.call_native(n_deliver, &[buf]);
             f.ret(None);
+            f.switch_to(skip);
+            f.ret(None);
         });
     });
 
     // A privacy/integrity handler body: buf = native(buf), under the lock.
-    let transform = |f: &mut pdo_ir::FunctionBuilder,
-                     global: pdo_ir::GlobalId,
-                     native: pdo_ir::NativeId| {
-        f.lock(global);
-        let v = f.load_global(global);
-        let out = f.call_native(native, &[v]);
-        f.store_global(global, out);
-        f.unlock(global);
-        f.ret(None);
-    };
+    let transform =
+        |f: &mut pdo_ir::FunctionBuilder, global: pdo_ir::GlobalId, native: pdo_ir::NativeId| {
+            f.lock(global);
+            let v = f.load_global(global);
+            let out = f.call_native(native, &[v]);
+            f.store_global(global, out);
+            f.unlock(global);
+            f.ret(None);
+        };
+
+    // A decode-side transform: same as above, but skipped entirely when the
+    // packet already failed MAC verification (so garbage never reaches the
+    // cipher layers and cannot fault in DES unpadding).
+    let guarded =
+        |f: &mut pdo_ir::FunctionBuilder, global: pdo_ir::GlobalId, native: pdo_ir::NativeId| {
+            let work = f.new_block();
+            let skip = f.new_block();
+            let ok = f.call_native(n_decode_ok, &[]);
+            f.branch(ok, work, skip);
+            f.switch_to(work);
+            f.lock(global);
+            let v = f.load_global(global);
+            let out = f.call_native(native, &[v]);
+            f.store_global(global, out);
+            f.unlock(global);
+            f.ret(None);
+            f.switch_to(skip);
+            f.ret(None);
+        };
 
     // Encode order: DES (10) then XOR (20) then MAC (30).
     // Decode order mirrors: MAC strip (5), XOR (10), DES (20).
     b.micro_protocol("DESPrivacy", |mp| {
-        mp.handler(encode, 10, "des_push", 0, |f| transform(f, push_buf, n_des_enc));
-        mp.handler(decode, 20, "des_pop", 0, |f| transform(f, pop_buf, n_des_dec));
+        mp.handler(encode, 10, "des_push", 0, |f| {
+            transform(f, push_buf, n_des_enc)
+        });
+        mp.handler(decode, 20, "des_pop", 0, |f| guarded(f, pop_buf, n_des_dec));
     });
     b.micro_protocol("XorPrivacy", |mp| {
         mp.handler(encode, 20, "xor_push", 0, |f| transform(f, push_buf, n_xor));
-        mp.handler(decode, 10, "xor_pop", 0, |f| transform(f, pop_buf, n_xor));
+        mp.handler(decode, 10, "xor_pop", 0, |f| guarded(f, pop_buf, n_xor));
     });
     b.micro_protocol("KeyedMd5Integrity", |mp| {
-        mp.handler(encode, 30, "mac_push", 0, |f| transform(f, push_buf, n_mac_add));
-        mp.handler(decode, 5, "mac_pop", 0, |f| transform(f, pop_buf, n_mac_strip));
+        mp.handler(encode, 30, "mac_push", 0, |f| {
+            transform(f, push_buf, n_mac_add)
+        });
+        mp.handler(decode, 5, "mac_pop", 0, |f| {
+            transform(f, pop_buf, n_mac_strip)
+        });
     });
 
     b.finish()
 }
 
 /// Shared state of one endpoint's natives.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Wire {
     outbox: VecDeque<Vec<u8>>,
     delivered: VecDeque<Vec<u8>>,
+    /// Integrity verdict for the packet currently in the decode chain;
+    /// reset to `true` at the top of each `pop`.
+    decode_ok: bool,
+    /// Packets dropped because KeyedMD5 verification failed.
+    mac_failures: u64,
+}
+
+impl Default for Wire {
+    fn default() -> Self {
+        Wire {
+            outbox: VecDeque::new(),
+            delivered: VecDeque::new(),
+            decode_ok: true,
+            mac_failures: 0,
+        }
+    }
 }
 
 /// A runnable SecComm endpoint.
@@ -234,6 +291,8 @@ impl Endpoint {
         let xor_key = keys.xor.clone();
         let mac_key = keys.mac.clone();
         let mac_key2 = keys.mac.clone();
+        let mac_wire = Rc::clone(wire);
+        let ok_wire = Rc::clone(wire);
         let out_wire = Rc::clone(wire);
         let del_wire = Rc::clone(wire);
 
@@ -259,16 +318,28 @@ impl Endpoint {
             })
         })
         .and_then(|()| {
+            // Verification failure is not a fault: the packet is dropped and
+            // counted, and the `decode_ok` flag tells the rest of the decode
+            // chain to skip it.
             rt.bind_native_by_name("mac_verify_strip", move |args| {
                 let data = bytes_arg(args)?;
-                if data.len() < 16 {
-                    return Err("message shorter than its MAC".to_string());
+                let verified = data.len() >= 16 && {
+                    let (body, mac) = data.split_at(data.len() - 16);
+                    keyed_md5(&mac_key2, body) == *mac
+                };
+                if verified {
+                    Ok(Value::bytes(data[..data.len() - 16].to_vec()))
+                } else {
+                    let mut w = mac_wire.borrow_mut();
+                    w.decode_ok = false;
+                    w.mac_failures += 1;
+                    Ok(Value::bytes(data))
                 }
-                let (body, mac) = data.split_at(data.len() - 16);
-                if keyed_md5(&mac_key2, body) != *mac {
-                    return Err("MAC verification failed".to_string());
-                }
-                Ok(Value::bytes(body.to_vec()))
+            })
+        })
+        .and_then(|()| {
+            rt.bind_native_by_name("decode_ok", move |_args| {
+                Ok(Value::Bool(ok_wire.borrow().decode_ok))
             })
         })
         .and_then(|()| {
@@ -313,19 +384,26 @@ impl Endpoint {
     ///
     /// # Errors
     ///
-    /// Propagates handler faults (including MAC verification failure);
-    /// [`SecCommError::NoOutput`] if nothing was delivered.
+    /// Propagates handler faults; [`SecCommError::IntegrityFailure`] if the
+    /// packet failed KeyedMD5 verification (dropped and counted, never
+    /// delivered); [`SecCommError::NoOutput`] if nothing was delivered.
     pub fn pop(&mut self, wire_msg: &[u8]) -> Result<Vec<u8>, SecCommError> {
+        self.wire.borrow_mut().decode_ok = true;
         self.rt.raise(
             self.msg_from_net,
             RaiseMode::Sync,
             &[Value::bytes(wire_msg.to_vec())],
         )?;
-        self.wire
-            .borrow_mut()
-            .delivered
-            .pop_front()
-            .ok_or(SecCommError::NoOutput)
+        let mut w = self.wire.borrow_mut();
+        if !w.decode_ok {
+            return Err(SecCommError::IntegrityFailure);
+        }
+        w.delivered.pop_front().ok_or(SecCommError::NoOutput)
+    }
+
+    /// Inbound packets dropped because KeyedMD5 verification failed.
+    pub fn mac_failures(&self) -> u64 {
+        self.wire.borrow().mac_failures
     }
 
     /// The underlying runtime (tracing, cost counters, chain installation).
@@ -378,6 +456,32 @@ mod tests {
     }
 
     #[test]
+    fn tampered_packets_are_dropped_and_counted() {
+        let (mut tx, mut rx) = endpoints(CONFIG_FULL);
+        let good = tx.push(b"survivor").unwrap();
+
+        // Flipped first byte: the ciphers would see garbage, but the guard
+        // skips them, so no handler faults — the packet is just dropped.
+        let mut flipped = tx.push(b"flip me").unwrap();
+        flipped[0] ^= 0x80;
+        assert!(matches!(
+            rx.pop(&flipped),
+            Err(SecCommError::IntegrityFailure)
+        ));
+        assert_eq!(rx.mac_failures(), 1);
+
+        // Shorter than a MAC: same drop-and-count path, no fault.
+        let mut runt = tx.push(b"too short").unwrap();
+        runt.truncate(4);
+        assert!(matches!(rx.pop(&runt), Err(SecCommError::IntegrityFailure)));
+        assert_eq!(rx.mac_failures(), 2);
+
+        // The endpoint keeps working: the untouched packet still decodes.
+        assert_eq!(rx.pop(&good).unwrap(), b"survivor");
+        assert_eq!(rx.mac_failures(), 2);
+    }
+
+    #[test]
     fn des_only_config() {
         let (mut tx, mut rx) = endpoints(&["Coordinator", "DESPrivacy"]);
         let wire = tx.push(b"just des").unwrap();
@@ -411,7 +515,9 @@ mod tests {
         };
         let mut rx = Endpoint::new(&program, &other).unwrap();
         let wire = tx.push(b"secret").unwrap();
-        if let Ok(plain) = rx.pop(&wire) { assert_ne!(plain, b"secret".to_vec()) }
+        if let Ok(plain) = rx.pop(&wire) {
+            assert_ne!(plain, b"secret".to_vec())
+        }
     }
 
     #[test]

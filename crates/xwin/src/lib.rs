@@ -189,7 +189,10 @@ pub fn x_client_program() -> EventProgram {
         bindings.push((action_popup, m.add_function(f.finish()), 1));
     }
     // The two registered motion callbacks.
-    for (i, name) in ["popup_track_cb1", "popup_track_cb2"].into_iter().enumerate() {
+    for (i, name) in ["popup_track_cb1", "popup_track_cb2"]
+        .into_iter()
+        .enumerate()
+    {
         let mut f = FunctionBuilder::new(name, 2);
         let t = f.call_native(n_track_motion, &[f.param(0), f.param(1)]);
         f.lock(g_track_acc);
@@ -239,7 +242,10 @@ pub fn x_client_program() -> EventProgram {
         bindings.push((position_cb, m.add_function(f.finish()), 0));
     }
 
-    EventProgram { module: m, bindings }
+    EventProgram {
+        module: m,
+        bindings,
+    }
 }
 
 /// A runnable X client.

@@ -73,12 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- 3. Optimize. ----------------------------------------------------
-    let opt = optimize(
-        &module,
-        rt.registry(),
-        &profile,
-        &OptimizeOptions::new(500),
-    );
+    let opt = optimize(&module, rt.registry(), &profile, &OptimizeOptions::new(500));
     println!("{}", opt.report.render(&opt.module));
 
     // --- 4. Run both and compare dispatch costs. --------------------------

@@ -13,7 +13,10 @@ use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let proto = seccomm_protocol();
-    println!("micro-protocols available: {:?}", proto.micro_protocol_names());
+    println!(
+        "micro-protocols available: {:?}",
+        proto.micro_protocol_names()
+    );
 
     // The paper's measured configuration: DES + XOR + coordinator.
     let program = proto.instantiate(CONFIG_PAPER)?;

@@ -15,6 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = CtpParams {
         ack_drop_every: 50,
         clk_period_ns: 40_000_000, // controller fires once per 25fps frame
+        ..Default::default()
     };
 
     // Profile a session.
@@ -49,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Compare sessions.
     let opt_program = program.with_module(opt.module.clone());
-    let sessions = [("original", &program, false), ("optimized", &opt_program, true)];
+    let sessions = [
+        ("original", &program, false),
+        ("optimized", &opt_program, true),
+    ];
     for (label, prog, install) in sessions {
         let mut e = CtpEndpoint::new(prog, params)?;
         if install {

@@ -1,0 +1,155 @@
+//! Workspace-local stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access (see EXPERIMENTS.md), so the
+//! workspace replaces its external dependencies with small path shims. This
+//! one implements the subset the `pdo-bench` benches use — `Criterion`,
+//! `benchmark_group` with `sample_size`, `bench_function`, `iter`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros — with a
+//! plain best-of-batches timer instead of criterion's statistical engine.
+//! Output is one line per benchmark: median-of-batch average nanoseconds.
+
+use std::time::Instant;
+
+/// Opaque-to-the-optimizer identity function (same contract as
+/// `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Runs `f` repeatedly and reports the best batch-average nanoseconds.
+fn measure<O>(mut f: impl FnMut() -> O, samples: usize) -> f64 {
+    // Warm up, then take `samples` batches and keep the minimum average —
+    // robust against scheduler noise, matching the repo's bench philosophy.
+    for _ in 0..3 {
+        black_box(f());
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..samples.clamp(3, 10) {
+        let batch = 16u32;
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        let avg = start.elapsed().as_nanos() as f64 / f64::from(batch);
+        if avg < best {
+            best = avg;
+        }
+    }
+    best
+}
+
+/// Per-iteration timer handed to `bench_function` closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    result_ns: f64,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Times `f`, storing the measurement for the group to report.
+    pub fn iter<O>(&mut self, f: impl FnMut() -> O) {
+        self.result_ns = measure(f, self.samples);
+    }
+}
+
+/// A named set of benchmarks (subset of criterion's `BenchmarkGroup`).
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the sample count (clamped; the shim keeps runs short).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n;
+        self
+    }
+
+    /// Measures one benchmark and prints a single summary line.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            result_ns: 0.0,
+            samples: self.samples,
+        };
+        f(&mut b);
+        println!("{}/{}: {:.1} ns/iter", self.name, id, b.result_ns);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+        }
+    }
+
+    /// Measures one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            result_ns: 0.0,
+            samples: 10,
+        };
+        f(&mut b);
+        println!("{}: {:.1} ns/iter", id, b.result_ns);
+        self
+    }
+}
+
+/// Declares a benchmark group function, as `criterion_group!(name, fns…)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3u64)));
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_and_measures() {
+        benches();
+    }
+}

@@ -1,0 +1,135 @@
+//! Workspace-local stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access (see EXPERIMENTS.md), so the
+//! workspace replaces its external dev-dependencies with small path shims
+//! that implement exactly the API surface the repo uses. This one provides a
+//! deterministic [`rngs::StdRng`] (splitmix64 core) plus the [`Rng`] and
+//! [`SeedableRng`] traits with uniform sampling helpers.
+//!
+//! Determinism is a feature here: every consumer seeds explicitly
+//! (`seed_from_u64`), so runs are reproducible across platforms — unlike the
+//! real `rand`, whose `StdRng` stream may change between major versions.
+
+use std::ops::Range;
+
+/// Splitmix64 step: advances the state and returns a well-mixed 64-bit word.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Types that can be sampled uniformly from an RNG.
+pub trait Standard: Sized {
+    /// Draws one uniformly-distributed value.
+    fn sample(word: u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample(word: u64) -> Self {
+                word as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample(word: u64) -> Self {
+        word & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample(word: u64) -> Self {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (word >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// The subset of `rand::Rng` the workspace uses.
+pub trait Rng {
+    /// Returns the next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample of `T` (`rng.gen::<u32>()` style).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self.next_u64())
+    }
+
+    /// Uniform integer in `[range.start, range.end)`.
+    fn gen_range(&mut self, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "gen_range: empty range");
+        let span = range.end - range.start;
+        range.start + self.next_u64() % span
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+/// The subset of `rand::SeedableRng` the workspace uses.
+pub trait SeedableRng: Sized {
+    /// Builds the RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Deterministic RNG types.
+pub mod rngs {
+    use super::{splitmix64, Rng, SeedableRng};
+
+    /// Deterministic stand-in for `rand::rngs::StdRng` (splitmix64 core).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_roughly_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits = {hits}");
+    }
+}

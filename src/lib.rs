@@ -28,7 +28,7 @@ pub use pdo_xwin as xwin;
 
 /// The most commonly used items, in one import.
 pub mod prelude {
-    pub use pdo::{optimize, OptimizeOptions, Optimization};
+    pub use pdo::{optimize, Optimization, OptimizeOptions};
     pub use pdo_cactus::{CompositeBuilder, CompositeProtocol, EventProgram};
     pub use pdo_events::{Runtime, RuntimeConfig, RuntimeError, Trace, TraceConfig};
     pub use pdo_ir::{

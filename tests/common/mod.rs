@@ -1,6 +1,8 @@
 //! Shared generators for the property-based integration tests.
 
-use pdo_ir::{BinOp, Block, BlockId, Function, GlobalId, Instr, Module, Reg, Terminator, UnOp, Value};
+use pdo_ir::{
+    BinOp, Block, BlockId, Function, GlobalId, Instr, Module, Reg, Terminator, UnOp, Value,
+};
 use proptest::prelude::*;
 
 /// Number of globals declared in generated modules.
@@ -65,10 +67,7 @@ pub fn gen_term(regs: u16) -> impl Strategy<Value = GenTerm> {
 pub fn gen_function() -> impl Strategy<Value = GenFunction> {
     (1u16..6, 0u16..3).prop_flat_map(|(extra_regs, params)| {
         let regs = params + extra_regs;
-        let block = (
-            prop::collection::vec(gen_instr(regs), 0..8),
-            gen_term(regs),
-        );
+        let block = (prop::collection::vec(gen_instr(regs), 0..8), gen_term(regs));
         prop::collection::vec(block, 1..5).prop_map(move |blocks| GenFunction {
             params,
             regs,

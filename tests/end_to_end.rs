@@ -74,6 +74,7 @@ fn video_player_wire_identical_and_faster_in_abstract_cost() {
     let params = CtpParams {
         ack_drop_every: 50,
         clk_period_ns: 40_000_000,
+        ..Default::default()
     };
 
     // Profile.
@@ -130,7 +131,12 @@ fn xclient_partitioned_guards_keep_other_segments_fast() {
         client.scroll(i).expect("scroll");
     }
     let profile = Profile::from_trace(&client.runtime_mut().take_trace(), 100);
-    let opt = optimize(&program.module, client.runtime().registry(), &profile, &opts);
+    let opt = optimize(
+        &program.module,
+        client.runtime().registry(),
+        &profile,
+        &opts,
+    );
     let opt_program = program.with_module(opt.module.clone());
 
     let mut fast = XClient::new(&opt_program).expect("fast client");

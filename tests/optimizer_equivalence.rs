@@ -177,7 +177,11 @@ fn run_workload(
 ) -> Vec<Value> {
     for (i, &(ev, sync)) in spec.workload.iter().enumerate() {
         let ev = EventId(ev % n_events as u32);
-        let mode = if sync { RaiseMode::Sync } else { RaiseMode::Async };
+        let mode = if sync {
+            RaiseMode::Sync
+        } else {
+            RaiseMode::Async
+        };
         rt.raise(ev, mode, &[]).expect("raise");
         rt.run_until_idle().expect("drain");
         // Optional mid-run re-binding halfway through the workload.

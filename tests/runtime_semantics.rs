@@ -39,9 +39,12 @@ fn setup(events: usize) -> (Runtime, Vec<EventId>, pdo_ir::GlobalId, Vec<FuncId>
 fn timers_fire_in_deadline_order_regardless_of_submission() {
     let (mut rt, ids, g, _) = setup(3);
     // Submit out of order: deadlines 300, 100, 200 for events 0, 1, 2.
-    rt.raise(ids[0], RaiseMode::Timed, &[Value::Int(300)]).unwrap();
-    rt.raise(ids[1], RaiseMode::Timed, &[Value::Int(100)]).unwrap();
-    rt.raise(ids[2], RaiseMode::Timed, &[Value::Int(200)]).unwrap();
+    rt.raise(ids[0], RaiseMode::Timed, &[Value::Int(300)])
+        .unwrap();
+    rt.raise(ids[1], RaiseMode::Timed, &[Value::Int(100)])
+        .unwrap();
+    rt.raise(ids[2], RaiseMode::Timed, &[Value::Int(200)])
+        .unwrap();
     rt.run_until_idle().unwrap();
     // Order: E1 (digit 2), E2 (digit 3), E0 (digit 1).
     assert_eq!(rt.global(g), &Value::Int(231));
@@ -51,7 +54,8 @@ fn timers_fire_in_deadline_order_regardless_of_submission() {
 #[test]
 fn async_queue_drains_before_timers_advance_clock() {
     let (mut rt, ids, g, _) = setup(3);
-    rt.raise(ids[0], RaiseMode::Timed, &[Value::Int(50)]).unwrap();
+    rt.raise(ids[0], RaiseMode::Timed, &[Value::Int(50)])
+        .unwrap();
     rt.raise(ids[1], RaiseMode::Async, &[]).unwrap();
     rt.raise(ids[2], RaiseMode::Async, &[]).unwrap();
     rt.run_until_idle().unwrap();
@@ -63,8 +67,10 @@ fn async_queue_drains_before_timers_advance_clock() {
 #[test]
 fn run_until_leaves_future_timers_pending() {
     let (mut rt, ids, _, _) = setup(2);
-    rt.raise(ids[0], RaiseMode::Timed, &[Value::Int(100)]).unwrap();
-    rt.raise(ids[1], RaiseMode::Timed, &[Value::Int(10_000)]).unwrap();
+    rt.raise(ids[0], RaiseMode::Timed, &[Value::Int(100)])
+        .unwrap();
+    rt.raise(ids[1], RaiseMode::Timed, &[Value::Int(10_000)])
+        .unwrap();
     let steps = rt.run_until(1000).unwrap();
     assert_eq!(steps, 1);
     assert_eq!(rt.pending(), 1);
@@ -136,8 +142,10 @@ fn cancel_timer_native_cancels_pending_events() {
     let mut rt = Runtime::new(m);
     rt.bind(tick, on_tick, 0).unwrap();
     rt.bind(cancel, on_cancel, 0).unwrap();
-    rt.raise(tick, RaiseMode::Timed, &[Value::Int(100)]).unwrap();
-    rt.raise(tick, RaiseMode::Timed, &[Value::Int(200)]).unwrap();
+    rt.raise(tick, RaiseMode::Timed, &[Value::Int(100)])
+        .unwrap();
+    rt.raise(tick, RaiseMode::Timed, &[Value::Int(200)])
+        .unwrap();
     rt.raise(cancel, RaiseMode::Sync, &[]).unwrap();
     rt.run_until_idle().unwrap();
     assert_eq!(rt.global(g), &Value::Int(0), "both timers cancelled");
