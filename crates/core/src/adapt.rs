@@ -1,0 +1,449 @@
+//! The online adaptive-specialization loop.
+//!
+//! The paper's pipeline is offline: run, trace, optimize, redeploy. The
+//! [`AdaptiveEngine`] closes that loop at runtime. Attached to a
+//! [`Runtime`] through the epoch hook (so it fires *inside*
+//! [`Runtime::run_until`] on virtual-clock epoch boundaries, with no
+//! caller-driven `after_epoch`), each epoch it:
+//!
+//! 1. drains the session's trace window into an incremental
+//!    [`ProfileBuilder`] (O(window), not O(everything ever traced));
+//! 2. feeds the runtime's stats delta to the [`SelfHealer`] so faulting
+//!    chains quarantine, back off, and re-install exactly as in the
+//!    caller-driven workflow;
+//! 3. when enough fresh events accumulated — or the healer reports a
+//!    chain *stale* (bindings genuinely changed) — re-runs
+//!    [`optimize`](crate::optimize) against the **original base module**
+//!    and the live registry, hot-swaps the module, and installs the new
+//!    chains under fresh binding-version guards;
+//! 4. decays the accumulated profile, so hotness observed `k` epochs ago
+//!    weighs `1/2^k`: a workload shift from chain A to chain B ends with
+//!    B specialized and A despecialized;
+//! 5. optionally duty-cycles the tracer
+//!    ([`AdaptConfig::trace_sleep_epochs`]): once chains are deployed,
+//!    instrumentation switches off between one-epoch sampling windows.
+//!    While asleep, per-event generic-dispatch counters (a single map
+//!    update on the slow path only — fast-path dispatches are by
+//!    definition already specialized) keep the event graph current and
+//!    wake the tracer early when an unspecialized event goes hot, so
+//!    steady-state profiling overhead is zero between samples yet a
+//!    workload shift is still caught within a couple of epochs. Healing
+//!    (stats-based) keeps running every epoch regardless.
+//!
+//! Re-optimizing against the base module (not the previously optimized
+//! one) keeps the module from growing a `__super_*` generation per
+//! re-profile; existing function/global/native ids are stable because the
+//! optimizer only appends, so [`Runtime::replace_module`] preserves all
+//! session state.
+
+use crate::heal::SelfHealer;
+use crate::quarantine::QuarantineConfig;
+use crate::{optimize, OptimizeOptions};
+use pdo_events::{Runtime, TraceConfig};
+use pdo_ir::{EventId, Module};
+use pdo_profile::ProfileBuilder;
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+/// Tuning for one session's adaptation loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptConfig {
+    /// Virtual-clock epoch length driving the loop (ns).
+    pub epoch_ns: u64,
+    /// Re-profile only after at least this many fresh raises accumulated
+    /// (a `HealReport::stale` chain forces a re-profile regardless).
+    pub min_fresh_events: u64,
+    /// Optimizer configuration used for each re-profile.
+    pub opts: OptimizeOptions,
+    /// Quarantine/backoff policy for the embedded [`SelfHealer`].
+    pub quarantine: QuarantineConfig,
+    /// Trace-window cap installed on the runtime (bounds memory between
+    /// epochs; `None` keeps the trace unbounded).
+    pub trace_window: Option<usize>,
+    /// Trace duty cycle: once chains are deployed, instrumentation sleeps
+    /// this many epochs between one-epoch sampling windows, with per-event
+    /// generic-dispatch counters standing in as the (tracing-free) hotness
+    /// signal and demand-wake trigger while asleep. Steady-state tracing
+    /// cost between samples is zero, and re-profiles only run on sampled
+    /// epochs. `0` samples every epoch (fastest shift detection); larger
+    /// values trade a bounded detection latency for throughput.
+    pub trace_sleep_epochs: u32,
+}
+
+impl Default for AdaptConfig {
+    fn default() -> Self {
+        AdaptConfig {
+            epoch_ns: 1_000_000,
+            min_fresh_events: 64,
+            opts: OptimizeOptions::new(16),
+            quarantine: QuarantineConfig::default(),
+            trace_window: Some(8192),
+            trace_sleep_epochs: 0,
+        }
+    }
+}
+
+/// Observable counters of one session's adaptation loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdaptStats {
+    /// Epoch boundaries processed.
+    pub epochs: u64,
+    /// Epochs whose span ran with full handler instrumentation (equals
+    /// `epochs` unless a trace duty cycle is configured).
+    pub sampled_epochs: u64,
+    /// Full profile-and-optimize passes run.
+    pub reprofiles: u64,
+    /// Chains installed by re-profiles (cumulative).
+    pub chains_installed: u64,
+    /// Previously installed chains *not* reproduced by a later re-profile
+    /// (the workload shifted away from them).
+    pub chains_dropped: u64,
+    /// Chains the runtime removed for containment (`Despecialize` policy),
+    /// accumulated from the per-epoch stats deltas.
+    pub despecialized: u64,
+}
+
+/// Per-session state of the adaptive-specialization daemon.
+#[derive(Debug)]
+pub struct AdaptiveEngine {
+    base: Module,
+    config: AdaptConfig,
+    builder: ProfileBuilder,
+    healer: Option<SelfHealer>,
+    stats: AdaptStats,
+    /// Epochs left before the trace duty cycle re-enables instrumentation
+    /// (0 = currently sampling).
+    sleep_remaining: u32,
+}
+
+impl AdaptiveEngine {
+    /// An engine re-optimizing against `base` (the session's original,
+    /// unspecialized module).
+    pub fn new(base: Module, config: AdaptConfig) -> Self {
+        AdaptiveEngine {
+            base,
+            config,
+            builder: ProfileBuilder::new(),
+            healer: None,
+            stats: AdaptStats::default(),
+            sleep_remaining: 0,
+        }
+    }
+
+    /// Hooks `engine` into `rt`: enables full tracing (bounded by the
+    /// configured window) and installs an epoch hook that runs
+    /// [`AdaptiveEngine::on_epoch`] inside `run_until` — the session
+    /// adapts with no further caller involvement. The engine handle stays
+    /// shared so callers can read [`AdaptiveEngine::stats`].
+    pub fn attach(engine: Rc<RefCell<Self>>, rt: &mut Runtime) {
+        let (epoch_ns, window) = {
+            let e = engine.borrow();
+            (e.config.epoch_ns, e.config.trace_window)
+        };
+        rt.set_trace_config(TraceConfig::full());
+        rt.set_trace_window(window);
+        rt.set_dispatch_accounting(true);
+        rt.set_epoch_hook(epoch_ns, move |rt, _boundary| {
+            engine.borrow_mut().on_epoch(rt);
+        });
+    }
+
+    /// Convenience: builds an engine over the runtime's current module
+    /// (which must be the unoptimized base) and attaches it.
+    pub fn attach_new(rt: &mut Runtime, config: AdaptConfig) -> Rc<RefCell<Self>> {
+        let engine = Rc::new(RefCell::new(AdaptiveEngine::new(
+            rt.module().clone(),
+            config,
+        )));
+        Self::attach(Rc::clone(&engine), rt);
+        engine
+    }
+
+    /// Adaptation counters so far.
+    pub fn stats(&self) -> AdaptStats {
+        self.stats
+    }
+
+    /// The embedded healer, once the first re-profile deployed chains.
+    pub fn healer(&self) -> Option<&SelfHealer> {
+        self.healer.as_ref()
+    }
+
+    /// Runs one epoch boundary (normally invoked by the epoch hook).
+    pub fn on_epoch(&mut self, rt: &mut Runtime) {
+        self.stats.epochs += 1;
+        let sampling = self.sleep_remaining == 0;
+        if sampling {
+            self.stats.sampled_epochs += 1;
+            let window = rt.take_trace();
+            self.builder.observe(&window);
+        }
+        let delta = rt.take_stats();
+        self.stats.despecialized += delta.chains_removed;
+        // Generic-dispatch counts feed the event graph every epoch. While
+        // the tracer sleeps they are the *only* hotness signal (and the
+        // demand-wake trigger below); on sampled epochs they can overlap
+        // with raise records for unspecialized sync raises, at most
+        // doubling a node weight tracing already saw — a hotness signal,
+        // not an exact count, so the overcount only accelerates crossing
+        // the candidacy threshold. Fast-path dispatches are never counted:
+        // an already specialized event cannot demand respecialization.
+        self.builder
+            .observe_dispatches(&delta.generic_dispatches_by_event);
+        // Healing runs every epoch: it needs only the stats delta, not the
+        // trace, so quarantine/backoff latency is unaffected by the duty
+        // cycle.
+        let stale = match self.healer.as_mut() {
+            Some(h) => !h.heal(rt, &delta).stale.is_empty(),
+            None => false,
+        };
+        // Re-profiles are pinned to sampled epochs: that is when the
+        // handler graph holds an undecayed sequence for whatever the event
+        // graph says is hot, so the optimizer can actually build chains.
+        if stale || (sampling && self.builder.fresh_events() >= self.config.min_fresh_events) {
+            self.reprofile(rt);
+        }
+        self.builder.end_epoch();
+        if sampling {
+            if self.config.trace_sleep_epochs > 0 && !rt.spec().is_empty() {
+                rt.set_trace_config(TraceConfig::off());
+                self.sleep_remaining = self.config.trace_sleep_epochs;
+            }
+        } else {
+            // Demand wake: enough unspecialized dispatches accumulated to
+            // justify a re-profile, so cut the sleep short — the next
+            // epoch runs fully instrumented and supplies the handler
+            // sequences the counts cannot.
+            if self.builder.fresh_events() >= self.config.min_fresh_events {
+                self.sleep_remaining = 1;
+            }
+            self.sleep_remaining -= 1;
+            if self.sleep_remaining == 0 {
+                rt.set_trace_config(TraceConfig::full());
+            }
+        }
+    }
+
+    /// One full profile-and-optimize pass against the base module, followed
+    /// by a hot swap of module and chains.
+    fn reprofile(&mut self, rt: &mut Runtime) {
+        self.builder.take_fresh();
+        let profile = self.builder.snapshot(self.config.opts.threshold);
+        let opt = optimize(&self.base, rt.registry(), &profile, &self.config.opts);
+        self.stats.reprofiles += 1;
+        if opt.chains.is_empty() {
+            // Nothing is hot enough right now; keep the deployed chains
+            // (they are still guard-correct) rather than thrashing.
+            return;
+        }
+
+        // Every installed chain references the *current* module's function
+        // ids, which the swap invalidates: remove them all first, counting
+        // the ones the new optimization no longer covers as dropped.
+        let new_heads: BTreeSet<EventId> = opt.chains.iter().map(|c| c.head).collect();
+        let old_heads: Vec<EventId> = rt.spec().iter().map(|c| c.head).collect();
+        for event in old_heads {
+            rt.remove_chain(event);
+            if !new_heads.contains(&event) {
+                self.stats.chains_dropped += 1;
+            }
+        }
+        rt.replace_module(opt.module.clone());
+
+        let now = rt.clock_ns();
+        for chain in &opt.chains {
+            let quarantined = self
+                .healer
+                .as_ref()
+                .is_some_and(|h| h.quarantine().is_quarantined(chain.head, now));
+            if quarantined {
+                continue; // the healer re-installs it after backoff
+            }
+            rt.install_chain(chain.clone());
+            self.stats.chains_installed += 1;
+        }
+        match self.healer.as_mut() {
+            Some(h) => h.rebind(&opt, rt.registry()),
+            None => {
+                self.healer = Some(SelfHealer::new(self.config.quarantine, &opt, rt.registry()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdo_events::{FaultInjector, FaultKind, FaultPolicy, FaultSpec, RuntimeConfig};
+    use pdo_ir::{BinOp, FunctionBuilder, RaiseMode, Value};
+
+    /// Two independent events, two handlers each; handler `k` adds `k` to
+    /// its event's accumulator, so each dispatch of [h1, h2] adds 3.
+    fn two_chain_module() -> (Module, [EventId; 2], [pdo_ir::GlobalId; 2]) {
+        let mut m = Module::new();
+        let a = m.add_event("A");
+        let b = m.add_event("B");
+        let ga = m.add_global("la", Value::Int(0));
+        let gb = m.add_global("lb", Value::Int(0));
+        let adder = |m: &mut Module, name: &str, g: pdo_ir::GlobalId, d: i64| {
+            let mut fb = FunctionBuilder::new(name, 0);
+            let v = fb.load_global(g);
+            let dd = fb.const_int(d);
+            let o = fb.bin(BinOp::Add, v, dd);
+            fb.store_global(g, o);
+            fb.ret(None);
+            m.add_function(fb.finish())
+        };
+        adder(&mut m, "a1", ga, 1);
+        adder(&mut m, "a2", ga, 2);
+        adder(&mut m, "b1", gb, 1);
+        adder(&mut m, "b2", gb, 2);
+        (m, [a, b], [ga, gb])
+    }
+
+    fn bind_all(rt: &mut Runtime, m: &Module, a: EventId, b: EventId) {
+        rt.bind(a, m.function_by_name("a1").unwrap(), 0).unwrap();
+        rt.bind(a, m.function_by_name("a2").unwrap(), 1).unwrap();
+        rt.bind(b, m.function_by_name("b1").unwrap(), 0).unwrap();
+        rt.bind(b, m.function_by_name("b2").unwrap(), 1).unwrap();
+    }
+
+    fn config() -> AdaptConfig {
+        AdaptConfig {
+            epoch_ns: 1_000,
+            min_fresh_events: 20,
+            opts: OptimizeOptions::new(10),
+            ..Default::default()
+        }
+    }
+
+    /// Drives `rt` with `n` timed raises of `event`, one per 100 ns, so
+    /// `run_until` crosses epoch boundaries while dispatching.
+    fn drive(rt: &mut Runtime, event: EventId, n: u64) {
+        let start = rt.clock_ns();
+        for i in 0..n {
+            rt.raise(
+                event,
+                RaiseMode::Timed,
+                &[Value::Int((i * 100 + 100) as i64)],
+            )
+            .unwrap();
+        }
+        rt.run_until(start + n * 100 + 1).unwrap();
+    }
+
+    #[test]
+    fn hot_event_gets_specialized_with_no_caller_involvement() {
+        let (m, [a, b], [ga, _]) = two_chain_module();
+        let mut rt = Runtime::new(m.clone());
+        bind_all(&mut rt, &m, a, b);
+        let engine = AdaptiveEngine::attach_new(&mut rt, config());
+        drive(&mut rt, a, 60);
+        let stats = engine.borrow().stats();
+        assert!(stats.epochs > 0, "epoch hook must fire inside run_until");
+        assert!(stats.reprofiles >= 1);
+        assert!(rt.spec().get(a).is_some(), "hot chain installed");
+        let before = rt.cost.fastpath_hits;
+        drive(&mut rt, a, 10);
+        assert!(rt.cost.fastpath_hits > before, "fast path actually used");
+        // Behaviour preserved: 70 dispatches of [a1, a2], each adding 3.
+        assert_eq!(rt.global(ga), &Value::Int(70 * 3));
+    }
+
+    #[test]
+    fn workload_shift_respecializes_and_drops_the_cold_chain() {
+        let (m, [a, b], _) = two_chain_module();
+        let mut rt = Runtime::new(m.clone());
+        bind_all(&mut rt, &m, a, b);
+        let engine = AdaptiveEngine::attach_new(&mut rt, config());
+        drive(&mut rt, a, 60);
+        assert!(rt.spec().get(a).is_some());
+        assert!(rt.spec().get(b).is_none());
+        // Shift: B becomes hot, A goes silent. Decay forgets A.
+        drive(&mut rt, b, 200);
+        assert!(rt.spec().get(b).is_some(), "B specialized after shift");
+        assert!(rt.spec().get(a).is_none(), "A despecialized after shift");
+        assert!(engine.borrow().stats().chains_dropped >= 1);
+    }
+
+    #[test]
+    fn faulting_chain_quarantines_and_heals_inside_run_until() {
+        let (m, [a, b], [ga, _]) = two_chain_module();
+        let mut rt = Runtime::with_config(
+            m.clone(),
+            RuntimeConfig {
+                fault_policy: FaultPolicy::Despecialize,
+                ..Default::default()
+            },
+        );
+        bind_all(&mut rt, &m, a, b);
+        let engine = AdaptiveEngine::attach_new(
+            &mut rt,
+            AdaptConfig {
+                quarantine: QuarantineConfig {
+                    fault_threshold: 2,
+                    base_backoff_ns: 2_000,
+                    ..Default::default()
+                },
+                ..config()
+            },
+        );
+        drive(&mut rt, a, 60);
+        assert!(rt.spec().get(a).is_some());
+        // Three injected traps: despecialize + quarantine, all contained.
+        rt.set_fault_injector(FaultInjector::from_plan((0..3).map(|i| FaultSpec {
+            event: a,
+            occurrence: i,
+            kind: FaultKind::TrapDispatch,
+        })));
+        drive(&mut rt, a, 3);
+        assert!(rt.spec().get(a).is_none(), "containment removed the chain");
+        // Keep running: backoff expires on the virtual clock and the healer
+        // (driven by the epoch hook) re-installs or the next re-profile
+        // rebuilds — either way the chain returns with no caller calls.
+        drive(&mut rt, a, 120);
+        assert!(rt.spec().get(a).is_some(), "chain healed");
+        assert!(engine.borrow().stats().despecialized >= 1);
+        // Every dispatch (faulted ones included, via generic fallback)
+        // added its 3.
+        assert_eq!(rt.global(ga), &Value::Int(183 * 3));
+    }
+
+    #[test]
+    fn trace_duty_cycle_bounds_sampling_but_still_adapts() {
+        let (m, [a, b], [ga, gb]) = two_chain_module();
+        let mut rt = Runtime::new(m.clone());
+        bind_all(&mut rt, &m, a, b);
+        let engine = AdaptiveEngine::attach_new(
+            &mut rt,
+            AdaptConfig {
+                trace_sleep_epochs: 4,
+                ..config()
+            },
+        );
+        drive(&mut rt, a, 60);
+        assert!(rt.spec().get(a).is_some(), "converges while sampling");
+        // Well past deployment: most epochs sleep the tracer.
+        drive(&mut rt, a, 300);
+        let stats = engine.borrow().stats();
+        assert!(
+            stats.sampled_epochs < stats.epochs,
+            "duty cycle must skip sampling on some epochs: {stats:?}"
+        );
+        // A workload shift is still caught — while asleep, the generic-
+        // dispatch counters register B going hot and demand-wake the
+        // tracer, whose next window supplies B's handler sequence.
+        drive(&mut rt, b, 800);
+        assert!(
+            rt.spec().get(b).is_some(),
+            "B specialized despite duty cycle"
+        );
+        assert!(
+            rt.spec().get(a).is_none(),
+            "A despecialized despite duty cycle"
+        );
+        assert_eq!(rt.global(ga), &Value::Int(360 * 3));
+        assert_eq!(rt.global(gb), &Value::Int(800 * 3));
+    }
+}

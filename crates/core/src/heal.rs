@@ -69,7 +69,22 @@ impl SelfHealer {
     /// sequences currently live in `registry` (call this at deploy time,
     /// when guards are valid by construction).
     pub fn new(config: QuarantineConfig, optimization: &Optimization, registry: &Registry) -> Self {
-        let records = optimization
+        SelfHealer {
+            quarantine: Quarantine::new(config),
+            records: Self::capture(optimization, registry),
+        }
+    }
+
+    /// Replaces the tracked chains with those of a *fresh* optimization
+    /// (the adaptive daemon re-profiled and rebuilt them), preserving the
+    /// quarantine so a misbehaving event keeps its backoff across
+    /// re-profiles.
+    pub fn rebind(&mut self, optimization: &Optimization, registry: &Registry) {
+        self.records = Self::capture(optimization, registry);
+    }
+
+    fn capture(optimization: &Optimization, registry: &Registry) -> BTreeMap<EventId, ChainRecord> {
+        optimization
             .chains
             .iter()
             .map(|chain| {
@@ -93,11 +108,7 @@ impl SelfHealer {
                     },
                 )
             })
-            .collect();
-        SelfHealer {
-            quarantine: Quarantine::new(config),
-            records,
-        }
+            .collect()
     }
 
     /// The quarantine state (for reports and tests).

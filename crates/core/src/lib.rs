@@ -69,6 +69,7 @@
 //! # Ok::<(), pdo_events::RuntimeError>(())
 //! ```
 
+pub mod adapt;
 pub mod heal;
 pub mod merge;
 pub mod quarantine;
@@ -76,8 +77,9 @@ pub mod report;
 pub mod subsume;
 pub mod workflow;
 
+pub use adapt::{AdaptConfig, AdaptStats, AdaptiveEngine};
 pub use heal::{HealReport, SelfHealer};
-pub use merge::{build_super_handler, MergeSkip};
+pub use merge::{build_super_handler, build_super_handler_metered, MergeSkip};
 pub use quarantine::{Quarantine, QuarantineConfig};
 pub use report::{EventReport, OptReport};
 pub use subsume::{subsume_direct, subsume_partitioned, sync_raise_sites, RaiseSite};
@@ -113,6 +115,14 @@ pub struct OptimizeOptions {
     pub compiler_passes: bool,
     /// Inline size ceiling for handler bodies.
     pub inline_threshold: usize,
+    /// Emit a `__pdo_fuel_boundary` marker before each merged handler
+    /// segment so [`pdo_events::FaultKind::ExhaustFuel`] trips at the same
+    /// pre-merge handler boundaries as generic dispatch. Default off: the
+    /// markers are native calls, which act as barriers to the compiler
+    /// passes (notably lock coalescing), so they cost real optimization
+    /// opportunity and are only worth it when fuel-exhaustion equivalence
+    /// matters (chaos testing).
+    pub fuel_boundaries: bool,
 }
 
 impl OptimizeOptions {
@@ -127,6 +137,7 @@ impl OptimizeOptions {
             inline: true,
             compiler_passes: true,
             inline_threshold: 4096,
+            fuel_boundaries: false,
         }
     }
 }
@@ -173,6 +184,7 @@ pub fn optimize(
         profile,
         opts,
         version_native: None,
+        fuel_native: None,
         memo: BTreeMap::new(),
         in_progress: BTreeSet::new(),
         report: OptReport {
@@ -187,6 +199,13 @@ pub fn optimize(
             .native_by_name(Runtime::NATIVE_BINDING_VERSION)
             .unwrap_or_else(|| builder.out.add_native(Runtime::NATIVE_BINDING_VERSION));
         builder.version_native = Some(id);
+    }
+    if opts.fuel_boundaries {
+        let id = builder
+            .out
+            .native_by_name(Runtime::NATIVE_FUEL_BOUNDARY)
+            .unwrap_or_else(|| builder.out.add_native(Runtime::NATIVE_FUEL_BOUNDARY));
+        builder.fuel_native = Some(id);
     }
 
     // Candidate events: nodes of the reduced graph, or every profiled event
@@ -226,6 +245,7 @@ struct Builder<'a> {
     profile: &'a Profile,
     opts: &'a OptimizeOptions,
     version_native: Option<NativeId>,
+    fuel_native: Option<NativeId>,
     memo: BTreeMap<EventId, Option<Built>>,
     in_progress: BTreeSet<EventId>,
     report: OptReport,
@@ -268,7 +288,12 @@ impl Builder<'_> {
 
         self.in_progress.insert(event);
         let name = format!("__super_{}", self.out.event_name(event));
-        let shell = match build_super_handler(&mut self.out, &name, &seq) {
+        let shell = match merge::build_super_handler_metered(
+            &mut self.out,
+            &name,
+            &seq,
+            self.fuel_native,
+        ) {
             Ok(f) => f,
             Err(reason) => {
                 self.report.skip(event, reason);

@@ -1,6 +1,6 @@
 //! Handler merging (paper Fig 7): building the super-handler shell.
 
-use pdo_ir::{FuncId, FunctionBuilder, Module, Reg};
+use pdo_ir::{FuncId, FunctionBuilder, Module, NativeId, Reg};
 
 /// Why an event could not be merged.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +43,25 @@ pub fn build_super_handler(
     name: &str,
     handlers: &[FuncId],
 ) -> Result<FuncId, MergeSkip> {
+    build_super_handler_metered(module, name, handlers, None)
+}
+
+/// As [`build_super_handler`], optionally emitting a call to the
+/// `fuel_boundary` native before each handler segment. The markers make
+/// [`pdo_events::FaultKind::ExhaustFuel`] charge its handler-boundary
+/// budget at the same program points as generic dispatch (which meters one
+/// unit before each pre-merge handler call), so fuel exhaustion trips
+/// identically in original and merged runs.
+///
+/// # Errors
+///
+/// As [`build_super_handler`].
+pub fn build_super_handler_metered(
+    module: &mut Module,
+    name: &str,
+    handlers: &[FuncId],
+    fuel_boundary: Option<NativeId>,
+) -> Result<FuncId, MergeSkip> {
     let Some(&first) = handlers.first() else {
         return Err(MergeSkip::NoHandlers);
     };
@@ -56,6 +75,9 @@ pub fn build_super_handler(
     let mut b = FunctionBuilder::new(name, params);
     let args: Vec<Reg> = (0..params).map(|i| b.param(i)).collect();
     for &h in handlers {
+        if let Some(native) = fuel_boundary {
+            let _ = b.call_native(native, &[]);
+        }
         let _ = b.call(h, &args);
     }
     b.ret(None);

@@ -446,6 +446,16 @@ impl CtpEndpoint {
         self.state.borrow().wire.len()
     }
 
+    /// Current virtual time of the session clock.
+    pub fn clock_ns(&self) -> u64 {
+        self.rt.clock_ns()
+    }
+
+    /// Queued async/timed work not yet dispatched.
+    pub fn pending(&self) -> usize {
+        self.rt.pending()
+    }
+
     /// The underlying runtime (tracing, cost counters, chains).
     pub fn runtime_mut(&mut self) -> &mut Runtime {
         &mut self.rt

@@ -24,10 +24,17 @@
 //! [`FaultKind::TrapDispatch`], [`FaultKind::CorruptArg`],
 //! [`FaultKind::DropTimed`] and [`FaultKind::DelayTimed`] fire at a dispatch
 //! or raise boundary, *before* any handler effect, so original and optimized
-//! runs observe them identically. [`FaultKind::ExhaustFuel`] fires
-//! mid-handler after a fixed instruction budget; original and merged
-//! super-handlers reach that budget at different program points, so it is
-//! excluded from the equivalence property (it still exercises containment).
+//! runs observe them identically. [`FaultKind::ExhaustFuel`] meters *handler
+//! boundaries*: the faulted occurrence gets a budget of
+//! [`EXHAUST_FUEL_BUDGET`] units and every pre-merge handler invocation in
+//! its dynamic extent charges one unit before the handler body runs.
+//! Super-handlers compiled with fuel-boundary markers
+//! (`OptimizeOptions::fuel_boundaries` in the `pdo` crate) charge at the
+//! same program points, so exhaustion trips identically in original and
+//! optimized runs and the kind is equivalence-safe *for such builds* (see
+//! [`FaultKind::is_equivalence_safe_with_fuel_boundaries`]). Against chains
+//! compiled without markers it remains best-effort and is excluded by the
+//! stricter [`FaultKind::is_equivalence_safe`].
 
 use pdo_ir::{EventId, Value};
 use std::collections::BTreeMap;
@@ -61,8 +68,11 @@ pub enum FaultKind {
         /// Which argument to corrupt (modulo arity; no-op on zero arity).
         index: u16,
     },
-    /// The target occurrence runs under a tiny instruction budget and
-    /// exhausts it mid-handler. **Not equivalence-safe** (see module docs).
+    /// The target occurrence runs under a tiny *handler-boundary* budget:
+    /// each pre-merge handler invocation in the occurrence charges one unit
+    /// before its body runs, and exhaustion aborts the rest of the
+    /// occurrence. Equivalence-safe against chains compiled with
+    /// fuel-boundary markers (see module docs).
     ExhaustFuel,
     /// The target timed raise is silently dropped (timer never scheduled).
     DropTimed,
@@ -84,9 +94,18 @@ impl FaultKind {
     }
 
     /// True for kinds whose effect is identical in original and optimized
-    /// runs (see module docs).
+    /// runs regardless of how the chains were compiled (see module docs).
     pub fn is_equivalence_safe(self) -> bool {
         !matches!(self, FaultKind::ExhaustFuel | FaultKind::HandlerTrap)
+    }
+
+    /// True for kinds whose effect is identical in original and optimized
+    /// runs when every installed chain was compiled with fuel-boundary
+    /// markers (`OptimizeOptions::fuel_boundaries`). This adds
+    /// [`FaultKind::ExhaustFuel`] to the safe set: the markers charge the
+    /// boundary budget at exactly the pre-merge handler boundaries.
+    pub fn is_equivalence_safe_with_fuel_boundaries(self) -> bool {
+        !matches!(self, FaultKind::HandlerTrap)
     }
 }
 
@@ -103,9 +122,11 @@ pub struct FaultSpec {
     pub kind: FaultKind,
 }
 
-/// Instruction budget used for [`FaultKind::ExhaustFuel`] dispatches: small
-/// enough that any non-trivial handler trips it mid-body.
-pub const EXHAUST_FUEL_BUDGET: u64 = 24;
+/// Handler-boundary budget used for [`FaultKind::ExhaustFuel`] dispatches:
+/// small enough that any occurrence invoking more than two pre-merge
+/// handlers (directly or through nested synchronous raises) trips it at a
+/// boundary.
+pub const EXHAUST_FUEL_BUDGET: u64 = 2;
 
 /// Deterministically corrupts a value (used by [`FaultKind::CorruptArg`]).
 /// The transform is pure, so both the original and the optimized run of a

@@ -128,6 +128,12 @@ pub struct RuntimeStats {
     /// Guard misses per event (chain installed but stale), for
     /// quarantine-churn accounting in the optimizer's workflow loop.
     pub guard_misses_by_event: BTreeMap<EventId, u64>,
+    /// Generic (registry-path) dispatches per event, recorded only when
+    /// [`Runtime::set_dispatch_accounting`] is on. An adaptive daemon uses
+    /// this as a tracing-free hotness signal while its tracer sleeps: fast
+    /// path dispatches are by definition already specialized, so a rising
+    /// count here means an unspecialized event went hot.
+    pub generic_dispatches_by_event: BTreeMap<EventId, u64>,
 }
 
 impl RuntimeStats {
@@ -170,6 +176,7 @@ struct ReservedNatives {
     cancel_timer: Option<NativeId>,
     clock: Option<NativeId>,
     advance_clock: Option<NativeId>,
+    fuel_boundary: Option<NativeId>,
 }
 
 impl ReservedNatives {
@@ -181,9 +188,15 @@ impl ReservedNatives {
             cancel_timer: module.native_by_name(Runtime::NATIVE_CANCEL_TIMER),
             clock: module.native_by_name(Runtime::NATIVE_CLOCK),
             advance_clock: module.native_by_name(Runtime::NATIVE_ADVANCE_CLOCK),
+            fuel_boundary: module.native_by_name(Runtime::NATIVE_FUEL_BOUNDARY),
         }
     }
 }
+
+/// A callback fired inside [`Runtime::run_until`] whenever the virtual clock
+/// crosses an epoch boundary (see [`Runtime::set_epoch_hook`]). The second
+/// argument is the boundary that was crossed, in virtual nanoseconds.
+pub type EpochHook = Box<dyn FnMut(&mut Runtime, u64)>;
 
 /// The single-threaded event runtime.
 ///
@@ -203,11 +216,17 @@ pub struct Runtime {
     clock: VirtualClock,
     trace: Trace,
     trace_config: Option<TraceConfig>,
+    trace_window: Option<usize>,
     sync_depth: u32,
     dispatch_seq: u64,
     fuel: Option<u64>,
+    boundary_fuel: Option<u64>,
+    epoch_ns: Option<u64>,
+    next_epoch_ns: u64,
+    epoch_hook: Option<EpochHook>,
     config: RuntimeConfig,
     faults: Option<FaultInjector>,
+    dispatch_accounting: bool,
     stats: RuntimeStats,
     /// Cost counters charged by dispatch and handler execution.
     pub cost: CostCounter,
@@ -237,6 +256,13 @@ impl Runtime {
     pub const NATIVE_CLOCK: &'static str = "__pdo_clock";
     /// Reserved native name: `(ns:int) -> unit` advance virtual time.
     pub const NATIVE_ADVANCE_CLOCK: &'static str = "__pdo_advance_clock";
+    /// Reserved native name: `() -> unit` charge one handler-boundary unit
+    /// of the occurrence's [`crate::fault::FaultKind::ExhaustFuel`] budget
+    /// (no-op when no budget is engaged). The optimizer emits a call at the
+    /// start of every merged handler segment when
+    /// `OptimizeOptions::fuel_boundaries` is set, so merged code trips the
+    /// budget at the same pre-merge program points as generic dispatch.
+    pub const NATIVE_FUEL_BOUNDARY: &'static str = "__pdo_fuel_boundary";
 
     /// Creates a runtime for `module` with default configuration. Globals
     /// are initialized from the module's declarations.
@@ -258,10 +284,16 @@ impl Runtime {
             clock: VirtualClock::new(),
             trace: Trace::new(),
             trace_config: None,
+            trace_window: None,
             sync_depth: 0,
             dispatch_seq: 0,
             fuel: config.fuel,
+            boundary_fuel: None,
+            epoch_ns: None,
+            next_epoch_ns: u64::MAX,
+            epoch_hook: None,
             faults: None,
+            dispatch_accounting: false,
             stats: RuntimeStats::default(),
             cost: CostCounter::new(),
             reserved,
@@ -278,6 +310,111 @@ impl Runtime {
     /// A clone of the module handle (for constructing optimized variants).
     pub fn module_arc(&self) -> Arc<Module> {
         Arc::clone(&self.module)
+    }
+
+    /// Hot-swaps the executing module for an *extension* of the current one
+    /// (same function/global/event ids for existing entities, new ones
+    /// appended — exactly what the optimizer produces). Existing bindings,
+    /// globals, natives, queues, and the clock are preserved; native slots
+    /// and globals added by the new module get fresh empty/initial slots,
+    /// and reserved natives are re-resolved by name.
+    ///
+    /// Remove any installed chains that reference functions only present in
+    /// the *old* extension before swapping; the online adaptation loop does
+    /// this before installing the chains of the new optimization.
+    pub fn replace_module(&mut self, module: impl Into<Arc<Module>>) {
+        let module = module.into();
+        self.reserved = ReservedNatives::resolve(&module);
+        if self.natives.len() < module.natives.len() {
+            self.natives.resize_with(module.natives.len(), || None);
+        }
+        while self.globals.len() < module.globals.len() {
+            let idx = self.globals.len();
+            self.globals.push(module.globals[idx].init.clone());
+            self.lock_words.push(AtomicU64::new(0));
+        }
+        self.module = module;
+    }
+
+    /// Installs an epoch hook: inside [`Runtime::run_until`] (and on
+    /// [`Runtime::advance_clock`]), whenever the virtual clock crosses a
+    /// multiple of `epoch_ns`, `hook` runs *between* dispatches with full
+    /// mutable access to the runtime. This is how background work — trace
+    /// sampling, self-healing, re-profiling, chain hot-swaps — is driven
+    /// without any caller-side loop. Crossing several boundaries in one
+    /// step fires the hook once, with the first boundary crossed.
+    ///
+    /// The hook slot is emptied while the hook runs, so a hook raising
+    /// events or advancing the clock cannot re-enter itself.
+    pub fn set_epoch_hook(&mut self, epoch_ns: u64, hook: impl FnMut(&mut Runtime, u64) + 'static) {
+        let epoch = epoch_ns.max(1);
+        self.epoch_ns = Some(epoch);
+        self.next_epoch_ns = (self.clock.now_ns() / epoch + 1).saturating_mul(epoch);
+        self.epoch_hook = Some(Box::new(hook));
+    }
+
+    /// Removes the epoch hook, returning whether one was installed.
+    pub fn clear_epoch_hook(&mut self) -> bool {
+        self.epoch_ns = None;
+        self.next_epoch_ns = u64::MAX;
+        self.epoch_hook.take().is_some()
+    }
+
+    /// The configured epoch length, if an epoch hook is installed.
+    pub fn epoch_ns(&self) -> Option<u64> {
+        self.epoch_ns
+    }
+
+    /// Fires the epoch hook if the clock has crossed the next boundary.
+    /// Returns true when the hook ran (the hook may have hot-swapped the
+    /// module, so cached module handles must be refreshed).
+    fn poll_epoch(&mut self) -> bool {
+        let Some(epoch) = self.epoch_ns else {
+            return false;
+        };
+        if self.clock.now_ns() < self.next_epoch_ns || self.epoch_hook.is_none() {
+            return false;
+        }
+        let boundary = self.next_epoch_ns;
+        self.next_epoch_ns = (self.clock.now_ns() / epoch + 1).saturating_mul(epoch);
+        match self.epoch_hook.take() {
+            Some(mut hook) => {
+                hook(self, boundary);
+                // Keep the hook unless it replaced or cleared itself.
+                if self.epoch_hook.is_none() && self.epoch_ns.is_some() {
+                    self.epoch_hook = Some(hook);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Caps the retained trace at `max_records`, dropping the oldest
+    /// records once the window overflows (`None` = unbounded, the default).
+    /// Long-running sessions sample their trace in windows on epoch
+    /// boundaries; the cap bounds memory if an epoch runs long.
+    pub fn set_trace_window(&mut self, max_records: Option<usize>) {
+        self.trace_window = max_records;
+        self.enforce_trace_window();
+    }
+
+    /// Appends a trace record, enforcing the window cap.
+    fn trace_push(&mut self, record: TraceRecord) {
+        self.trace.records.push(record);
+        self.enforce_trace_window();
+    }
+
+    fn enforce_trace_window(&mut self) {
+        if let Some(max) = self.trace_window {
+            let len = self.trace.records.len();
+            if len > max {
+                // Drop the oldest quarter-window in one pass so the cost
+                // amortizes to O(1) per record.
+                let drop = (len - max).max(max / 4).min(len);
+                self.trace.records.drain(..drop);
+            }
+        }
     }
 
     /// The binding registry (read-only; mutate through [`Runtime::bind`]).
@@ -369,6 +506,14 @@ impl Runtime {
         self.trace_config = None;
     }
 
+    /// Enables (or disables) per-event generic-dispatch accounting in
+    /// [`RuntimeStats::generic_dispatches_by_event`]. Off by default: the
+    /// counter costs one map update per *generic* dispatch, which only an
+    /// adaptive daemon using it as a sleep-mode hotness signal should pay.
+    pub fn set_dispatch_accounting(&mut self, on: bool) {
+        self.dispatch_accounting = on;
+    }
+
     /// Installs a fault injector (replacing any previous one; occurrence
     /// counters start fresh).
     pub fn set_fault_injector(&mut self, injector: FaultInjector) {
@@ -429,9 +574,12 @@ impl Runtime {
     }
 
     /// Advances the virtual clock by `delta_ns` (timers are *not* fired;
-    /// use [`Runtime::run_until_idle`] or [`Runtime::run_until`]).
+    /// use [`Runtime::run_until_idle`] or [`Runtime::run_until`]). Epoch
+    /// hooks installed with [`Runtime::set_epoch_hook`] *do* fire if the
+    /// advance crosses an epoch boundary, so idle sessions still adapt.
     pub fn advance_clock(&mut self, delta_ns: u64) {
         self.clock.advance_by(delta_ns);
+        self.poll_epoch();
     }
 
     /// Pending asynchronous + timed event count.
@@ -496,7 +644,7 @@ impl Runtime {
     ) -> Result<(), RuntimeError> {
         self.check_event(event)?;
         if self.trace_config.as_ref().is_some_and(|c| c.events) {
-            self.trace.records.push(TraceRecord::Raise {
+            self.trace_push(TraceRecord::Raise {
                 event,
                 mode,
                 depth: self.sync_depth,
@@ -557,7 +705,7 @@ impl Runtime {
             self.stats.injected_faults += 1;
         }
         if self.trace_config.as_ref().is_some_and(|c| c.events) {
-            self.trace.records.push(TraceRecord::Fault {
+            self.trace_push(TraceRecord::Fault {
                 event,
                 kind,
                 at: self.clock.now_ns(),
@@ -633,12 +781,17 @@ impl Runtime {
                 self.dispatch_handlers(module, event, args, false, false)
             }
             FaultKind::ExhaustFuel => {
-                // Run this occurrence under a tiny instruction budget and
-                // restore the configured budget afterwards.
-                let saved = self.fuel;
-                self.fuel = Some(EXHAUST_FUEL_BUDGET);
+                // Meter *pre-merge handler boundaries* for this occurrence:
+                // every handler the original program would invoke (directly
+                // or through nested synchronous raises) charges one unit
+                // before its body runs, and super-handlers compiled with
+                // `__pdo_fuel_boundary` markers charge at the same program
+                // points — so exhaustion trips identically in original and
+                // optimized runs (see `crate::fault`).
+                let saved = self.boundary_fuel.take();
+                self.boundary_fuel = Some(EXHAUST_FUEL_BUDGET);
                 let r = self.dispatch_handlers(module, event, args, false, true);
-                self.fuel = saved;
+                self.boundary_fuel = saved;
                 r
             }
             // Timed kinds never reach the dispatch plan (see
@@ -673,7 +826,7 @@ impl Runtime {
                     let dispatch = self.dispatch_seq;
                     self.dispatch_seq += 1;
                     if trace_handlers {
-                        self.trace.records.push(TraceRecord::HandlerEnter {
+                        self.trace_push(TraceRecord::HandlerEnter {
                             event,
                             handler: func,
                             dispatch,
@@ -684,7 +837,7 @@ impl Runtime {
                     if trace_handlers {
                         // Pushed even on a trap so handler-profile stacks
                         // stay balanced under containment.
-                        self.trace.records.push(TraceRecord::HandlerExit {
+                        self.trace_push(TraceRecord::HandlerExit {
                             event,
                             handler: func,
                             dispatch,
@@ -693,27 +846,43 @@ impl Runtime {
                     }
                     return match result {
                         Ok(_) => Ok(()),
-                        Err(err) => match self.config.fault_policy {
-                            FaultPolicy::Abort => Err(RuntimeError::Exec(err)),
-                            FaultPolicy::SkipEvent => {
-                                self.note_trap(event, &err, injected_fuel);
-                                self.stats.skipped_dispatches += 1;
-                                Ok(())
+                        Err(err) => {
+                            if self.boundary_fuel.is_some()
+                                && !injected_fuel
+                                && matches!(err, ExecError::OutOfFuel)
+                            {
+                                // Boundary-fuel exhaustion in a *nested*
+                                // dispatch must propagate so the enclosing
+                                // occurrence aborts at the same program
+                                // point a merged chain would.
+                                return Err(RuntimeError::Exec(err));
                             }
-                            FaultPolicy::Despecialize => {
-                                self.note_trap(event, &err, injected_fuel);
-                                self.stats.skipped_dispatches += 1;
-                                self.despecialize(event);
-                                // Best-effort generic re-dispatch: the chain
-                                // may have applied partial effects, so this
-                                // is NOT equivalence-preserving — it keeps
-                                // the occurrence from being lost entirely.
-                                if injected_fuel {
-                                    self.fuel = None; // restored by caller
+                            match self.config.fault_policy {
+                                FaultPolicy::Abort => Err(RuntimeError::Exec(err)),
+                                FaultPolicy::SkipEvent => {
+                                    self.note_trap(event, &err, injected_fuel);
+                                    self.stats.skipped_dispatches += 1;
+                                    Ok(())
                                 }
-                                self.dispatch_handlers(module, event, args, true, false)
+                                FaultPolicy::Despecialize => {
+                                    self.note_trap(event, &err, injected_fuel);
+                                    self.stats.skipped_dispatches += 1;
+                                    self.despecialize(event);
+                                    if injected_fuel {
+                                        // Injected exhaustion stops the
+                                        // occurrence at a well-defined
+                                        // boundary; re-dispatching would
+                                        // re-run the completed prefix.
+                                        return Ok(());
+                                    }
+                                    // Best-effort generic re-dispatch: the chain
+                                    // may have applied partial effects, so this
+                                    // is NOT equivalence-preserving — it keeps
+                                    // the occurrence from being lost entirely.
+                                    self.dispatch_handlers(module, event, args, true, false)
+                                }
                             }
-                        },
+                        }
                     };
                 }
                 self.cost.fastpath_misses += 1;
@@ -724,10 +893,43 @@ impl Runtime {
         // Generic path: registry lookup, snapshot, marshal per handler,
         // indirect invocation.
         self.cost.registry_lookups += 1;
+        if self.dispatch_accounting {
+            *self
+                .stats
+                .generic_dispatches_by_event
+                .entry(event)
+                .or_insert(0) += 1;
+        }
         let dispatch = self.dispatch_seq;
         self.dispatch_seq += 1;
         let bindings = self.registry.snapshot(event);
         for binding in bindings {
+            // Boundary-fuel metering: one unit per pre-merge handler
+            // invocation, charged *before* the body runs — the same points
+            // where super-handlers compiled with `fuel_boundaries` place
+            // their `__pdo_fuel_boundary` markers.
+            if let Some(n) = self.boundary_fuel {
+                if n == 0 {
+                    let err = ExecError::OutOfFuel;
+                    if !injected_fuel {
+                        // Nested dispatch: propagate to the occurrence's
+                        // top-level frame, which owns containment.
+                        return Err(RuntimeError::Exec(err));
+                    }
+                    match self.config.fault_policy {
+                        FaultPolicy::Abort => return Err(RuntimeError::Exec(err)),
+                        policy => {
+                            self.note_trap(event, &err, injected_fuel);
+                            self.stats.skipped_dispatches += 1;
+                            if policy == FaultPolicy::Despecialize {
+                                self.despecialize(event);
+                            }
+                            return Ok(());
+                        }
+                    }
+                }
+                self.boundary_fuel = Some(n - 1);
+            }
             self.cost.indirect_calls += 1;
             self.cost.marshaled_values += args.len() as u64;
             let packed = marshal(args);
@@ -737,7 +939,7 @@ impl Runtime {
                 .as_ref()
                 .is_some_and(|c| c.handlers.traces(event));
             if trace_handlers {
-                self.trace.records.push(TraceRecord::HandlerEnter {
+                self.trace_push(TraceRecord::HandlerEnter {
                     event,
                     handler: binding.handler,
                     dispatch,
@@ -746,7 +948,7 @@ impl Runtime {
             }
             let result = call(module, self, binding.handler, &unpacked);
             if trace_handlers {
-                self.trace.records.push(TraceRecord::HandlerExit {
+                self.trace_push(TraceRecord::HandlerExit {
                     event,
                     handler: binding.handler,
                     dispatch,
@@ -754,6 +956,14 @@ impl Runtime {
                 });
             }
             if let Err(err) = result {
+                if self.boundary_fuel.is_some()
+                    && !injected_fuel
+                    && matches!(err, ExecError::OutOfFuel)
+                {
+                    // Nested boundary exhaustion: abort the whole occurrence
+                    // (containment happens at its top-level frame).
+                    return Err(RuntimeError::Exec(err));
+                }
                 match self.config.fault_policy {
                     FaultPolicy::Abort => return Err(RuntimeError::Exec(err)),
                     policy => {
@@ -790,7 +1000,7 @@ impl Runtime {
     ///
     /// See [`Runtime::run_until_idle`].
     pub fn run_until(&mut self, deadline_ns: u64) -> Result<u64, RuntimeError> {
-        let module = self.module_arc();
+        let mut module = self.module_arc();
         let mut steps = 0u64;
         loop {
             if self.sched.queued_len() > 0 {
@@ -800,6 +1010,10 @@ impl Runtime {
                 let p = self.sched.pop_async().expect("queue non-empty");
                 self.dispatch_now(&module, p.event, &p.args)?;
                 steps += 1;
+                if self.poll_epoch() {
+                    // The hook may have hot-swapped the module.
+                    module = self.module_arc();
+                }
                 continue;
             }
             match self.sched.next_deadline() {
@@ -814,6 +1028,9 @@ impl Runtime {
                         .expect("deadline was due");
                     self.dispatch_now(&module, t.event, &t.args)?;
                     steps += 1;
+                    if self.poll_epoch() {
+                        module = self.module_arc();
+                    }
                 }
                 _ => return Ok(steps),
             }
@@ -864,6 +1081,19 @@ impl Runtime {
                 self.clock.advance_by(ns.max(0) as u64);
                 Value::Unit
             }));
+        }
+        if Some(native) == self.reserved.fuel_boundary {
+            // Marker emitted by the optimizer before each merged handler
+            // segment: charges the same boundary unit the generic dispatcher
+            // charges before each pre-merge handler call.
+            return Some(match self.boundary_fuel {
+                Some(0) => Err(ExecError::OutOfFuel),
+                Some(n) => {
+                    self.boundary_fuel = Some(n - 1);
+                    Ok(Value::Unit)
+                }
+                None => Ok(Value::Unit),
+            });
         }
         None
     }
@@ -1578,28 +1808,122 @@ mod tests {
         assert_eq!(t.fault_sequence(), vec![(e, FaultKind::TrapDispatch)]);
     }
 
+    /// Module with three handlers on one event, each computing `g = g*10+k`.
+    fn three_handler_module() -> (Module, EventId, GlobalId, [FuncId; 3]) {
+        let mut m = Module::new();
+        let e = m.add_event("E");
+        let g = m.add_global("acc", Value::Int(0));
+        let mut hs = [FuncId(0); 3];
+        for (i, h) in hs.iter_mut().enumerate() {
+            let mut b = FunctionBuilder::new(format!("h{}", i + 1), 0);
+            let v = b.load_global(g);
+            let ten = b.const_int(10);
+            let k = b.const_int(i as i64 + 1);
+            let scaled = b.bin(BinOp::Mul, v, ten);
+            let out = b.bin(BinOp::Add, scaled, k);
+            b.store_global(g, out);
+            b.ret(None);
+            *h = m.add_function(b.finish());
+        }
+        (m, e, g, hs)
+    }
+
     #[test]
-    fn exhaust_fuel_restores_budget_after_occurrence() {
-        let (m, e, g, h1, _) = two_handler_module();
+    fn exhaust_fuel_meters_handler_boundaries() {
+        // Budget is EXHAUST_FUEL_BUDGET = 2 boundary units: the first two
+        // handlers run, the third trips at its pre-call boundary and the
+        // occurrence is contained. The next occurrence runs all three.
+        let (m, e, g, [h1, h2, h3]) = three_handler_module();
         let mut rt = Runtime::with_config(
             m,
             RuntimeConfig {
                 fault_policy: FaultPolicy::SkipEvent,
-                fuel: Some(1_000_000),
                 ..Default::default()
             },
         );
         rt.bind(e, h1, 0).unwrap();
+        rt.bind(e, h2, 1).unwrap();
+        rt.bind(e, h3, 2).unwrap();
         rt.set_fault_injector(FaultInjector::from_plan([FaultSpec {
             event: e,
             occurrence: 0,
             kind: FaultKind::ExhaustFuel,
         }]));
-        // h1 is tiny (7 instructions), so EXHAUST_FUEL_BUDGET may or may not
-        // trip it; either way the configured budget must be restored and the
-        // next occurrence must run normally.
-        let _ = rt.raise(e, RaiseMode::Sync, &[Value::Unit]);
+        rt.raise(e, RaiseMode::Sync, &[]).unwrap();
+        assert_eq!(rt.global(g), &Value::Int(12)); // h1, h2 ran; h3 tripped
+        assert_eq!(rt.stats().skipped_dispatches, 1);
+        assert_eq!(rt.stats().injected_faults, 1); // noted at injection time
+        assert_eq!(rt.stats().handler_traps, 0); // injected OutOfFuel suppressed
+                                                 // Budget restored: occurrence 1 runs all three handlers.
+        rt.raise(e, RaiseMode::Sync, &[]).unwrap();
+        assert_eq!(rt.global(g), &Value::Int(12123));
+    }
+
+    #[test]
+    fn epoch_hook_fires_between_dispatches_in_run_until() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let (m, e, _, h1, _) = two_handler_module();
+        let mut rt = Runtime::new(m);
+        rt.bind(e, h1, 0).unwrap();
+        let boundaries: Rc<RefCell<Vec<u64>>> = Rc::default();
+        let seen = Rc::clone(&boundaries);
+        rt.set_epoch_hook(1_000, move |_rt, at| seen.borrow_mut().push(at));
+        for delay in [500i64, 1_500, 2_500] {
+            rt.raise(e, RaiseMode::Timed, &[Value::Int(delay), Value::Unit])
+                .unwrap();
+        }
+        rt.run_until_idle().unwrap();
+        assert_eq!(*boundaries.borrow(), vec![1_000, 2_000]);
+    }
+
+    #[test]
+    fn epoch_hook_fires_on_advance_clock() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let (m, _, _, _, _) = two_handler_module();
+        let mut rt = Runtime::new(m);
+        let fired: Rc<RefCell<Vec<u64>>> = Rc::default();
+        let seen = Rc::clone(&fired);
+        rt.set_epoch_hook(1_000, move |_rt, at| seen.borrow_mut().push(at));
+        rt.advance_clock(2_500); // crosses 1000 and 2000; one poll, re-arms past now
+        assert_eq!(*fired.borrow(), vec![1_000]);
+        rt.advance_clock(1_000); // now 3500, crosses the re-armed 3000 boundary
+        assert_eq!(*fired.borrow(), vec![1_000, 3_000]);
+        assert!(rt.clear_epoch_hook());
+        rt.advance_clock(10_000);
+        assert_eq!(fired.borrow().len(), 2);
+    }
+
+    #[test]
+    fn replace_module_keeps_state_and_extends_globals() {
+        let (m, e, g, h1, _) = two_handler_module();
+        let mut rt = Runtime::new(m.clone());
+        rt.bind(e, h1, 0).unwrap();
         rt.raise(e, RaiseMode::Sync, &[Value::Unit]).unwrap();
-        assert!(matches!(rt.global(g), Value::Int(n) if *n > 0));
+        assert_eq!(rt.global(g), &Value::Int(1));
+        // Extend the module (as the optimizer does) and hot-swap it in.
+        let mut m2 = m;
+        let g2 = m2.add_global("extra", Value::Int(99));
+        rt.replace_module(m2);
+        assert_eq!(rt.global(g), &Value::Int(1)); // existing state preserved
+        assert_eq!(rt.global(g2), &Value::Int(99)); // new global initialized
+        rt.raise(e, RaiseMode::Sync, &[Value::Unit]).unwrap();
+        assert_eq!(rt.global(g), &Value::Int(11)); // bindings still live
+    }
+
+    #[test]
+    fn trace_window_bounds_record_count() {
+        let (m, e, _, h1, _) = two_handler_module();
+        let mut rt = Runtime::new(m);
+        rt.bind(e, h1, 0).unwrap();
+        rt.set_trace_config(TraceConfig::full());
+        rt.set_trace_window(Some(16));
+        for _ in 0..200 {
+            rt.raise(e, RaiseMode::Sync, &[Value::Unit]).unwrap();
+        }
+        let len = rt.trace().records.len();
+        assert!(len <= 16, "window exceeded: {len}");
+        assert!(len > 0, "window must retain recent records");
     }
 }

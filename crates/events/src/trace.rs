@@ -108,6 +108,15 @@ impl TraceConfig {
         Self::default()
     }
 
+    /// No instrumentation at all — what a duty-cycled online profiler
+    /// installs between sampling windows.
+    pub fn off() -> Self {
+        TraceConfig {
+            events: false,
+            handlers: HandlerTraceMode::Off,
+        }
+    }
+
     /// Full instrumentation: raises plus every handler.
     pub fn full() -> Self {
         TraceConfig {

@@ -1,0 +1,295 @@
+//! Incremental, windowed profile construction for online adaptation.
+//!
+//! The offline workflow builds a [`Profile`](crate::Profile) from one big
+//! trace. A long-running server cannot afford that: re-profiling must be
+//! O(window), not O(everything the session ever did). [`ProfileBuilder`]
+//! therefore consumes *trace windows* (whatever [`pdo_events::Runtime`]
+//! accumulated since the last sample) and merges each window's event and
+//! handler observations into running accumulators.
+//!
+//! To let the profile track a *shifting* workload — the property the
+//! adaptive server needs so a chain that went cold is eventually
+//! despecialized — the builder applies **exponential decay**: on each
+//! [`ProfileBuilder::end_epoch`] every accumulated weight is halved (and
+//! zero-weight entries dropped). An event path that stops occurring falls
+//! below any reduction threshold after a logarithmic number of epochs,
+//! while a newly hot path crosses it as soon as one window carries enough
+//! occurrences.
+
+use crate::graph::EventGraph;
+use crate::handlers::{HandlerGraph, HandlerSeq};
+use crate::Profile;
+use pdo_events::{Trace, TraceRecord};
+use pdo_ir::{EventId, RaiseMode};
+
+/// Accumulates trace windows into a decaying profile.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileBuilder {
+    event_graph: EventGraph,
+    handler_graph: HandlerGraph,
+    /// Carried across windows so the boundary edge between the last raise
+    /// of one window and the first raise of the next is not lost.
+    prev_raise: Option<EventId>,
+    /// Raise records observed since the last [`ProfileBuilder::take_fresh`].
+    fresh: u64,
+}
+
+impl ProfileBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merges one trace window into the accumulators. Cost is linear in the
+    /// window, independent of how much has been observed before.
+    ///
+    /// Windows are expected to end *between* dispatches (the epoch hook in
+    /// [`pdo_events::Runtime::run_until`] fires there): a window cut inside
+    /// an open handler frame loses the nesting attribution of raises whose
+    /// `HandlerEnter` fell in the previous window.
+    pub fn observe(&mut self, window: &Trace) {
+        // Event graph: same walk as `EventGraph::from_trace`, but `prev`
+        // persists across windows.
+        for record in &window.records {
+            let TraceRecord::Raise { event, mode, .. } = record else {
+                continue;
+            };
+            self.fresh += 1;
+            *self.event_graph.nodes.entry(*event).or_insert(0) += 1;
+            if let Some(p) = self.prev_raise {
+                let data = self.event_graph.edges.entry((p, *event)).or_default();
+                data.weight += 1;
+                match mode {
+                    RaiseMode::Sync => data.sync += 1,
+                    RaiseMode::Async | RaiseMode::Timed => data.asynchronous += 1,
+                }
+            }
+            self.prev_raise = Some(*event);
+        }
+
+        // Handler graph: fold the window's graph into the accumulator.
+        // Dispatch ids are globally monotonic per runtime, so windows never
+        // alias each other's dispatches.
+        let win = HandlerGraph::from_trace(window);
+        for (event, seqs) in win.sequences {
+            let acc = self.handler_graph.sequences.entry(event).or_default();
+            for seq in seqs {
+                match acc.iter_mut().find(|s| s.handlers == seq.handlers) {
+                    Some(s) => s.count += seq.count,
+                    None => acc.push(HandlerSeq {
+                        handlers: seq.handlers,
+                        count: seq.count,
+                    }),
+                }
+            }
+        }
+        for (key, count) in win.nested {
+            *self.handler_graph.nested.entry(key).or_insert(0) += count;
+        }
+    }
+
+    /// Ends an adaptation epoch: halves every accumulated weight and drops
+    /// entries that reach zero, so hotness observed `k` epochs ago carries
+    /// weight `w / 2^k` today.
+    pub fn end_epoch(&mut self) {
+        for count in self.event_graph.nodes.values_mut() {
+            *count /= 2;
+        }
+        self.event_graph.nodes.retain(|_, c| *c > 0);
+        for data in self.event_graph.edges.values_mut() {
+            data.weight /= 2;
+            data.sync /= 2;
+            data.asynchronous /= 2;
+        }
+        self.event_graph.edges.retain(|_, d| d.weight > 0);
+
+        for seqs in self.handler_graph.sequences.values_mut() {
+            for seq in seqs.iter_mut() {
+                seq.count /= 2;
+            }
+            seqs.retain(|s| s.count > 0);
+        }
+        self.handler_graph.sequences.retain(|_, s| !s.is_empty());
+        for count in self.handler_graph.nested.values_mut() {
+            *count /= 2;
+        }
+        self.handler_graph.nested.retain(|_, c| *c > 0);
+    }
+
+    /// Merges per-event dispatch *counts* into the event graph — the
+    /// tracing-free hotness signal a sleeping daemon gets from
+    /// `RuntimeStats::generic_dispatches_by_event`. Counts carry no
+    /// ordering, so each event's `n` dispatches are folded as `n` node
+    /// occurrences plus an `n`-weight self-edge — exactly what a trace
+    /// window of `n` back-to-back raises would produce, which is what
+    /// "this one event went hot" looks like. Handler sequences still come
+    /// from real trace windows once the daemon wakes its tracer back up.
+    pub fn observe_dispatches<'a>(
+        &mut self,
+        counts: impl IntoIterator<Item = (&'a EventId, &'a u64)>,
+    ) {
+        for (&event, &n) in counts {
+            if n == 0 {
+                continue;
+            }
+            self.fresh += n;
+            *self.event_graph.nodes.entry(event).or_insert(0) += n;
+            let data = self.event_graph.edges.entry((event, event)).or_default();
+            data.weight += n;
+            // The dispatch loop delivers queued (async/timed) raises.
+            data.asynchronous += n;
+        }
+    }
+
+    /// Number of raises observed since the last [`ProfileBuilder::take_fresh`].
+    pub fn fresh_events(&self) -> u64 {
+        self.fresh
+    }
+
+    /// Returns and resets the fresh-raise counter (called when the daemon
+    /// decides to re-profile).
+    pub fn take_fresh(&mut self) -> u64 {
+        std::mem::take(&mut self.fresh)
+    }
+
+    /// A [`Profile`] snapshot of the current accumulators at `threshold`.
+    pub fn snapshot(&self, threshold: u64) -> Profile {
+        Profile {
+            event_graph: self.event_graph.clone(),
+            handler_graph: self.handler_graph.clone(),
+            threshold,
+        }
+    }
+
+    /// The accumulated event graph (reporting/tests).
+    pub fn event_graph(&self) -> &EventGraph {
+        &self.event_graph
+    }
+
+    /// The accumulated handler graph (reporting/tests).
+    pub fn handler_graph(&self) -> &HandlerGraph {
+        &self.handler_graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdo_ir::FuncId;
+
+    fn raise(event: u32) -> TraceRecord {
+        TraceRecord::Raise {
+            event: EventId(event),
+            mode: RaiseMode::Sync,
+            depth: 0,
+            at: 0,
+        }
+    }
+
+    fn enter(event: u32, handler: u32, dispatch: u64) -> TraceRecord {
+        TraceRecord::HandlerEnter {
+            event: EventId(event),
+            handler: FuncId(handler),
+            dispatch,
+            at: 0,
+        }
+    }
+
+    fn exit(event: u32, handler: u32, dispatch: u64) -> TraceRecord {
+        TraceRecord::HandlerExit {
+            event: EventId(event),
+            handler: FuncId(handler),
+            dispatch,
+            at: 0,
+        }
+    }
+
+    #[test]
+    fn windows_merge_and_carry_the_boundary_edge() {
+        let mut b = ProfileBuilder::new();
+        b.observe(&Trace {
+            records: vec![raise(0), raise(1)],
+        });
+        b.observe(&Trace {
+            records: vec![raise(0), raise(1)],
+        });
+        let g = b.event_graph();
+        assert_eq!(g.edges[&(EventId(0), EventId(1))].weight, 2);
+        // The 1 -> 0 edge spans the window boundary.
+        assert_eq!(g.edges[&(EventId(1), EventId(0))].weight, 1);
+        assert_eq!(b.fresh_events(), 4);
+    }
+
+    #[test]
+    fn windowed_build_matches_offline_build() {
+        // Splitting one trace into windows must produce the same profile as
+        // one offline pass (modulo nothing: prev carries over).
+        let records: Vec<TraceRecord> = (0..20u64)
+            .flat_map(|d| vec![raise(0), enter(0, 7, d), raise(1), exit(0, 7, d)])
+            .collect();
+        let offline = Profile::from_trace(
+            &Trace {
+                records: records.clone(),
+            },
+            5,
+        );
+        let mut b = ProfileBuilder::new();
+        // Windows cut at dispatch boundaries (4 records per dispatch here),
+        // matching how the epoch hook samples between dispatches.
+        for chunk in records.chunks(12) {
+            b.observe(&Trace {
+                records: chunk.to_vec(),
+            });
+        }
+        let windowed = b.snapshot(5);
+        assert_eq!(windowed.event_graph, offline.event_graph);
+        assert_eq!(windowed.handler_graph, offline.handler_graph);
+    }
+
+    #[test]
+    fn decay_forgets_cold_paths() {
+        let mut b = ProfileBuilder::new();
+        // 40 A->B traversals, then silence.
+        let mut records = Vec::new();
+        for _ in 0..40 {
+            records.push(raise(0));
+            records.push(raise(1));
+        }
+        b.observe(&Trace { records });
+        assert!(b.event_graph().edges[&(EventId(0), EventId(1))].weight >= 39);
+        for _ in 0..7 {
+            b.end_epoch();
+        }
+        // 40 / 2^7 = 0: the edge is gone.
+        assert!(!b
+            .event_graph()
+            .edges
+            .contains_key(&(EventId(0), EventId(1))));
+    }
+
+    #[test]
+    fn fresh_counter_resets_on_take() {
+        let mut b = ProfileBuilder::new();
+        b.observe(&Trace {
+            records: vec![raise(0), raise(1), raise(0)],
+        });
+        assert_eq!(b.take_fresh(), 3);
+        assert_eq!(b.fresh_events(), 0);
+    }
+
+    #[test]
+    fn snapshot_reduces_at_threshold() {
+        let mut b = ProfileBuilder::new();
+        let mut records = Vec::new();
+        for _ in 0..12 {
+            records.push(raise(0));
+            records.push(raise(1));
+        }
+        records.push(raise(2));
+        b.observe(&Trace { records });
+        let p = b.snapshot(10);
+        let r = p.reduced();
+        assert!(r.edges.contains_key(&(EventId(0), EventId(1))));
+        assert!(!r.nodes.contains_key(&EventId(2)));
+    }
+}

@@ -19,12 +19,14 @@
 //! manually off-line after the program … has been executed enough times to
 //! develop an adequate profile").
 
+pub mod builder;
 pub mod chains;
 pub mod graph;
 pub mod handlers;
 pub mod json;
 pub mod store;
 
+pub use builder::ProfileBuilder;
 pub use chains::{event_chains, event_paths, hot_events};
 pub use graph::{EdgeData, EdgeMode, EventGraph};
 pub use handlers::{HandlerGraph, HandlerSeq, NestedRaise};

@@ -401,6 +401,14 @@ impl Endpoint {
         w.delivered.pop_front().ok_or(SecCommError::NoOutput)
     }
 
+    /// Advances the endpoint's virtual clock by `delta_ns`. SecComm itself
+    /// is purely synchronous, so this exists for hosts that attach
+    /// time-based daemons (e.g. adaptation epoch hooks) to the session:
+    /// ticking between push/pop bursts lets those fire.
+    pub fn tick(&mut self, delta_ns: u64) {
+        self.rt.advance_clock(delta_ns);
+    }
+
     /// Inbound packets dropped because KeyedMD5 verification failed.
     pub fn mac_failures(&self) -> u64 {
         self.wire.borrow().mac_failures

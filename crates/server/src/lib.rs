@@ -1,0 +1,743 @@
+//! `pdo-server`: a sharded multi-session event server with an online
+//! adaptive-specialization loop.
+//!
+//! The paper's workflow is per-program and offline: trace one run,
+//! optimize, redeploy. A realistic event server hosts *many* independent
+//! sessions — transport connections, secure channels, plain event
+//! programs — each with its own hot paths that shift over time. This
+//! crate puts the whole pipeline online and multi-tenant:
+//!
+//! - A [`Server`] owns `N` [shards](ServerConfig::shards). Each session
+//!   is placed on the shard selected by a splitmix64 hash of its
+//!   [`SessionId`], so placement is deterministic and uniform. The event
+//!   runtime is deliberately single-threaded (`Runtime` is `!Send`;
+//!   handlers share unsynchronized module state), so shards are *logical*
+//!   partitions — the unit a multi-core host would pin to a thread, and
+//!   the unit of iteration, reporting, and fairness here.
+//! - Every session gets a per-session adaptive-specialization daemon (an
+//!   [`AdaptiveEngine`]) attached through the runtime's epoch hook. The
+//!   daemon samples the session's live trace window on virtual-clock
+//!   epoch boundaries *inside* [`Runtime::run_until`], re-profiles when
+//!   enough fresh events accumulate (or a healed chain reports stale),
+//!   and hot-swaps compiled chains under binding-version guards — no
+//!   caller involvement anywhere.
+//! - Protocol endpoints ([`CtpEndpoint`], SecComm [`Endpoint`]) are
+//!   constructed *through* the server, so protocol sessions are
+//!   shard-resident and adapt exactly like plain ones.
+//! - [`Server::report`] snapshots per-shard and per-session counters:
+//!   events dispatched, fast-path hits, guard misses, live chains, and
+//!   the adaptation loop's installs/drops/despecializations/re-profiles.
+
+use pdo::{AdaptConfig, AdaptStats, AdaptiveEngine};
+use pdo_cactus::EventProgram;
+use pdo_ctp::{CtpEndpoint, CtpError, CtpParams};
+use pdo_events::{Runtime, RuntimeConfig, RuntimeError};
+use pdo_ir::{EventId, FuncId, Module, RaiseMode, Value};
+use pdo_seccomm::{Endpoint as SecCommEndpoint, Keys, SecCommError};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Identifies one session for the lifetime of the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub u64);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Server tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Number of shards sessions are hashed onto (min 1).
+    pub shards: usize,
+    /// Adaptation-loop configuration applied to every session opened
+    /// through this server.
+    pub adapt: AdaptConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            shards: 4,
+            adapt: AdaptConfig::default(),
+        }
+    }
+}
+
+/// Server failure, tagged with the session it occurred on.
+#[derive(Debug)]
+pub enum ServerError {
+    /// No session with that id exists.
+    UnknownSession(SessionId),
+    /// The session exists but is not of the requested protocol kind.
+    WrongKind(SessionId),
+    /// The session's event runtime failed.
+    Runtime(SessionId, RuntimeError),
+    /// A CTP session failed.
+    Ctp(SessionId, CtpError),
+    /// A SecComm session failed.
+    SecComm(SessionId, SecCommError),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::UnknownSession(s) => write!(f, "unknown session {s}"),
+            ServerError::WrongKind(s) => write!(f, "session {s} is not of the requested kind"),
+            ServerError::Runtime(s, e) => write!(f, "session {s}: runtime error: {e}"),
+            ServerError::Ctp(s, e) => write!(f, "session {s}: {e}"),
+            ServerError::SecComm(s, e) => write!(f, "session {s}: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// What lives inside a session: a plain event program or a protocol
+/// endpoint built through the server.
+enum SessionKind {
+    Plain(Runtime),
+    Ctp(CtpEndpoint),
+    SecComm(SecCommEndpoint),
+}
+
+struct Session {
+    kind: SessionKind,
+    engine: Rc<RefCell<AdaptiveEngine>>,
+}
+
+impl Session {
+    fn runtime(&self) -> &Runtime {
+        match &self.kind {
+            SessionKind::Plain(rt) => rt,
+            SessionKind::Ctp(ep) => ep.runtime(),
+            SessionKind::SecComm(ep) => ep.runtime(),
+        }
+    }
+
+    fn runtime_mut(&mut self) -> &mut Runtime {
+        match &mut self.kind {
+            SessionKind::Plain(rt) => rt,
+            SessionKind::Ctp(ep) => ep.runtime_mut(),
+            SessionKind::SecComm(ep) => ep.runtime_mut(),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Shard {
+    sessions: BTreeMap<SessionId, Session>,
+}
+
+/// Adaptation and dispatch counters of one session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionReport {
+    /// The session.
+    pub session: SessionId,
+    /// The shard it resides on.
+    pub shard: usize,
+    /// Events dispatched (sync + async/timed raises).
+    pub dispatched: u64,
+    /// Specialized fast-path dispatches taken.
+    pub fastpath_hits: u64,
+    /// Specialized dispatches that failed their guards and fell back.
+    pub guard_misses: u64,
+    /// Compiled chains currently installed.
+    pub chains_live: usize,
+    /// The session daemon's adaptation counters.
+    pub adapt: AdaptStats,
+}
+
+/// Aggregated counters of one shard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardReport {
+    /// The shard index.
+    pub shard: usize,
+    /// Resident sessions.
+    pub sessions: usize,
+    /// Events dispatched across the shard.
+    pub dispatched: u64,
+    /// Fast-path dispatches across the shard.
+    pub fastpath_hits: u64,
+    /// Guard misses across the shard.
+    pub guard_misses: u64,
+    /// Compiled chains currently installed across the shard.
+    pub chains_live: usize,
+    /// Summed adaptation counters of the shard's session daemons.
+    pub adapt: AdaptStats,
+}
+
+/// A point-in-time snapshot of the whole server.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerReport {
+    /// One entry per shard (index = shard number).
+    pub shards: Vec<ShardReport>,
+    /// One entry per session, ordered by shard then session id.
+    pub sessions: Vec<SessionReport>,
+}
+
+impl ServerReport {
+    /// Total events dispatched across the server.
+    pub fn dispatched(&self) -> u64 {
+        self.shards.iter().map(|s| s.dispatched).sum()
+    }
+
+    /// Total fast-path dispatches across the server.
+    pub fn fastpath_hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.fastpath_hits).sum()
+    }
+}
+
+impl fmt::Display for ServerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.shards {
+            writeln!(
+                f,
+                "shard {}: {} sessions, {} dispatched, {} fast-path, {} guard-miss, \
+                 {} chains live, {} installed, {} dropped, {} despecialized, {} re-profiles",
+                s.shard,
+                s.sessions,
+                s.dispatched,
+                s.fastpath_hits,
+                s.guard_misses,
+                s.chains_live,
+                s.adapt.chains_installed,
+                s.adapt.chains_dropped,
+                s.adapt.despecialized,
+                s.adapt.reprofiles,
+            )?;
+        }
+        for s in &self.sessions {
+            writeln!(
+                f,
+                "  {} (shard {}): {} dispatched, {} fast-path, {} guard-miss, {} chains, \
+                 {} epochs, {} re-profiles",
+                s.session,
+                s.shard,
+                s.dispatched,
+                s.fastpath_hits,
+                s.guard_misses,
+                s.chains_live,
+                s.adapt.epochs,
+                s.adapt.reprofiles,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Finalizer of splitmix64; the standard 64-bit mix used for stable,
+/// well-distributed hashing of session ids onto shards.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The sharded multi-session server.
+pub struct Server {
+    config: ServerConfig,
+    shards: Vec<Shard>,
+    next_id: u64,
+}
+
+impl fmt::Debug for Server {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Server")
+            .field("shards", &self.shards.len())
+            .field(
+                "sessions",
+                &self.shards.iter().map(|s| s.sessions.len()).sum::<usize>(),
+            )
+            .finish()
+    }
+}
+
+impl Server {
+    /// An empty server with `config.shards` shards (at least one).
+    pub fn new(config: ServerConfig) -> Self {
+        let shards = config.shards.max(1);
+        Server {
+            config,
+            shards: (0..shards).map(|_| Shard::default()).collect(),
+            next_id: 1,
+        }
+    }
+
+    /// The shard a session id hashes onto.
+    pub fn shard_of(&self, id: SessionId) -> usize {
+        (splitmix64(id.0) % self.shards.len() as u64) as usize
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// All open session ids, ordered by shard then id.
+    pub fn sessions(&self) -> Vec<SessionId> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.sessions.keys().copied())
+            .collect()
+    }
+
+    fn place(&mut self, mut kind: SessionKind) -> SessionId {
+        let id = SessionId(self.next_id);
+        self.next_id += 1;
+        let shard = self.shard_of(id);
+        let rt = match &mut kind {
+            SessionKind::Plain(rt) => rt,
+            SessionKind::Ctp(ep) => ep.runtime_mut(),
+            SessionKind::SecComm(ep) => ep.runtime_mut(),
+        };
+        let engine = AdaptiveEngine::attach_new(rt, self.config.adapt);
+        self.shards[shard]
+            .sessions
+            .insert(id, Session { kind, engine });
+        id
+    }
+
+    /// Opens a plain event-program session: builds a [`Runtime`] over
+    /// `module`, applies `bindings` (event, handler, order), and attaches
+    /// the adaptive-specialization daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates binding failures.
+    pub fn open_session(
+        &mut self,
+        module: Module,
+        config: RuntimeConfig,
+        bindings: &[(EventId, FuncId, i32)],
+    ) -> Result<SessionId, ServerError> {
+        let probe = SessionId(self.next_id);
+        let mut rt = Runtime::with_config(module, config);
+        for &(event, handler, order) in bindings {
+            rt.bind(event, handler, order)
+                .map_err(|e| ServerError::Runtime(probe, e))?;
+        }
+        Ok(self.place(SessionKind::Plain(rt)))
+    }
+
+    /// Opens a shard-resident CTP session over `program` and opens the
+    /// protocol (runs setup handlers, starts the controller clock).
+    ///
+    /// # Errors
+    ///
+    /// Propagates endpoint construction and `Open` failures.
+    pub fn open_ctp_session(
+        &mut self,
+        program: &EventProgram,
+        params: CtpParams,
+    ) -> Result<SessionId, ServerError> {
+        let probe = SessionId(self.next_id);
+        let mut ep = CtpEndpoint::new(program, params).map_err(|e| ServerError::Ctp(probe, e))?;
+        ep.open().map_err(|e| ServerError::Ctp(probe, e))?;
+        Ok(self.place(SessionKind::Ctp(ep)))
+    }
+
+    /// Opens a shard-resident SecComm session over `program` with `keys`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates endpoint construction failures.
+    pub fn open_seccomm_session(
+        &mut self,
+        program: &EventProgram,
+        keys: &Keys,
+    ) -> Result<SessionId, ServerError> {
+        let probe = SessionId(self.next_id);
+        let ep = SecCommEndpoint::new(program, keys).map_err(|e| ServerError::SecComm(probe, e))?;
+        Ok(self.place(SessionKind::SecComm(ep)))
+    }
+
+    /// Closes a session, returning whether it existed.
+    pub fn close_session(&mut self, id: SessionId) -> bool {
+        let shard = self.shard_of(id);
+        self.shards[shard].sessions.remove(&id).is_some()
+    }
+
+    fn session(&self, id: SessionId) -> Result<&Session, ServerError> {
+        let shard = self.shard_of(id);
+        self.shards[shard]
+            .sessions
+            .get(&id)
+            .ok_or(ServerError::UnknownSession(id))
+    }
+
+    fn session_mut(&mut self, id: SessionId) -> Result<&mut Session, ServerError> {
+        let shard = self.shard_of(id);
+        self.shards[shard]
+            .sessions
+            .get_mut(&id)
+            .ok_or(ServerError::UnknownSession(id))
+    }
+
+    /// Raises `event` on session `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownSession`]; propagated runtime failures.
+    pub fn raise(
+        &mut self,
+        id: SessionId,
+        event: EventId,
+        mode: RaiseMode,
+        args: &[Value],
+    ) -> Result<(), ServerError> {
+        self.session_mut(id)?
+            .runtime_mut()
+            .raise(event, mode, args)
+            .map_err(|e| ServerError::Runtime(id, e))
+    }
+
+    /// Raises `event` synchronously on session `id` (dispatches now).
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::raise`].
+    pub fn raise_sync(
+        &mut self,
+        id: SessionId,
+        event: EventId,
+        args: &[Value],
+    ) -> Result<(), ServerError> {
+        self.raise(id, event, RaiseMode::Sync, args)
+    }
+
+    /// Submits `event` to session `id`'s timer queue, due `delay_ns` from
+    /// the session's current virtual time (the timed-raise convention puts
+    /// the delay in `args[0]`; this prepends it).
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::raise`].
+    pub fn submit(
+        &mut self,
+        id: SessionId,
+        event: EventId,
+        delay_ns: u64,
+        args: &[Value],
+    ) -> Result<(), ServerError> {
+        let mut full = Vec::with_capacity(args.len() + 1);
+        full.push(Value::Int(delay_ns as i64));
+        full.extend_from_slice(args);
+        self.raise(id, event, RaiseMode::Timed, &full)
+    }
+
+    /// Advances every session on every shard to `deadline_ns`: dispatches
+    /// all due queued/timed work, then pads each session's clock to the
+    /// deadline so adaptation epochs fire even on idle sessions. Shards
+    /// are served round-robin in index order; a failure stops the sweep
+    /// and reports the offending session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first session failure (tagged with its id).
+    pub fn run_until(&mut self, deadline_ns: u64) -> Result<(), ServerError> {
+        for shard in &mut self.shards {
+            for (&id, session) in &mut shard.sessions {
+                match &mut session.kind {
+                    SessionKind::Ctp(ep) => {
+                        // Pads its clock and checks link liveness itself.
+                        ep.run_until(deadline_ns)
+                            .map_err(|e| ServerError::Ctp(id, e))?;
+                    }
+                    SessionKind::Plain(rt) => {
+                        rt.run_until(deadline_ns)
+                            .map_err(|e| ServerError::Runtime(id, e))?;
+                        let now = rt.clock_ns();
+                        if deadline_ns > now {
+                            rt.advance_clock(deadline_ns - now);
+                        }
+                    }
+                    SessionKind::SecComm(ep) => {
+                        let rt = ep.runtime_mut();
+                        rt.run_until(deadline_ns)
+                            .map_err(|e| ServerError::Runtime(id, e))?;
+                        let now = rt.clock_ns();
+                        if deadline_ns > now {
+                            ep.tick(deadline_ns - now);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Read-only access to a session's runtime.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownSession`].
+    pub fn runtime(&self, id: SessionId) -> Result<&Runtime, ServerError> {
+        Ok(self.session(id)?.runtime())
+    }
+
+    /// Mutable access to a session's runtime.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownSession`].
+    pub fn runtime_mut(&mut self, id: SessionId) -> Result<&mut Runtime, ServerError> {
+        Ok(self.session_mut(id)?.runtime_mut())
+    }
+
+    /// The session's adaptation daemon (shared handle).
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownSession`].
+    pub fn engine(&self, id: SessionId) -> Result<Rc<RefCell<AdaptiveEngine>>, ServerError> {
+        Ok(Rc::clone(&self.session(id)?.engine))
+    }
+
+    /// Mutable access to a CTP session's endpoint (send, drain, stats).
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownSession`]; [`ServerError::WrongKind`] for a
+    /// non-CTP session.
+    pub fn ctp_mut(&mut self, id: SessionId) -> Result<&mut CtpEndpoint, ServerError> {
+        match &mut self.session_mut(id)?.kind {
+            SessionKind::Ctp(ep) => Ok(ep),
+            _ => Err(ServerError::WrongKind(id)),
+        }
+    }
+
+    /// Mutable access to a SecComm session's endpoint (push, pop).
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownSession`]; [`ServerError::WrongKind`] for a
+    /// non-SecComm session.
+    pub fn seccomm_mut(&mut self, id: SessionId) -> Result<&mut SecCommEndpoint, ServerError> {
+        match &mut self.session_mut(id)?.kind {
+            SessionKind::SecComm(ep) => Ok(ep),
+            _ => Err(ServerError::WrongKind(id)),
+        }
+    }
+
+    /// A point-in-time snapshot of per-shard and per-session counters.
+    pub fn report(&self) -> ServerReport {
+        let mut report = ServerReport {
+            shards: (0..self.shards.len())
+                .map(|shard| ShardReport {
+                    shard,
+                    ..Default::default()
+                })
+                .collect(),
+            sessions: Vec::new(),
+        };
+        for (shard_no, shard) in self.shards.iter().enumerate() {
+            let agg = &mut report.shards[shard_no];
+            agg.sessions = shard.sessions.len();
+            for (&id, session) in &shard.sessions {
+                let rt = session.runtime();
+                let adapt = session.engine.borrow().stats();
+                let row = SessionReport {
+                    session: id,
+                    shard: shard_no,
+                    // One registry lookup per generic dispatch; fast-path
+                    // dispatches skip the registry, so the sum counts
+                    // every dispatched event exactly once.
+                    dispatched: rt.cost.registry_lookups + rt.cost.fastpath_hits,
+                    fastpath_hits: rt.cost.fastpath_hits,
+                    guard_misses: rt.cost.fastpath_misses,
+                    chains_live: rt.spec().len(),
+                    adapt,
+                };
+                agg.dispatched += row.dispatched;
+                agg.fastpath_hits += row.fastpath_hits;
+                agg.guard_misses += row.guard_misses;
+                agg.chains_live += row.chains_live;
+                agg.adapt.epochs += adapt.epochs;
+                agg.adapt.reprofiles += adapt.reprofiles;
+                agg.adapt.chains_installed += adapt.chains_installed;
+                agg.adapt.chains_dropped += adapt.chains_dropped;
+                agg.adapt.despecialized += adapt.despecialized;
+                report.sessions.push(row);
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdo_ir::{BinOp, FunctionBuilder};
+
+    /// Two independent events; handler `k` of each adds `k` to its event's
+    /// accumulator, so one dispatch of [h1, h2] adds 3.
+    fn two_chain_module() -> (Module, [EventId; 2], [pdo_ir::GlobalId; 2]) {
+        let mut m = Module::new();
+        let a = m.add_event("A");
+        let b = m.add_event("B");
+        let ga = m.add_global("acc_a", Value::Int(0));
+        let gb = m.add_global("acc_b", Value::Int(0));
+        let adder = |m: &mut Module, name: &str, g: pdo_ir::GlobalId, d: i64| {
+            let mut fb = FunctionBuilder::new(name, 0);
+            let v = fb.load_global(g);
+            let dd = fb.const_int(d);
+            let o = fb.bin(BinOp::Add, v, dd);
+            fb.store_global(g, o);
+            fb.ret(None);
+            m.add_function(fb.finish())
+        };
+        adder(&mut m, "a1", ga, 1);
+        adder(&mut m, "a2", ga, 2);
+        adder(&mut m, "b1", gb, 1);
+        adder(&mut m, "b2", gb, 2);
+        (m, [a, b], [ga, gb])
+    }
+
+    fn bindings(m: &Module, a: EventId, b: EventId) -> Vec<(EventId, FuncId, i32)> {
+        vec![
+            (a, m.function_by_name("a1").unwrap(), 0),
+            (a, m.function_by_name("a2").unwrap(), 1),
+            (b, m.function_by_name("b1").unwrap(), 0),
+            (b, m.function_by_name("b2").unwrap(), 1),
+        ]
+    }
+
+    fn fast_adapt() -> AdaptConfig {
+        AdaptConfig {
+            epoch_ns: 1_000,
+            min_fresh_events: 20,
+            opts: pdo::OptimizeOptions::new(10),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn session_placement_is_deterministic_and_spread() {
+        let server = Server::new(ServerConfig {
+            shards: 4,
+            ..Default::default()
+        });
+        let mut seen = [0usize; 4];
+        for i in 1..=64 {
+            let shard = server.shard_of(SessionId(i));
+            assert_eq!(shard, server.shard_of(SessionId(i)), "stable");
+            seen[shard] += 1;
+        }
+        assert!(
+            seen.iter().all(|&n| n > 0),
+            "64 ids must reach every one of 4 shards: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn sessions_land_on_their_hashed_shard_and_close() {
+        let (m, [a, b], _) = two_chain_module();
+        let mut server = Server::new(ServerConfig {
+            shards: 3,
+            adapt: fast_adapt(),
+        });
+        let mut ids = Vec::new();
+        for _ in 0..9 {
+            ids.push(
+                server
+                    .open_session(m.clone(), RuntimeConfig::default(), &bindings(&m, a, b))
+                    .unwrap(),
+            );
+        }
+        assert_eq!(server.sessions().len(), 9);
+        let report = server.report();
+        for row in &report.sessions {
+            assert_eq!(row.shard, server.shard_of(row.session));
+        }
+        assert!(server.close_session(ids[0]));
+        assert!(!server.close_session(ids[0]), "already closed");
+        assert_eq!(server.sessions().len(), 8);
+        assert!(matches!(
+            server.raise_sync(ids[0], a, &[]),
+            Err(ServerError::UnknownSession(_))
+        ));
+    }
+
+    #[test]
+    fn sessions_adapt_independently_and_report_aggregates() {
+        let (m, [a, b], [ga, gb]) = two_chain_module();
+        let mut server = Server::new(ServerConfig {
+            shards: 2,
+            adapt: fast_adapt(),
+        });
+        let binds = bindings(&m, a, b);
+        let s1 = server
+            .open_session(m.clone(), RuntimeConfig::default(), &binds)
+            .unwrap();
+        let s2 = server
+            .open_session(m.clone(), RuntimeConfig::default(), &binds)
+            .unwrap();
+
+        // s1 hammers A, s2 hammers B: each specializes only its own chain.
+        for i in 0..80u64 {
+            server.submit(s1, a, i * 100 + 100, &[]).unwrap();
+            server.submit(s2, b, i * 100 + 100, &[]).unwrap();
+        }
+        server.run_until(80 * 100 + 1).unwrap();
+
+        assert!(server.runtime(s1).unwrap().spec().get(a).is_some());
+        assert!(server.runtime(s1).unwrap().spec().get(b).is_none());
+        assert!(server.runtime(s2).unwrap().spec().get(b).is_some());
+        assert!(server.runtime(s2).unwrap().spec().get(a).is_none());
+        assert_eq!(server.runtime(s1).unwrap().global(ga), &Value::Int(80 * 3));
+        assert_eq!(server.runtime(s2).unwrap().global(gb), &Value::Int(80 * 3));
+
+        let report = server.report();
+        assert_eq!(report.sessions.len(), 2);
+        assert_eq!(report.shards.len(), 2);
+        let session_sum: u64 = report.sessions.iter().map(|s| s.dispatched).sum();
+        assert_eq!(report.dispatched(), session_sum);
+        assert!(report.fastpath_hits() > 0, "adapted sessions use chains");
+        for row in &report.sessions {
+            assert!(row.adapt.epochs > 0, "epochs fired inside run_until");
+            assert!(row.adapt.reprofiles >= 1);
+            assert_eq!(row.chains_live, 1);
+        }
+        // The display form renders without panicking and mentions shards.
+        let text = format!("{report}");
+        assert!(text.contains("shard 0:") && text.contains("shard 1:"));
+    }
+
+    #[test]
+    fn idle_sessions_still_reach_epoch_boundaries() {
+        let (m, [a, b], _) = two_chain_module();
+        let mut server = Server::new(ServerConfig {
+            shards: 1,
+            adapt: fast_adapt(),
+        });
+        let sid = server
+            .open_session(m.clone(), RuntimeConfig::default(), &bindings(&m, a, b))
+            .unwrap();
+        // No events at all: run_until pads the clock, so epochs still fire.
+        server.run_until(10_000).unwrap();
+        assert!(server.engine(sid).unwrap().borrow().stats().epochs > 0);
+    }
+
+    #[test]
+    fn wrong_kind_accessors_are_rejected() {
+        let (m, [a, b], _) = two_chain_module();
+        let mut server = Server::new(ServerConfig::default());
+        let sid = server
+            .open_session(m.clone(), RuntimeConfig::default(), &bindings(&m, a, b))
+            .unwrap();
+        assert!(matches!(
+            server.ctp_mut(sid),
+            Err(ServerError::WrongKind(_))
+        ));
+        assert!(matches!(
+            server.seccomm_mut(sid),
+            Err(ServerError::WrongKind(_))
+        ));
+    }
+}

@@ -13,6 +13,8 @@ use pdo_events::{
 use pdo_ir::{BinOp, FunctionBuilder, Module, RaiseMode, Value};
 use pdo_profile::Profile;
 use pdo_seccomm::{seccomm_protocol, Endpoint, Keys, SecCommError, CONFIG_FULL};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     lossy_link()?;
@@ -23,8 +25,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 /// 1. A 15%-drop, 3%-corrupt, 2%-reorder link: the positive-ack protocol
-/// retransmits with exponential backoff until everything lands, and the
-/// receiver releases the payloads in order.
+///    retransmits with exponential backoff until everything lands, and the
+///    receiver releases the payloads in order.
 fn lossy_link() -> Result<(), CtpError> {
     let params = CtpParams {
         ack_drop_every: 0,
@@ -72,7 +74,7 @@ fn lossy_link() -> Result<(), CtpError> {
 }
 
 /// 2. A dead link (100% drop): retries back off exponentially, then the
-/// endpoint surfaces `PeerUnreachable` instead of hanging.
+///    endpoint surfaces `PeerUnreachable` instead of hanging.
 fn dead_link() {
     let params = CtpParams {
         ack_drop_every: 0,
@@ -99,8 +101,12 @@ fn dead_link() {
 }
 
 /// 3. Handler-fault containment + self-healing: injected traps despecialize
-/// the chain (generic fallback keeps every event correct), the quarantine
-/// backs the chain off on the virtual clock, and the healer re-installs it.
+///    the chain (generic fallback keeps every event correct), the quarantine
+///    backs the chain off on the virtual clock, and the healer re-installs it.
+///
+/// The healer is attached through the runtime's *epoch hook*, so the whole
+/// quarantine/backoff/re-install cycle runs inside `run_until` on
+/// virtual-clock epoch boundaries — the caller never invokes `after_epoch`.
 fn despecialize_and_heal() {
     let mut m = Module::new();
     let e = m.add_event("Tick");
@@ -133,7 +139,10 @@ fn despecialize_and_heal() {
     );
     fast.bind(e, h, 0).unwrap();
     opt.install_chains(&mut fast);
-    let mut healer = SelfHealer::new(
+
+    // The healer runs on epoch boundaries of the virtual clock, inside
+    // `run_until` — no caller-driven `after_epoch`.
+    let healer = Rc::new(RefCell::new(SelfHealer::new(
         QuarantineConfig {
             fault_threshold: 2,
             base_backoff_ns: 1_000_000,
@@ -141,7 +150,19 @@ fn despecialize_and_heal() {
         },
         &opt,
         fast.registry(),
-    );
+    )));
+    let log: Rc<RefCell<Vec<(u64, pdo::HealReport)>>> = Rc::default();
+    {
+        let healer = Rc::clone(&healer);
+        let log = Rc::clone(&log);
+        fast.set_epoch_hook(500_000, move |rt, at| {
+            let report = healer.borrow_mut().after_epoch(rt);
+            if !report.is_empty() {
+                log.borrow_mut().push((at, report));
+            }
+        });
+    }
+
     fast.set_fault_injector(FaultInjector::from_plan((0..3).map(|i| FaultSpec {
         event: e,
         occurrence: i,
@@ -157,23 +178,39 @@ fn despecialize_and_heal() {
     );
     assert_eq!(fast.global(g), &Value::Int(6));
 
-    let report = healer.after_epoch(&mut fast);
-    let (_, until) = report.quarantined[0];
-    println!("healing    : quarantined until t={until}ns (backoff on the virtual clock)");
-    fast.advance_clock(until - fast.clock_ns());
-    let report = healer.after_epoch(&mut fast);
-    assert_eq!(report.reinstalled, vec![e]);
+    // Keep the session running on timed ticks: epochs fire inside
+    // `run_until`, the healer quarantines, the backoff expires, the chain
+    // comes back — all with zero healer calls from here.
+    for i in 1..=15i64 {
+        fast.raise(e, RaiseMode::Timed, &[Value::Int(i * 200_000)])
+            .unwrap();
+    }
+    fast.run_until_idle().unwrap();
+
+    let log = log.borrow();
+    let (at_q, first) = &log[0];
+    let (_, until) = first.quarantined[0];
+    println!(
+        "healing    : epoch at t={at_q}ns quarantined the chain until t={until}ns \
+         (backoff on the virtual clock)"
+    );
+    let reinstalled_at = log
+        .iter()
+        .find(|(_, r)| r.reinstalled.contains(&e))
+        .map(|(at, _)| *at)
+        .expect("a later epoch re-installs the chain");
     fast.raise(e, RaiseMode::Sync, &[]).unwrap();
     println!(
-        "             backoff expired -> chain re-installed, fast-path hits = {}\n",
+        "             epoch at t={reinstalled_at}ns re-installed it -> fast-path hits = {}\n",
         fast.cost.fastpath_hits
     );
+    assert_eq!(fast.global(g), &Value::Int(6 + 15 + 1));
     assert!(fast.cost.fastpath_hits >= 1);
 }
 
 /// 4. SecComm integrity: packets failing KeyedMD5 verification are dropped
-/// and counted — the decode chain never runs on garbage, and the endpoint
-/// keeps serving the next good packet.
+///    and counted — the decode chain never runs on garbage, and the endpoint
+///    keeps serving the next good packet.
 fn tampered_packets() -> Result<(), SecCommError> {
     let proto = seccomm_protocol();
     let program = proto.instantiate(CONFIG_FULL).expect("full config");

@@ -5,8 +5,10 @@
 //! one implements the subset the `pdo-bench` benches use — `Criterion`,
 //! `benchmark_group` with `sample_size`, `bench_function`, `iter`,
 //! `black_box`, and the `criterion_group!`/`criterion_main!` macros — with a
-//! plain best-of-batches timer instead of criterion's statistical engine.
-//! Output is one line per benchmark: median-of-batch average nanoseconds.
+//! plain batch timer instead of criterion's statistical engine. Output is
+//! one line per benchmark: the minimum batch average (robust headline
+//! number) plus mean ± half-width of a normal-approximation 95% confidence
+//! interval over the batch averages, so CI logs show run-to-run spread.
 
 use std::time::Instant;
 
@@ -16,39 +18,58 @@ pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
-/// Runs `f` repeatedly and reports the best batch-average nanoseconds.
-fn measure<O>(mut f: impl FnMut() -> O, samples: usize) -> f64 {
-    // Warm up, then take `samples` batches and keep the minimum average —
-    // robust against scheduler noise, matching the repo's bench philosophy.
+/// Summary statistics of one benchmark's batch averages.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Measurement {
+    /// Minimum batch average (ns/iter) — the headline number, robust
+    /// against scheduler noise on a shared machine.
+    pub min_ns: f64,
+    /// Mean of the batch averages (ns/iter).
+    pub mean_ns: f64,
+    /// Half-width of the 95% confidence interval of the mean (normal
+    /// approximation: `1.96 * stddev / sqrt(batches)`).
+    pub ci95_ns: f64,
+}
+
+/// Runs `f` repeatedly and summarizes the batch averages.
+fn measure<O>(mut f: impl FnMut() -> O, samples: usize) -> Measurement {
+    // Warm up, then take `samples` batches.
     for _ in 0..3 {
         black_box(f());
     }
-    let mut best = f64::INFINITY;
-    for _ in 0..samples.clamp(3, 10) {
+    let batches = samples.clamp(3, 10);
+    let mut avgs = Vec::with_capacity(batches);
+    for _ in 0..batches {
         let batch = 16u32;
         let start = Instant::now();
         for _ in 0..batch {
             black_box(f());
         }
-        let avg = start.elapsed().as_nanos() as f64 / f64::from(batch);
-        if avg < best {
-            best = avg;
-        }
+        avgs.push(start.elapsed().as_nanos() as f64 / f64::from(batch));
     }
-    best
+    let min_ns = avgs.iter().copied().fold(f64::INFINITY, f64::min);
+    let n = avgs.len() as f64;
+    let mean_ns = avgs.iter().sum::<f64>() / n;
+    let var = avgs.iter().map(|a| (a - mean_ns).powi(2)).sum::<f64>() / (n - 1.0);
+    let ci95_ns = 1.96 * (var / n).sqrt();
+    Measurement {
+        min_ns,
+        mean_ns,
+        ci95_ns,
+    }
 }
 
 /// Per-iteration timer handed to `bench_function` closures.
 #[derive(Debug, Default)]
 pub struct Bencher {
-    result_ns: f64,
+    result: Measurement,
     samples: usize,
 }
 
 impl Bencher {
     /// Times `f`, storing the measurement for the group to report.
     pub fn iter<O>(&mut self, f: impl FnMut() -> O) {
-        self.result_ns = measure(f, self.samples);
+        self.result = measure(f, self.samples);
     }
 }
 
@@ -72,11 +93,14 @@ impl BenchmarkGroup {
         F: FnMut(&mut Bencher),
     {
         let mut b = Bencher {
-            result_ns: 0.0,
+            result: Measurement::default(),
             samples: self.samples,
         };
         f(&mut b);
-        println!("{}/{}: {:.1} ns/iter", self.name, id, b.result_ns);
+        println!(
+            "{}/{}: {:.1} ns/iter (mean {:.1} ± {:.1}, 95% CI)",
+            self.name, id, b.result.min_ns, b.result.mean_ns, b.result.ci95_ns
+        );
         self
     }
 
@@ -105,11 +129,14 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let mut b = Bencher {
-            result_ns: 0.0,
+            result: Measurement::default(),
             samples: 10,
         };
         f(&mut b);
-        println!("{}: {:.1} ns/iter", id, b.result_ns);
+        println!(
+            "{}: {:.1} ns/iter (mean {:.1} ± {:.1}, 95% CI)",
+            id, b.result.min_ns, b.result.mean_ns, b.result.ci95_ns
+        );
         self
     }
 }

@@ -2,12 +2,18 @@
 //! *under injected faults*, not just on the happy path.
 //!
 //! For any seeded plan of equivalence-safe faults (dispatch traps, argument
-//! corruption, dropped/delayed timers) and either containment policy, the
-//! optimized program — monolithic or partitioned chains — must be
-//! observationally identical to the original: same global state, same
-//! emitted packets in the same order, same recorded fault sequence, same
-//! robustness counters. Faults key on *top-level* occurrences precisely so
-//! this property is well defined (see `pdo_events::fault` module docs).
+//! corruption, dropped/delayed timers, fuel exhaustion) and either
+//! containment policy, the optimized program — monolithic or partitioned
+//! chains — must be observationally identical to the original: same global
+//! state, same emitted packets in the same order, same recorded fault
+//! sequence, same robustness counters. Faults key on *top-level*
+//! occurrences precisely so this property is well defined (see
+//! `pdo_events::fault` module docs). Fuel exhaustion is equivalence-safe
+//! here because the optimizer runs with `fuel_boundaries` on: merged
+//! super-handlers charge the boundary budget at `__pdo_fuel_boundary`
+//! markers placed exactly where generic dispatch charges it (before each
+//! pre-merge handler), so the occurrence aborts at the same program point
+//! in both runs.
 
 use pdo::{optimize, Optimization, OptimizeOptions};
 use pdo_events::{
@@ -196,6 +202,9 @@ fn optimized(p: &Pipeline, partitioned: bool) -> Optimization {
     let profile = Profile::from_trace(&rt.take_trace(), 10);
     let mut opts = OptimizeOptions::new(10);
     opts.partitioned = partitioned;
+    // Boundary markers make ExhaustFuel trip at the same program points in
+    // merged code as in generic dispatch.
+    opts.fuel_boundaries = true;
     let opt = optimize(&p.module, rt.registry(), &profile, &opts);
     assert!(
         !opt.chains.is_empty(),
@@ -214,9 +223,10 @@ fn decode_spec(p: &Pipeline, raw: (u8, u64, u8, u64)) -> FaultSpec {
             index: (extra % 4) as u16,
         },
         2 => FaultKind::DropTimed,
-        _ => FaultKind::DelayTimed { extra_ns: extra },
+        3 => FaultKind::DelayTimed { extra_ns: extra },
+        _ => FaultKind::ExhaustFuel,
     };
-    assert!(kind.is_equivalence_safe());
+    assert!(kind.is_equivalence_safe_with_fuel_boundaries());
     FaultSpec {
         event,
         occurrence,
@@ -233,7 +243,7 @@ proptest! {
     #[test]
     fn optimized_program_is_observationally_identical_under_faults(
         raw_plan in prop::collection::vec(
-            (0u8..2, 0u64..32, 0u8..4, 1u64..5_000),
+            (0u8..2, 0u64..32, 0u8..5, 1u64..5_000),
             0..8,
         ),
         policy_pick in 0u8..2,
