@@ -191,6 +191,13 @@ impl AdaptiveEngine {
         // an already specialized event cannot demand respecialization.
         self.builder
             .observe_dispatches(&delta.generic_dispatches_by_event);
+        // Nested synchronous raises seen on the slow path feed the
+        // subsumption evidence the same way: without this, a session whose
+        // nested pattern only emerges while the tracer sleeps would
+        // re-specialize the parent as a flat chain, never folding the
+        // child in (`handler_graph.nested` is invisible during trace-off
+        // epochs).
+        self.builder.observe_nested(&delta.nested_sync_by_event);
         // Healing runs every epoch: it needs only the stats delta, not the
         // trace, so quarantine/backoff latency is unaffected by the duty
         // cycle.
@@ -410,6 +417,105 @@ mod tests {
         assert_eq!(rt.global(ga), &Value::Int(183 * 3));
     }
 
+    /// Module for the sleeping-tracer regression: `A` is the initially hot
+    /// workload; `C`'s handler raises `D` synchronously only while `flag`
+    /// is set; `D` is also raised top-level so its handler sequence is on
+    /// record before the shift.
+    fn nested_shift_module() -> (
+        Module,
+        [EventId; 3],
+        [pdo_ir::GlobalId; 2],
+        pdo_ir::GlobalId,
+    ) {
+        let mut m = Module::new();
+        let a = m.add_event("A");
+        let c = m.add_event("C");
+        let d = m.add_event("D");
+        let ga = m.add_global("ga", Value::Int(0));
+        let gc = m.add_global("gc", Value::Int(0));
+        let gd = m.add_global("gd", Value::Int(0));
+        let flag = m.add_global("flag", Value::Int(0));
+        let adder = |m: &mut Module, name: &str, g: pdo_ir::GlobalId| {
+            let mut fb = FunctionBuilder::new(name, 0);
+            let v = fb.load_global(g);
+            let one = fb.const_int(1);
+            let o = fb.bin(BinOp::Add, v, one);
+            fb.store_global(g, o);
+            fb.ret(None);
+            m.add_function(fb.finish())
+        };
+        adder(&mut m, "a1", ga);
+        adder(&mut m, "a2", ga);
+        adder(&mut m, "d1", gd);
+        let mut fb = FunctionBuilder::new("c1", 0);
+        let v = fb.load_global(gc);
+        let one = fb.const_int(1);
+        let o = fb.bin(BinOp::Add, v, one);
+        fb.store_global(gc, o);
+        let f = fb.load_global(flag);
+        let zero = fb.const_int(0);
+        let cond = fb.bin(BinOp::Ne, f, zero);
+        let then_blk = fb.new_block();
+        let done = fb.new_block();
+        fb.branch(cond, then_blk, done);
+        fb.switch_to(then_blk);
+        fb.raise(d, RaiseMode::Sync, &[]);
+        fb.jump(done);
+        fb.switch_to(done);
+        fb.ret(None);
+        m.add_function(fb.finish());
+        (m, [a, c, d], [gc, gd], flag)
+    }
+
+    #[test]
+    fn sleeping_tracer_still_discovers_a_new_nested_chain() {
+        let (m, [a, c, d], [gc, gd], flag) = nested_shift_module();
+        let mut rt = Runtime::new(m.clone());
+        rt.bind(a, m.function_by_name("a1").unwrap(), 0).unwrap();
+        rt.bind(c, m.function_by_name("c1").unwrap(), 0).unwrap();
+        rt.bind(d, m.function_by_name("d1").unwrap(), 0).unwrap();
+        let engine = AdaptiveEngine::attach_new(
+            &mut rt,
+            AdaptConfig {
+                epoch_ns: 10_000,
+                trace_sleep_epochs: 8,
+                ..config()
+            },
+        );
+        // While sampling: C and D run just below the candidacy threshold,
+        // so their (stable) handler sequences are on record but neither
+        // gets a chain; A goes hot, deploys, and puts the tracer to sleep.
+        drive(&mut rt, c, 4);
+        drive(&mut rt, d, 4);
+        drive(&mut rt, a, 95);
+        assert!(rt.spec().get(a).is_some(), "A deployed while sampling");
+        assert!(rt.spec().get(c).is_none(), "C stays below threshold");
+        // The workload shifts *while the tracer sleeps*: C goes hot and
+        // its handler starts raising D synchronously. A's chain is gone
+        // and its bindings changed, so the healer reports it stale and
+        // forces a re-profile mid-sleep — with no trace window at all,
+        // the slow-path nested counters are the only subsumption evidence.
+        rt.set_global(flag, Value::Int(1));
+        rt.bind(a, m.function_by_name("a2").unwrap(), 1).unwrap();
+        rt.remove_chain(a);
+        drive(&mut rt, c, 100);
+        let stats = engine.borrow().stats();
+        assert!(
+            stats.sampled_epochs < stats.epochs,
+            "the re-profile must run on a slept epoch: {stats:?}"
+        );
+        let chain = rt.spec().get(c).expect("sleeping session specialized C");
+        assert!(
+            chain.guards.iter().any(|g| g.event == d),
+            "C's chain must subsume D on slow-path nested counts alone: {:?}",
+            chain.guards
+        );
+        assert!(rt.spec().get(a).is_none(), "rebound A not rebuilt (drift)");
+        // Behaviour preserved across the mid-sleep hot swap.
+        assert_eq!(rt.global(gc), &Value::Int(104));
+        assert_eq!(rt.global(gd), &Value::Int(104));
+    }
+
     #[test]
     fn trace_duty_cycle_bounds_sampling_but_still_adapts() {
         let (m, [a, b], [ga, gb]) = two_chain_module();
@@ -445,5 +551,106 @@ mod tests {
         );
         assert_eq!(rt.global(ga), &Value::Int(360 * 3));
         assert_eq!(rt.global(gb), &Value::Int(800 * 3));
+    }
+
+    /// Stale-guard property: however the session churns — rebinds that
+    /// bump binding versions, manual chain drops, traps that despecialize
+    /// under containment — once the next epoch has processed the churn,
+    /// no installed chain may carry a binding-version guard that
+    /// disagrees with the live registry. Quarantine (guard-miss churn),
+    /// re-profiling (which removes every deployed chain before a hot
+    /// swap), and the healer (which refreshes guard versions before a
+    /// re-install) must jointly maintain the invariant.
+    #[test]
+    fn churn_cycles_never_leave_a_stale_guard_installed() {
+        let (m, [a, b], _) = two_chain_module();
+        let mut rt = Runtime::with_config(
+            m.clone(),
+            RuntimeConfig {
+                fault_policy: FaultPolicy::Despecialize,
+                ..Default::default()
+            },
+        );
+        bind_all(&mut rt, &m, a, b);
+        let engine = AdaptiveEngine::attach_new(&mut rt, config());
+        // Any third handler works as rebind churn; behaviour is not under
+        // test here, only guard freshness.
+        let extra = [
+            m.function_by_name("b1").unwrap(),
+            m.function_by_name("a1").unwrap(),
+        ];
+        let mut extra_bound = [false, false];
+
+        let mut state = 0x5EED_CAFEu64;
+        let mut next = move || -> u64 {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+
+        let mut installed_checks = 0u64;
+        for cycle in 0..60 {
+            // The mutated event and the driven event are drawn
+            // independently: mutating an event that then goes *cold* is
+            // exactly the case where only the re-profile's
+            // remove-everything-before-swap (not guard-miss quarantine)
+            // can clear the stale chain.
+            let drive_idx = (next() % 2) as usize;
+            let mut_idx = (next() % 2) as usize;
+            let mutated = [a, b][mut_idx];
+            let mutation = next() % 5;
+            match mutation {
+                0 => {
+                    // Version churn: toggle an extra binding.
+                    if extra_bound[mut_idx] {
+                        rt.unbind(mutated, extra[mut_idx]);
+                    } else {
+                        rt.bind(mutated, extra[mut_idx], 5).unwrap();
+                    }
+                    extra_bound[mut_idx] = !extra_bound[mut_idx];
+                }
+                1 => {
+                    rt.remove_chain(mutated);
+                }
+                2 => {
+                    // A trap landing mid-burst; Despecialize containment
+                    // removes the chain and feeds the quarantine.
+                    let occurrence = next() % 8;
+                    rt.set_fault_injector(FaultInjector::from_plan(std::iter::once(FaultSpec {
+                        event: mutated,
+                        occurrence,
+                        kind: FaultKind::TrapDispatch,
+                    })));
+                }
+                _ => {}
+            }
+            // Enough raises that every epoch inside the burst crosses the
+            // candidacy threshold and the fresh-event floor, so the churn
+            // is processed (by quarantine, re-profile, or heal) before the
+            // burst ends.
+            drive(&mut rt, [a, b][drive_idx], 45);
+            for chain in rt.spec().iter() {
+                assert!(
+                    chain.guards_hold(rt.registry()),
+                    "cycle {cycle} (mutation {mutation}) left a stale guard \
+                     installed for head {:?}: {:?} vs registry",
+                    chain.head,
+                    chain.guards,
+                );
+                installed_checks += 1;
+            }
+        }
+        let stats = engine.borrow().stats();
+        assert!(
+            installed_checks > 0,
+            "property never saw an installed chain"
+        );
+        assert!(stats.reprofiles > 1, "engine never re-profiled: {stats:?}");
+        assert!(
+            stats.chains_installed > 1,
+            "engine never hot-swapped chains: {stats:?}"
+        );
     }
 }

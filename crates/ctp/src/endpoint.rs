@@ -1,31 +1,21 @@
 //! A runnable CTP endpoint: natives, simulated link, and statistics.
 
 use pdo_cactus::EventProgram;
+use pdo_events::wire::{Arrival, FaultyWire, SequencedReceiver};
 use pdo_events::{Runtime, RuntimeError};
 use pdo_ir::{EventId, GlobalId, RaiseMode, Value};
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
-/// Seeded fault model for the simulated link. Each field is a probability
-/// in permille (0 = never, 1000 = always), rolled independently per
-/// transmission from a deterministic splitmix64 stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct LinkFaults {
-    /// Segment lost in transit (never reaches the receiver; no ack).
-    pub drop_per_mille: u16,
-    /// Segment delivered twice (the receiver must deduplicate).
-    pub dup_per_mille: u16,
-    /// Segment held back and overtaken by the next transmission (the
-    /// receiver must restore order).
-    pub reorder_per_mille: u16,
-    /// A payload byte flipped in transit; the receiver's parity check
-    /// rejects the segment (counts as loss, no ack).
-    pub corrupt_per_mille: u16,
-    /// RNG seed; identical seeds reproduce identical fault sequences.
-    pub seed: u64,
-}
+/// Seeded fault model for the simulated link — the shared
+/// [`pdo_events::wire::WireFaults`] model (this crate's original
+/// implementation was factored out so SecComm and pdo-xwin roll from the
+/// same stream discipline; historical seeds reproduce identical fault
+/// sequences). A corrupted segment has a payload byte flipped in transit,
+/// which the receiver's parity check rejects (counts as loss, no ack).
+pub use pdo_events::wire::WireFaults as LinkFaults;
 
 /// Endpoint tunables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,32 +80,23 @@ impl From<RuntimeError> for CtpError {
 
 /// Mutable native-side state shared with the runtime's natives: the
 /// sender's positive-ack unit plus the simulated link and its receiver.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct LinkState {
     unacked: HashMap<i64, Vec<u8>>,
     wire: Vec<(i64, Vec<u8>)>,
     retransmissions: u64,
     sends_since_sample: i64,
     ack_drop_every: u64,
-    // Link fault model.
-    faults: LinkFaults,
-    rng: u64,
-    held: Option<(i64, Vec<u8>, u32)>,
+    // Link fault model (shared faulty-wire layer).
+    link: FaultyWire<(i64, Vec<u8>)>,
     outcome: HashMap<i64, bool>,
-    link_dropped: u64,
-    link_duplicated: u64,
-    link_reordered: u64,
-    link_corrupted: u64,
     // Retry/backoff bookkeeping.
     max_retries: u32,
     retries: HashMap<i64, u32>,
     timeout_base_ns: i64,
     unreachable: bool,
-    // Receiver: dedup + in-order release.
-    rx_next: i64,
-    rx_buffer: BTreeMap<i64, Vec<u8>>,
-    delivered: Vec<(i64, Vec<u8>)>,
-    rx_duplicates: u64,
+    // Receiver: parity check + dedup + in-order release.
+    rx: SequencedReceiver<Vec<u8>>,
     rx_corrupt_dropped: u64,
 }
 
@@ -129,83 +110,59 @@ fn parity_ok(segment: &[u8]) -> bool {
 }
 
 impl LinkState {
-    fn next_roll(&mut self) -> u64 {
-        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.rng;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    fn roll(&mut self, per_mille: u16) -> bool {
-        per_mille > 0 && self.next_roll() % 1000 < u64::from(per_mille)
+    fn new(params: &CtpParams) -> Self {
+        LinkState {
+            unacked: HashMap::new(),
+            wire: Vec::new(),
+            retransmissions: 0,
+            sends_since_sample: 0,
+            ack_drop_every: params.ack_drop_every,
+            link: FaultyWire::new(params.link_faults),
+            outcome: HashMap::new(),
+            max_retries: params.max_retries,
+            retries: HashMap::new(),
+            timeout_base_ns: 100_000_000,
+            unreachable: false,
+            rx: SequencedReceiver::new(1),
+            rx_corrupt_dropped: 0,
+        }
     }
 
     /// One transmission over the faulty link. Returns whether the segment
     /// reaches the receiver intact (i.e. whether an ack will come back).
     fn transmit(&mut self, seq: i64, data: Vec<u8>) -> bool {
         self.wire.push((seq, data.clone()));
-        if self.roll(self.faults.drop_per_mille) {
-            self.link_dropped += 1;
-            self.outcome.insert(seq, false);
-            self.flush_held();
-            return false;
-        }
-        let mut payload = data;
-        if self.roll(self.faults.corrupt_per_mille) {
-            self.link_corrupted += 1;
-            match payload.first_mut() {
+        let t = self
+            .link
+            .transmit((seq, data), |(_, payload)| match payload.first_mut() {
                 Some(b) => *b ^= 0xFF,
                 None => payload.push(0xFF),
-            }
+            });
+        self.outcome.insert(seq, t.ok());
+        let ok = t.ok();
+        for arrival in t.arrivals {
+            self.receive(arrival);
         }
-        let copies = if self.roll(self.faults.dup_per_mille) {
-            self.link_duplicated += 1;
-            2
-        } else {
-            1
-        };
-        let ok = parity_ok(&payload);
-        self.outcome.insert(seq, ok);
-        if !ok {
-            self.rx_corrupt_dropped += 1;
-            self.flush_held();
-            return false;
-        }
-        if self.held.is_none() && self.roll(self.faults.reorder_per_mille) {
-            // Hold this transmission back; the next one overtakes it.
-            self.link_reordered += 1;
-            self.held = Some((seq, payload, copies));
-            return true;
-        }
-        for _ in 0..copies {
-            self.deliver(seq, payload.clone());
-        }
-        self.flush_held();
-        true
+        ok
     }
 
     /// Delivers a transmission the reordering stage parked earlier.
     fn flush_held(&mut self) {
-        if let Some((seq, payload, copies)) = self.held.take() {
-            for _ in 0..copies {
-                self.deliver(seq, payload.clone());
-            }
+        for arrival in self.link.flush() {
+            self.receive(arrival);
         }
     }
 
-    /// Receiver intake: deduplicate by sequence number, buffer
-    /// out-of-order arrivals, release consecutively.
-    fn deliver(&mut self, seq: i64, payload: Vec<u8>) {
-        if seq < self.rx_next || self.rx_buffer.contains_key(&seq) {
-            self.rx_duplicates += 1;
+    /// Receiver intake: parity-check each arrival, then deduplicate by
+    /// sequence number, buffer out-of-order arrivals, release
+    /// consecutively.
+    fn receive(&mut self, arrival: Arrival<(i64, Vec<u8>)>) {
+        let (seq, payload) = arrival.item;
+        if !parity_ok(&payload) {
+            self.rx_corrupt_dropped += 1;
             return;
         }
-        self.rx_buffer.insert(seq, payload);
-        while let Some(p) = self.rx_buffer.remove(&self.rx_next) {
-            self.delivered.push((self.rx_next, p));
-            self.rx_next += 1;
-        }
+        self.rx.accept(seq, payload);
     }
 }
 
@@ -278,15 +235,7 @@ impl CtpEndpoint {
     /// binding fails.
     pub fn new(program: &EventProgram, params: CtpParams) -> Result<CtpEndpoint, CtpError> {
         let mut rt = program.runtime()?;
-        let state = Rc::new(RefCell::new(LinkState {
-            ack_drop_every: params.ack_drop_every,
-            faults: params.link_faults,
-            rng: params.link_faults.seed,
-            max_retries: params.max_retries,
-            timeout_base_ns: 100_000_000,
-            rx_next: 1,
-            ..Default::default()
-        }));
+        let state = Rc::new(RefCell::new(LinkState::new(&params)));
         install_natives(&mut rt, &state)?;
         if let Some(g) = program.module.global_by_name("clk_period_ns") {
             rt.set_global(g, Value::Int(params.clk_period_ns as i64));
@@ -393,6 +342,7 @@ impl CtpEndpoint {
     pub fn stats(&self) -> CtpStats {
         let int = |g: GlobalId| self.rt.global(g).as_int().unwrap_or(0);
         let st = self.state.borrow();
+        let wire = st.link.stats();
         CtpStats {
             segments_sent: int(self.globals.sent),
             segments_acked: int(self.globals.acked),
@@ -401,12 +351,12 @@ impl CtpEndpoint {
             frag_size: int(self.globals.frag_size),
             quality: int(self.globals.quality),
             in_flight_native: st.unacked.len(),
-            link_dropped: st.link_dropped,
-            link_duplicated: st.link_duplicated,
-            link_reordered: st.link_reordered,
-            link_corrupted: st.link_corrupted,
-            rx_delivered: st.delivered.len(),
-            rx_duplicates: st.rx_duplicates,
+            link_dropped: wire.dropped,
+            link_duplicated: wire.duplicated,
+            link_reordered: wire.reordered,
+            link_corrupted: wire.corrupted,
+            rx_delivered: st.rx.delivered().len(),
+            rx_duplicates: st.rx.duplicates(),
             rx_corrupt_dropped: st.rx_corrupt_dropped,
             peer_unreachable: st.unreachable,
         }
@@ -419,7 +369,7 @@ impl CtpEndpoint {
     pub fn received_payload(&self) -> Vec<u8> {
         let st = self.state.borrow();
         let mut out = Vec::new();
-        for (_, seg) in &st.delivered {
+        for (_, seg) in st.rx.delivered() {
             if !seg.is_empty() {
                 out.extend_from_slice(&seg[..seg.len() - 1]);
             }
@@ -844,5 +794,151 @@ mod tests {
         e.drain(2_000_000_000).unwrap();
         assert_eq!(e.received_payload(), expected);
         assert_eq!(e.stats().rx_corrupt_dropped, 0);
+    }
+
+    // --- Receiver-model edge cases -------------------------------------
+    //
+    // Deterministic corner scenarios for the dedup / in-order-release /
+    // retry machinery: a duplicate of the *final* segment arriving after
+    // the session is otherwise fully acked, reordering straddling the
+    // retry-cap boundary, corruption forcing a retransmission, and
+    // corruption alone exhausting the retry budget.
+
+    #[test]
+    fn duplicated_final_segment_after_ack_is_discarded() {
+        // Legacy ack-drop pattern: with `every = 4`, only seq 3 matches
+        // `seq % every == every - 1`, so exactly the final segment's ack is
+        // dropped. The segment itself was delivered; the timeout
+        // retransmits it after the first two segments are already acked,
+        // and the receiver must discard the late duplicate.
+        let mut e = CtpEndpoint::new(
+            &ctp_program(),
+            CtpParams {
+                ack_drop_every: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        e.open().unwrap();
+        let expected = send_sequence(&mut e, 3, 100); // seqs 1, 2, 3
+        e.drain(2_000_000_000).unwrap();
+        let stats = e.stats();
+        assert_eq!(stats.segments_sent, 3);
+        assert_eq!(stats.retransmissions, 1, "only the final segment retried");
+        assert_eq!(stats.rx_duplicates, 1, "the late copy was discarded");
+        assert_eq!(stats.rx_delivered, 3, "each segment released once");
+        assert_eq!(stats.segments_acked, stats.segments_sent);
+        assert_eq!(stats.in_flight_native, 0);
+        assert!(!stats.peer_unreachable);
+        assert_eq!(e.received_payload(), expected);
+    }
+
+    #[test]
+    fn reorder_across_the_retry_cap_boundary_still_delivers_in_order() {
+        // Seed 18 at these rates makes the worst segment need exactly
+        // max_retries = 3 attempts while other segments are held back by
+        // the reordering stage, so in-order release happens right at the
+        // retry-cap boundary.
+        let faults = LinkFaults {
+            drop_per_mille: 450,
+            reorder_per_mille: 450,
+            seed: 18,
+            ..Default::default()
+        };
+        let mut e = faulty_endpoint(faults, 3);
+        let mut expected = Vec::new();
+        for i in 0..4u8 {
+            let msg = vec![i; 700]; // 2 segments each
+            expected.extend_from_slice(&msg);
+            e.send(&msg).unwrap();
+            e.run_until((u64::from(i) + 1) * 50_000_000).unwrap();
+        }
+        e.drain(120_000_000_000).unwrap();
+        let stats = e.stats();
+        assert!(stats.link_reordered > 0, "{stats:?}");
+        assert!(stats.retransmissions > 0, "{stats:?}");
+        assert_eq!(stats.segments_acked, stats.segments_sent);
+        assert_eq!(stats.rx_delivered, stats.segments_sent as usize);
+        assert!(!stats.peer_unreachable);
+        assert_eq!(e.received_payload(), expected, "released strictly in order");
+    }
+
+    #[test]
+    fn one_fewer_retry_across_the_same_boundary_surfaces_peer_unreachable() {
+        // The identical fault pattern as above with the budget one below
+        // the boundary: the worst segment gives up and the session error
+        // surfaces as PeerUnreachable instead of hanging.
+        let faults = LinkFaults {
+            drop_per_mille: 450,
+            reorder_per_mille: 450,
+            seed: 18,
+            ..Default::default()
+        };
+        let mut e = faulty_endpoint(faults, 2);
+        let err = (|| -> Result<(), CtpError> {
+            for i in 0..4u8 {
+                e.send(&vec![i; 700])?;
+                e.run_until((u64::from(i) + 1) * 50_000_000)?;
+            }
+            e.drain(120_000_000_000)?;
+            Ok(())
+        })()
+        .unwrap_err();
+        assert!(matches!(err, CtpError::PeerUnreachable), "{err}");
+        assert!(e.stats().peer_unreachable);
+        assert_eq!(e.stats().in_flight_native, 0, "gave up, not leaked");
+    }
+
+    #[test]
+    fn corrupt_then_retransmit_delivers_on_the_clean_copy() {
+        // Seed 6 at 600 permille corrupts exactly the first transmission
+        // and leaves the retransmission clean: the receiver's parity check
+        // rejects the first copy, no ack comes back, the timeout fires,
+        // and the clean retransmission delivers and is acked.
+        let faults = LinkFaults {
+            corrupt_per_mille: 600,
+            seed: 6,
+            ..Default::default()
+        };
+        let mut e = faulty_endpoint(faults, 8);
+        e.send(&[42u8; 100]).unwrap();
+        e.drain(2_000_000_000).unwrap();
+        let stats = e.stats();
+        assert_eq!(stats.link_corrupted, 1);
+        assert_eq!(stats.rx_corrupt_dropped, 1, "parity rejected the garbage");
+        assert_eq!(stats.retransmissions, 1);
+        assert_eq!(stats.rx_delivered, 1);
+        assert_eq!(stats.rx_duplicates, 0);
+        assert_eq!(stats.segments_acked, stats.segments_sent);
+        assert!(!stats.peer_unreachable);
+        assert_eq!(e.received_payload(), vec![42u8; 100]);
+    }
+
+    #[test]
+    fn corruption_alone_exhausts_the_retry_budget() {
+        // A link that corrupts every copy never gets a parity-clean
+        // segment through: the receiver rejects each arrival, no ack ever
+        // comes back, and the retry budget surfaces PeerUnreachable even
+        // though nothing was technically dropped.
+        let faults = LinkFaults {
+            corrupt_per_mille: 1000,
+            seed: 1,
+            ..Default::default()
+        };
+        let mut e = faulty_endpoint(faults, 2);
+        e.send(&[9u8; 40]).unwrap();
+        let err = e.drain(60_000_000_000).unwrap_err();
+        assert!(matches!(err, CtpError::PeerUnreachable), "{err}");
+        let stats = e.stats();
+        assert!(stats.peer_unreachable);
+        assert_eq!(stats.link_dropped, 0);
+        assert_eq!(
+            stats.rx_corrupt_dropped,
+            e.wire_count() as u64,
+            "every copy was rejected by the parity check"
+        );
+        assert_eq!(stats.rx_delivered, 0);
+        assert_eq!(stats.segments_acked, 0);
+        assert!(e.received_payload().is_empty());
     }
 }

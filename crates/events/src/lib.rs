@@ -57,6 +57,7 @@ pub mod runtime;
 pub mod sched;
 pub mod spec;
 pub mod trace;
+pub mod wire;
 
 pub use fault::{corrupt_value, FaultInjector, FaultKind, FaultPolicy, FaultSpec};
 pub use registry::{Binding, Registry};
@@ -64,3 +65,4 @@ pub use runtime::{EpochHook, Runtime, RuntimeConfig, RuntimeError, RuntimeStats}
 pub use sched::VirtualClock;
 pub use spec::{CompiledChain, Guard, SpecTable};
 pub use trace::{HandlerTraceMode, Trace, TraceConfig, TraceRecord};
+pub use wire::{Arrival, FaultyWire, SequencedReceiver, Transmit, WireFaults, WireStats};

@@ -134,6 +134,17 @@ pub struct RuntimeStats {
     /// path dispatches are by definition already specialized, so a rising
     /// count here means an unspecialized event went hot.
     pub generic_dispatches_by_event: BTreeMap<EventId, u64>,
+    /// Nested synchronous raises per (parent event, raising handler, child
+    /// event), recorded only when [`Runtime::set_dispatch_accounting`] is
+    /// on. This is the tracing-free counterpart of the handler graph's
+    /// nested-raise evidence: while an adaptive daemon's tracer sleeps,
+    /// these counts are the only signal that a handler of one event
+    /// synchronously raises another — the evidence subsumption needs. Like
+    /// the other specialization-dependent fields, the counts differ
+    /// between original and optimized runs (a subsumed raise becomes a
+    /// direct call and never reaches the raise path), so they are *not*
+    /// part of [`RuntimeStats::observable`].
+    pub nested_sync_by_event: BTreeMap<(EventId, FuncId, EventId), u64>,
 }
 
 impl RuntimeStats {
@@ -227,6 +238,10 @@ pub struct Runtime {
     config: RuntimeConfig,
     faults: Option<FaultInjector>,
     dispatch_accounting: bool,
+    /// Open handler frames (event, handler) — maintained only while
+    /// dispatch accounting is on, so nested synchronous raises can be
+    /// attributed to the frame that issued them without tracing.
+    frame_stack: Vec<(EventId, FuncId)>,
     stats: RuntimeStats,
     /// Cost counters charged by dispatch and handler execution.
     pub cost: CostCounter,
@@ -294,6 +309,7 @@ impl Runtime {
             epoch_hook: None,
             faults: None,
             dispatch_accounting: false,
+            frame_stack: Vec::new(),
             stats: RuntimeStats::default(),
             cost: CostCounter::new(),
             reserved,
@@ -656,6 +672,20 @@ impl Runtime {
                 if self.sync_depth >= self.config.max_sync_depth {
                     return Err(RuntimeError::SyncDepthExceeded);
                 }
+                // Tracing-free nested-raise accounting: a synchronous raise
+                // issued from inside a handler frame is exactly the
+                // subsumption evidence the optimizer wants, and while a
+                // duty-cycled tracer sleeps this counter is the only place
+                // it is recorded (mirroring `generic_dispatches_by_event`).
+                if self.dispatch_accounting {
+                    if let Some(&(parent, handler)) = self.frame_stack.last() {
+                        *self
+                            .stats
+                            .nested_sync_by_event
+                            .entry((parent, handler, event))
+                            .or_insert(0) += 1;
+                    }
+                }
                 self.sync_depth += 1;
                 let r = self.dispatch_now(module, event, args);
                 self.sync_depth -= 1;
@@ -833,7 +863,14 @@ impl Runtime {
                             at: self.clock.now_ns(),
                         });
                     }
+                    let track_frames = self.dispatch_accounting;
+                    if track_frames {
+                        self.frame_stack.push((event, func));
+                    }
                     let result = call(module, self, func, args);
+                    if track_frames {
+                        self.frame_stack.pop();
+                    }
                     if trace_handlers {
                         // Pushed even on a trap so handler-profile stacks
                         // stay balanced under containment.
@@ -946,7 +983,14 @@ impl Runtime {
                     at: self.clock.now_ns(),
                 });
             }
+            let track_frames = self.dispatch_accounting;
+            if track_frames {
+                self.frame_stack.push((event, binding.handler));
+            }
             let result = call(module, self, binding.handler, &unpacked);
+            if track_frames {
+                self.frame_stack.pop();
+            }
             if trace_handlers {
                 self.trace_push(TraceRecord::HandlerExit {
                     event,
@@ -1925,5 +1969,103 @@ mod tests {
         let len = rt.trace().records.len();
         assert!(len <= 16, "window exceeded: {len}");
         assert!(len > 0, "window must retain recent records");
+    }
+
+    /// Module where every dispatch of `P` runs a handler that synchronously
+    /// raises `C` (whose handler increments a counter).
+    fn nesting_module() -> (Module, EventId, EventId, GlobalId, FuncId, FuncId) {
+        let mut m = Module::new();
+        let p = m.add_event("P");
+        let c = m.add_event("C");
+        let g = m.add_global("n", Value::Int(0));
+        let mut b = FunctionBuilder::new("child", 0);
+        let v = b.load_global(g);
+        let one = b.const_int(1);
+        let out = b.bin(BinOp::Add, v, one);
+        b.store_global(g, out);
+        b.ret(None);
+        let hc = m.add_function(b.finish());
+        let mut b = FunctionBuilder::new("parent", 0);
+        b.raise(c, RaiseMode::Sync, &[]);
+        b.ret(None);
+        let hp = m.add_function(b.finish());
+        (m, p, c, g, hp, hc)
+    }
+
+    #[test]
+    fn nested_sync_raises_counted_without_tracing() {
+        let (m, p, c, g, hp, hc) = nesting_module();
+        let mut rt = Runtime::new(m);
+        rt.bind(p, hp, 0).unwrap();
+        rt.bind(c, hc, 0).unwrap();
+        rt.set_dispatch_accounting(true);
+        // No tracing at all: the slow-path counter is the only record.
+        for _ in 0..7 {
+            rt.raise(p, RaiseMode::Sync, &[]).unwrap();
+        }
+        assert_eq!(rt.global(g), &Value::Int(7));
+        let stats = rt.take_stats();
+        assert_eq!(
+            stats.nested_sync_by_event.get(&(p, hp, c)).copied(),
+            Some(7),
+            "nested raise attributed to the raising frame: {:?}",
+            stats.nested_sync_by_event
+        );
+        // Top-level raises of P are not nested in anything.
+        assert!(stats
+            .nested_sync_by_event
+            .keys()
+            .all(|(_, _, child)| *child == c));
+    }
+
+    #[test]
+    fn nested_sync_counting_requires_dispatch_accounting() {
+        let (m, p, c, _, hp, hc) = nesting_module();
+        let mut rt = Runtime::new(m);
+        rt.bind(p, hp, 0).unwrap();
+        rt.bind(c, hc, 0).unwrap();
+        for _ in 0..5 {
+            rt.raise(p, RaiseMode::Sync, &[]).unwrap();
+        }
+        assert!(
+            rt.stats().nested_sync_by_event.is_empty(),
+            "accounting off must stay zero-overhead"
+        );
+    }
+
+    #[test]
+    fn nested_sync_counting_attributes_fast_path_frames() {
+        // A compiled chain whose body raises synchronously still records
+        // the nested raise, keyed by the chain function — a sleeping
+        // adaptive daemon needs this to learn that an already specialized
+        // (but flat) chain started nesting.
+        let (mut m, p, c, g, _hp, hc) = nesting_module();
+        let mut b = FunctionBuilder::new("super_parent", 0);
+        b.raise(c, RaiseMode::Sync, &[]);
+        b.ret(None);
+        let chain_fn = m.add_function(b.finish());
+        let mut rt = Runtime::new(m);
+        rt.bind(c, hc, 0).unwrap();
+        let version = rt.registry().version(p);
+        rt.install_chain(CompiledChain {
+            head: p,
+            guards: vec![Guard { event: p, version }],
+            func: chain_fn,
+            params: 0,
+            partitioned: false,
+        });
+        rt.set_dispatch_accounting(true);
+        for _ in 0..3 {
+            rt.raise(p, RaiseMode::Sync, &[]).unwrap();
+        }
+        assert_eq!(rt.global(g), &Value::Int(3));
+        assert!(rt.cost.fastpath_hits >= 3);
+        assert_eq!(
+            rt.stats()
+                .nested_sync_by_event
+                .get(&(p, chain_fn, c))
+                .copied(),
+            Some(3)
+        );
     }
 }

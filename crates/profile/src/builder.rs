@@ -17,10 +17,10 @@
 //! occurrences.
 
 use crate::graph::EventGraph;
-use crate::handlers::{HandlerGraph, HandlerSeq};
+use crate::handlers::{HandlerGraph, HandlerSeq, NestedRaise};
 use crate::Profile;
 use pdo_events::{Trace, TraceRecord};
-use pdo_ir::{EventId, RaiseMode};
+use pdo_ir::{EventId, FuncId, RaiseMode};
 
 /// Accumulates trace windows into a decaying profile.
 #[derive(Debug, Clone, Default)]
@@ -138,6 +138,36 @@ impl ProfileBuilder {
             data.weight += n;
             // The dispatch loop delivers queued (async/timed) raises.
             data.asynchronous += n;
+        }
+    }
+
+    /// Merges per-site nested-synchronous-raise *counts* into the handler
+    /// graph — the tracing-free subsumption evidence a sleeping daemon gets
+    /// from `RuntimeStats::nested_sync_by_event`. Counts carry exactly the
+    /// (parent event, raising handler, child event) key the subsumption
+    /// heuristic consults, so a session whose tracer never wakes over a
+    /// newly nested hot path still accumulates the evidence to fold the
+    /// child chain in. Does not touch the event graph or the fresh-raise
+    /// counter: the child dispatches behind these raises are already folded
+    /// in by [`ProfileBuilder::observe_dispatches`] (nested synchronous
+    /// dispatches take the generic path too while unspecialized).
+    pub fn observe_nested<'a>(
+        &mut self,
+        counts: impl IntoIterator<Item = (&'a (EventId, FuncId, EventId), &'a u64)>,
+    ) {
+        for (&(parent_event, handler, child_event), &n) in counts {
+            if n == 0 {
+                continue;
+            }
+            *self
+                .handler_graph
+                .nested
+                .entry(NestedRaise {
+                    parent_event,
+                    handler,
+                    child_event,
+                })
+                .or_insert(0) += n;
         }
     }
 
@@ -275,6 +305,30 @@ mod tests {
         });
         assert_eq!(b.take_fresh(), 3);
         assert_eq!(b.fresh_events(), 0);
+    }
+
+    #[test]
+    fn observe_nested_accumulates_subsumption_evidence_and_decays() {
+        let mut b = ProfileBuilder::new();
+        let key = (EventId(3), FuncId(7), EventId(4));
+        let counts = std::collections::BTreeMap::from([(key, 6u64)]);
+        b.observe_nested(&counts);
+        b.observe_nested(&counts);
+        let nested_key = NestedRaise {
+            parent_event: EventId(3),
+            handler: FuncId(7),
+            child_event: EventId(4),
+        };
+        assert_eq!(b.handler_graph().nested.get(&nested_key).copied(), Some(12));
+        // Counts carry no ordering and no new raises: the fresh counter and
+        // event graph are untouched (dispatch counts already cover them).
+        assert_eq!(b.fresh_events(), 0);
+        assert!(b.event_graph().nodes.is_empty());
+        // Evidence decays with everything else.
+        for _ in 0..4 {
+            b.end_epoch();
+        }
+        assert!(!b.handler_graph().nested.contains_key(&nested_key));
     }
 
     #[test]

@@ -41,4 +41,6 @@
 pub mod crypto;
 pub mod service;
 
-pub use service::{seccomm_protocol, Endpoint, Keys, SecCommError, CONFIG_FULL, CONFIG_PAPER};
+pub use service::{
+    seccomm_protocol, Endpoint, Keys, LossyChannel, SecCommError, CONFIG_FULL, CONFIG_PAPER,
+};

@@ -2,6 +2,7 @@
 
 use crate::crypto::{des_decrypt, des_encrypt, keyed_md5, xor_cipher, DesKey};
 use pdo_cactus::{CompositeBuilder, CompositeProtocol, EventProgram};
+use pdo_events::wire::{Arrival, FaultyWire, WireFaults, WireStats};
 use pdo_events::{Runtime, RuntimeError};
 use pdo_ir::{EventId, RaiseMode, Value};
 use std::cell::RefCell;
@@ -425,6 +426,138 @@ impl Endpoint {
     }
 }
 
+/// A sender and receiver [`Endpoint`] joined by a seeded faulty wire.
+///
+/// The channel models a datagram link: wire messages produced by the
+/// sender's encode chain cross a [`FaultyWire`] that can drop, duplicate,
+/// reorder, and corrupt them before the receiver's decode chain runs.
+/// SecComm carries no sequence numbers, so duplicates decode (and deliver)
+/// twice and reordered packets deliver out of order — what matters for the
+/// conformance oracle is that an optimized endpoint pair sees byte-for-byte
+/// the same arrivals as the plain pair under the same seed.
+///
+/// Corruption flips one wire bit; under [`CONFIG_FULL`] that lands as a
+/// KeyedMD5 verification failure and the packet is dropped and counted, not
+/// a handler fault.
+pub struct LossyChannel {
+    tx: Endpoint,
+    rx: Endpoint,
+    wire: FaultyWire<Vec<u8>>,
+    sent: u64,
+    delivered: Vec<Vec<u8>>,
+    mac_dropped: u64,
+}
+
+impl fmt::Debug for LossyChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LossyChannel")
+            .field("sent", &self.sent)
+            .field("delivered", &self.delivered.len())
+            .field("mac_dropped", &self.mac_dropped)
+            .field("wire", &self.wire.stats())
+            .finish()
+    }
+}
+
+impl LossyChannel {
+    /// Joins `tx` and `rx` over a wire with `faults`.
+    pub fn new(tx: Endpoint, rx: Endpoint, faults: WireFaults) -> LossyChannel {
+        LossyChannel {
+            tx,
+            rx,
+            wire: FaultyWire::new(faults),
+            sent: 0,
+            delivered: Vec::new(),
+            mac_dropped: 0,
+        }
+    }
+
+    /// Pushes `payload` through the sender's encode chain and carries the
+    /// wire message across the faulty link; every copy that arrives runs
+    /// the receiver's decode chain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encode/decode chain faults. MAC verification failures on
+    /// corrupted arrivals are *not* errors: the packet is dropped and
+    /// counted in [`LossyChannel::mac_dropped`].
+    pub fn send(&mut self, payload: &[u8]) -> Result<(), SecCommError> {
+        let msg = self.tx.push(payload)?;
+        self.sent += 1;
+        let t = self.wire.transmit(msg, |m| match m.first_mut() {
+            Some(b) => *b ^= 0x80,
+            None => m.push(0x80),
+        });
+        for arrival in t.arrivals {
+            self.receive(arrival)?;
+        }
+        Ok(())
+    }
+
+    /// Delivers a frame the wire is still holding for reordering, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode chain faults, as in [`LossyChannel::send`].
+    pub fn settle(&mut self) -> Result<(), SecCommError> {
+        for arrival in self.wire.flush() {
+            self.receive(arrival)?;
+        }
+        Ok(())
+    }
+
+    fn receive(&mut self, arrival: Arrival<Vec<u8>>) -> Result<(), SecCommError> {
+        match self.rx.pop(&arrival.item) {
+            Ok(plain) => {
+                self.delivered.push(plain);
+                Ok(())
+            }
+            Err(SecCommError::IntegrityFailure) => {
+                self.mac_dropped += 1;
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Advances both endpoints' virtual clocks (fires any attached epoch
+    /// hooks, e.g. an adaptation engine's).
+    pub fn tick(&mut self, delta_ns: u64) {
+        self.tx.tick(delta_ns);
+        self.rx.tick(delta_ns);
+    }
+
+    /// Plaintexts recovered by the receiver, in arrival order.
+    pub fn delivered(&self) -> &[Vec<u8>] {
+        &self.delivered
+    }
+
+    /// Messages pushed into the channel.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Arrivals dropped by KeyedMD5 verification.
+    pub fn mac_dropped(&self) -> u64 {
+        self.mac_dropped
+    }
+
+    /// Fault counters of the underlying wire.
+    pub fn wire_stats(&self) -> WireStats {
+        self.wire.stats()
+    }
+
+    /// The sending endpoint (chain installation, adaptation hooks).
+    pub fn tx_mut(&mut self) -> &mut Endpoint {
+        &mut self.tx
+    }
+
+    /// The receiving endpoint (chain installation, adaptation hooks).
+    pub fn rx_mut(&mut self) -> &mut Endpoint {
+        &mut self.rx
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -547,5 +680,88 @@ mod tests {
             let wire = tx.push(&msg).unwrap();
             assert_eq!(rx.pop(&wire).unwrap(), msg);
         }
+    }
+
+    fn channel(faults: WireFaults) -> LossyChannel {
+        let (tx, rx) = endpoints(CONFIG_FULL);
+        LossyChannel::new(tx, rx, faults)
+    }
+
+    #[test]
+    fn lossy_channel_perfect_wire_is_lossless_and_ordered() {
+        let mut ch = channel(WireFaults::default());
+        let msgs: Vec<Vec<u8>> = (0..20u8).map(|i| vec![i; 24]).collect();
+        for m in &msgs {
+            ch.send(m).unwrap();
+        }
+        ch.settle().unwrap();
+        assert_eq!(ch.delivered(), &msgs[..]);
+        assert_eq!(ch.mac_dropped(), 0);
+        assert_eq!(ch.wire_stats(), WireStats::default());
+    }
+
+    #[test]
+    fn lossy_channel_corruption_lands_as_mac_drops() {
+        let mut ch = channel(WireFaults {
+            corrupt_per_mille: 1000,
+            seed: 9,
+            ..WireFaults::default()
+        });
+        for i in 0..10u8 {
+            ch.send(&[i; 16]).unwrap();
+        }
+        ch.settle().unwrap();
+        // Every arrival was corrupted: no deliveries, no handler faults,
+        // every drop visible both at the channel and in the receiver's
+        // own MAC-failure counter.
+        assert!(ch.delivered().is_empty());
+        assert_eq!(ch.mac_dropped(), 10);
+        assert_eq!(ch.wire_stats().corrupted, 10);
+        assert_eq!(ch.rx_mut().mac_failures(), 10);
+    }
+
+    #[test]
+    fn lossy_channel_drops_and_duplicates_have_udp_semantics() {
+        let mut ch = channel(WireFaults {
+            drop_per_mille: 1000,
+            seed: 3,
+            ..WireFaults::default()
+        });
+        for i in 0..5u8 {
+            ch.send(&[i; 8]).unwrap();
+        }
+        assert!(ch.delivered().is_empty());
+        assert_eq!(ch.wire_stats().dropped, 5);
+
+        // SecComm carries no sequence numbers: a duplicated wire message
+        // decodes and delivers twice.
+        let mut ch = channel(WireFaults {
+            dup_per_mille: 1000,
+            seed: 3,
+            ..WireFaults::default()
+        });
+        ch.send(b"twice").unwrap();
+        ch.settle().unwrap();
+        assert_eq!(ch.delivered(), &[b"twice".to_vec(), b"twice".to_vec()]);
+    }
+
+    #[test]
+    fn lossy_channel_is_deterministic_per_seed() {
+        let faults = WireFaults {
+            drop_per_mille: 200,
+            dup_per_mille: 200,
+            reorder_per_mille: 300,
+            corrupt_per_mille: 200,
+            seed: 42,
+        };
+        let run = |faults: WireFaults| {
+            let mut ch = channel(faults);
+            for i in 0..40u8 {
+                ch.send(&[i; 12]).unwrap();
+            }
+            ch.settle().unwrap();
+            (ch.delivered().to_vec(), ch.mac_dropped(), ch.wire_stats())
+        };
+        assert_eq!(run(faults.clone()), run(faults));
     }
 }

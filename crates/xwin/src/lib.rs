@@ -34,6 +34,7 @@
 //! ```
 
 use pdo_cactus::EventProgram;
+use pdo_events::wire::{FaultyWire, WireFaults, WireStats};
 use pdo_events::{Runtime, RuntimeError};
 use pdo_ir::{BinOp, EventId, FunctionBuilder, Module, RaiseMode, Value};
 use std::cell::RefCell;
@@ -344,6 +345,17 @@ impl XClient {
         Ok(())
     }
 
+    /// Delivers a wire-level X event (see [`XEvent`]) to the client's
+    /// dispatch loop, as the gesture helpers above do internally.
+    ///
+    /// # Errors
+    ///
+    /// Propagates handler faults.
+    pub fn deliver(&mut self, ev: &XEvent) -> Result<(), XError> {
+        self.rt.raise(ev.event, RaiseMode::Sync, &ev.args)?;
+        Ok(())
+    }
+
     /// The current display state.
     pub fn state(&self) -> XState {
         *self.state.borrow()
@@ -357,6 +369,137 @@ impl XClient {
     /// Read-only runtime access.
     pub fn runtime(&self) -> &Runtime {
         &self.rt
+    }
+}
+
+/// One X protocol event as it crosses the server→client connection: the
+/// event code plus its arguments, ready for [`XClient::deliver`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct XEvent {
+    /// The X event (one of [`X_EVENTS`] or the action/callback events).
+    pub event: EventId,
+    /// The event's arguments, e.g. `(x, y, mods)` for `ButtonPress`.
+    pub args: Vec<Value>,
+}
+
+/// Garbles an event in flight: the last integer argument is the one the
+/// translations dispatch on (`mods` for `ButtonPress`, `y` for
+/// `MotionNotify`), so a corrupted event stays well-formed but can take a
+/// different path through the client — exactly the hazard the conformance
+/// oracle must show optimized clients handle identically.
+fn corrupt_event(ev: &mut XEvent) {
+    for arg in ev.args.iter_mut().rev() {
+        if let Value::Int(i) = arg {
+            *i ^= 0x55;
+            return;
+        }
+    }
+}
+
+/// An [`XClient`] fed through a seeded faulty connection: X events can be
+/// lost, duplicated, reordered, and corrupted between the "server" (the
+/// gesture methods) and the client's dispatch loop.
+pub struct FaultyXSession {
+    client: XClient,
+    wire: FaultyWire<XEvent>,
+}
+
+impl fmt::Debug for FaultyXSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultyXSession")
+            .field("client", &self.client)
+            .field("wire", &self.wire.stats())
+            .finish()
+    }
+}
+
+impl FaultyXSession {
+    /// Wraps `client` behind a connection with `faults`.
+    pub fn new(client: XClient, faults: WireFaults) -> FaultyXSession {
+        FaultyXSession {
+            client,
+            wire: FaultyWire::new(faults),
+        }
+    }
+
+    /// Sends an X event across the faulty connection; every copy that
+    /// arrives is dispatched by the client.
+    ///
+    /// # Errors
+    ///
+    /// Propagates handler faults from dispatched arrivals.
+    pub fn deliver(&mut self, ev: XEvent) -> Result<(), XError> {
+        let t = self.wire.transmit(ev, corrupt_event);
+        for arrival in t.arrivals {
+            self.client.deliver(&arrival.item)?;
+        }
+        Ok(())
+    }
+
+    /// Ctrl+ButtonPress at `(x, y)` across the faulty connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates handler faults.
+    pub fn popup(&mut self, x: i64, y: i64) -> Result<(), XError> {
+        let event = self.client.button_press;
+        self.deliver(XEvent {
+            event,
+            args: vec![Value::Int(x), Value::Int(y), Value::Int(MOD_CTRL)],
+        })
+    }
+
+    /// Un-modified button press across the faulty connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates handler faults.
+    pub fn plain_click(&mut self, x: i64, y: i64) -> Result<(), XError> {
+        let event = self.client.button_press;
+        self.deliver(XEvent {
+            event,
+            args: vec![Value::Int(x), Value::Int(y), Value::Int(0)],
+        })
+    }
+
+    /// Scrollbar motion at `y` across the faulty connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates handler faults.
+    pub fn scroll(&mut self, y: i64) -> Result<(), XError> {
+        let event = self.client.motion_notify;
+        self.deliver(XEvent {
+            event,
+            args: vec![Value::Int(1), Value::Int(y)],
+        })
+    }
+
+    /// Dispatches an event the connection is still holding for reordering.
+    ///
+    /// # Errors
+    ///
+    /// Propagates handler faults.
+    pub fn settle(&mut self) -> Result<(), XError> {
+        for arrival in self.wire.flush() {
+            self.client.deliver(&arrival.item)?;
+        }
+        Ok(())
+    }
+
+    /// Fault counters of the connection.
+    pub fn wire_stats(&self) -> WireStats {
+        self.wire.stats()
+    }
+
+    /// The wrapped client.
+    pub fn client(&self) -> &XClient {
+        &self.client
+    }
+
+    /// The wrapped client (chain installation, adaptation hooks).
+    pub fn client_mut(&mut self) -> &mut XClient {
+        &mut self.client
     }
 }
 
@@ -505,5 +648,79 @@ mod tests {
         for name in X_EVENTS {
             assert!(program.module.event_by_name(name).is_some());
         }
+    }
+
+    #[test]
+    fn faulty_session_with_perfect_wire_matches_direct_client() {
+        let mut direct = client();
+        let mut session = FaultyXSession::new(client(), WireFaults::default());
+        for i in 0..10 {
+            direct.popup(i, i + 1).unwrap();
+            session.popup(i, i + 1).unwrap();
+            direct.scroll(10 * i).unwrap();
+            session.scroll(10 * i).unwrap();
+        }
+        session.settle().unwrap();
+        assert_eq!(session.client().state(), direct.state());
+        assert_eq!(session.wire_stats(), WireStats::default());
+    }
+
+    #[test]
+    fn faulty_session_drops_lose_gestures() {
+        let mut session = FaultyXSession::new(
+            client(),
+            WireFaults {
+                drop_per_mille: 1000,
+                seed: 5,
+                ..WireFaults::default()
+            },
+        );
+        for i in 0..8 {
+            session.popup(i, i).unwrap();
+        }
+        assert_eq!(session.client().state(), XState::default());
+        assert_eq!(session.wire_stats().dropped, 8);
+    }
+
+    #[test]
+    fn corrupted_events_garble_dispatch_but_never_fault() {
+        let mut session = FaultyXSession::new(
+            client(),
+            WireFaults {
+                corrupt_per_mille: 1000,
+                seed: 2,
+                ..WireFaults::default()
+            },
+        );
+        // Corruption flips the Ctrl bit out of `mods`: the popup gesture
+        // arrives as a plain click and no menu appears.
+        session.popup(10, 20).unwrap();
+        assert_eq!(session.client().state().menus_created, 0);
+        // Corruption garbles `y`: the thumb lands where the garbled
+        // coordinate says (100 ^ 0x55 = 49 → 49 * 3 / 4 = 36).
+        session.scroll(100).unwrap();
+        assert_eq!(session.client().state().last_thumb_pos, 36);
+        assert_eq!(session.wire_stats().corrupted, 2);
+    }
+
+    #[test]
+    fn faulty_session_is_deterministic_per_seed() {
+        let faults = WireFaults {
+            drop_per_mille: 250,
+            dup_per_mille: 250,
+            reorder_per_mille: 250,
+            corrupt_per_mille: 250,
+            seed: 77,
+        };
+        let run = |faults: WireFaults| {
+            let mut session = FaultyXSession::new(client(), faults);
+            for i in 0..40 {
+                session.popup(i, i + 2).unwrap();
+                session.scroll(i * 7).unwrap();
+            }
+            session.settle().unwrap();
+            (session.client().state(), session.wire_stats())
+        };
+        assert_eq!(run(faults), run(faults));
     }
 }

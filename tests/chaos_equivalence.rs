@@ -1,27 +1,38 @@
-//! Chaos equivalence: the paper's behavioral-equivalence guarantee holds
-//! *under injected faults*, not just on the happy path.
+//! Chaos equivalence on the synthetic media pipeline: the paper's
+//! behavioral-equivalence guarantee holds *under injected faults*, not
+//! just on the happy path.
 //!
-//! For any seeded plan of equivalence-safe faults (dispatch traps, argument
-//! corruption, dropped/delayed timers, fuel exhaustion) and either
-//! containment policy, the optimized program — monolithic or partitioned
-//! chains — must be observationally identical to the original: same global
-//! state, same emitted packets in the same order, same recorded fault
-//! sequence, same robustness counters. Faults key on *top-level*
-//! occurrences precisely so this property is well defined (see
-//! `pdo_events::fault` module docs). Fuel exhaustion is equivalence-safe
-//! here because the optimizer runs with `fuel_boundaries` on: merged
-//! super-handlers charge the boundary budget at `__pdo_fuel_boundary`
-//! markers placed exactly where generic dispatch charges it (before each
-//! pre-merge handler), so the occurrence aborts at the same program point
-//! in both runs.
+//! For any seeded plan of equivalence-safe faults (dispatch traps,
+//! argument corruption, dropped/delayed timers, fuel exhaustion) and
+//! either containment policy, the optimized program — monolithic or
+//! partitioned chains — must be observationally identical to the
+//! original: same global state, same emitted packets in the same order,
+//! same recorded fault sequence, same robustness counters. Faults key on
+//! *top-level* occurrences precisely so this property is well defined
+//! (see `pdo_events::fault` module docs). Fuel exhaustion is
+//! equivalence-safe here because the optimizer runs with
+//! `fuel_boundaries` on: merged super-handlers charge the boundary budget
+//! at `__pdo_fuel_boundary` markers placed exactly where generic dispatch
+//! charges it (before each pre-merge handler), so the occurrence aborts
+//! at the same program point in both runs.
+//!
+//! The oracle itself (case derivation, snapshots, the equivalence assert
+//! with its replay seed) lives in `tests/common/oracle.rs` and is shared
+//! with the real-substrate suites (`chaos_ctp`, `chaos_seccomm`,
+//! `chaos_xwin`).
 
+#[path = "common/oracle.rs"]
+mod oracle;
+
+use oracle::{
+    assert_equivalent, chaos_cases, chaos_seed, observe, CaseContext, ChaosCase, Observed, POLICIES,
+};
 use pdo::{optimize, Optimization, OptimizeOptions};
 use pdo_events::{
     FaultInjector, FaultKind, FaultPolicy, FaultSpec, Runtime, RuntimeConfig, TraceConfig,
 };
-use pdo_ir::{BinOp, EventId, FuncId, FunctionBuilder, GlobalId, Module, RaiseMode, Value};
+use pdo_ir::{BinOp, EventId, FuncId, FunctionBuilder, Module, RaiseMode, Value};
 use pdo_profile::Profile;
-use proptest::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -124,24 +135,16 @@ fn pipeline() -> Pipeline {
     }
 }
 
-/// Everything the paper's equivalence claim covers, under faults.
-#[derive(Debug, Clone, PartialEq)]
-struct Observed {
-    globals: Vec<Value>,
-    emitted: Vec<Value>,
-    faults: Vec<(EventId, FaultKind)>,
-    counters: (Vec<(EventId, u64)>, u64, u64, u64, u64, u64),
-}
-
 /// Runs the deterministic workload on `module` (optionally with compiled
-/// chains installed) under `policy` and `plan`, and snapshots observables.
+/// chains installed) under `policy` and `plan`, and snapshots observables
+/// through the shared oracle (`substrate` = the emitted packet stream).
 fn run(
     p: &Pipeline,
     module: &Module,
     chains: Option<&Optimization>,
     policy: FaultPolicy,
     plan: &[FaultSpec],
-) -> (Observed, Runtime) {
+) -> (Observed<Vec<Value>>, Runtime) {
     let mut rt = Runtime::with_config(
         module.clone(),
         RuntimeConfig {
@@ -176,16 +179,8 @@ fn run(
     rt.run_until_idle()
         .expect("containment policy must not abort the drain");
 
-    let globals = (0..module.globals.len())
-        .map(|i| rt.global(GlobalId::from_index(i)).clone())
-        .collect();
-    let faults = rt.take_trace().fault_sequence();
-    let observed = Observed {
-        globals,
-        emitted: emitted.borrow().clone(),
-        faults,
-        counters: rt.stats().observable(),
-    };
+    let packets = emitted.borrow().clone();
+    let observed = observe(&mut rt, p.module.globals.len(), packets);
     (observed, rt)
 }
 
@@ -213,62 +208,33 @@ fn optimized(p: &Pipeline, partitioned: bool) -> Optimization {
     opt
 }
 
-/// Decodes a proptest-generated tuple into an equivalence-safe fault spec.
-fn decode_spec(p: &Pipeline, raw: (u8, u64, u8, u64)) -> FaultSpec {
-    let (ev, occurrence, kind, extra) = raw;
-    let event = if ev == 0 { p.frame } else { p.ack };
-    let kind = match kind {
-        0 => FaultKind::TrapDispatch,
-        1 => FaultKind::CorruptArg {
-            index: (extra % 4) as u16,
-        },
-        2 => FaultKind::DropTimed,
-        3 => FaultKind::DelayTimed { extra_ns: extra },
-        _ => FaultKind::ExhaustFuel,
-    };
-    assert!(kind.is_equivalence_safe_with_fuel_boundaries());
-    FaultSpec {
-        event,
-        occurrence,
-        kind,
-    }
-}
+/// The capstone property: for any seeded fault plan and either
+/// containment policy, original and optimized runs (monolithic and
+/// partitioned) observe identical behavior.
+#[test]
+fn optimized_program_is_observationally_identical_under_faults() {
+    let p = pipeline();
+    let events = [p.frame, p.ack];
+    let forms = [
+        ("monolithic", optimized(&p, false)),
+        ("partitioned", optimized(&p, true)),
+    ];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The capstone property: for any seeded fault plan and either
-    /// containment policy, original and optimized runs (monolithic and
-    /// partitioned) observe identical behavior.
-    #[test]
-    fn optimized_program_is_observationally_identical_under_faults(
-        raw_plan in prop::collection::vec(
-            (0u8..2, 0u64..32, 0u8..5, 1u64..5_000),
-            0..8,
-        ),
-        policy_pick in 0u8..2,
-    ) {
-        let p = pipeline();
-        let plan: Vec<FaultSpec> =
-            raw_plan.into_iter().map(|raw| decode_spec(&p, raw)).collect();
-        let policy = if policy_pick == 0 {
-            FaultPolicy::SkipEvent
-        } else {
-            FaultPolicy::Despecialize
-        };
-
-        let (reference, _) = run(&p, &p.module, None, policy, &plan);
-        for partitioned in [false, true] {
-            let opt = optimized(&p, partitioned);
-            let (observed, _) =
-                run(&p, &opt.module, Some(&opt), policy, &plan);
-            prop_assert_eq!(
-                &observed,
-                &reference,
-                "partitioned={} policy={:?}",
-                partitioned,
-                policy
-            );
+    let base = chaos_seed();
+    for i in 0..chaos_cases() {
+        let case = ChaosCase::derive(base.wrapping_add(i), &events, 8, 32);
+        for policy in POLICIES {
+            let (reference, _) = run(&p, &p.module, None, policy, &case.plan);
+            for (form, opt) in &forms {
+                let (observed, _) = run(&p, &opt.module, Some(opt), policy, &case.plan);
+                let ctx = CaseContext {
+                    substrate: "equivalence",
+                    chain_form: form,
+                    policy,
+                    case: &case,
+                };
+                assert_equivalent(&ctx, &reference, &observed);
+            }
         }
     }
 }
@@ -284,7 +250,7 @@ fn harness_is_meaningful_fastpath_used_when_unfaulted() {
         rt.cost.fastpath_hits > 0,
         "an unfaulted run must actually exercise the compiled chains"
     );
-    assert_eq!(reference.emitted.len() as i64, FRAMES + FRAMES / 5 + 1);
+    assert_eq!(reference.substrate.len() as i64, FRAMES + FRAMES / 5 + 1);
 }
 
 #[test]

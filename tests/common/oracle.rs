@@ -1,0 +1,235 @@
+//! The chaos-conformance oracle (DESIGN.md §11): substrate-independent
+//! machinery for checking that an optimized session is observationally
+//! identical to the original under a seeded plan of equivalence-safe
+//! dispatch faults and a seeded faulty wire.
+//!
+//! Each chaos suite derives a [`ChaosCase`] per iteration, runs the same
+//! deterministic workload on a reference (unoptimized) session and an
+//! optimized one, snapshots both with [`observe`] (or [`observe_external`]
+//! for sessions driven by a live adaptation engine, which drains the trace
+//! and stats every epoch), and compares them with [`assert_equivalent`] —
+//! whose failure message carries everything needed to replay the exact
+//! case: `CHAOS_SEED=<seed> CHAOS_CASES=1`.
+
+#![allow(dead_code)] // each chaos binary uses a subset of the oracle
+
+use pdo_events::wire::WireFaults;
+use pdo_events::{FaultKind, FaultPolicy, FaultSpec, Runtime};
+use pdo_ir::{EventId, GlobalId, Value};
+use std::fmt;
+
+/// Seeded cases per substrate configuration (`CHAOS_CASES`, default 256).
+pub fn chaos_cases() -> u64 {
+    std::env::var("CHAOS_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+}
+
+/// Base seed of the sweep (`CHAOS_SEED`). Case `i` is derived from seed
+/// `base + i`, so the seed printed by a failure replays that one case via
+/// `CHAOS_SEED=<printed seed> CHAOS_CASES=1`.
+pub fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x0BAD_C0DE)
+}
+
+/// splitmix64 — the repo's standard deterministic test RNG.
+#[derive(Debug, Clone)]
+pub struct SplitMix(u64);
+
+impl SplitMix {
+    /// A stream seeded with `seed`.
+    pub fn new(seed: u64) -> SplitMix {
+        SplitMix(seed)
+    }
+
+    /// Next 64 random bits.
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..n` (`n == 0` yields 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next() % n
+        }
+    }
+}
+
+/// One derived chaos case: a seeded faulty wire plus a plan of
+/// equivalence-safe dispatch faults keyed on top-level occurrences.
+#[derive(Debug, Clone)]
+pub struct ChaosCase {
+    /// The case's own seed (base seed + case index).
+    pub seed: u64,
+    /// Wire-level faults (drop/duplicate/reorder/corrupt).
+    pub wire: WireFaults,
+    /// Dispatch-level fault plan, shared verbatim by both runs.
+    pub plan: Vec<FaultSpec>,
+}
+
+impl ChaosCase {
+    /// Derives the case for `seed`: moderate wire-fault rates and up to
+    /// `max_faults` dispatch faults drawn over `events`, each keyed on a
+    /// top-level occurrence below `max_occurrence`.
+    pub fn derive(
+        seed: u64,
+        events: &[EventId],
+        max_faults: u64,
+        max_occurrence: u64,
+    ) -> ChaosCase {
+        let mut rng = SplitMix::new(seed);
+        let wire = WireFaults {
+            drop_per_mille: rng.below(250) as u16,
+            dup_per_mille: rng.below(250) as u16,
+            reorder_per_mille: rng.below(300) as u16,
+            corrupt_per_mille: rng.below(250) as u16,
+            seed: rng.next(),
+        };
+        let n = rng.below(max_faults + 1);
+        let plan = (0..n)
+            .map(|_| {
+                let event = events[rng.below(events.len() as u64) as usize];
+                let occurrence = rng.below(max_occurrence);
+                let kind = match rng.below(5) {
+                    0 => FaultKind::TrapDispatch,
+                    1 => FaultKind::CorruptArg {
+                        index: rng.below(3) as u16,
+                    },
+                    2 => FaultKind::DropTimed,
+                    3 => FaultKind::DelayTimed {
+                        extra_ns: 1 + rng.below(5_000),
+                    },
+                    _ => FaultKind::ExhaustFuel,
+                };
+                assert!(
+                    kind.is_equivalence_safe_with_fuel_boundaries(),
+                    "the chaos pool must only contain equivalence-safe kinds"
+                );
+                FaultSpec {
+                    event,
+                    occurrence,
+                    kind,
+                }
+            })
+            .collect();
+        ChaosCase { seed, wire, plan }
+    }
+}
+
+/// Observable runtime counters, as exposed by
+/// `RuntimeStats::observable()` (spec-dependent fields excluded).
+pub type Counters = (Vec<(EventId, u64)>, u64, u64, u64, u64, u64);
+
+/// Everything the conformance claim covers: final base-module global
+/// state, the recorded fault sequence, the observable robustness
+/// counters, and the substrate's own externally visible state (delivered
+/// payloads, display state, link statistics, captured errors…).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observed<S> {
+    /// Final values of the base module's globals (optimized modules only
+    /// append, so indices below the base count line up).
+    pub globals: Vec<Value>,
+    /// Injected and organic faults in dispatch order.
+    pub faults: Vec<(EventId, FaultKind)>,
+    /// Observable robustness counters.
+    pub counters: Counters,
+    /// Substrate-specific external state.
+    pub substrate: S,
+}
+
+fn snapshot_globals(rt: &Runtime, base_globals: usize) -> Vec<Value> {
+    (0..base_globals)
+        .map(|i| rt.global(GlobalId::from_index(i)).clone())
+        .collect()
+}
+
+/// Full snapshot of a session that ran with `TraceConfig::full()` and no
+/// adaptation engine attached.
+pub fn observe<S>(rt: &mut Runtime, base_globals: usize, substrate: S) -> Observed<S> {
+    Observed {
+        globals: snapshot_globals(rt, base_globals),
+        faults: rt.take_trace().fault_sequence(),
+        counters: rt.stats().observable(),
+        substrate,
+    }
+}
+
+/// External-only snapshot for sessions driven by a live
+/// `AdaptiveEngine`: the engine drains the trace and the stats deltas at
+/// every epoch boundary, so only externally visible outputs (globals and
+/// substrate state) are comparable across sessions.
+pub fn observe_external<S>(rt: &Runtime, base_globals: usize, substrate: S) -> Observed<S> {
+    Observed {
+        globals: snapshot_globals(rt, base_globals),
+        faults: Vec::new(),
+        counters: (Vec::new(), 0, 0, 0, 0, 0),
+        substrate,
+    }
+}
+
+/// Identifies one conformance check for the failure report.
+#[derive(Debug)]
+pub struct CaseContext<'a> {
+    /// Substrate name, matching the test binary (`chaos_<substrate>`).
+    pub substrate: &'a str,
+    /// Chain form under test: `"monolithic"`, `"partitioned"`,
+    /// `"adaptive"`, …
+    pub chain_form: &'a str,
+    /// Containment policy both sessions ran under.
+    pub policy: FaultPolicy,
+    /// The derived case (seed, wire faults, fault plan).
+    pub case: &'a ChaosCase,
+}
+
+/// Asserts the optimized session observed exactly what the reference
+/// session observed; on divergence, panics with the replaying seed, the
+/// full fault plan, and both snapshots.
+pub fn assert_equivalent<S: PartialEq + fmt::Debug>(
+    ctx: &CaseContext<'_>,
+    reference: &Observed<S>,
+    optimized: &Observed<S>,
+) {
+    if reference == optimized {
+        return;
+    }
+    let diverged = if reference.globals != optimized.globals {
+        "globals"
+    } else if reference.substrate != optimized.substrate {
+        "substrate state"
+    } else if reference.faults != optimized.faults {
+        "fault sequence"
+    } else {
+        "robustness counters"
+    };
+    panic!(
+        "chaos conformance violated: {} diverged on {} ({}, {:?})\n\
+         replay: CHAOS_SEED={} CHAOS_CASES=1 cargo test --test chaos_{}\n\
+         wire faults: {:?}\n\
+         fault plan: {:?}\n\
+         reference: {:#?}\n\
+         optimized: {:#?}",
+        diverged,
+        ctx.substrate,
+        ctx.chain_form,
+        ctx.policy,
+        ctx.case.seed,
+        ctx.substrate,
+        ctx.case.wire,
+        ctx.case.plan,
+        reference,
+        optimized,
+    );
+}
+
+/// Both containment policies the suites sweep.
+pub const POLICIES: [FaultPolicy; 2] = [FaultPolicy::SkipEvent, FaultPolicy::Despecialize];
