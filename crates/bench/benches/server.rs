@@ -135,6 +135,7 @@ fn static_server(
             trace_sleep_epochs: 49,
             ..Default::default()
         },
+        ..Default::default()
     });
     let sids: Vec<SessionId> = (0..SESSIONS)
         .map(|_| {
@@ -178,6 +179,7 @@ fn adaptive_server(
             trace_sleep_epochs: 49,
             ..Default::default()
         },
+        ..Default::default()
     });
     let sids: Vec<SessionId> = (0..SESSIONS)
         .map(|_| {

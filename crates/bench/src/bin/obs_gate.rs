@@ -1,0 +1,167 @@
+//! Observability overhead gate: proves the `pdo-obs` dispatch
+//! instrumentation is near-free.
+//!
+//! Times the same synthetic fast-path dispatch workload on two identical
+//! runtimes — one with metrics off (`Runtime.obs == None`, a single
+//! `Option` check on the hot path) and one with a live [`pdo_obs::ObsHub`]
+//! recording per-event latency histograms — in interleaved rounds so
+//! machine drift hits both sides equally. The headline statistic is the
+//! ratio of the medians of the per-round minimum batch averages (the
+//! shim's robust number); the gate fails if metrics-on costs more than
+//! [`GATE`] (5%) over metrics-off.
+//!
+//! Writes `BENCH_dispatch.json` (mean, 95% CI, and on/off ratio — the
+//! machine-readable artifact CI checks in) to the path given as the first
+//! argument, default `BENCH_dispatch.json` in the working directory, and
+//! exits nonzero when the gate fails.
+
+use criterion::{black_box, measure, Measurement};
+use pdo::{optimize, OptimizeOptions};
+use pdo_events::{Runtime, TraceConfig};
+use pdo_ir::{BinOp, EventId, FuncId, FunctionBuilder, Module, RaiseMode, Value};
+use pdo_profile::Profile;
+
+/// Maximum tolerated metrics-on/metrics-off ratio.
+const GATE: f64 = 1.05;
+
+/// Interleaved measurement rounds per side (median taken across them).
+const ROUNDS: usize = 9;
+
+/// Batch-average samples per round (passed to the criterion shim).
+const SAMPLES: usize = 10;
+
+fn build_module(handlers: usize) -> (Module, EventId, Vec<FuncId>) {
+    let mut m = Module::new();
+    let e = m.add_event("E");
+    let g = m.add_global("acc", Value::Int(0));
+    let ids = (0..handlers)
+        .map(|i| {
+            let mut b = FunctionBuilder::new(format!("h{i}"), 1);
+            b.lock(g);
+            let v = b.load_global(g);
+            let k = b.const_int(i as i64 + 1);
+            let s = b.bin(BinOp::Add, v, k);
+            b.store_global(g, s);
+            b.unlock(g);
+            b.ret(None);
+            m.add_function(b.finish())
+        })
+        .collect();
+    (m, e, ids)
+}
+
+fn runtime_for(m: &Module, e: EventId, hs: &[FuncId]) -> Runtime {
+    let mut rt = Runtime::new(m.clone());
+    for (i, &h) in hs.iter().enumerate() {
+        rt.bind(e, h, i as i32).expect("bind");
+    }
+    rt
+}
+
+/// Builds a runtime running the specialized fast path for `E`, matching
+/// the `dispatch` bench's fastpath configuration.
+fn fastpath_runtime(metrics: bool) -> (Runtime, EventId) {
+    let (m, e, hs) = build_module(6);
+    let mut prof_rt = runtime_for(&m, e, &hs);
+    prof_rt.set_trace_config(TraceConfig::full());
+    for _ in 0..100 {
+        prof_rt.raise(e, RaiseMode::Sync, &[Value::Unit]).unwrap();
+    }
+    let profile = Profile::from_trace(&prof_rt.take_trace(), 50);
+    let opt = optimize(&m, prof_rt.registry(), &profile, &OptimizeOptions::new(50));
+    let mut rt = runtime_for(&opt.module, e, &hs);
+    opt.install_chains(&mut rt);
+    if metrics {
+        rt.enable_observability();
+    }
+    (rt, e)
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+/// Mean and normal-approximation 95% CI half-width over `xs`.
+fn mean_ci(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, 1.96 * (var / n).sqrt())
+}
+
+fn round(rt: &mut Runtime, e: EventId) -> Measurement {
+    measure(
+        || {
+            rt.raise(black_box(e), RaiseMode::Sync, &[Value::Unit])
+                .unwrap()
+        },
+        SAMPLES,
+    )
+}
+
+fn json_side(mins: &[f64], means: &[f64]) -> String {
+    let mut mins = mins.to_vec();
+    let (mean, ci95) = mean_ci(means);
+    format!(
+        "{{ \"median_min_ns\": {:.2}, \"mean_ns\": {:.2}, \"ci95_ns\": {:.2} }}",
+        median(&mut mins),
+        mean,
+        ci95
+    )
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_dispatch.json".into());
+
+    let (mut off_rt, e) = fastpath_runtime(false);
+    let (mut on_rt, _) = fastpath_runtime(true);
+    assert!(
+        off_rt.obs().is_none(),
+        "metrics-off runtime must have no hub"
+    );
+    assert!(on_rt.obs().is_some(), "metrics-on runtime must have a hub");
+
+    let (mut off_min, mut off_mean) = (Vec::new(), Vec::new());
+    let (mut on_min, mut on_mean) = (Vec::new(), Vec::new());
+    for i in 0..ROUNDS {
+        // Alternate the order within each round so slow drift (thermal,
+        // scheduler) cancels instead of biasing one side.
+        let (first, second): (&mut Runtime, &mut Runtime) = if i % 2 == 0 {
+            (&mut off_rt, &mut on_rt)
+        } else {
+            (&mut on_rt, &mut off_rt)
+        };
+        let a = round(first, e);
+        let b = round(second, e);
+        let (off, on) = if i % 2 == 0 { (a, b) } else { (b, a) };
+        off_min.push(off.min_ns);
+        off_mean.push(off.mean_ns);
+        on_min.push(on.min_ns);
+        on_mean.push(on.mean_ns);
+    }
+
+    let off_json = json_side(&off_min, &off_mean);
+    let on_json = json_side(&on_min, &on_mean);
+    let ratio = median(&mut on_min.clone()) / median(&mut off_min.clone());
+    let pass = ratio <= GATE;
+    let json = format!(
+        "{{\n  \"bench\": \"dispatch/fastpath/6\",\n  \"rounds\": {ROUNDS},\n  \
+         \"metrics_off\": {off_json},\n  \"metrics_on\": {on_json},\n  \
+         \"on_off_ratio\": {ratio:.4},\n  \"gate\": {GATE},\n  \"pass\": {pass}\n}}\n"
+    );
+    std::fs::write(&out, &json).expect("write BENCH_dispatch.json");
+    print!("{json}");
+    if !pass {
+        eprintln!("obs gate FAILED: on/off ratio {ratio:.4} > {GATE}");
+        std::process::exit(1);
+    }
+    println!("obs gate passed: on/off ratio {ratio:.4} <= {GATE}");
+}

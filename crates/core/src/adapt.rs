@@ -41,10 +41,12 @@ use crate::quarantine::QuarantineConfig;
 use crate::{optimize, OptimizeOptions};
 use pdo_events::{Runtime, TraceConfig};
 use pdo_ir::{EventId, Module};
+use pdo_obs::{Histogram, MetricsSnapshot, ObsKind};
 use pdo_profile::ProfileBuilder;
 use std::cell::RefCell;
 use std::collections::BTreeSet;
 use std::rc::Rc;
+use std::time::Instant;
 
 /// Tuning for one session's adaptation loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,6 +117,11 @@ pub struct AdaptiveEngine {
     /// Epochs left before the trace duty cycle re-enables instrumentation
     /// (0 = currently sampling).
     sleep_remaining: u32,
+    /// Wall-clock duration of each profile-and-optimize pass. Wall time —
+    /// not virtual time — because the pass is daemon work the workload
+    /// never sees on the virtual clock; consequently the histogram is
+    /// nondeterministic and excluded from exact snapshot pins.
+    reprofile_wall_ns: Histogram,
 }
 
 impl AdaptiveEngine {
@@ -128,6 +135,7 @@ impl AdaptiveEngine {
             healer: None,
             stats: AdaptStats::default(),
             sleep_remaining: 0,
+            reprofile_wall_ns: Histogram::new(),
         }
     }
 
@@ -202,7 +210,21 @@ impl AdaptiveEngine {
         // trace, so quarantine/backoff latency is unaffected by the duty
         // cycle.
         let stale = match self.healer.as_mut() {
-            Some(h) => !h.heal(rt, &delta).stale.is_empty(),
+            Some(h) => {
+                let report = h.heal(rt, &delta);
+                if let Some(obs) = rt.obs() {
+                    for &(event, until_ns) in &report.quarantined {
+                        obs.record(
+                            rt.clock_ns(),
+                            ObsKind::Quarantined {
+                                event: event.0,
+                                until_ns,
+                            },
+                        );
+                    }
+                }
+                !report.stale.is_empty()
+            }
             None => false,
         };
         // Re-profiles are pinned to sampled epochs: that is when the
@@ -235,6 +257,7 @@ impl AdaptiveEngine {
     /// One full profile-and-optimize pass against the base module, followed
     /// by a hot swap of module and chains.
     fn reprofile(&mut self, rt: &mut Runtime) {
+        let started = Instant::now();
         self.builder.take_fresh();
         let profile = self.builder.snapshot(self.config.opts.threshold);
         let opt = optimize(&self.base, rt.registry(), &profile, &self.config.opts);
@@ -242,6 +265,7 @@ impl AdaptiveEngine {
         if opt.chains.is_empty() {
             // Nothing is hot enough right now; keep the deployed chains
             // (they are still guard-correct) rather than thrashing.
+            self.note_reprofile(rt, started, 0);
             return;
         }
 
@@ -254,6 +278,9 @@ impl AdaptiveEngine {
             rt.remove_chain(event);
             if !new_heads.contains(&event) {
                 self.stats.chains_dropped += 1;
+                if let Some(obs) = rt.obs() {
+                    obs.record(rt.clock_ns(), ObsKind::ChainDropped { event: event.0 });
+                }
             }
         }
         rt.replace_module(opt.module.clone());
@@ -269,12 +296,100 @@ impl AdaptiveEngine {
             }
             rt.install_chain(chain.clone());
             self.stats.chains_installed += 1;
+            if let Some(obs) = rt.obs() {
+                obs.record(
+                    rt.clock_ns(),
+                    ObsKind::ChainInstalled {
+                        event: chain.head.0,
+                    },
+                );
+            }
         }
         match self.healer.as_mut() {
             Some(h) => h.rebind(&opt, rt.registry()),
             None => {
                 self.healer = Some(SelfHealer::new(self.config.quarantine, &opt, rt.registry()));
             }
+        }
+        self.note_reprofile(rt, started, opt.chains.len() as u32);
+    }
+
+    /// Closes out one reprofile pass: wall-clock duration into the
+    /// engine's histogram plus a flight-recorder entry.
+    fn note_reprofile(&mut self, rt: &Runtime, started: Instant, chains: u32) {
+        let duration_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.reprofile_wall_ns.record(duration_ns);
+        if let Some(obs) = rt.obs() {
+            obs.record(
+                rt.clock_ns(),
+                ObsKind::Reprofile {
+                    chains,
+                    duration_ns,
+                },
+            );
+        }
+    }
+
+    /// Exports the adaptation loop's counters, gauges, and reprofile
+    /// duration histogram into `snap` with `extra` labels on every series.
+    /// `rt` supplies the live-chain gauge (the engine installs chains but
+    /// the runtime owns them).
+    pub fn export_metrics(&self, rt: &Runtime, snap: &mut MetricsSnapshot, extra: &[(&str, &str)]) {
+        snap.counter(
+            "pdo_adapt_epochs_total",
+            "Epoch boundaries processed by the adaptation loop",
+            extra,
+            self.stats.epochs,
+        );
+        snap.counter(
+            "pdo_adapt_sampled_epochs_total",
+            "Epochs whose span ran with full handler instrumentation",
+            extra,
+            self.stats.sampled_epochs,
+        );
+        snap.counter(
+            "pdo_adapt_reprofiles_total",
+            "Full profile-and-optimize passes run",
+            extra,
+            self.stats.reprofiles,
+        );
+        snap.counter(
+            "pdo_adapt_chains_installed_total",
+            "Compiled chains installed by re-profiles (cumulative)",
+            extra,
+            self.stats.chains_installed,
+        );
+        snap.counter(
+            "pdo_adapt_chains_dropped_total",
+            "Previously installed chains not reproduced by a later re-profile",
+            extra,
+            self.stats.chains_dropped,
+        );
+        snap.counter(
+            "pdo_adapt_despecialized_total",
+            "Chains the runtime removed for containment",
+            extra,
+            self.stats.despecialized,
+        );
+        snap.gauge(
+            "pdo_adapt_chains_live",
+            "Compiled chains currently installed in the runtime",
+            extra,
+            rt.spec().iter().count() as i64,
+        );
+        snap.gauge(
+            "pdo_adapt_sampling",
+            "Trace duty-cycle state: sessions currently sampling (1 per engine; sums across a shard)",
+            extra,
+            i64::from(self.sleep_remaining == 0),
+        );
+        if self.reprofile_wall_ns.count() > 0 {
+            snap.histogram(
+                "pdo_adapt_reprofile_wall_ns",
+                "Wall-clock duration of each profile-and-optimize pass",
+                extra,
+                &self.reprofile_wall_ns,
+            );
         }
     }
 }

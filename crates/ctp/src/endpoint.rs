@@ -197,8 +197,80 @@ pub struct CtpStats {
     pub rx_duplicates: u64,
     /// Arrivals the receiver rejected on the parity check.
     pub rx_corrupt_dropped: u64,
+    /// Highest retry count among currently-unacknowledged segments — the
+    /// link-level backoff level (0 when nothing is awaiting retry).
+    pub backoff_level: u32,
     /// True once any segment exhausted its retransmission budget.
     pub peer_unreachable: bool,
+}
+
+impl CtpStats {
+    /// Exports the protocol counters/gauges and the link fault counters
+    /// into `snap` with `extra` labels on every series.
+    pub fn export_metrics(&self, snap: &mut pdo_obs::MetricsSnapshot, extra: &[(&str, &str)]) {
+        let as_u64 = |v: i64| u64::try_from(v).unwrap_or(0);
+        snap.counter(
+            "pdo_ctp_segments_sent_total",
+            "CTP segments sent",
+            extra,
+            as_u64(self.segments_sent),
+        );
+        snap.counter(
+            "pdo_ctp_segments_acked_total",
+            "CTP segments acknowledged",
+            extra,
+            as_u64(self.segments_acked),
+        );
+        snap.counter(
+            "pdo_ctp_retransmissions_total",
+            "CTP retransmissions performed",
+            extra,
+            as_u64(self.retransmissions),
+        );
+        snap.counter(
+            "pdo_ctp_rx_duplicates_total",
+            "Duplicate arrivals the CTP receiver discarded",
+            extra,
+            self.rx_duplicates,
+        );
+        snap.counter(
+            "pdo_ctp_rx_corrupt_dropped_total",
+            "Arrivals the CTP receiver rejected on the parity check",
+            extra,
+            self.rx_corrupt_dropped,
+        );
+        snap.gauge(
+            "pdo_ctp_frag_size",
+            "Current CTP fragment size",
+            extra,
+            self.frag_size,
+        );
+        snap.gauge(
+            "pdo_ctp_in_flight",
+            "CTP segments currently unacknowledged",
+            extra,
+            self.in_flight_native as i64,
+        );
+        snap.gauge(
+            "pdo_ctp_backoff_level",
+            "Highest retry count among unacknowledged CTP segments",
+            extra,
+            i64::from(self.backoff_level),
+        );
+        snap.gauge(
+            "pdo_ctp_peer_unreachable",
+            "1 once any CTP segment exhausted its retransmission budget",
+            extra,
+            i64::from(self.peer_unreachable),
+        );
+        let wire = pdo_events::WireStats {
+            dropped: self.link_dropped,
+            duplicated: self.link_duplicated,
+            reordered: self.link_reordered,
+            corrupted: self.link_corrupted,
+        };
+        wire.export_metrics(snap, extra);
+    }
 }
 
 /// A sender endpoint of the CTP composite protocol.
@@ -358,6 +430,7 @@ impl CtpEndpoint {
             rx_delivered: st.rx.delivered().len(),
             rx_duplicates: st.rx.duplicates(),
             rx_corrupt_dropped: st.rx_corrupt_dropped,
+            backoff_level: st.retries.values().copied().max().unwrap_or(0),
             peer_unreachable: st.unreachable,
         }
     }

@@ -93,6 +93,19 @@ impl FaultKind {
         matches!(self, FaultKind::DropTimed | FaultKind::DelayTimed { .. })
     }
 
+    /// Short static name used as a metric label and in flight-recorder
+    /// dumps (`snake_case`, no payload).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::TrapDispatch => "trap_dispatch",
+            FaultKind::CorruptArg { .. } => "corrupt_arg",
+            FaultKind::ExhaustFuel => "exhaust_fuel",
+            FaultKind::DropTimed => "drop_timed",
+            FaultKind::DelayTimed { .. } => "delay_timed",
+            FaultKind::HandlerTrap => "handler_trap",
+        }
+    }
+
     /// True for kinds whose effect is identical in original and optimized
     /// runs regardless of how the chains were compiled (see module docs).
     pub fn is_equivalence_safe(self) -> bool {

@@ -61,7 +61,7 @@ pub mod wire;
 
 pub use fault::{corrupt_value, FaultInjector, FaultKind, FaultPolicy, FaultSpec};
 pub use registry::{Binding, Registry};
-pub use runtime::{EpochHook, Runtime, RuntimeConfig, RuntimeError, RuntimeStats};
+pub use runtime::{EpochHook, ObservableStats, Runtime, RuntimeConfig, RuntimeError, RuntimeStats};
 pub use sched::VirtualClock;
 pub use spec::{CompiledChain, Guard, SpecTable};
 pub use trace::{HandlerTraceMode, Trace, TraceConfig, TraceRecord};

@@ -8,6 +8,7 @@ use crate::spec::{CompiledChain, SpecTable};
 use crate::trace::{Trace, TraceConfig, TraceRecord};
 use pdo_ir::interp::{call, Env, ExecError};
 use pdo_ir::{CostCounter, EventId, FuncId, GlobalId, Module, NativeId, RaiseMode, Value};
+use pdo_obs::{MetricsSnapshot, ObsHub, ObsKind, RaiseKind};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -165,16 +166,36 @@ impl RuntimeStats {
 
     /// The fields every equivalent pair of runs must agree on, independent
     /// of whether chains are installed (see the struct docs).
-    pub fn observable(&self) -> (Vec<(EventId, u64)>, u64, u64, u64, u64, u64) {
-        (
-            self.faults_by_event.iter().map(|(e, n)| (*e, *n)).collect(),
-            self.injected_faults,
-            self.handler_traps,
-            self.skipped_dispatches,
-            self.dropped_timed,
-            self.delayed_timed,
-        )
+    pub fn observable(&self) -> ObservableStats {
+        ObservableStats {
+            faults_by_event: self.faults_by_event.iter().map(|(e, n)| (*e, *n)).collect(),
+            injected_faults: self.injected_faults,
+            handler_traps: self.handler_traps,
+            skipped_dispatches: self.skipped_dispatches,
+            dropped_timed: self.dropped_timed,
+            delayed_timed: self.delayed_timed,
+        }
     }
+}
+
+/// The specialization-independent projection of [`RuntimeStats`]: the
+/// fields an original and an optimized run of the same workload under the
+/// same fault plan must agree on. This is the equality the chaos oracle
+/// asserts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObservableStats {
+    /// Faults recorded per event, in event order.
+    pub faults_by_event: Vec<(EventId, u64)>,
+    /// Injected faults that fired.
+    pub injected_faults: u64,
+    /// Organic handler traps contained by the policy.
+    pub handler_traps: u64,
+    /// Dispatches skipped (entirely or partially) by containment.
+    pub skipped_dispatches: u64,
+    /// Timed raises dropped by [`FaultKind::DropTimed`].
+    pub dropped_timed: u64,
+    /// Timed raises delayed by [`FaultKind::DelayTimed`].
+    pub delayed_timed: u64,
 }
 
 /// Ids of the runtime-implemented ("reserved") native slots, resolved from
@@ -242,6 +263,9 @@ pub struct Runtime {
     /// dispatch accounting is on, so nested synchronous raises can be
     /// attributed to the frame that issued them without tracing.
     frame_stack: Vec<(EventId, FuncId)>,
+    /// Observability hub: `None` means metrics are off and every hot path
+    /// pays exactly one `Option` check (see [`Runtime::enable_obs`]).
+    obs: Option<ObsHub>,
     stats: RuntimeStats,
     /// Cost counters charged by dispatch and handler execution.
     pub cost: CostCounter,
@@ -310,6 +334,7 @@ impl Runtime {
             faults: None,
             dispatch_accounting: false,
             frame_stack: Vec::new(),
+            obs: None,
             stats: RuntimeStats::default(),
             cost: CostCounter::new(),
             reserved,
@@ -530,6 +555,102 @@ impl Runtime {
         self.dispatch_accounting = on;
     }
 
+    /// Attaches an observability hub (see `pdo-obs`): dispatches start
+    /// feeding per-event fast/slow latency histograms and the flight
+    /// recorder, and raises, guard misses, and faults are recorded. The
+    /// same hub may be shared with an adaptive engine or a test oracle —
+    /// it is a cheap `Rc` handle. When no hub is attached (the default)
+    /// every instrumentation site is a single `Option` check.
+    pub fn enable_obs(&mut self, hub: ObsHub) {
+        self.obs = Some(hub);
+    }
+
+    /// Attaches a fresh default-capacity hub and returns a handle to it.
+    pub fn enable_observability(&mut self) -> ObsHub {
+        let hub = ObsHub::default();
+        self.obs = Some(hub.clone());
+        hub
+    }
+
+    /// The attached observability hub, if any.
+    pub fn obs(&self) -> Option<&ObsHub> {
+        self.obs.as_ref()
+    }
+
+    /// Detaches the observability hub (instrumentation back to one
+    /// `Option` check, histograms survive in the returned handle).
+    pub fn take_obs(&mut self) -> Option<ObsHub> {
+        self.obs.take()
+    }
+
+    /// Exports the runtime's counters and (when a hub is attached) its
+    /// per-event dispatch-latency histograms into `snap`, with `extra`
+    /// labels (e.g. `shard`/`session`) on every series.
+    pub fn export_metrics(&self, snap: &mut MetricsSnapshot, extra: &[(&str, &str)]) {
+        snap.counter(
+            "pdo_dispatch_fastpath_total",
+            "Dispatches served by a guarded compiled chain",
+            extra,
+            self.cost.fastpath_hits,
+        );
+        snap.counter(
+            "pdo_dispatch_guard_miss_total",
+            "Fast-path attempts that fell back to generic dispatch on stale guards",
+            extra,
+            self.cost.fastpath_misses,
+        );
+        snap.counter(
+            "pdo_dispatch_generic_total",
+            "Dispatches served by the generic registry walk",
+            extra,
+            self.cost.registry_lookups,
+        );
+        snap.counter(
+            "pdo_faults_injected_total",
+            "Injected faults that fired",
+            extra,
+            self.stats.injected_faults,
+        );
+        snap.counter(
+            "pdo_faults_handler_trap_total",
+            "Organic handler traps contained by the fault policy",
+            extra,
+            self.stats.handler_traps,
+        );
+        snap.counter(
+            "pdo_dispatch_skipped_total",
+            "Dispatches skipped (entirely or partially) by containment",
+            extra,
+            self.stats.skipped_dispatches,
+        );
+        snap.counter(
+            "pdo_timed_dropped_total",
+            "Timed raises dropped by fault injection",
+            extra,
+            self.stats.dropped_timed,
+        );
+        snap.counter(
+            "pdo_timed_delayed_total",
+            "Timed raises delayed by fault injection",
+            extra,
+            self.stats.delayed_timed,
+        );
+        for (event, n) in &self.stats.faults_by_event {
+            let ev = event.0.to_string();
+            let mut labels: Vec<(&str, &str)> = vec![("event", &ev)];
+            labels.extend_from_slice(extra);
+            snap.counter(
+                "pdo_faults_by_event_total",
+                "Faults recorded per event (injected and contained-organic)",
+                &labels,
+                *n,
+            );
+        }
+        if let Some(obs) = &self.obs {
+            obs.export_dispatch(snap, extra);
+        }
+    }
+
     /// Installs a fault injector (replacing any previous one; occurrence
     /// counters start fresh).
     pub fn set_fault_injector(&mut self, injector: FaultInjector) {
@@ -667,6 +788,22 @@ impl Runtime {
                 at: self.clock.now_ns(),
             });
         }
+        if let Some(obs) = &self.obs {
+            if obs.trace_dispatch() {
+                let kind = match mode {
+                    RaiseMode::Sync => RaiseKind::Sync,
+                    RaiseMode::Async => RaiseKind::Async,
+                    RaiseMode::Timed => RaiseKind::Timed,
+                };
+                obs.record(
+                    self.clock.now_ns(),
+                    ObsKind::Raise {
+                        event: event.0,
+                        mode: kind,
+                    },
+                );
+            }
+        }
         match mode {
             RaiseMode::Sync => {
                 if self.sync_depth >= self.config.max_sync_depth {
@@ -733,6 +870,15 @@ impl Runtime {
             self.stats.handler_traps += 1;
         } else {
             self.stats.injected_faults += 1;
+        }
+        if let Some(obs) = &self.obs {
+            obs.record(
+                self.clock.now_ns(),
+                ObsKind::Fault {
+                    event: event.0,
+                    kind: kind.label(),
+                },
+            );
         }
         if self.trace_config.as_ref().is_some_and(|c| c.events) {
             self.trace_push(TraceRecord::Fault {
@@ -832,8 +978,11 @@ impl Runtime {
         }
     }
 
-    /// The actual fast-path / generic dispatch, with per-call trap
-    /// containment according to the configured [`FaultPolicy`].
+    /// Observability wrapper around the dispatch body: with no hub
+    /// attached this is one `Option` check and a tail call; with a hub it
+    /// brackets the dispatch with virtual-clock reads and feeds the
+    /// per-event fast/slow latency histogram and (optionally) the flight
+    /// recorder.
     fn dispatch_handlers(
         &mut self,
         module: &Module,
@@ -842,6 +991,51 @@ impl Runtime {
         force_generic: bool,
         injected_fuel: bool,
     ) -> Result<(), RuntimeError> {
+        let Some(obs) = self.obs.clone() else {
+            return self
+                .dispatch_handlers_inner(module, event, args, force_generic, injected_fuel)
+                .map(|_fast| ());
+        };
+        let t0 = self.clock.now_ns();
+        if obs.trace_dispatch() {
+            // Only the (debug-oriented) per-dispatch trace needs the lane
+            // up front; it replicates the body's fast-path condition, which
+            // is read-only and safe to evaluate twice.
+            let fast = !force_generic
+                && self.spec.get(event).is_some_and(|chain| {
+                    usize::from(chain.params) == args.len() && chain.guards_hold(&self.registry)
+                });
+            obs.record(
+                t0,
+                ObsKind::DispatchBegin {
+                    event: event.0,
+                    fast,
+                },
+            );
+        }
+        let r = self.dispatch_handlers_inner(module, event, args, force_generic, injected_fuel);
+        let t1 = self.clock.now_ns();
+        // The body reports which lane it entered, so the metrics-on hot
+        // path pays no second guard evaluation. An aborting dispatch has
+        // no lane to attribute; count it as slow.
+        let fast = *r.as_ref().unwrap_or(&false);
+        obs.dispatch_end(t1, event.0, fast, t1 - t0);
+        r.map(|_fast| ())
+    }
+
+    /// The actual fast-path / generic dispatch, with per-call trap
+    /// containment according to the configured [`FaultPolicy`]. Returns
+    /// `true` when the dispatch entered a compiled chain (even if it then
+    /// trapped and was contained), `false` for the generic path — the lane
+    /// the observability wrapper attributes its latency sample to.
+    fn dispatch_handlers_inner(
+        &mut self,
+        module: &Module,
+        event: EventId,
+        args: &[Value],
+        force_generic: bool,
+        injected_fuel: bool,
+    ) -> Result<bool, RuntimeError> {
         // Fast path: compiled chain with matching guards.
         if !force_generic {
             if let Some(chain) = self.spec.get(event) {
@@ -882,7 +1076,7 @@ impl Runtime {
                         });
                     }
                     return match result {
-                        Ok(_) => Ok(()),
+                        Ok(_) => Ok(true),
                         Err(err) => {
                             if self.boundary_fuel.is_some()
                                 && !injected_fuel
@@ -899,7 +1093,7 @@ impl Runtime {
                                 FaultPolicy::SkipEvent => {
                                     self.note_trap(event, &err, injected_fuel);
                                     self.stats.skipped_dispatches += 1;
-                                    Ok(())
+                                    Ok(true)
                                 }
                                 FaultPolicy::Despecialize => {
                                     self.note_trap(event, &err, injected_fuel);
@@ -910,13 +1104,14 @@ impl Runtime {
                                         // occurrence at a well-defined
                                         // boundary; re-dispatching would
                                         // re-run the completed prefix.
-                                        return Ok(());
+                                        return Ok(true);
                                     }
                                     // Best-effort generic re-dispatch: the chain
                                     // may have applied partial effects, so this
                                     // is NOT equivalence-preserving — it keeps
                                     // the occurrence from being lost entirely.
                                     self.dispatch_handlers(module, event, args, true, false)
+                                        .map(|()| true)
                                 }
                             }
                         }
@@ -924,6 +1119,9 @@ impl Runtime {
                 }
                 self.cost.fastpath_misses += 1;
                 *self.stats.guard_misses_by_event.entry(event).or_insert(0) += 1;
+                if let Some(obs) = &self.obs {
+                    obs.record(self.clock.now_ns(), ObsKind::GuardMiss { event: event.0 });
+                }
             }
         }
 
@@ -961,7 +1159,7 @@ impl Runtime {
                             if policy == FaultPolicy::Despecialize {
                                 self.despecialize(event);
                             }
-                            return Ok(());
+                            return Ok(false);
                         }
                     }
                 }
@@ -1017,12 +1215,12 @@ impl Runtime {
                         if policy == FaultPolicy::Despecialize {
                             self.despecialize(event); // stale chain, if any
                         }
-                        return Ok(());
+                        return Ok(false);
                     }
                 }
             }
         }
-        Ok(())
+        Ok(false)
     }
 
     /// Drains the asynchronous queue and timer heap, advancing the virtual

@@ -58,6 +58,30 @@ pub struct WireStats {
     pub corrupted: u64,
 }
 
+impl WireStats {
+    /// Exports the four fault counters into `snap` as
+    /// `pdo_wire_faults_total{kind="dropped|duplicated|reordered|corrupted"}`
+    /// with `extra` labels on every series — one exposition shape shared
+    /// by every substrate that embeds a [`FaultyWire`].
+    pub fn export_metrics(&self, snap: &mut pdo_obs::MetricsSnapshot, extra: &[(&str, &str)]) {
+        for (kind, n) in [
+            ("dropped", self.dropped),
+            ("duplicated", self.duplicated),
+            ("reordered", self.reordered),
+            ("corrupted", self.corrupted),
+        ] {
+            let mut labels: Vec<(&str, &str)> = vec![("kind", kind)];
+            labels.extend_from_slice(extra);
+            snap.counter(
+                "pdo_wire_faults_total",
+                "Frames the wire fault model dropped, duplicated, reordered, or corrupted",
+                &labels,
+                n,
+            );
+        }
+    }
+}
+
 /// One frame reaching the receiver.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Arrival<T> {

@@ -1,0 +1,206 @@
+//! The shared observability handle a runtime (and the layers stacked on
+//! it) writes into.
+//!
+//! `ObsHub` is a cheaply-clonable `Rc` handle — the runtime, the
+//! adaptive engine, and the test oracle can all hold one — wrapping the
+//! per-event dispatch-latency histograms and the flight recorder. The
+//! hot-path contract: when observability is off the runtime holds no hub
+//! at all (a single `Option` check); when on, recording is one
+//! `RefCell` borrow plus an O(1) histogram/ring write. Event ids are raw
+//! `u32`s; per-event histograms live in a lazily-grown dense `Vec` so
+//! the dispatch path never hashes.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use crate::hist::Histogram;
+use crate::recorder::{FlightRecorder, ObsKind, ObsRecord};
+use crate::snapshot::MetricsSnapshot;
+
+/// Default flight-recorder capacity.
+pub const DEFAULT_RECORDER_CAPACITY: usize = 1024;
+
+#[derive(Debug)]
+struct Inner {
+    /// Per-event latency histograms, indexed by raw event id: fast
+    /// (compiled chain) and slow (generic) dispatch paths.
+    fast: Vec<Option<Box<Histogram>>>,
+    slow: Vec<Option<Box<Histogram>>>,
+    recorder: FlightRecorder,
+}
+
+#[derive(Debug)]
+struct Shared {
+    /// Outside the `RefCell` so the per-dispatch enabled-check is a
+    /// plain load, not a borrow.
+    trace_dispatch: Cell<bool>,
+    inner: RefCell<Inner>,
+}
+
+/// Shared observability handle: per-event dispatch histograms plus the
+/// flight recorder, behind `Rc<RefCell<…>>` (runtimes are
+/// single-threaded and `!Send`).
+#[derive(Debug, Clone)]
+pub struct ObsHub {
+    shared: Rc<Shared>,
+}
+
+impl Default for ObsHub {
+    fn default() -> Self {
+        ObsHub::new(DEFAULT_RECORDER_CAPACITY)
+    }
+}
+
+impl ObsHub {
+    /// A hub whose flight recorder retains `recorder_capacity` records.
+    /// Per-dispatch tracing starts off (see [`ObsHub::set_trace_dispatch`])
+    /// so the default hub costs one histogram write per dispatch and the
+    /// recorder keeps only the rare, interesting records.
+    pub fn new(recorder_capacity: usize) -> ObsHub {
+        ObsHub {
+            shared: Rc::new(Shared {
+                trace_dispatch: Cell::new(false),
+                inner: RefCell::new(Inner {
+                    fast: Vec::new(),
+                    slow: Vec::new(),
+                    recorder: FlightRecorder::new(recorder_capacity),
+                }),
+            }),
+        }
+    }
+
+    /// When true, every dispatch also appends begin/end records (and raise
+    /// records) to the flight recorder — a debugging mode. When false (the
+    /// default) histograms still update and rarer records (faults,
+    /// reprofiles, quarantines, guard misses) always land, keeping one
+    /// noisy event from evicting the interesting tail.
+    pub fn set_trace_dispatch(&self, on: bool) {
+        self.shared.trace_dispatch.set(on);
+    }
+
+    /// Appends one flight-recorder entry.
+    #[inline]
+    pub fn record(&self, at_ns: u64, kind: ObsKind) {
+        self.shared.inner.borrow_mut().recorder.record(at_ns, kind);
+    }
+
+    /// Dispatch completion: updates the per-event fast/slow latency
+    /// histogram and (when dispatch tracing is on) the flight recorder.
+    #[inline]
+    pub fn dispatch_end(&self, at_ns: u64, event: u32, fast: bool, latency_ns: u64) {
+        let mut inner = self.shared.inner.borrow_mut();
+        let lane = if fast {
+            &mut inner.fast
+        } else {
+            &mut inner.slow
+        };
+        let idx = event as usize;
+        if idx >= lane.len() {
+            lane.resize_with(idx + 1, || None);
+        }
+        lane[idx]
+            .get_or_insert_with(|| Box::new(Histogram::new()))
+            .record(latency_ns);
+        if self.shared.trace_dispatch.get() {
+            inner.recorder.record(
+                at_ns,
+                ObsKind::DispatchEnd {
+                    event,
+                    fast,
+                    latency_ns,
+                },
+            );
+        }
+    }
+
+    /// True when per-dispatch flight-recorder tracing is on.
+    #[inline]
+    pub fn trace_dispatch(&self) -> bool {
+        self.shared.trace_dispatch.get()
+    }
+
+    /// The last `n` flight-recorder entries, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<ObsRecord> {
+        self.shared.inner.borrow().recorder.tail(n)
+    }
+
+    /// The last `n` flight-recorder entries rendered one per line.
+    pub fn dump(&self, n: usize) -> String {
+        self.shared.inner.borrow().recorder.dump(n)
+    }
+
+    /// Total flight-recorder entries ever appended.
+    pub fn recorded(&self) -> u64 {
+        self.shared.inner.borrow().recorder.recorded()
+    }
+
+    /// Exports the per-event dispatch-latency histograms into `snap`
+    /// under `pdo_dispatch_latency_ns{event="…",path="fast|slow",…}`,
+    /// with `extra` labels (e.g. `shard`) appended to every series.
+    pub fn export_dispatch(&self, snap: &mut MetricsSnapshot, extra: &[(&str, &str)]) {
+        let inner = self.shared.inner.borrow();
+        for (lane, path) in [(&inner.fast, "fast"), (&inner.slow, "slow")] {
+            for (event, h) in lane.iter().enumerate() {
+                let Some(h) = h else { continue };
+                let ev = event.to_string();
+                let mut labels: Vec<(&str, &str)> = vec![("event", &ev), ("path", path)];
+                labels.extend_from_slice(extra);
+                snap.histogram(
+                    "pdo_dispatch_latency_ns",
+                    "Per-event dispatch latency on the virtual clock, split by fast (compiled chain) vs slow (generic) path",
+                    &labels,
+                    h,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_end_builds_per_event_lane_histograms() {
+        let hub = ObsHub::new(16);
+        hub.set_trace_dispatch(true);
+        hub.dispatch_end(100, 3, true, 40);
+        hub.dispatch_end(200, 3, true, 60);
+        hub.dispatch_end(300, 3, false, 900);
+        let mut snap = MetricsSnapshot::new();
+        hub.export_dispatch(&mut snap, &[("shard", "0")]);
+        let fast = snap
+            .histogram_value(
+                "pdo_dispatch_latency_ns",
+                &[("event", "3"), ("path", "fast"), ("shard", "0")],
+            )
+            .unwrap();
+        assert_eq!(fast.count(), 2);
+        assert_eq!(fast.sum(), 100);
+        let slow = snap
+            .histogram_value(
+                "pdo_dispatch_latency_ns",
+                &[("event", "3"), ("path", "slow"), ("shard", "0")],
+            )
+            .unwrap();
+        assert_eq!(slow.count(), 1);
+        assert_eq!(hub.tail(10).len(), 3);
+    }
+
+    #[test]
+    fn dispatch_tracing_can_be_silenced_without_losing_histograms() {
+        let hub = ObsHub::new(16);
+        hub.set_trace_dispatch(false);
+        hub.dispatch_end(100, 1, true, 5);
+        hub.record(150, ObsKind::GuardMiss { event: 1 });
+        assert_eq!(hub.recorded(), 1);
+        let mut snap = MetricsSnapshot::new();
+        hub.export_dispatch(&mut snap, &[]);
+        assert!(snap
+            .histogram_value(
+                "pdo_dispatch_latency_ns",
+                &[("event", "1"), ("path", "fast")]
+            )
+            .is_some());
+    }
+}

@@ -1,0 +1,266 @@
+//! The flight recorder: a bounded ring buffer of structured runtime
+//! events, cheap enough to leave on in production and dumped post-mortem
+//! (on a fault, a panic, or a chaos-oracle mismatch) to show *why* a run
+//! went wrong — the last thing the dispatcher, the adaptation loop, and
+//! the containment machinery did, in order, on the virtual clock.
+//!
+//! Records are `Copy` and appended in O(1) with no allocation; the ring
+//! overwrites the oldest record once full.
+
+use std::fmt;
+
+/// Raise mode, mirrored here so the recorder stays dependency-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RaiseKind {
+    /// Handlers run before the raiser continues.
+    Sync,
+    /// Enqueued for the event loop.
+    Async,
+    /// Enqueued with a virtual-clock delay.
+    Timed,
+}
+
+impl fmt::Display for RaiseKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RaiseKind::Sync => "sync",
+            RaiseKind::Async => "async",
+            RaiseKind::Timed => "timed",
+        })
+    }
+}
+
+/// One structured flight-recorder entry. Event ids are raw `u32`s (the
+/// recorder cannot depend on `pdo-ir`); the owning runtime knows the
+/// names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsKind {
+    /// A dispatch started (fast = guarded compiled chain).
+    DispatchBegin {
+        /// Raw event id.
+        event: u32,
+        /// Fast (compiled chain) vs slow (generic registry walk) path.
+        fast: bool,
+    },
+    /// A dispatch finished; `latency_ns` is the virtual-clock delta.
+    DispatchEnd {
+        /// Raw event id.
+        event: u32,
+        /// Fast vs slow path.
+        fast: bool,
+        /// Virtual-clock time the dispatch consumed.
+        latency_ns: u64,
+    },
+    /// An event was raised.
+    Raise {
+        /// Raw event id.
+        event: u32,
+        /// Raise mode.
+        mode: RaiseKind,
+    },
+    /// An installed chain failed its guards and fell back.
+    GuardMiss {
+        /// Raw event id.
+        event: u32,
+    },
+    /// A fault (injected or organic) was recorded.
+    Fault {
+        /// Raw event id.
+        event: u32,
+        /// Short static name of the fault kind.
+        kind: &'static str,
+    },
+    /// The adaptation loop ran a full profile-and-optimize pass.
+    Reprofile {
+        /// Chains the pass produced.
+        chains: u32,
+        /// Wall-clock duration of the pass.
+        duration_ns: u64,
+    },
+    /// A compiled chain was installed for `event`.
+    ChainInstalled {
+        /// Raw event id.
+        event: u32,
+    },
+    /// A compiled chain for `event` was dropped (shifted away or removed
+    /// before a hot swap).
+    ChainDropped {
+        /// Raw event id.
+        event: u32,
+    },
+    /// `event` entered quarantine until `until_ns` on the virtual clock.
+    Quarantined {
+        /// Raw event id.
+        event: u32,
+        /// Backoff expiry (virtual ns).
+        until_ns: u64,
+    },
+}
+
+impl fmt::Display for ObsKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObsKind::DispatchBegin { event, fast } => {
+                write!(f, "dispatch-begin e{event} path={}", path(*fast))
+            }
+            ObsKind::DispatchEnd {
+                event,
+                fast,
+                latency_ns,
+            } => write!(
+                f,
+                "dispatch-end e{event} path={} latency={latency_ns}ns",
+                path(*fast)
+            ),
+            ObsKind::Raise { event, mode } => write!(f, "raise e{event} mode={mode}"),
+            ObsKind::GuardMiss { event } => write!(f, "guard-miss e{event}"),
+            ObsKind::Fault { event, kind } => write!(f, "fault e{event} kind={kind}"),
+            ObsKind::Reprofile {
+                chains,
+                duration_ns,
+            } => write!(f, "reprofile chains={chains} took={duration_ns}ns"),
+            ObsKind::ChainInstalled { event } => write!(f, "chain-installed e{event}"),
+            ObsKind::ChainDropped { event } => write!(f, "chain-dropped e{event}"),
+            ObsKind::Quarantined { event, until_ns } => {
+                write!(f, "quarantined e{event} until={until_ns}ns")
+            }
+        }
+    }
+}
+
+fn path(fast: bool) -> &'static str {
+    if fast {
+        "fast"
+    } else {
+        "slow"
+    }
+}
+
+/// One timestamped record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsRecord {
+    /// Monotone sequence number (global order across the ring's life).
+    pub seq: u64,
+    /// Virtual-clock timestamp.
+    pub at_ns: u64,
+    /// What happened.
+    pub kind: ObsKind,
+}
+
+impl fmt::Display for ObsRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{:<6} t={:<12} {}", self.seq, self.at_ns, self.kind)
+    }
+}
+
+/// Bounded ring buffer of [`ObsRecord`]s.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    ring: Vec<ObsRecord>,
+    cap: usize,
+    head: usize,
+    next_seq: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the last `capacity` records (min 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let cap = capacity.max(1);
+        FlightRecorder {
+            ring: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Appends one record, overwriting the oldest when full. O(1).
+    #[inline]
+    pub fn record(&mut self, at_ns: u64, kind: ObsKind) {
+        let rec = ObsRecord {
+            seq: self.next_seq,
+            at_ns,
+            kind,
+        };
+        self.next_seq += 1;
+        if self.ring.len() < self.cap {
+            self.ring.push(rec);
+        } else {
+            self.ring[self.head] = rec;
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+
+    /// Total records ever appended (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The last `n` records, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<ObsRecord> {
+        let len = self.ring.len();
+        let take = n.min(len);
+        let mut out = Vec::with_capacity(take);
+        for i in (len - take)..len {
+            out.push(self.ring[(self.head + i) % len.max(1)]);
+        }
+        out
+    }
+
+    /// The last `n` records rendered one per line, oldest first — the
+    /// post-mortem dump appended to fault reports and chaos-oracle
+    /// failures.
+    pub fn dump(&self, n: usize) -> String {
+        let tail = self.tail(n);
+        let mut out = String::new();
+        for rec in tail {
+            out.push_str(&rec.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_newest_records_in_order() {
+        let mut r = FlightRecorder::new(4);
+        for i in 0..10u32 {
+            r.record(u64::from(i) * 10, ObsKind::GuardMiss { event: i });
+        }
+        assert_eq!(r.recorded(), 10);
+        let tail = r.tail(64);
+        assert_eq!(tail.len(), 4);
+        let seqs: Vec<u64> = tail.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        let two = r.tail(2);
+        assert_eq!(two[0].seq, 8);
+        assert_eq!(two[1].seq, 9);
+    }
+
+    #[test]
+    fn dump_renders_one_line_per_record() {
+        let mut r = FlightRecorder::new(8);
+        r.record(
+            5,
+            ObsKind::DispatchBegin {
+                event: 1,
+                fast: true,
+            },
+        );
+        r.record(
+            7,
+            ObsKind::Fault {
+                event: 1,
+                kind: "trap_dispatch",
+            },
+        );
+        let dump = r.dump(8);
+        assert_eq!(dump.lines().count(), 2);
+        assert!(dump.contains("dispatch-begin e1 path=fast"));
+        assert!(dump.contains("fault e1 kind=trap_dispatch"));
+    }
+}

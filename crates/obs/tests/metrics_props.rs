@@ -1,0 +1,146 @@
+//! Property tests for the observability primitives: histogram bucket
+//! placement, the quantile error bound, and cross-shard merge
+//! associativity (histograms and whole snapshots).
+
+use pdo_obs::{Histogram, MetricsSnapshot};
+use proptest::prelude::*;
+
+/// Log-uniform `u64` samples: a uniform word right-shifted by a uniform
+/// amount, so every magnitude (and both histogram regions) is exercised.
+fn samples(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec((any::<u64>(), 0usize..64), 1..max_len)
+        .prop_map(|raw| raw.into_iter().map(|(v, s)| v >> s).collect())
+}
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// The documented contract: estimates never under-report, and
+/// over-report by at most 1/8 of the true order statistic.
+fn assert_bounded(true_v: u64, est: u64) {
+    assert!(
+        est >= true_v,
+        "quantile under-estimated: true={true_v} est={est}"
+    );
+    assert!(
+        8u128 * u128::from(est - true_v) <= u128::from(true_v),
+        "quantile error bound violated: true={true_v} est={est}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every value lands in a bucket whose range contains it: recording a
+    /// single sample and asking for any quantile returns that bucket's
+    /// inclusive upper bound, which must sit within the error bound of
+    /// the sample itself.
+    #[test]
+    fn bucket_placement_brackets_the_sample(raw in any::<u64>(), shift in 0usize..64) {
+        let v = raw >> shift;
+        let mut h = Histogram::new();
+        h.record(v);
+        for q in [0.01, 0.5, 1.0] {
+            assert_bounded(v, h.quantile(q));
+        }
+        prop_assert_eq!(h.max(), v);
+        prop_assert_eq!(h.count(), 1);
+        // The sample's bucket brackets it: lower ≤ v, and the bucket is
+        // the only non-empty one.
+        let buckets: Vec<(u64, u64)> = h.nonzero_buckets().collect();
+        prop_assert_eq!(buckets.len(), 1);
+        prop_assert!(buckets[0].0 <= v);
+        prop_assert_eq!(buckets[0].1, 1);
+    }
+
+    /// For arbitrary sample sets and quantiles, the estimate brackets the
+    /// true order statistic within the documented ≤12.5% bound.
+    #[test]
+    fn quantile_error_is_bounded(values in samples(64), qn in 1u32..101) {
+        let q = f64::from(qn) / 100.0;
+        let h = hist_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let true_v = sorted[rank - 1];
+        assert_bounded(true_v, h.quantile(q));
+    }
+
+    /// Histogram merge is associative and commutative — per-session
+    /// histograms must roll up across shards in any grouping.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in samples(32),
+        b in samples(32),
+        c in samples(32),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+
+        let mut right_inner = hb.clone();
+        right_inner.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&right_inner);
+
+        prop_assert_eq!(&left, &right);
+
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        prop_assert_eq!(ab, ba);
+
+        // And the union histogram is what a single flat recording gives.
+        let mut flat = Histogram::new();
+        for v in a.iter().chain(&b).chain(&c) {
+            flat.record(*v);
+        }
+        prop_assert_eq!(left, flat);
+    }
+
+    /// Snapshot-level merge (the cross-shard rollup) is associative too:
+    /// the rendered exposition text is identical in any grouping.
+    #[test]
+    fn snapshot_merge_is_associative(
+        a in samples(16),
+        b in samples(16),
+        c in samples(16),
+        counts in (any::<u32>(), any::<u32>(), any::<u32>()),
+    ) {
+        let shard = |values: &[u64], n: u32, id: &str| {
+            let mut s = MetricsSnapshot::new();
+            s.counter("pdo_events_total", "events", &[("shard", id)], u64::from(n));
+            s.counter("pdo_faults_total", "faults", &[], u64::from(n % 7));
+            s.histogram("pdo_lat_ns", "latency", &[("path", "fast")], &hist_of(values));
+            s
+        };
+        let (sa, sb, sc) = (
+            shard(&a, counts.0, "0"),
+            shard(&b, counts.1, "1"),
+            shard(&c, counts.2, "2"),
+        );
+
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        let mut right_inner = sb.clone();
+        right_inner.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&right_inner);
+
+        prop_assert_eq!(left.render(), right.render());
+        prop_assert_eq!(
+            left.counter_value("pdo_faults_total", &[]),
+            Some(u64::from(counts.0 % 7) + u64::from(counts.1 % 7) + u64::from(counts.2 % 7))
+        );
+    }
+}

@@ -762,6 +762,6 @@ mod tests {
             ch.settle().unwrap();
             (ch.delivered().to_vec(), ch.mac_dropped(), ch.wire_stats())
         };
-        assert_eq!(run(faults.clone()), run(faults));
+        assert_eq!(run(faults), run(faults));
     }
 }

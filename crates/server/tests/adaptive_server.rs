@@ -99,6 +99,7 @@ proptest! {
         let mut server = Server::new(ServerConfig {
             shards: 2,
             adapt: fast_adapt(),
+            ..Default::default()
         });
         let sid = server
             .open_session(m.clone(), RuntimeConfig::default(), &binds)
@@ -158,6 +159,7 @@ fn ctp_sessions_are_shard_resident_and_adapt() {
             opts: OptimizeOptions::new(10),
             ..Default::default()
         },
+        ..Default::default()
     });
     let sid = server
         .open_ctp_session(&program, CtpParams::default())
@@ -208,6 +210,7 @@ fn seccomm_sessions_roundtrip_across_adaptation() {
             opts: OptimizeOptions::new(4),
             ..Default::default()
         },
+        ..Default::default()
     });
     let tx = server.open_seccomm_session(&program, &keys).unwrap();
     let rx = server.open_seccomm_session(&program, &keys).unwrap();
@@ -249,6 +252,7 @@ fn mixed_fleet_report_is_consistent() {
     let mut server = Server::new(ServerConfig {
         shards: 3,
         adapt: fast_adapt(),
+        ..Default::default()
     });
     let binds = bindings(&m, a, b);
     let plain: Vec<_> = (0..4)

@@ -32,7 +32,11 @@ pub struct Measurement {
 }
 
 /// Runs `f` repeatedly and summarizes the batch averages.
-fn measure<O>(mut f: impl FnMut() -> O, samples: usize) -> Measurement {
+///
+/// Public so harnesses other than the `criterion_group!` entry points —
+/// e.g. the `obs_gate` overhead gate — can reuse the shim's timing
+/// discipline (warm-up, batching, min/mean/CI summary) directly.
+pub fn measure<O>(mut f: impl FnMut() -> O, samples: usize) -> Measurement {
     // Warm up, then take `samples` batches.
     for _ in 0..3 {
         black_box(f());

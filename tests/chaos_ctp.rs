@@ -12,8 +12,8 @@
 mod oracle;
 
 use oracle::{
-    assert_equivalent, chaos_cases, chaos_seed, observe, observe_external, CaseContext, ChaosCase,
-    Observed, SplitMix, POLICIES,
+    arm_flight_recorder, assert_equivalent, chaos_cases, chaos_seed, observe, observe_external,
+    CaseContext, ChaosCase, Observed, SplitMix, POLICIES,
 };
 use pdo::{optimize, AdaptConfig, AdaptiveEngine, Optimization, OptimizeOptions};
 use pdo_cactus::EventProgram;
@@ -111,6 +111,7 @@ fn run_case(
         ..CtpParams::default()
     };
     let mut e = CtpEndpoint::new(prog, params).expect("endpoint");
+    arm_flight_recorder(e.runtime_mut());
     if let Some(o) = opt {
         o.install_chains(e.runtime_mut());
     }
@@ -227,7 +228,7 @@ fn ctp_chaos_conformance_adaptive_engine_live() {
                 false,
             );
             reference.faults = Vec::new();
-            reference.counters = (Vec::new(), 0, 0, 0, 0, 0);
+            reference.counters = pdo_events::ObservableStats::default();
             let observed = run_case(&program, base_globals, None, &case, policy, &payloads, true);
             let ctx = CaseContext {
                 substrate: "ctp",

@@ -152,6 +152,7 @@ fn run(
             ..Default::default()
         },
     );
+    oracle::arm_flight_recorder(&mut rt);
     for &(e, h, order) in &p.bindings {
         rt.bind(e, h, order).expect("bind");
     }
@@ -278,5 +279,8 @@ fn despecialize_removes_chain_but_preserves_behavior() {
     // The faulted occurrence was still drained (generically): every frame
     // landed in the counters.
     assert_eq!(observed.globals[0], Value::Int(FRAMES + FRAMES / 5 + 1));
-    assert_eq!(observed.counters.1, 1, "one injected fault recorded");
+    assert_eq!(
+        observed.counters.injected_faults, 1,
+        "one injected fault recorded"
+    );
 }

@@ -96,6 +96,7 @@ fn prepare(
     side_event: EventId,
     adaptive: bool,
 ) -> Option<Engine> {
+    oracle::arm_flight_recorder(rt);
     if let Some(o) = opt {
         o.install_chains(rt);
     }
@@ -281,6 +282,6 @@ trait Redact {
 impl<S> Redact for Observed<S> {
     fn redact(&mut self) {
         self.faults = Vec::new();
-        self.counters = (Vec::new(), 0, 0, 0, 0, 0);
+        self.counters = pdo_events::ObservableStats::default();
     }
 }

@@ -108,6 +108,7 @@ fn run_case(
     adaptive: bool,
 ) -> Observed<XObs> {
     let mut client = XClient::new(prog).expect("client");
+    oracle::arm_flight_recorder(client.runtime_mut());
     if let Some(o) = opt {
         o.install_chains(client.runtime_mut());
     }
@@ -237,7 +238,7 @@ fn xwin_chaos_conformance_adaptive_engine_live() {
             );
             // External outputs only: the engine drains trace/stats.
             reference.faults = Vec::new();
-            reference.counters = (Vec::new(), 0, 0, 0, 0, 0);
+            reference.counters = pdo_events::ObservableStats::default();
             let observed = run_case(&program, base_globals, None, &case, policy, &gestures, true);
             let ctx = CaseContext {
                 substrate: "xwin",

@@ -14,9 +14,13 @@
 #![allow(dead_code)] // each chaos binary uses a subset of the oracle
 
 use pdo_events::wire::WireFaults;
-use pdo_events::{FaultKind, FaultPolicy, FaultSpec, Runtime};
+use pdo_events::{FaultKind, FaultPolicy, FaultSpec, ObservableStats, Runtime};
 use pdo_ir::{EventId, GlobalId, Value};
+use pdo_obs::ObsHub;
 use std::fmt;
+
+/// Flight-recorder entries appended to a conformance failure (per run).
+const FLIGHT_TAIL: usize = 64;
 
 /// Seeded cases per substrate configuration (`CHAOS_CASES`, default 256).
 pub fn chaos_cases() -> u64 {
@@ -126,15 +130,17 @@ impl ChaosCase {
     }
 }
 
-/// Observable runtime counters, as exposed by
-/// `RuntimeStats::observable()` (spec-dependent fields excluded).
-pub type Counters = (Vec<(EventId, u64)>, u64, u64, u64, u64, u64);
-
 /// Everything the conformance claim covers: final base-module global
 /// state, the recorded fault sequence, the observable robustness
 /// counters, and the substrate's own externally visible state (delivered
 /// payloads, display state, link statistics, captured errors…).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The `flight` field is diagnostic only — a rendered tail of the run's
+/// flight recorder, carried alongside the snapshot so a divergence report
+/// can show *what each run was doing* — and is deliberately excluded from
+/// the equality the oracle asserts (the two runs legitimately differ in
+/// fast/slow path mix).
+#[derive(Debug, Clone)]
 pub struct Observed<S> {
     /// Final values of the base module's globals (optimized modules only
     /// append, so indices below the base count line up).
@@ -142,15 +148,41 @@ pub struct Observed<S> {
     /// Injected and organic faults in dispatch order.
     pub faults: Vec<(EventId, FaultKind)>,
     /// Observable robustness counters.
-    pub counters: Counters,
+    pub counters: ObservableStats,
     /// Substrate-specific external state.
     pub substrate: S,
+    /// Rendered flight-recorder tail (diagnostic, not compared).
+    pub flight: String,
+}
+
+impl<S: PartialEq> PartialEq for Observed<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.globals == other.globals
+            && self.faults == other.faults
+            && self.counters == other.counters
+            && self.substrate == other.substrate
+    }
 }
 
 fn snapshot_globals(rt: &Runtime, base_globals: usize) -> Vec<Value> {
     (0..base_globals)
         .map(|i| rt.global(GlobalId::from_index(i)).clone())
         .collect()
+}
+
+/// Arms a flight recorder on a freshly built session so divergence
+/// reports carry a per-run activity tail. Dispatch begin/end tracing is
+/// left off: faults, guard misses, and adaptation transitions are the
+/// interesting records, and the quiet ring keeps them in the tail.
+pub fn arm_flight_recorder(rt: &mut Runtime) -> ObsHub {
+    rt.enable_observability()
+}
+
+fn flight_tail(rt: &Runtime) -> String {
+    match rt.obs() {
+        Some(obs) => obs.dump(FLIGHT_TAIL),
+        None => String::from("(flight recorder not armed)"),
+    }
 }
 
 /// Full snapshot of a session that ran with `TraceConfig::full()` and no
@@ -160,6 +192,7 @@ pub fn observe<S>(rt: &mut Runtime, base_globals: usize, substrate: S) -> Observ
         globals: snapshot_globals(rt, base_globals),
         faults: rt.take_trace().fault_sequence(),
         counters: rt.stats().observable(),
+        flight: flight_tail(rt),
         substrate,
     }
 }
@@ -172,7 +205,8 @@ pub fn observe_external<S>(rt: &Runtime, base_globals: usize, substrate: S) -> O
     Observed {
         globals: snapshot_globals(rt, base_globals),
         faults: Vec::new(),
-        counters: (Vec::new(), 0, 0, 0, 0, 0),
+        counters: ObservableStats::default(),
+        flight: flight_tail(rt),
         substrate,
     }
 }
@@ -217,7 +251,9 @@ pub fn assert_equivalent<S: PartialEq + fmt::Debug>(
          wire faults: {:?}\n\
          fault plan: {:?}\n\
          reference: {:#?}\n\
-         optimized: {:#?}",
+         optimized: {:#?}\n\
+         reference flight recorder (last {n} records):\n{rf}\n\
+         optimized flight recorder (last {n} records):\n{of}",
         diverged,
         ctx.substrate,
         ctx.chain_form,
@@ -228,6 +264,9 @@ pub fn assert_equivalent<S: PartialEq + fmt::Debug>(
         ctx.case.plan,
         reference,
         optimized,
+        n = FLIGHT_TAIL,
+        rf = reference.flight,
+        of = optimized.flight,
     );
 }
 
