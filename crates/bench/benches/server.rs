@@ -58,12 +58,13 @@ fn drive_runtime(rt: &mut Runtime, e: EventId, burst: u64) {
 }
 
 /// Submits one burst to every server session and drains the whole server.
+/// Injection uses one `submit_batch` per session, so the threaded server
+/// pays one channel round trip per session per burst, not one per event.
 fn drive_server(server: &mut Server, sids: &[SessionId], e: EventId, burst: u64) {
-    let start = server.runtime(sids[0]).unwrap().clock_ns();
+    let start = server.with_runtime(sids[0], |rt| rt.clock_ns()).unwrap();
+    let delays: Vec<u64> = (0..burst).map(|i| i * SPACING + 1).collect();
     for &sid in sids {
-        for i in 0..burst {
-            server.submit(sid, e, i * SPACING + 1, &[]).unwrap();
-        }
+        server.submit_batch(sid, e, &delays).unwrap();
     }
     server.run_until(start + burst * SPACING + 1).unwrap();
 }
@@ -145,9 +146,13 @@ fn static_server(
         })
         .collect();
     for &sid in &sids {
-        let rt = server.runtime_mut(sid).unwrap();
-        rt.replace_module(opt.module.clone());
-        opt.install_chains(rt);
+        let pinned = opt.clone();
+        server
+            .with_runtime(sid, move |rt| {
+                rt.replace_module(pinned.module.clone());
+                pinned.install_chains(rt);
+            })
+            .unwrap();
     }
     // One burst lets every session's daemon observe the pinned chains and
     // put its tracer to sleep.
@@ -193,7 +198,9 @@ fn adaptive_server(
     }
     for &sid in &sids {
         assert!(
-            server.runtime(sid).unwrap().spec().get(e).is_some(),
+            server
+                .with_runtime(sid, move |rt| rt.spec().get(e).is_some())
+                .unwrap(),
             "warmup must converge every session"
         );
     }

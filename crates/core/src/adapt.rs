@@ -38,11 +38,11 @@
 
 use crate::heal::SelfHealer;
 use crate::quarantine::QuarantineConfig;
-use crate::{optimize, OptimizeOptions};
-use pdo_events::{Runtime, TraceConfig};
+use crate::{optimize, Optimization, OptimizeOptions};
+use pdo_events::{Registry, Runtime, TraceConfig};
 use pdo_ir::{EventId, Module};
 use pdo_obs::{Histogram, MetricsSnapshot, ObsKind};
-use pdo_profile::ProfileBuilder;
+use pdo_profile::{Profile, ProfileBuilder};
 use std::cell::RefCell;
 use std::collections::BTreeSet;
 use std::rc::Rc;
@@ -71,6 +71,10 @@ pub struct AdaptConfig {
     /// epochs. `0` samples every epoch (fastest shift detection); larger
     /// values trade a bounded detection latency for throughput.
     pub trace_sleep_epochs: u32,
+    /// Capacity of the per-session [`ChainCache`]: a workload oscillating
+    /// between phases it has already seen swaps the pre-built optimization
+    /// back in instead of re-running `optimize`. `0` disables caching.
+    pub chain_cache: usize,
 }
 
 impl Default for AdaptConfig {
@@ -82,7 +86,157 @@ impl Default for AdaptConfig {
             quarantine: QuarantineConfig::default(),
             trace_window: Some(8192),
             trace_sleep_epochs: 0,
+            chain_cache: 8,
         }
+    }
+}
+
+/// Cache key identifying one workload phase against one registry
+/// configuration: the canonical [`Profile::shape_hash`] (structure of the
+/// reduced event graph and its handler sequences, weights excluded) plus
+/// the binding version of every reduced-graph node at optimize time. Two
+/// epochs in the same phase with unchanged bindings produce equal keys;
+/// any rebind of a hot event bumps its version and forces a miss.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ChainCacheKey {
+    /// Canonical profile-shape hash.
+    pub shape: u64,
+    /// `(event, registry version)` for every node of the reduced graph,
+    /// in event order.
+    pub versions: Vec<(EventId, u64)>,
+}
+
+impl ChainCacheKey {
+    /// The key for `profile` against the live `registry`.
+    pub fn of(profile: &Profile, registry: &Registry) -> ChainCacheKey {
+        ChainCacheKey {
+            shape: profile.shape_hash(),
+            versions: profile
+                .reduced()
+                .nodes
+                .keys()
+                .map(|&e| (e, registry.version(e)))
+                .collect(),
+        }
+    }
+}
+
+/// A bounded LRU of previously built [`Optimization`]s, keyed by
+/// [`ChainCacheKey`].
+///
+/// Correctness does not rest on the key: before a hit is returned, every
+/// cached chain is re-checked with
+/// [`guards_hold`](pdo_events::CompiledChain::guards_hold) against the
+/// *live* registry — the key's version vector only covers reduced-graph
+/// nodes, while a chain may also guard subsumed child events. A cached
+/// entry whose guards no longer hold is invalidated and reported as a
+/// miss, so a cached install can never resurrect a stale binding-version
+/// guard. Entries are likewise invalidated when the runtime despecializes
+/// one of their events for containment (the healer's quarantine, not the
+/// cache, decides when that chain may return).
+#[derive(Debug, Default)]
+pub struct ChainCache {
+    cap: usize,
+    /// Most-recently-used last; linear scans are fine at LRU capacities.
+    entries: Vec<(ChainCacheKey, Optimization)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    invalidations: u64,
+}
+
+impl ChainCache {
+    /// A cache holding up to `cap` optimizations (`0` disables).
+    pub fn new(cap: usize) -> ChainCache {
+        ChainCache {
+            cap,
+            ..ChainCache::default()
+        }
+    }
+
+    /// The cached optimization for `key`, if present and still valid
+    /// against `registry`. Counts a hit or a miss; a guard-stale entry is
+    /// dropped (invalidation + miss).
+    pub fn lookup(&mut self, key: &ChainCacheKey, registry: &Registry) -> Option<Optimization> {
+        match self.entries.iter().position(|(k, _)| k == key) {
+            Some(idx) => {
+                let entry = self.entries.remove(idx);
+                if entry.1.chains.iter().all(|c| c.guards_hold(registry)) {
+                    self.hits += 1;
+                    let opt = entry.1.clone();
+                    self.entries.push(entry);
+                    Some(opt)
+                } else {
+                    self.invalidations += 1;
+                    self.misses += 1;
+                    None
+                }
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Caches `opt` under `key`, evicting the least-recently-used entry
+    /// when full. Empty optimizations are not cached (nothing to replay).
+    pub fn insert(&mut self, key: ChainCacheKey, opt: &Optimization) {
+        if self.cap == 0 || opt.chains.is_empty() {
+            return;
+        }
+        self.entries.retain(|(k, _)| k != &key);
+        if self.entries.len() >= self.cap {
+            self.entries.remove(0);
+            self.evictions += 1;
+        }
+        self.entries.push((key, opt.clone()));
+    }
+
+    /// Drops every entry containing a chain that dispatches or guards
+    /// `event`, returning how many were dropped. Called when the runtime
+    /// despecializes `event` for containment: the quarantine owns the
+    /// decision of when that chain may come back.
+    pub fn invalidate_event(&mut self, event: EventId) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|(_, opt)| {
+            !opt.chains
+                .iter()
+                .any(|c| c.head == event || c.guards.iter().any(|g| g.event == event))
+        });
+        let dropped = before - self.entries.len();
+        self.invalidations += dropped as u64;
+        dropped
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far (guard-stale lookups included).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// LRU evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Entries dropped for staleness (guard mismatch or despecialization).
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
     }
 }
 
@@ -104,6 +258,45 @@ pub struct AdaptStats {
     /// Chains the runtime removed for containment (`Despecialize` policy),
     /// accumulated from the per-epoch stats deltas.
     pub despecialized: u64,
+    /// Re-profiles served from the [`ChainCache`] (no `optimize` run).
+    pub cache_hits: u64,
+    /// Re-profiles that had to run `optimize` (cold, evicted, or stale).
+    pub cache_misses: u64,
+    /// Cache entries evicted by the LRU bound.
+    pub cache_evictions: u64,
+    /// Cache entries dropped for staleness (guard mismatch on lookup, or
+    /// despecialization of one of their events).
+    pub cache_invalidations: u64,
+}
+
+impl AdaptStats {
+    /// Field-wise sum of `other` into `self` — the one place that knows
+    /// every counter, so shard/server rollups can't silently drop a field
+    /// when one is added here.
+    pub fn absorb(&mut self, other: &AdaptStats) {
+        let AdaptStats {
+            epochs,
+            sampled_epochs,
+            reprofiles,
+            chains_installed,
+            chains_dropped,
+            despecialized,
+            cache_hits,
+            cache_misses,
+            cache_evictions,
+            cache_invalidations,
+        } = other;
+        self.epochs += epochs;
+        self.sampled_epochs += sampled_epochs;
+        self.reprofiles += reprofiles;
+        self.chains_installed += chains_installed;
+        self.chains_dropped += chains_dropped;
+        self.despecialized += despecialized;
+        self.cache_hits += cache_hits;
+        self.cache_misses += cache_misses;
+        self.cache_evictions += cache_evictions;
+        self.cache_invalidations += cache_invalidations;
+    }
 }
 
 /// Per-session state of the adaptive-specialization daemon.
@@ -122,6 +315,9 @@ pub struct AdaptiveEngine {
     /// never sees on the virtual clock; consequently the histogram is
     /// nondeterministic and excluded from exact snapshot pins.
     reprofile_wall_ns: Histogram,
+    /// Previously built optimizations, keyed by profile shape and binding
+    /// versions, so oscillating phases skip `optimize`.
+    cache: ChainCache,
 }
 
 impl AdaptiveEngine {
@@ -136,6 +332,7 @@ impl AdaptiveEngine {
             stats: AdaptStats::default(),
             sleep_remaining: 0,
             reprofile_wall_ns: Histogram::new(),
+            cache: ChainCache::new(config.chain_cache),
         }
     }
 
@@ -168,14 +365,34 @@ impl AdaptiveEngine {
         engine
     }
 
-    /// Adaptation counters so far.
+    /// Adaptation counters so far (cache counters folded in).
     pub fn stats(&self) -> AdaptStats {
-        self.stats
+        AdaptStats {
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            cache_evictions: self.cache.evictions(),
+            cache_invalidations: self.cache.invalidations(),
+            ..self.stats
+        }
     }
 
     /// The embedded healer, once the first re-profile deployed chains.
     pub fn healer(&self) -> Option<&SelfHealer> {
         self.healer.as_ref()
+    }
+
+    /// The session's original, unspecialized module — what every
+    /// re-profile optimizes against. Migration uses it to reconstruct the
+    /// session on another shard.
+    pub fn base(&self) -> &Module {
+        &self.base
+    }
+
+    /// Wall-clock durations of every profile-and-optimize pass so far
+    /// (cache hits included — a hit's pass is the lookup plus the
+    /// install).
+    pub fn reprofile_wall_ns(&self) -> &Histogram {
+        &self.reprofile_wall_ns
     }
 
     /// Runs one epoch boundary (normally invoked by the epoch hook).
@@ -189,6 +406,12 @@ impl AdaptiveEngine {
         }
         let delta = rt.take_stats();
         self.stats.despecialized += delta.chains_removed;
+        // Containment removed a chain: any cached optimization touching
+        // that event must not short-circuit the quarantine by re-entering
+        // through a cache hit.
+        for &event in delta.despecialized_by_event.keys() {
+            self.cache.invalidate_event(event);
+        }
         // Generic-dispatch counts feed the event graph every epoch. While
         // the tracer sleeps they are the *only* hotness signal (and the
         // demand-wake trigger below); on sampled epochs they can overlap
@@ -260,7 +483,15 @@ impl AdaptiveEngine {
         let started = Instant::now();
         self.builder.take_fresh();
         let profile = self.builder.snapshot(self.config.opts.threshold);
-        let opt = optimize(&self.base, rt.registry(), &profile, &self.config.opts);
+        let key = ChainCacheKey::of(&profile, rt.registry());
+        let opt = match self.cache.lookup(&key, rt.registry()) {
+            Some(cached) => cached,
+            None => {
+                let opt = optimize(&self.base, rt.registry(), &profile, &self.config.opts);
+                self.cache.insert(key, &opt);
+                opt
+            }
+        };
         self.stats.reprofiles += 1;
         if opt.chains.is_empty() {
             // Nothing is hot enough right now; keep the deployed chains
@@ -340,6 +571,30 @@ impl AdaptiveEngine {
             "Epoch boundaries processed by the adaptation loop",
             extra,
             self.stats.epochs,
+        );
+        snap.counter(
+            "pdo_adapt_cache_hits_total",
+            "Re-profiles served from the specialization cache",
+            extra,
+            self.cache.hits(),
+        );
+        snap.counter(
+            "pdo_adapt_cache_misses_total",
+            "Re-profiles that had to run the optimizer",
+            extra,
+            self.cache.misses(),
+        );
+        snap.counter(
+            "pdo_adapt_cache_evictions_total",
+            "Specialization-cache entries evicted by the LRU bound",
+            extra,
+            self.cache.evictions(),
+        );
+        snap.counter(
+            "pdo_adapt_cache_invalidations_total",
+            "Specialization-cache entries dropped for staleness",
+            extra,
+            self.cache.invalidations(),
         );
         snap.counter(
             "pdo_adapt_sampled_epochs_total",
@@ -766,6 +1021,211 @@ mod tests {
         assert!(
             stats.chains_installed > 1,
             "engine never hot-swapped chains: {stats:?}"
+        );
+        // The specialization cache is on by default, so the property above
+        // also covers the cached install path: every guard check ran
+        // against chains that may have come from the cache, and at least
+        // some must have (phases repeat across churn cycles). A cached
+        // install that resurrected a stale binding-version guard would
+        // have tripped `guards_hold` above.
+        assert!(
+            stats.cache_hits >= 1,
+            "churn never exercised the cached install path: {stats:?}"
+        );
+        assert!(
+            stats.cache_misses >= 1,
+            "version churn must force at least one rebuild: {stats:?}"
+        );
+    }
+
+    /// Builds a real `Optimization` for `event` from a synthetic trace, as
+    /// the cache unit tests need genuine guard-bearing chains.
+    fn opt_for(rt: &Runtime, base: &Module, event: EventId) -> (Profile, Optimization) {
+        use pdo_events::{Trace, TraceRecord};
+        let prefix = if event == EventId(0) { "a" } else { "b" };
+        let handlers = [
+            base.function_by_name(&format!("{prefix}1")).unwrap(),
+            base.function_by_name(&format!("{prefix}2")).unwrap(),
+        ];
+        let mut records = Vec::new();
+        for d in 0..30u64 {
+            records.push(TraceRecord::Raise {
+                event,
+                mode: RaiseMode::Sync,
+                depth: 0,
+                at: d,
+            });
+            for handler in handlers {
+                records.push(TraceRecord::HandlerEnter {
+                    event,
+                    handler,
+                    dispatch: d,
+                    at: d,
+                });
+                records.push(TraceRecord::HandlerExit {
+                    event,
+                    handler,
+                    dispatch: d,
+                    at: d,
+                });
+            }
+        }
+        let profile = Profile::from_trace(&Trace { records }, 10);
+        let opt = optimize(base, rt.registry(), &profile, &OptimizeOptions::new(10));
+        assert!(!opt.chains.is_empty(), "synthetic profile must specialize");
+        (profile, opt)
+    }
+
+    #[test]
+    fn chain_cache_hit_miss_eviction_and_guard_staleness() {
+        let (m, [a, b], _) = two_chain_module();
+        let mut rt = Runtime::new(m.clone());
+        bind_all(&mut rt, &m, a, b);
+        let (profile_a, opt_a) = opt_for(&rt, &m, a);
+        let (profile_b, opt_b) = opt_for(&rt, &m, b);
+
+        let mut cache = ChainCache::new(1);
+        let key_a = ChainCacheKey::of(&profile_a, rt.registry());
+        assert!(cache.lookup(&key_a, rt.registry()).is_none());
+        assert_eq!(cache.misses(), 1);
+
+        cache.insert(key_a.clone(), &opt_a);
+        let hit = cache.lookup(&key_a, rt.registry()).expect("cached");
+        assert_eq!(hit.chains.len(), opt_a.chains.len());
+        assert_eq!(cache.hits(), 1);
+
+        // Capacity 1: caching B's phase evicts A's.
+        let key_b = ChainCacheKey::of(&profile_b, rt.registry());
+        assert_ne!(key_a, key_b, "distinct phases must key differently");
+        cache.insert(key_b.clone(), &opt_b);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup(&key_a, rt.registry()).is_none());
+
+        // A rebind bumps B's version: the stale entry is dropped on
+        // lookup, never returned.
+        rt.bind(b, m.function_by_name("a1").unwrap(), 7).unwrap();
+        assert!(
+            cache.lookup(&key_b, rt.registry()).is_none(),
+            "guard-stale entry must not hit"
+        );
+        assert_eq!(cache.invalidations(), 1);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn chain_cache_invalidate_event_drops_guarding_entries() {
+        let (m, [a, b], _) = two_chain_module();
+        let mut rt = Runtime::new(m.clone());
+        bind_all(&mut rt, &m, a, b);
+        let (profile_a, opt_a) = opt_for(&rt, &m, a);
+        let (profile_b, opt_b) = opt_for(&rt, &m, b);
+        let mut cache = ChainCache::new(4);
+        cache.insert(ChainCacheKey::of(&profile_a, rt.registry()), &opt_a);
+        cache.insert(ChainCacheKey::of(&profile_b, rt.registry()), &opt_b);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.invalidate_event(a), 1);
+        assert_eq!(cache.len(), 1, "only A's entry is dropped");
+        assert_eq!(cache.invalidate_event(EventId(999)), 0);
+    }
+
+    #[test]
+    fn repeated_phase_hits_the_cache_and_preserves_behaviour() {
+        let (m, [a, b], [ga, gb]) = two_chain_module();
+        let mut rt = Runtime::new(m.clone());
+        bind_all(&mut rt, &m, a, b);
+        let engine = AdaptiveEngine::attach_new(&mut rt, config());
+        // Phase 1: A hot. Phase 2: B hot (A decays out). Phase 3: back to
+        // A — its optimization replays from the cache.
+        drive(&mut rt, a, 60);
+        assert!(rt.spec().get(a).is_some());
+        drive(&mut rt, b, 200);
+        assert!(rt.spec().get(b).is_some());
+        let hits_before_return = engine.borrow().stats().cache_hits;
+        drive(&mut rt, a, 200);
+        assert!(rt.spec().get(a).is_some(), "A respecialized on return");
+        let stats = engine.borrow().stats();
+        assert!(
+            stats.cache_hits > hits_before_return,
+            "returning to a seen phase must hit the cache: {stats:?}"
+        );
+        // Behaviour identical to the uncached engine: every dispatch of
+        // [h1, h2] added 3 to its accumulator.
+        assert_eq!(rt.global(ga), &Value::Int(260 * 3));
+        assert_eq!(rt.global(gb), &Value::Int(200 * 3));
+    }
+
+    #[test]
+    fn binding_version_bump_misses_the_cache() {
+        let (m, [a, b], _) = two_chain_module();
+        let mut rt = Runtime::new(m.clone());
+        bind_all(&mut rt, &m, a, b);
+        // Short quarantine backoff: the rebind's guard-miss churn
+        // quarantines A briefly, and the test wants to see it
+        // re-specialize within the drive window.
+        let engine = AdaptiveEngine::attach_new(
+            &mut rt,
+            AdaptConfig {
+                quarantine: QuarantineConfig {
+                    base_backoff_ns: 2_000,
+                    ..Default::default()
+                },
+                ..config()
+            },
+        );
+        drive(&mut rt, a, 120);
+        assert!(rt.spec().get(a).is_some());
+        let before = engine.borrow().stats();
+        // Rebind A: version bump makes every cached A-phase key stale.
+        rt.bind(a, m.function_by_name("b1").unwrap(), 9).unwrap();
+        drive(&mut rt, a, 240);
+        let after = engine.borrow().stats();
+        assert!(
+            after.cache_misses > before.cache_misses,
+            "rebind must force a fresh optimize: {after:?}"
+        );
+        let chain = rt.spec().get(a).expect("respecialized after rebind");
+        assert!(chain.guards_hold(rt.registry()), "fresh guards installed");
+    }
+
+    #[test]
+    fn despecialization_invalidates_the_cached_entry() {
+        let (m, [a, b], _) = two_chain_module();
+        let mut rt = Runtime::with_config(
+            m.clone(),
+            RuntimeConfig {
+                fault_policy: FaultPolicy::Despecialize,
+                ..Default::default()
+            },
+        );
+        bind_all(&mut rt, &m, a, b);
+        let engine = AdaptiveEngine::attach_new(
+            &mut rt,
+            AdaptConfig {
+                quarantine: QuarantineConfig {
+                    fault_threshold: 2,
+                    base_backoff_ns: 2_000,
+                    ..Default::default()
+                },
+                ..config()
+            },
+        );
+        drive(&mut rt, a, 60);
+        assert!(rt.spec().get(a).is_some());
+        rt.set_fault_injector(FaultInjector::from_plan((0..3).map(|i| FaultSpec {
+            event: a,
+            occurrence: i,
+            kind: FaultKind::TrapDispatch,
+        })));
+        drive(&mut rt, a, 3);
+        assert!(rt.spec().get(a).is_none(), "containment removed the chain");
+        // The next epoch processes the despecialization delta and drops
+        // the cached A optimization with it.
+        drive(&mut rt, b, 30);
+        let stats = engine.borrow().stats();
+        assert!(
+            stats.cache_invalidations >= 1,
+            "despecialization must invalidate the cache: {stats:?}"
         );
     }
 }

@@ -77,7 +77,7 @@ pub mod report;
 pub mod subsume;
 pub mod workflow;
 
-pub use adapt::{AdaptConfig, AdaptStats, AdaptiveEngine};
+pub use adapt::{AdaptConfig, AdaptStats, AdaptiveEngine, ChainCache, ChainCacheKey};
 pub use heal::{HealReport, SelfHealer};
 pub use merge::{build_super_handler, build_super_handler_metered, MergeSkip};
 pub use quarantine::{Quarantine, QuarantineConfig};

@@ -348,6 +348,13 @@ impl Runtime {
         &self.module
     }
 
+    /// The limits this runtime was created with (needed to rebuild an
+    /// equivalent runtime elsewhere, e.g. when a server migrates a session
+    /// between shards).
+    pub fn config(&self) -> RuntimeConfig {
+        self.config
+    }
+
     /// A clone of the module handle (for constructing optimized variants).
     pub fn module_arc(&self) -> Arc<Module> {
         Arc::clone(&self.module)

@@ -153,6 +153,14 @@ impl MetricsSnapshot {
         }
     }
 
+    /// Drops every family for which `keep` returns false. Used to strip
+    /// wall-clock families (reprofile wall-ns, shard busy-ns) before
+    /// comparing snapshots from runs that must agree on everything the
+    /// virtual clock governs but not on host timing.
+    pub fn retain_families(&mut self, mut keep: impl FnMut(&str) -> bool) {
+        self.families.retain(|name, _| keep(name));
+    }
+
     /// Prometheus-style text exposition. Deterministic: families and
     /// series render in sorted order. Histograms render summary-style
     /// (`quantile="0.5|0.9|0.99"` labels) plus `_sum`, `_count`, and
@@ -272,6 +280,21 @@ mod tests {
         assert_eq!(a.counter_value("pdo_x_total", &[("shard", "0")]), Some(7));
         assert_eq!(a.counter_value("pdo_x_total", &[("shard", "1")]), Some(9));
         assert_eq!(a.histogram_value("pdo_h_ns", &[]).unwrap().count(), 2);
+    }
+
+    #[test]
+    fn retain_families_drops_only_rejected_families() {
+        let mut s = MetricsSnapshot::new();
+        s.counter("pdo_keep_total", "kept", &[], 1);
+        s.counter("pdo_wall_ns", "wall clock", &[], 9);
+        let mut h = Histogram::new();
+        h.record(5);
+        s.histogram("pdo_wall_hist_ns", "wall hist", &[], &h);
+        s.retain_families(|name| !name.starts_with("pdo_wall"));
+        assert_eq!(s.counter_value("pdo_keep_total", &[]), Some(1));
+        assert_eq!(s.counter_value("pdo_wall_ns", &[]), None);
+        assert!(s.histogram_value("pdo_wall_hist_ns", &[]).is_none());
+        assert!(!s.render().contains("pdo_wall"));
     }
 
     #[test]

@@ -1,44 +1,68 @@
 //! `pdo-server`: a sharded multi-session event server with an online
-//! adaptive-specialization loop.
+//! adaptive-specialization loop and thread-per-shard parallel execution.
 //!
 //! The paper's workflow is per-program and offline: trace one run,
 //! optimize, redeploy. A realistic event server hosts *many* independent
 //! sessions — transport connections, secure channels, plain event
 //! programs — each with its own hot paths that shift over time. This
-//! crate puts the whole pipeline online and multi-tenant:
+//! crate puts the whole pipeline online, multi-tenant, and parallel:
 //!
-//! - A [`Server`] owns `N` [shards](ServerConfig::shards). Each session
-//!   is placed on the shard selected by a splitmix64 hash of its
-//!   [`SessionId`], so placement is deterministic and uniform. The event
-//!   runtime is deliberately single-threaded (`Runtime` is `!Send`;
-//!   handlers share unsynchronized module state), so shards are *logical*
-//!   partitions — the unit a multi-core host would pin to a thread, and
-//!   the unit of iteration, reporting, and fairness here.
+//! - A [`Server`] owns `N` [shards](ServerConfig::shards). `Runtime` is
+//!   `!Send` (handlers are boxed native closures over unsynchronized
+//!   module state), so the server never moves a runtime between threads.
+//!   Instead, with [`ServerConfig::threads`] > 1 each shard — including
+//!   its runtimes and [`AdaptiveEngine`]s — is **constructed, driven,
+//!   and dropped entirely inside one worker thread**; the coordinator
+//!   talks to it over a per-shard `mpsc` command channel carrying only
+//!   `Send` data (session specs, event batches, deadlines, report and
+//!   metrics snapshots). With `threads = 1` the identical shard code
+//!   runs inline with no threads at all, which is why parallelism is
+//!   observationally invisible: both modes execute the same
+//!   [`ShardState`] methods in the same per-shard order.
+//! - New sessions are placed by **power-of-two-choices** over reported
+//!   shard load (resident sessions, then cumulative dispatches) with
+//!   splitmix64 supplying the two deterministic candidates, and the
+//!   coordinator can [`rebalance`](Server::rebalance) by draining an
+//!   idle session's spec from the hottest shard and restoring it on the
+//!   coolest — all deterministic, no wall-clock input.
 //! - Every session gets a per-session adaptive-specialization daemon (an
 //!   [`AdaptiveEngine`]) attached through the runtime's epoch hook. The
 //!   daemon samples the session's live trace window on virtual-clock
-//!   epoch boundaries *inside* [`Runtime::run_until`], re-profiles when
+//!   epoch boundaries *inside* `Runtime::run_until`, re-profiles when
 //!   enough fresh events accumulate (or a healed chain reports stale),
 //!   and hot-swaps compiled chains under binding-version guards — no
-//!   caller involvement anywhere.
+//!   caller involvement anywhere. Repeated workload phases are served
+//!   from the engine's `ChainCache` instead of re-running `optimize`.
 //! - Protocol endpoints ([`CtpEndpoint`], SecComm [`Endpoint`]) are
 //!   constructed *through* the server, so protocol sessions are
 //!   shard-resident and adapt exactly like plain ones.
-//! - [`Server::report`] snapshots per-shard and per-session counters:
-//!   events dispatched, fast-path hits, guard misses, live chains, and
-//!   the adaptation loop's installs/drops/despecializations/re-profiles.
+//! - [`Server::report`] snapshots per-shard and per-session counters;
+//!   [`Server::metrics`] scrapes every layer into one
+//!   [`MetricsSnapshot`], including per-shard queue-depth and busy-ns
+//!   load series. Because shard-interior state never crosses the channel
+//!   boundary, the borrow-style accessors of the single-threaded design
+//!   (`runtime()`, `engine()`, `ctp_mut()`) are replaced by the
+//!   closure-shipping [`Server::with_session`] family and the
+//!   snapshot-returning [`Server::engine_stats`].
 
 use pdo::{AdaptConfig, AdaptStats, AdaptiveEngine};
 use pdo_cactus::EventProgram;
 use pdo_ctp::{CtpEndpoint, CtpError, CtpParams};
 use pdo_events::{Runtime, RuntimeConfig, RuntimeError};
-use pdo_ir::{EventId, FuncId, Module, RaiseMode, Value};
+use pdo_ir::{EventId, FuncId, GlobalId, Module, RaiseMode, Value};
 use pdo_obs::MetricsSnapshot;
 use pdo_seccomm::{Endpoint as SecCommEndpoint, Keys, SecCommError};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+const WORKER_ALIVE: &str = "shard worker lives until Server::drop closes the channel";
+const WORKER_REPLIES: &str = "shard worker replies to every command before exiting";
+const SHARD_OWNED: &str = "commands are routed to the worker that owns the shard";
 
 /// Identifies one session for the lifetime of the server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -53,8 +77,15 @@ impl fmt::Display for SessionId {
 /// Server tunables.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
-    /// Number of shards sessions are hashed onto (min 1).
+    /// Number of shards sessions are placed onto (min 1).
     pub shards: usize,
+    /// Number of worker threads driving the shards. `1` (the default)
+    /// runs every shard inline on the caller's thread; larger values
+    /// spawn `min(threads, shards)` workers and distribute shards
+    /// round-robin (shard `i` → worker `i % workers`). Shard state is
+    /// created and dropped on its owning thread — no `unsafe`, no
+    /// `Send` bound on `Runtime`.
+    pub threads: usize,
     /// Adaptation-loop configuration applied to every session opened
     /// through this server.
     pub adapt: AdaptConfig,
@@ -69,6 +100,7 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             shards: 4,
+            threads: 1,
             adapt: AdaptConfig::default(),
             observability: true,
         }
@@ -112,6 +144,10 @@ enum SessionKind {
     SecComm(SecCommEndpoint),
 }
 
+/// One resident session: its runtime (possibly wrapped in a protocol
+/// endpoint) plus the adaptation daemon attached to it. Lives entirely
+/// on the shard's owning thread; only accessed across the channel
+/// boundary through shipped closures ([`Server::with_session`]).
 struct Session {
     kind: SessionKind,
     engine: Rc<RefCell<AdaptiveEngine>>,
@@ -135,9 +171,57 @@ impl Session {
     }
 }
 
-#[derive(Default)]
-struct Shard {
-    sessions: BTreeMap<SessionId, Session>,
+/// Everything needed to (re)build a session on a shard. This is the
+/// `Send` payload that crosses the coordinator→worker channel; the
+/// `!Send` runtime is constructed from it on the owning thread.
+enum SessionSpec {
+    Plain {
+        module: Module,
+        config: RuntimeConfig,
+        bindings: Vec<(EventId, FuncId, i32)>,
+    },
+    Ctp {
+        program: EventProgram,
+        params: CtpParams,
+    },
+    SecComm {
+        program: EventProgram,
+        keys: Keys,
+    },
+    /// A session drained from another shard (see [`Server::rebalance`]).
+    Restore(SessionSnapshot),
+}
+
+/// The migratable portion of a plain session: base module, runtime
+/// limits, live bindings (with orders), global values, and the virtual
+/// clock. The adaptation daemon's profile state is deliberately *not*
+/// carried — the session re-profiles on its new shard, and any cached
+/// optimization for the phase is one `ChainCache` hit away.
+struct SessionSnapshot {
+    module: Module,
+    config: RuntimeConfig,
+    bindings: Vec<(EventId, FuncId, i32)>,
+    globals: Vec<Value>,
+    clock_ns: u64,
+}
+
+/// A point-in-time load summary of one shard, used for
+/// power-of-two-choices placement and hottest/coolest selection in
+/// [`Server::rebalance`]. All fields except `busy_ns` are derived from
+/// the virtual clock and deterministic counters; `busy_ns` is wall
+/// clock (observability only — never an input to placement).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// The shard index.
+    pub shard: usize,
+    /// Resident sessions.
+    pub sessions: usize,
+    /// Cumulative events dispatched across the shard's sessions.
+    pub dispatched: u64,
+    /// Events currently queued or pending on timers across the shard.
+    pub queue_depth: u64,
+    /// Cumulative wall-clock time the shard spent inside `run_until`.
+    pub busy_ns: u64,
 }
 
 /// Adaptation and dispatch counters of one session.
@@ -183,7 +267,8 @@ pub struct ShardReport {
 pub struct ServerReport {
     /// One entry per shard (index = shard number).
     pub shards: Vec<ShardReport>,
-    /// One entry per session, ordered by shard then session id.
+    /// One entry per session, sorted by [`SessionId`] so the report is
+    /// byte-stable regardless of shard layout or thread count.
     pub sessions: Vec<SessionReport>,
 }
 
@@ -204,8 +289,8 @@ impl ServerReport {
 // which exposes the same counters (and more) in one standard text format
 // instead of a second hand-rolled one.
 
-/// Finalizer of splitmix64; the standard 64-bit mix used for stable,
-/// well-distributed hashing of session ids onto shards.
+/// Finalizer of splitmix64; the standard 64-bit mix used to derive the
+/// two deterministic placement candidates from a session id.
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -213,76 +298,685 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-/// The sharded multi-session server.
-pub struct Server {
-    config: ServerConfig,
-    shards: Vec<Shard>,
-    next_id: u64,
+/// One shard's complete state and behavior. **This is the single
+/// implementation both execution modes run**: inline mode calls these
+/// methods on the coordinator thread, threaded mode calls the very same
+/// methods from the shard's worker thread — which is the whole argument
+/// for why `threads = N` is observationally identical to `threads = 1`.
+struct ShardState {
+    index: usize,
+    adapt: AdaptConfig,
+    observability: bool,
+    sessions: BTreeMap<SessionId, Session>,
+    /// Cumulative wall-clock ns spent in `run_until` (obs only).
+    busy_ns: u64,
 }
 
-impl fmt::Debug for Server {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Server")
-            .field("shards", &self.shards.len())
-            .field(
-                "sessions",
-                &self.shards.iter().map(|s| s.sessions.len()).sum::<usize>(),
-            )
-            .finish()
-    }
-}
-
-impl Server {
-    /// An empty server with `config.shards` shards (at least one).
-    pub fn new(config: ServerConfig) -> Self {
-        let shards = config.shards.max(1);
-        Server {
-            config,
-            shards: (0..shards).map(|_| Shard::default()).collect(),
-            next_id: 1,
+impl ShardState {
+    fn new(index: usize, adapt: AdaptConfig, observability: bool) -> ShardState {
+        ShardState {
+            index,
+            adapt,
+            observability,
+            sessions: BTreeMap::new(),
+            busy_ns: 0,
         }
     }
 
-    /// The shard a session id hashes onto.
-    pub fn shard_of(&self, id: SessionId) -> usize {
-        (splitmix64(id.0) % self.shards.len() as u64) as usize
-    }
-
-    /// Number of shards.
-    pub fn shards(&self) -> usize {
-        self.shards.len()
-    }
-
-    /// All open session ids, ordered by shard then id.
-    pub fn sessions(&self) -> Vec<SessionId> {
-        self.shards
-            .iter()
-            .flat_map(|s| s.sessions.keys().copied())
-            .collect()
-    }
-
-    fn place(&mut self, mut kind: SessionKind) -> SessionId {
-        let id = SessionId(self.next_id);
-        self.next_id += 1;
-        let shard = self.shard_of(id);
+    /// Builds the session described by `spec` on this thread and attaches
+    /// its adaptation daemon.
+    fn open(&mut self, id: SessionId, spec: SessionSpec) -> Result<(), ServerError> {
+        let mut kind = match spec {
+            SessionSpec::Plain {
+                module,
+                config,
+                bindings,
+            } => {
+                let mut rt = Runtime::with_config(module, config);
+                for (event, handler, order) in bindings {
+                    rt.bind(event, handler, order)
+                        .map_err(|e| ServerError::Runtime(id, e))?;
+                }
+                SessionKind::Plain(rt)
+            }
+            SessionSpec::Ctp { program, params } => {
+                let mut ep =
+                    CtpEndpoint::new(&program, params).map_err(|e| ServerError::Ctp(id, e))?;
+                ep.open().map_err(|e| ServerError::Ctp(id, e))?;
+                SessionKind::Ctp(ep)
+            }
+            SessionSpec::SecComm { program, keys } => SessionKind::SecComm(
+                SecCommEndpoint::new(&program, &keys).map_err(|e| ServerError::SecComm(id, e))?,
+            ),
+            SessionSpec::Restore(snap) => {
+                let mut rt = Runtime::with_config(snap.module, snap.config);
+                for (event, handler, order) in snap.bindings {
+                    rt.bind(event, handler, order)
+                        .map_err(|e| ServerError::Runtime(id, e))?;
+                }
+                for (idx, value) in snap.globals.into_iter().enumerate() {
+                    rt.set_global(GlobalId::from_index(idx), value);
+                }
+                // Restore the virtual clock before the epoch hook exists,
+                // so the catch-up doesn't fire a burst of stale epochs.
+                if snap.clock_ns > 0 {
+                    rt.advance_clock(snap.clock_ns);
+                }
+                SessionKind::Plain(rt)
+            }
+        };
         let rt = match &mut kind {
             SessionKind::Plain(rt) => rt,
             SessionKind::Ctp(ep) => ep.runtime_mut(),
             SessionKind::SecComm(ep) => ep.runtime_mut(),
         };
-        if self.config.observability {
+        if self.observability {
             rt.enable_observability();
         }
-        let engine = AdaptiveEngine::attach_new(rt, self.config.adapt);
-        self.shards[shard]
+        let engine = AdaptiveEngine::attach_new(rt, self.adapt);
+        self.sessions.insert(id, Session { kind, engine });
+        Ok(())
+    }
+
+    fn close(&mut self, id: SessionId) -> bool {
+        self.sessions.remove(&id).is_some()
+    }
+
+    fn raise(
+        &mut self,
+        id: SessionId,
+        event: EventId,
+        mode: RaiseMode,
+        args: &[Value],
+    ) -> Result<(), ServerError> {
+        self.sessions
+            .get_mut(&id)
+            .ok_or(ServerError::UnknownSession(id))?
+            .runtime_mut()
+            .raise(event, mode, args)
+            .map_err(|e| ServerError::Runtime(id, e))
+    }
+
+    /// Submits a batch of timed raises of `event`, one per delay, in one
+    /// channel round trip.
+    fn batch(&mut self, id: SessionId, event: EventId, delays: &[u64]) -> Result<(), ServerError> {
+        let rt = self
             .sessions
-            .insert(id, Session { kind, engine });
-        id
+            .get_mut(&id)
+            .ok_or(ServerError::UnknownSession(id))?
+            .runtime_mut();
+        for &delay_ns in delays {
+            rt.raise(event, RaiseMode::Timed, &[Value::Int(delay_ns as i64)])
+                .map_err(|e| ServerError::Runtime(id, e))?;
+        }
+        Ok(())
+    }
+
+    /// Advances every resident session to `deadline_ns` in id order:
+    /// dispatches all due work, then pads each session's clock so
+    /// adaptation epochs fire even when idle. Stops at the first failing
+    /// session and reports it.
+    fn run_until(&mut self, deadline_ns: u64) -> Result<(), ServerError> {
+        let started = Instant::now();
+        let result = self.run_until_inner(deadline_ns);
+        self.busy_ns += started.elapsed().as_nanos() as u64;
+        result
+    }
+
+    fn run_until_inner(&mut self, deadline_ns: u64) -> Result<(), ServerError> {
+        for (&id, session) in &mut self.sessions {
+            match &mut session.kind {
+                SessionKind::Ctp(ep) => {
+                    // Pads its clock and checks link liveness itself.
+                    ep.run_until(deadline_ns)
+                        .map_err(|e| ServerError::Ctp(id, e))?;
+                }
+                SessionKind::Plain(rt) => {
+                    rt.run_until(deadline_ns)
+                        .map_err(|e| ServerError::Runtime(id, e))?;
+                    let now = rt.clock_ns();
+                    if deadline_ns > now {
+                        rt.advance_clock(deadline_ns - now);
+                    }
+                }
+                SessionKind::SecComm(ep) => {
+                    let rt = ep.runtime_mut();
+                    rt.run_until(deadline_ns)
+                        .map_err(|e| ServerError::Runtime(id, e))?;
+                    let now = rt.clock_ns();
+                    if deadline_ns > now {
+                        ep.tick(deadline_ns - now);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn load(&self) -> ShardLoad {
+        let mut dispatched = 0u64;
+        let mut queue_depth = 0u64;
+        for session in self.sessions.values() {
+            let rt = session.runtime();
+            dispatched += rt.cost.registry_lookups + rt.cost.fastpath_hits;
+            queue_depth += rt.pending() as u64;
+        }
+        ShardLoad {
+            shard: self.index,
+            sessions: self.sessions.len(),
+            dispatched,
+            queue_depth,
+            busy_ns: self.busy_ns,
+        }
+    }
+
+    /// Drains the lowest-id migratable session: a plain session with
+    /// nothing queued or on timers (protocol endpoints carry link state
+    /// the snapshot can't represent, and a non-empty queue would be
+    /// lost). The session is removed and its spec returned.
+    fn drain_idle(&mut self) -> Option<(SessionId, SessionSnapshot)> {
+        let id = self
+            .sessions
+            .iter()
+            .find(|(_, s)| matches!(s.kind, SessionKind::Plain(_)) && s.runtime().pending() == 0)
+            .map(|(&id, _)| id)?;
+        let session = self.sessions.remove(&id).expect("session found above");
+        let module = session.engine.borrow().base().clone();
+        let rt = match &session.kind {
+            SessionKind::Plain(rt) => rt,
+            _ => unreachable!("drain_idle only selects plain sessions"),
+        };
+        let mut bindings = Vec::new();
+        for idx in 0..module.events.len() {
+            let event = EventId::from_index(idx);
+            for b in rt.registry().bindings(event) {
+                bindings.push((event, b.handler, b.order));
+            }
+        }
+        let globals = (0..module.globals.len())
+            .map(|idx| rt.global(GlobalId::from_index(idx)).clone())
+            .collect();
+        let snap = SessionSnapshot {
+            config: rt.config(),
+            bindings,
+            globals,
+            clock_ns: rt.clock_ns(),
+            module,
+        };
+        Some((id, snap))
+    }
+
+    /// Scrapes this shard into a fresh snapshot: per-shard session and
+    /// load series plus every session's runtime, adaptation, and
+    /// protocol counters. Sessions iterate in id order so histograms
+    /// merge deterministically.
+    fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        let sh = self.index.to_string();
+        let labels: [(&str, &str); 1] = [("shard", &sh)];
+        let load = self.load();
+        snap.gauge(
+            "pdo_server_sessions",
+            "Sessions resident on the shard",
+            &labels,
+            load.sessions as i64,
+        );
+        snap.gauge(
+            "pdo_server_queue_depth",
+            "Events queued or pending on timers across the shard",
+            &labels,
+            load.queue_depth as i64,
+        );
+        snap.counter(
+            "pdo_server_shard_busy_ns_total",
+            "Cumulative wall-clock ns the shard spent inside run_until",
+            &labels,
+            load.busy_ns,
+        );
+        for session in self.sessions.values() {
+            let rt = session.runtime();
+            rt.export_metrics(&mut snap, &labels);
+            session
+                .engine
+                .borrow()
+                .export_metrics(rt, &mut snap, &labels);
+            match &session.kind {
+                SessionKind::Plain(_) => {}
+                SessionKind::Ctp(ep) => ep.stats().export_metrics(&mut snap, &labels),
+                SessionKind::SecComm(ep) => snap.counter(
+                    "pdo_seccomm_mac_failures_total",
+                    "Inbound SecComm messages rejected by MAC verification",
+                    &labels,
+                    ep.mac_failures(),
+                ),
+            }
+        }
+        snap
+    }
+
+    fn report(&self) -> (ShardReport, Vec<SessionReport>) {
+        let mut agg = ShardReport {
+            shard: self.index,
+            sessions: self.sessions.len(),
+            ..Default::default()
+        };
+        let mut rows = Vec::with_capacity(self.sessions.len());
+        for (&id, session) in &self.sessions {
+            let rt = session.runtime();
+            let adapt = session.engine.borrow().stats();
+            let row = SessionReport {
+                session: id,
+                shard: self.index,
+                // One registry lookup per generic dispatch; fast-path
+                // dispatches skip the registry, so the sum counts
+                // every dispatched event exactly once.
+                dispatched: rt.cost.registry_lookups + rt.cost.fastpath_hits,
+                fastpath_hits: rt.cost.fastpath_hits,
+                guard_misses: rt.cost.fastpath_misses,
+                chains_live: rt.spec().len(),
+                adapt,
+            };
+            agg.dispatched += row.dispatched;
+            agg.fastpath_hits += row.fastpath_hits;
+            agg.guard_misses += row.guard_misses;
+            agg.chains_live += row.chains_live;
+            agg.adapt.absorb(&adapt);
+            rows.push(row);
+        }
+        (agg, rows)
+    }
+
+    fn dump(&self, n: usize) -> Vec<(SessionId, String)> {
+        let mut out = Vec::new();
+        for (&id, session) in &self.sessions {
+            if let Some(obs) = session.runtime().obs() {
+                let dump = obs.dump(n);
+                if !dump.is_empty() {
+                    out.push((id, dump));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A closure shipped to a shard's owning thread; receives the session
+/// (with its shard index) if it exists, `None` otherwise.
+type SessionFn = Box<dyn FnOnce(Option<(&mut Session, usize)>) + Send>;
+
+/// The coordinator→worker command protocol. Every payload is `Send`;
+/// replies come back on per-command `mpsc` channels so the coordinator
+/// can interleave commands to many shards and collect replies in shard
+/// order (which keeps aggregation deterministic).
+enum Cmd {
+    Open {
+        shard: usize,
+        id: SessionId,
+        spec: SessionSpec,
+        reply: Sender<Result<(), ServerError>>,
+    },
+    Close {
+        shard: usize,
+        id: SessionId,
+        reply: Sender<bool>,
+    },
+    Raise {
+        shard: usize,
+        id: SessionId,
+        event: EventId,
+        mode: RaiseMode,
+        args: Vec<Value>,
+        reply: Sender<Result<(), ServerError>>,
+    },
+    Batch {
+        shard: usize,
+        id: SessionId,
+        event: EventId,
+        delays: Vec<u64>,
+        reply: Sender<Result<(), ServerError>>,
+    },
+    RunUntil {
+        shard: usize,
+        deadline_ns: u64,
+        reply: Sender<(Result<(), ServerError>, ShardLoad)>,
+    },
+    Load {
+        shard: usize,
+        reply: Sender<ShardLoad>,
+    },
+    Metrics {
+        shard: usize,
+        reply: Sender<MetricsSnapshot>,
+    },
+    Report {
+        shard: usize,
+        reply: Sender<(ShardReport, Vec<SessionReport>)>,
+    },
+    Dump {
+        shard: usize,
+        n: usize,
+        reply: Sender<Vec<(SessionId, String)>>,
+    },
+    Drain {
+        shard: usize,
+        reply: Sender<Option<(SessionId, SessionSnapshot)>>,
+    },
+    With {
+        shard: usize,
+        id: SessionId,
+        f: SessionFn,
+    },
+}
+
+/// Worker thread body: builds its shards *here* (so every `!Send`
+/// runtime is born on this thread), serves commands until the channel
+/// closes, then drops the shards (still on this thread).
+fn worker_main(rx: Receiver<Cmd>, shard_ids: Vec<usize>, adapt: AdaptConfig, observability: bool) {
+    let mut shards: BTreeMap<usize, ShardState> = shard_ids
+        .into_iter()
+        .map(|i| (i, ShardState::new(i, adapt, observability)))
+        .collect();
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Cmd::Open {
+                shard,
+                id,
+                spec,
+                reply,
+            } => {
+                let _ = reply.send(shards.get_mut(&shard).expect(SHARD_OWNED).open(id, spec));
+            }
+            Cmd::Close { shard, id, reply } => {
+                let _ = reply.send(shards.get_mut(&shard).expect(SHARD_OWNED).close(id));
+            }
+            Cmd::Raise {
+                shard,
+                id,
+                event,
+                mode,
+                args,
+                reply,
+            } => {
+                let _ = reply.send(
+                    shards
+                        .get_mut(&shard)
+                        .expect(SHARD_OWNED)
+                        .raise(id, event, mode, &args),
+                );
+            }
+            Cmd::Batch {
+                shard,
+                id,
+                event,
+                delays,
+                reply,
+            } => {
+                let _ = reply.send(
+                    shards
+                        .get_mut(&shard)
+                        .expect(SHARD_OWNED)
+                        .batch(id, event, &delays),
+                );
+            }
+            Cmd::RunUntil {
+                shard,
+                deadline_ns,
+                reply,
+            } => {
+                let state = shards.get_mut(&shard).expect(SHARD_OWNED);
+                let result = state.run_until(deadline_ns);
+                let _ = reply.send((result, state.load()));
+            }
+            Cmd::Load { shard, reply } => {
+                let _ = reply.send(shards.get(&shard).expect(SHARD_OWNED).load());
+            }
+            Cmd::Metrics { shard, reply } => {
+                let _ = reply.send(shards.get(&shard).expect(SHARD_OWNED).metrics());
+            }
+            Cmd::Report { shard, reply } => {
+                let _ = reply.send(shards.get(&shard).expect(SHARD_OWNED).report());
+            }
+            Cmd::Dump { shard, n, reply } => {
+                let _ = reply.send(shards.get(&shard).expect(SHARD_OWNED).dump(n));
+            }
+            Cmd::Drain { shard, reply } => {
+                let _ = reply.send(shards.get_mut(&shard).expect(SHARD_OWNED).drain_idle());
+            }
+            Cmd::With { shard, id, f } => {
+                let state = shards.get_mut(&shard).expect(SHARD_OWNED);
+                let index = state.index;
+                f(state.sessions.get_mut(&id).map(|s| (s, index)));
+            }
+        }
+    }
+}
+
+/// How the coordinator reaches its shards: direct calls (inline) or
+/// per-shard command channels into worker threads. `txs[i]` is a clone
+/// of the owning worker's sender, so routing is just an index.
+enum Mode {
+    Inline(Vec<ShardState>),
+    Threaded {
+        txs: Vec<Sender<Cmd>>,
+        handles: Vec<JoinHandle<()>>,
+    },
+}
+
+/// A borrow of one session, delivered to [`Server::with_session`]
+/// closures *on the shard's owning thread*. This is the only way
+/// shard-interior state is touched: the closure travels to the state,
+/// never the state to the closure's thread.
+pub struct SessionCtx<'a> {
+    id: SessionId,
+    shard: usize,
+    session: &'a mut Session,
+}
+
+impl SessionCtx<'_> {
+    /// The session's id.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// The shard the session resides on.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The session's runtime.
+    pub fn runtime(&self) -> &Runtime {
+        self.session.runtime()
+    }
+
+    /// The session's runtime, mutably.
+    pub fn runtime_mut(&mut self) -> &mut Runtime {
+        self.session.runtime_mut()
+    }
+
+    /// Runs `f` against the session's adaptation daemon.
+    pub fn engine<R>(&self, f: impl FnOnce(&AdaptiveEngine) -> R) -> R {
+        f(&self.session.engine.borrow())
+    }
+
+    /// The daemon's counters.
+    pub fn engine_stats(&self) -> AdaptStats {
+        self.engine(|e| e.stats())
+    }
+
+    /// The CTP endpoint, if this is a CTP session.
+    pub fn ctp(&mut self) -> Option<&mut CtpEndpoint> {
+        match &mut self.session.kind {
+            SessionKind::Ctp(ep) => Some(ep),
+            _ => None,
+        }
+    }
+
+    /// The SecComm endpoint, if this is a SecComm session.
+    pub fn seccomm(&mut self) -> Option<&mut SecCommEndpoint> {
+        match &mut self.session.kind {
+            SessionKind::SecComm(ep) => Some(ep),
+            _ => None,
+        }
+    }
+}
+
+/// The sharded multi-session server.
+pub struct Server {
+    mode: Mode,
+    next_id: u64,
+    /// Where every open session lives. The coordinator is the only
+    /// writer, so this never races with the workers.
+    placement: BTreeMap<SessionId, usize>,
+    /// Last observed per-shard load (index = shard). `sessions` is
+    /// maintained synchronously on open/close; the rest refreshes on
+    /// `run_until`, `shard_loads`, and `rebalance`.
+    loads: Vec<ShardLoad>,
+}
+
+impl fmt::Debug for Server {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Server")
+            .field("shards", &self.loads.len())
+            .field("threads", &self.threads())
+            .field("sessions", &self.placement.len())
+            .finish()
+    }
+}
+
+impl Server {
+    /// An empty server with `config.shards` shards (at least one). With
+    /// `config.threads > 1`, spawns `min(threads, shards)` workers and
+    /// builds each shard inside its owning thread.
+    pub fn new(config: ServerConfig) -> Self {
+        let shards = config.shards.max(1);
+        let threads = config.threads.max(1);
+        let mode = if threads == 1 {
+            Mode::Inline(
+                (0..shards)
+                    .map(|i| ShardState::new(i, config.adapt, config.observability))
+                    .collect(),
+            )
+        } else {
+            let workers = threads.min(shards);
+            let mut txs: Vec<Option<Sender<Cmd>>> = (0..shards).map(|_| None).collect();
+            let mut handles = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let (tx, rx) = mpsc::channel();
+                let owned: Vec<usize> = (0..shards).filter(|i| i % workers == w).collect();
+                for &i in &owned {
+                    txs[i] = Some(tx.clone());
+                }
+                let adapt = config.adapt;
+                let observability = config.observability;
+                handles.push(
+                    thread::Builder::new()
+                        .name(format!("pdo-shard-worker-{w}"))
+                        .spawn(move || worker_main(rx, owned, adapt, observability))
+                        .expect("spawn shard worker"),
+                );
+            }
+            Mode::Threaded {
+                txs: txs
+                    .into_iter()
+                    .map(|tx| tx.expect("every shard owned"))
+                    .collect(),
+                handles,
+            }
+        };
+        Server {
+            mode,
+            next_id: 1,
+            placement: BTreeMap::new(),
+            loads: (0..shards)
+                .map(|shard| ShardLoad {
+                    shard,
+                    ..Default::default()
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Number of worker threads driving the shards (1 = inline).
+    pub fn threads(&self) -> usize {
+        match &self.mode {
+            Mode::Inline(_) => 1,
+            Mode::Threaded { handles, .. } => handles.len(),
+        }
+    }
+
+    /// The shard session `id` resides on.
+    ///
+    /// # Panics
+    ///
+    /// If the session is not open (placement is only defined for live
+    /// sessions — unlike the old hash-based scheme, a closed or unknown
+    /// id has no shard).
+    pub fn shard_of(&self, id: SessionId) -> usize {
+        *self
+            .placement
+            .get(&id)
+            .unwrap_or_else(|| panic!("session {id} is not open"))
+    }
+
+    /// All open session ids, ordered by shard then id.
+    pub fn sessions(&self) -> Vec<SessionId> {
+        let mut by_shard: Vec<(usize, SessionId)> =
+            self.placement.iter().map(|(&id, &sh)| (sh, id)).collect();
+        by_shard.sort();
+        by_shard.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Power-of-two-choices placement: two deterministic candidates from
+    /// splitmix64, pick the one with fewer sessions (then fewer
+    /// cumulative dispatches, then the lower index). Every input is
+    /// deterministic, so placement is reproducible run to run and
+    /// identical across thread counts.
+    fn pick_shard(&self, id: SessionId) -> usize {
+        let n = self.loads.len() as u64;
+        let c1 = (splitmix64(id.0) % n) as usize;
+        let c2 = (splitmix64(splitmix64(id.0)) % n) as usize;
+        let key = |s: usize| (self.loads[s].sessions, self.loads[s].dispatched, s);
+        if key(c2) < key(c1) {
+            c2
+        } else {
+            c1
+        }
+    }
+
+    fn open(&mut self, spec: SessionSpec) -> Result<SessionId, ServerError> {
+        let id = SessionId(self.next_id);
+        let shard = self.pick_shard(id);
+        let result = match &mut self.mode {
+            Mode::Inline(states) => states[shard].open(id, spec),
+            Mode::Threaded { txs, .. } => {
+                let (reply, rx) = mpsc::channel();
+                txs[shard]
+                    .send(Cmd::Open {
+                        shard,
+                        id,
+                        spec,
+                        reply,
+                    })
+                    .expect(WORKER_ALIVE);
+                rx.recv().expect(WORKER_REPLIES)
+            }
+        };
+        result?;
+        self.next_id += 1;
+        self.placement.insert(id, shard);
+        self.loads[shard].sessions += 1;
+        Ok(id)
     }
 
     /// Opens a plain event-program session: builds a [`Runtime`] over
-    /// `module`, applies `bindings` (event, handler, order), and attaches
-    /// the adaptive-specialization daemon.
+    /// `module` on the owning shard's thread, applies `bindings`
+    /// (event, handler, order), and attaches the adaptive-specialization
+    /// daemon.
     ///
     /// # Errors
     ///
@@ -293,13 +987,11 @@ impl Server {
         config: RuntimeConfig,
         bindings: &[(EventId, FuncId, i32)],
     ) -> Result<SessionId, ServerError> {
-        let probe = SessionId(self.next_id);
-        let mut rt = Runtime::with_config(module, config);
-        for &(event, handler, order) in bindings {
-            rt.bind(event, handler, order)
-                .map_err(|e| ServerError::Runtime(probe, e))?;
-        }
-        Ok(self.place(SessionKind::Plain(rt)))
+        self.open(SessionSpec::Plain {
+            module,
+            config,
+            bindings: bindings.to_vec(),
+        })
     }
 
     /// Opens a shard-resident CTP session over `program` and opens the
@@ -313,10 +1005,10 @@ impl Server {
         program: &EventProgram,
         params: CtpParams,
     ) -> Result<SessionId, ServerError> {
-        let probe = SessionId(self.next_id);
-        let mut ep = CtpEndpoint::new(program, params).map_err(|e| ServerError::Ctp(probe, e))?;
-        ep.open().map_err(|e| ServerError::Ctp(probe, e))?;
-        Ok(self.place(SessionKind::Ctp(ep)))
+        self.open(SessionSpec::Ctp {
+            program: program.clone(),
+            params,
+        })
     }
 
     /// Opens a shard-resident SecComm session over `program` with `keys`.
@@ -329,31 +1021,32 @@ impl Server {
         program: &EventProgram,
         keys: &Keys,
     ) -> Result<SessionId, ServerError> {
-        let probe = SessionId(self.next_id);
-        let ep = SecCommEndpoint::new(program, keys).map_err(|e| ServerError::SecComm(probe, e))?;
-        Ok(self.place(SessionKind::SecComm(ep)))
+        self.open(SessionSpec::SecComm {
+            program: program.clone(),
+            keys: keys.clone(),
+        })
     }
 
     /// Closes a session, returning whether it existed.
     pub fn close_session(&mut self, id: SessionId) -> bool {
-        let shard = self.shard_of(id);
-        self.shards[shard].sessions.remove(&id).is_some()
-    }
-
-    fn session(&self, id: SessionId) -> Result<&Session, ServerError> {
-        let shard = self.shard_of(id);
-        self.shards[shard]
-            .sessions
-            .get(&id)
-            .ok_or(ServerError::UnknownSession(id))
-    }
-
-    fn session_mut(&mut self, id: SessionId) -> Result<&mut Session, ServerError> {
-        let shard = self.shard_of(id);
-        self.shards[shard]
-            .sessions
-            .get_mut(&id)
-            .ok_or(ServerError::UnknownSession(id))
+        let Some(&shard) = self.placement.get(&id) else {
+            return false;
+        };
+        let existed = match &mut self.mode {
+            Mode::Inline(states) => states[shard].close(id),
+            Mode::Threaded { txs, .. } => {
+                let (reply, rx) = mpsc::channel();
+                txs[shard]
+                    .send(Cmd::Close { shard, id, reply })
+                    .expect(WORKER_ALIVE);
+                rx.recv().expect(WORKER_REPLIES)
+            }
+        };
+        if existed {
+            self.placement.remove(&id);
+            self.loads[shard].sessions = self.loads[shard].sessions.saturating_sub(1);
+        }
+        existed
     }
 
     /// Raises `event` on session `id`.
@@ -368,10 +1061,27 @@ impl Server {
         mode: RaiseMode,
         args: &[Value],
     ) -> Result<(), ServerError> {
-        self.session_mut(id)?
-            .runtime_mut()
-            .raise(event, mode, args)
-            .map_err(|e| ServerError::Runtime(id, e))
+        let shard = *self
+            .placement
+            .get(&id)
+            .ok_or(ServerError::UnknownSession(id))?;
+        match &mut self.mode {
+            Mode::Inline(states) => states[shard].raise(id, event, mode, args),
+            Mode::Threaded { txs, .. } => {
+                let (reply, rx) = mpsc::channel();
+                txs[shard]
+                    .send(Cmd::Raise {
+                        shard,
+                        id,
+                        event,
+                        mode,
+                        args: args.to_vec(),
+                        reply,
+                    })
+                    .expect(WORKER_ALIVE);
+                rx.recv().expect(WORKER_REPLIES)
+            }
+        }
     }
 
     /// Raises `event` synchronously on session `id` (dispatches now).
@@ -408,134 +1118,341 @@ impl Server {
         self.raise(id, event, RaiseMode::Timed, &full)
     }
 
-    /// Advances every session on every shard to `deadline_ns`: dispatches
-    /// all due queued/timed work, then pads each session's clock to the
-    /// deadline so adaptation epochs fire even on idle sessions. Shards
-    /// are served round-robin in index order; a failure stops the sweep
-    /// and reports the offending session.
+    /// Submits one timed raise of `event` (no extra args) per delay in
+    /// `delays` — a whole workload's injections in a single channel
+    /// round trip, which is what keeps the threaded server's command
+    /// overhead off the benchmark's critical path.
     ///
     /// # Errors
     ///
-    /// Propagates the first session failure (tagged with its id).
+    /// As [`Server::raise`].
+    pub fn submit_batch(
+        &mut self,
+        id: SessionId,
+        event: EventId,
+        delays: &[u64],
+    ) -> Result<(), ServerError> {
+        let shard = *self
+            .placement
+            .get(&id)
+            .ok_or(ServerError::UnknownSession(id))?;
+        match &mut self.mode {
+            Mode::Inline(states) => states[shard].batch(id, event, delays),
+            Mode::Threaded { txs, .. } => {
+                let (reply, rx) = mpsc::channel();
+                txs[shard]
+                    .send(Cmd::Batch {
+                        shard,
+                        id,
+                        event,
+                        delays: delays.to_vec(),
+                        reply,
+                    })
+                    .expect(WORKER_ALIVE);
+                rx.recv().expect(WORKER_REPLIES)
+            }
+        }
+    }
+
+    /// Advances every session on every shard to `deadline_ns`: dispatches
+    /// all due queued/timed work, then pads each session's clock to the
+    /// deadline so adaptation epochs fire even on idle sessions. In
+    /// threaded mode all shards run **concurrently** — the command fans
+    /// out, then replies are collected in shard order; inline mode runs
+    /// the same shard code sequentially. Either way every shard always
+    /// runs to the deadline, and on failure the error of the
+    /// lowest-indexed failing shard is reported (a shard stops at its
+    /// first failing session).
+    ///
+    /// # Errors
+    ///
+    /// The lowest-indexed shard's first session failure (tagged with its
+    /// session id).
     pub fn run_until(&mut self, deadline_ns: u64) -> Result<(), ServerError> {
-        for shard in &mut self.shards {
-            for (&id, session) in &mut shard.sessions {
-                match &mut session.kind {
-                    SessionKind::Ctp(ep) => {
-                        // Pads its clock and checks link liveness itself.
-                        ep.run_until(deadline_ns)
-                            .map_err(|e| ServerError::Ctp(id, e))?;
-                    }
-                    SessionKind::Plain(rt) => {
-                        rt.run_until(deadline_ns)
-                            .map_err(|e| ServerError::Runtime(id, e))?;
-                        let now = rt.clock_ns();
-                        if deadline_ns > now {
-                            rt.advance_clock(deadline_ns - now);
-                        }
-                    }
-                    SessionKind::SecComm(ep) => {
-                        let rt = ep.runtime_mut();
-                        rt.run_until(deadline_ns)
-                            .map_err(|e| ServerError::Runtime(id, e))?;
-                        let now = rt.clock_ns();
-                        if deadline_ns > now {
-                            ep.tick(deadline_ns - now);
-                        }
-                    }
+        let outcomes: Vec<(Result<(), ServerError>, ShardLoad)> = match &mut self.mode {
+            Mode::Inline(states) => states
+                .iter_mut()
+                .map(|s| (s.run_until(deadline_ns), s.load()))
+                .collect(),
+            Mode::Threaded { txs, .. } => {
+                let receivers: Vec<Receiver<(Result<(), ServerError>, ShardLoad)>> = (0..txs.len())
+                    .map(|shard| {
+                        let (reply, rx) = mpsc::channel();
+                        txs[shard]
+                            .send(Cmd::RunUntil {
+                                shard,
+                                deadline_ns,
+                                reply,
+                            })
+                            .expect(WORKER_ALIVE);
+                        rx
+                    })
+                    .collect();
+                receivers
+                    .into_iter()
+                    .map(|rx| rx.recv().expect(WORKER_REPLIES))
+                    .collect()
+            }
+        };
+        let mut first_err = None;
+        for (result, load) in outcomes {
+            self.loads[load.shard] = load;
+            if first_err.is_none() {
+                if let Err(e) = result {
+                    first_err = Some(e);
                 }
             }
         }
-        Ok(())
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
-    /// Read-only access to a session's runtime.
+    /// Ships `f` to session `id`'s owning thread and runs it there with
+    /// a [`SessionCtx`] borrow. This replaces the single-threaded
+    /// design's `runtime()` / `engine()` accessors: the closure crosses
+    /// the channel (it is `Send`), the `!Send` session never does.
     ///
     /// # Errors
     ///
     /// [`ServerError::UnknownSession`].
-    pub fn runtime(&self, id: SessionId) -> Result<&Runtime, ServerError> {
-        Ok(self.session(id)?.runtime())
+    pub fn with_session<R, F>(&mut self, id: SessionId, f: F) -> Result<R, ServerError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut SessionCtx<'_>) -> R + Send + 'static,
+    {
+        let shard = *self
+            .placement
+            .get(&id)
+            .ok_or(ServerError::UnknownSession(id))?;
+        match &mut self.mode {
+            Mode::Inline(states) => match states[shard].sessions.get_mut(&id) {
+                Some(session) => Ok(f(&mut SessionCtx { id, shard, session })),
+                None => Err(ServerError::UnknownSession(id)),
+            },
+            Mode::Threaded { txs, .. } => {
+                let (reply, rx) = mpsc::channel::<Option<R>>();
+                let shipped: SessionFn = Box::new(move |found| {
+                    let _ = reply.send(
+                        found.map(|(session, shard)| f(&mut SessionCtx { id, shard, session })),
+                    );
+                });
+                txs[shard]
+                    .send(Cmd::With {
+                        shard,
+                        id,
+                        f: shipped,
+                    })
+                    .expect(WORKER_ALIVE);
+                rx.recv()
+                    .expect(WORKER_REPLIES)
+                    .ok_or(ServerError::UnknownSession(id))
+            }
+        }
     }
 
-    /// Mutable access to a session's runtime.
+    /// Runs `f` against session `id`'s runtime on its owning thread.
     ///
     /// # Errors
     ///
     /// [`ServerError::UnknownSession`].
-    pub fn runtime_mut(&mut self, id: SessionId) -> Result<&mut Runtime, ServerError> {
-        Ok(self.session_mut(id)?.runtime_mut())
+    pub fn with_runtime<R, F>(&mut self, id: SessionId, f: F) -> Result<R, ServerError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut Runtime) -> R + Send + 'static,
+    {
+        self.with_session(id, move |ctx| f(ctx.runtime_mut()))
     }
 
-    /// The session's adaptation daemon (shared handle).
+    /// Runs `f` against session `id`'s adaptation daemon on its owning
+    /// thread. Replaces the old `engine()` accessor, which leaked the
+    /// daemon's `Rc<RefCell<…>>` across the shard boundary.
     ///
     /// # Errors
     ///
     /// [`ServerError::UnknownSession`].
-    pub fn engine(&self, id: SessionId) -> Result<Rc<RefCell<AdaptiveEngine>>, ServerError> {
-        Ok(Rc::clone(&self.session(id)?.engine))
+    pub fn with_engine<R, F>(&mut self, id: SessionId, f: F) -> Result<R, ServerError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&AdaptiveEngine) -> R + Send + 'static,
+    {
+        self.with_session(id, move |ctx| ctx.engine(f))
     }
 
-    /// Mutable access to a CTP session's endpoint (send, drain, stats).
+    /// A snapshot of session `id`'s adaptation counters.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownSession`].
+    pub fn engine_stats(&mut self, id: SessionId) -> Result<AdaptStats, ServerError> {
+        self.with_engine(id, |e| e.stats())
+    }
+
+    /// Runs `f` against a CTP session's endpoint (send, drain, stats) on
+    /// its owning thread.
     ///
     /// # Errors
     ///
     /// [`ServerError::UnknownSession`]; [`ServerError::WrongKind`] for a
     /// non-CTP session.
-    pub fn ctp_mut(&mut self, id: SessionId) -> Result<&mut CtpEndpoint, ServerError> {
-        match &mut self.session_mut(id)?.kind {
-            SessionKind::Ctp(ep) => Ok(ep),
-            _ => Err(ServerError::WrongKind(id)),
+    pub fn with_ctp<R, F>(&mut self, id: SessionId, f: F) -> Result<R, ServerError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut CtpEndpoint) -> R + Send + 'static,
+    {
+        match self.with_session(id, move |ctx| ctx.ctp().map(f))? {
+            Some(r) => Ok(r),
+            None => Err(ServerError::WrongKind(id)),
         }
     }
 
-    /// Mutable access to a SecComm session's endpoint (push, pop).
+    /// Runs `f` against a SecComm session's endpoint (push, pop) on its
+    /// owning thread.
     ///
     /// # Errors
     ///
     /// [`ServerError::UnknownSession`]; [`ServerError::WrongKind`] for a
     /// non-SecComm session.
-    pub fn seccomm_mut(&mut self, id: SessionId) -> Result<&mut SecCommEndpoint, ServerError> {
-        match &mut self.session_mut(id)?.kind {
-            SessionKind::SecComm(ep) => Ok(ep),
-            _ => Err(ServerError::WrongKind(id)),
+    pub fn with_seccomm<R, F>(&mut self, id: SessionId, f: F) -> Result<R, ServerError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut SecCommEndpoint) -> R + Send + 'static,
+    {
+        match self.with_session(id, move |ctx| ctx.seccomm().map(f))? {
+            Some(r) => Ok(r),
+            None => Err(ServerError::WrongKind(id)),
         }
+    }
+
+    /// Fresh per-shard load readings (also refreshes the cache p2c
+    /// placement reads).
+    pub fn shard_loads(&mut self) -> Vec<ShardLoad> {
+        let loads: Vec<ShardLoad> = match &mut self.mode {
+            Mode::Inline(states) => states.iter().map(|s| s.load()).collect(),
+            Mode::Threaded { txs, .. } => {
+                let receivers: Vec<Receiver<ShardLoad>> = (0..txs.len())
+                    .map(|shard| {
+                        let (reply, rx) = mpsc::channel();
+                        txs[shard]
+                            .send(Cmd::Load { shard, reply })
+                            .expect(WORKER_ALIVE);
+                        rx
+                    })
+                    .collect();
+                receivers
+                    .into_iter()
+                    .map(|rx| rx.recv().expect(WORKER_REPLIES))
+                    .collect()
+            }
+        };
+        self.loads.clone_from(&loads);
+        loads
+    }
+
+    /// One placement-rebalancing step, intended for epoch boundaries:
+    /// picks the hottest shard (most dispatches, then most sessions) and
+    /// the coolest (fewest sessions, then fewest dispatches), and if the
+    /// hottest holds strictly more sessions, drains its lowest-id idle
+    /// plain session (nothing queued, nothing on timers) and restores it
+    /// on the coolest shard — same id, same bindings, same globals, same
+    /// virtual clock. The daemon's profile state restarts on the new
+    /// shard; a recurring phase re-specializes via the `ChainCache`
+    /// instead of a full `optimize` pass. Returns the migrated session,
+    /// if any. Deterministic: load inputs are virtual-clock counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a restore failure (the drained session is lost — it
+    /// cannot fail for specs the server itself produced).
+    pub fn rebalance(&mut self) -> Result<Option<SessionId>, ServerError> {
+        let loads = self.shard_loads();
+        if loads.len() < 2 {
+            return Ok(None);
+        }
+        let mut hot = 0usize;
+        let mut cool = 0usize;
+        for l in &loads[1..] {
+            let h = &loads[hot];
+            if (l.dispatched, l.sessions) > (h.dispatched, h.sessions) {
+                hot = l.shard;
+            }
+            let c = &loads[cool];
+            if (l.sessions, l.dispatched) < (c.sessions, c.dispatched) {
+                cool = l.shard;
+            }
+        }
+        if hot == cool || loads[hot].sessions <= loads[cool].sessions {
+            return Ok(None);
+        }
+        let drained = match &mut self.mode {
+            Mode::Inline(states) => states[hot].drain_idle(),
+            Mode::Threaded { txs, .. } => {
+                let (reply, rx) = mpsc::channel();
+                txs[hot]
+                    .send(Cmd::Drain { shard: hot, reply })
+                    .expect(WORKER_ALIVE);
+                rx.recv().expect(WORKER_REPLIES)
+            }
+        };
+        let Some((id, snap)) = drained else {
+            return Ok(None);
+        };
+        self.placement.remove(&id);
+        self.loads[hot].sessions = self.loads[hot].sessions.saturating_sub(1);
+        let restored = match &mut self.mode {
+            Mode::Inline(states) => states[cool].open(id, SessionSpec::Restore(snap)),
+            Mode::Threaded { txs, .. } => {
+                let (reply, rx) = mpsc::channel();
+                txs[cool]
+                    .send(Cmd::Open {
+                        shard: cool,
+                        id,
+                        spec: SessionSpec::Restore(snap),
+                        reply,
+                    })
+                    .expect(WORKER_ALIVE);
+                rx.recv().expect(WORKER_REPLIES)
+            }
+        };
+        restored?;
+        self.placement.insert(id, cool);
+        self.loads[cool].sessions += 1;
+        Ok(Some(id))
     }
 
     /// Scrapes every shard into one server-wide [`MetricsSnapshot`]:
     /// runtime dispatch counters and latency histograms, adaptation
-    /// counters/gauges, and protocol fault counters (CTP link faults and
-    /// backoff, SecComm MAC failures), every series labelled with its
-    /// `shard`. Sessions on the same shard aggregate by construction —
-    /// counters add and histograms merge — so this *is* the per-shard
-    /// rollup, and `MetricsSnapshot::merge` rolls servers up the same way.
+    /// counters/gauges (including chain-cache hits/misses/evictions),
+    /// shard load gauges (`pdo_server_queue_depth`,
+    /// `pdo_server_shard_busy_ns_total`), and protocol fault counters
+    /// (CTP link faults and backoff, SecComm MAC failures), every series
+    /// labelled with its `shard`. Sessions on the same shard aggregate
+    /// by construction — counters add and histograms merge — so this
+    /// *is* the per-shard rollup, and `MetricsSnapshot::merge` rolls
+    /// servers up the same way. Shards are scraped and merged in index
+    /// order, so the result is identical across thread counts (modulo
+    /// the wall-clock families, which `retain_families` can strip).
     pub fn metrics(&self) -> MetricsSnapshot {
         let mut snap = MetricsSnapshot::new();
-        for (shard_no, shard) in self.shards.iter().enumerate() {
-            let sh = shard_no.to_string();
-            let labels: [(&str, &str); 1] = [("shard", &sh)];
-            snap.gauge(
-                "pdo_server_sessions",
-                "Sessions resident on the shard",
-                &labels,
-                shard.sessions.len() as i64,
-            );
-            for session in shard.sessions.values() {
-                let rt = session.runtime();
-                rt.export_metrics(&mut snap, &labels);
-                session
-                    .engine
-                    .borrow()
-                    .export_metrics(rt, &mut snap, &labels);
-                match &session.kind {
-                    SessionKind::Plain(_) => {}
-                    SessionKind::Ctp(ep) => ep.stats().export_metrics(&mut snap, &labels),
-                    SessionKind::SecComm(ep) => snap.counter(
-                        "pdo_seccomm_mac_failures_total",
-                        "Inbound SecComm messages rejected by MAC verification",
-                        &labels,
-                        ep.mac_failures(),
-                    ),
+        match &self.mode {
+            Mode::Inline(states) => {
+                for state in states {
+                    snap.merge(&state.metrics());
+                }
+            }
+            Mode::Threaded { txs, .. } => {
+                let receivers: Vec<Receiver<MetricsSnapshot>> = (0..txs.len())
+                    .map(|shard| {
+                        let (reply, rx) = mpsc::channel();
+                        txs[shard]
+                            .send(Cmd::Metrics { shard, reply })
+                            .expect(WORKER_ALIVE);
+                        rx
+                    })
+                    .collect();
+                for rx in receivers {
+                    snap.merge(&rx.recv().expect(WORKER_REPLIES));
                 }
             }
         }
@@ -543,66 +1460,81 @@ impl Server {
     }
 
     /// Dumps the last `n` flight-recorder entries of every session that
-    /// has a hub attached, labelled by session id — the post-mortem
-    /// companion to [`Server::metrics`].
+    /// has a hub attached, labelled by session id and **sorted by
+    /// session id** (not shard layout), so the dump is byte-stable
+    /// across runs and thread counts — the post-mortem companion to
+    /// [`Server::metrics`].
     pub fn dump_flight_recorders(&self, n: usize) -> String {
-        let mut out = String::new();
-        for shard in &self.shards {
-            for (&id, session) in &shard.sessions {
-                if let Some(obs) = session.runtime().obs() {
-                    let dump = obs.dump(n);
-                    if !dump.is_empty() {
-                        out.push_str(&format!("--- session {id} (last {n} records) ---\n"));
-                        out.push_str(&dump);
-                    }
-                }
+        let mut dumps: Vec<(SessionId, String)> = match &self.mode {
+            Mode::Inline(states) => states.iter().flat_map(|s| s.dump(n)).collect(),
+            Mode::Threaded { txs, .. } => {
+                let receivers: Vec<Receiver<Vec<(SessionId, String)>>> = (0..txs.len())
+                    .map(|shard| {
+                        let (reply, rx) = mpsc::channel();
+                        txs[shard]
+                            .send(Cmd::Dump { shard, n, reply })
+                            .expect(WORKER_ALIVE);
+                        rx
+                    })
+                    .collect();
+                receivers
+                    .into_iter()
+                    .flat_map(|rx| rx.recv().expect(WORKER_REPLIES))
+                    .collect()
             }
+        };
+        dumps.sort_by_key(|(id, _)| *id);
+        let mut out = String::new();
+        for (id, dump) in dumps {
+            out.push_str(&format!("--- session {id} (last {n} records) ---\n"));
+            out.push_str(&dump);
         }
         out
     }
 
     /// A point-in-time snapshot of per-shard and per-session counters.
+    /// Shards are collected in index order and sessions sorted by id,
+    /// so two servers that executed the same workload produce equal
+    /// reports regardless of thread count.
     pub fn report(&self) -> ServerReport {
-        let mut report = ServerReport {
-            shards: (0..self.shards.len())
-                .map(|shard| ShardReport {
-                    shard,
-                    ..Default::default()
-                })
-                .collect(),
-            sessions: Vec::new(),
+        let per_shard: Vec<(ShardReport, Vec<SessionReport>)> = match &self.mode {
+            Mode::Inline(states) => states.iter().map(|s| s.report()).collect(),
+            Mode::Threaded { txs, .. } => {
+                let receivers: Vec<Receiver<(ShardReport, Vec<SessionReport>)>> = (0..txs.len())
+                    .map(|shard| {
+                        let (reply, rx) = mpsc::channel();
+                        txs[shard]
+                            .send(Cmd::Report { shard, reply })
+                            .expect(WORKER_ALIVE);
+                        rx
+                    })
+                    .collect();
+                receivers
+                    .into_iter()
+                    .map(|rx| rx.recv().expect(WORKER_REPLIES))
+                    .collect()
+            }
         };
-        for (shard_no, shard) in self.shards.iter().enumerate() {
-            let agg = &mut report.shards[shard_no];
-            agg.sessions = shard.sessions.len();
-            for (&id, session) in &shard.sessions {
-                let rt = session.runtime();
-                let adapt = session.engine.borrow().stats();
-                let row = SessionReport {
-                    session: id,
-                    shard: shard_no,
-                    // One registry lookup per generic dispatch; fast-path
-                    // dispatches skip the registry, so the sum counts
-                    // every dispatched event exactly once.
-                    dispatched: rt.cost.registry_lookups + rt.cost.fastpath_hits,
-                    fastpath_hits: rt.cost.fastpath_hits,
-                    guard_misses: rt.cost.fastpath_misses,
-                    chains_live: rt.spec().len(),
-                    adapt,
-                };
-                agg.dispatched += row.dispatched;
-                agg.fastpath_hits += row.fastpath_hits;
-                agg.guard_misses += row.guard_misses;
-                agg.chains_live += row.chains_live;
-                agg.adapt.epochs += adapt.epochs;
-                agg.adapt.reprofiles += adapt.reprofiles;
-                agg.adapt.chains_installed += adapt.chains_installed;
-                agg.adapt.chains_dropped += adapt.chains_dropped;
-                agg.adapt.despecialized += adapt.despecialized;
-                report.sessions.push(row);
+        let mut report = ServerReport::default();
+        for (shard, sessions) in per_shard {
+            report.shards.push(shard);
+            report.sessions.extend(sessions);
+        }
+        report.sessions.sort_by_key(|row| row.session);
+        report
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if let Mode::Threaded { txs, handles } = &mut self.mode {
+            // Closing every sender ends each worker's recv loop; the
+            // worker then drops its shards on its own thread.
+            txs.clear();
+            for handle in handles.drain(..) {
+                let _ = handle.join();
             }
         }
-        report
     }
 }
 
@@ -654,25 +1586,39 @@ mod tests {
     }
 
     #[test]
-    fn session_placement_is_deterministic_and_spread() {
-        let server = Server::new(ServerConfig {
-            shards: 4,
-            ..Default::default()
-        });
+    fn p2c_placement_is_deterministic_and_spread() {
+        let (m, [a, b], _) = two_chain_module();
+        let open_all = |threads: usize| {
+            let mut server = Server::new(ServerConfig {
+                shards: 4,
+                threads,
+                adapt: fast_adapt(),
+                ..Default::default()
+            });
+            let mut shards = Vec::new();
+            for _ in 0..16 {
+                let id = server
+                    .open_session(m.clone(), RuntimeConfig::default(), &bindings(&m, a, b))
+                    .unwrap();
+                shards.push(server.shard_of(id));
+            }
+            shards
+        };
+        let inline = open_all(1);
+        let threaded = open_all(4);
+        assert_eq!(inline, threaded, "placement is thread-count independent");
         let mut seen = [0usize; 4];
-        for i in 1..=64 {
-            let shard = server.shard_of(SessionId(i));
-            assert_eq!(shard, server.shard_of(SessionId(i)), "stable");
-            seen[shard] += 1;
+        for &s in &inline {
+            seen[s] += 1;
         }
-        assert!(
-            seen.iter().all(|&n| n > 0),
-            "64 ids must reach every one of 4 shards: {seen:?}"
-        );
+        // P2c over session counts keeps the spread tight: every shard is
+        // populated and no shard is more than two sessions over even.
+        assert!(seen.iter().all(|&n| n > 0), "p2c spreads: {seen:?}");
+        assert!(*seen.iter().max().unwrap() <= 6, "p2c balances: {seen:?}");
     }
 
     #[test]
-    fn sessions_land_on_their_hashed_shard_and_close() {
+    fn sessions_report_their_shard_and_close() {
         let (m, [a, b], _) = two_chain_module();
         let mut server = Server::new(ServerConfig {
             shards: 3,
@@ -692,6 +1638,10 @@ mod tests {
         for row in &report.sessions {
             assert_eq!(row.shard, server.shard_of(row.session));
         }
+        let sorted: Vec<SessionId> = report.sessions.iter().map(|r| r.session).collect();
+        let mut expect = sorted.clone();
+        expect.sort();
+        assert_eq!(sorted, expect, "report rows sorted by session id");
         assert!(server.close_session(ids[0]));
         assert!(!server.close_session(ids[0]), "already closed");
         assert_eq!(server.sessions().len(), 8);
@@ -724,12 +1674,30 @@ mod tests {
         }
         server.run_until(80 * 100 + 1).unwrap();
 
-        assert!(server.runtime(s1).unwrap().spec().get(a).is_some());
-        assert!(server.runtime(s1).unwrap().spec().get(b).is_none());
-        assert!(server.runtime(s2).unwrap().spec().get(b).is_some());
-        assert!(server.runtime(s2).unwrap().spec().get(a).is_none());
-        assert_eq!(server.runtime(s1).unwrap().global(ga), &Value::Int(80 * 3));
-        assert_eq!(server.runtime(s2).unwrap().global(gb), &Value::Int(80 * 3));
+        let (sa, sb) = server
+            .with_runtime(s1, move |rt| {
+                (rt.spec().get(a).is_some(), rt.spec().get(b).is_some())
+            })
+            .unwrap();
+        assert!(sa && !sb);
+        let (sb2, sa2) = server
+            .with_runtime(s2, move |rt| {
+                (rt.spec().get(b).is_some(), rt.spec().get(a).is_some())
+            })
+            .unwrap();
+        assert!(sb2 && !sa2);
+        assert_eq!(
+            server
+                .with_runtime(s1, move |rt| rt.global(ga).clone())
+                .unwrap(),
+            Value::Int(80 * 3)
+        );
+        assert_eq!(
+            server
+                .with_runtime(s2, move |rt| rt.global(gb).clone())
+                .unwrap(),
+            Value::Int(80 * 3)
+        );
 
         let report = server.report();
         assert_eq!(report.sessions.len(), 2);
@@ -742,14 +1710,16 @@ mod tests {
             assert!(row.adapt.reprofiles >= 1);
             assert_eq!(row.chains_live, 1);
         }
-        // The scrape exposes per-shard series: each session hashed onto a
-        // different shard, so both shard labels appear, and the summed
+        // The scrape exposes per-shard series: the two sessions sit on
+        // different shards, so both shard labels appear, and the summed
         // fast-path counter matches the report.
         let snap = server.metrics();
         let text = snap.render();
         assert!(text.contains("shard=\"0\"") && text.contains("shard=\"1\""));
         assert!(text.contains("# TYPE pdo_dispatch_fastpath_total counter"));
         assert!(text.contains("# TYPE pdo_dispatch_latency_ns summary"));
+        assert!(text.contains("# TYPE pdo_server_queue_depth gauge"));
+        assert!(text.contains("# TYPE pdo_server_shard_busy_ns_total counter"));
         let fast: u64 = (0..2)
             .map(|s| {
                 snap.counter_value("pdo_dispatch_fastpath_total", &[("shard", &s.to_string())])
@@ -780,7 +1750,7 @@ mod tests {
             .unwrap();
         // No events at all: run_until pads the clock, so epochs still fire.
         server.run_until(10_000).unwrap();
-        assert!(server.engine(sid).unwrap().borrow().stats().epochs > 0);
+        assert!(server.engine_stats(sid).unwrap().epochs > 0);
     }
 
     #[test]
@@ -791,12 +1761,99 @@ mod tests {
             .open_session(m.clone(), RuntimeConfig::default(), &bindings(&m, a, b))
             .unwrap();
         assert!(matches!(
-            server.ctp_mut(sid),
+            server.with_ctp(sid, |ep| ep.stats()),
             Err(ServerError::WrongKind(_))
         ));
         assert!(matches!(
-            server.seccomm_mut(sid),
+            server.with_seccomm(sid, |ep| ep.mac_failures()),
             Err(ServerError::WrongKind(_))
         ));
+    }
+
+    #[test]
+    fn threaded_mode_matches_inline_report() {
+        let (m, [a, b], _) = two_chain_module();
+        let run = |threads: usize| {
+            let mut server = Server::new(ServerConfig {
+                shards: 4,
+                threads,
+                adapt: fast_adapt(),
+                ..Default::default()
+            });
+            let mut ids = Vec::new();
+            for _ in 0..8 {
+                ids.push(
+                    server
+                        .open_session(m.clone(), RuntimeConfig::default(), &bindings(&m, a, b))
+                        .unwrap(),
+                );
+            }
+            for (k, &id) in ids.iter().enumerate() {
+                let event = if k % 2 == 0 { a } else { b };
+                let delays: Vec<u64> = (0..60u64).map(|i| i * 50 + 50).collect();
+                server.submit_batch(id, event, &delays).unwrap();
+            }
+            server.run_until(60 * 50 + 1).unwrap();
+            server.report()
+        };
+        assert_eq!(run(1), run(4), "threads are observationally invisible");
+    }
+
+    #[test]
+    fn rebalance_migrates_an_idle_session_off_the_hottest_shard() {
+        let (m, [a, b], [ga, _]) = two_chain_module();
+        let mut server = Server::new(ServerConfig {
+            shards: 2,
+            adapt: fast_adapt(),
+            ..Default::default()
+        });
+        let binds = bindings(&m, a, b);
+        let mut ids = Vec::new();
+        for _ in 0..3 {
+            ids.push(
+                server
+                    .open_session(m.clone(), RuntimeConfig::default(), &binds)
+                    .unwrap(),
+            );
+        }
+        // P2c leaves one shard with two sessions. Hammer one session on
+        // that shard so it is also the hottest.
+        let crowded = (0..2)
+            .find(|&s| ids.iter().filter(|&&id| server.shard_of(id) == s).count() == 2)
+            .expect("one shard holds two of three sessions");
+        let victim = *ids
+            .iter()
+            .find(|&&id| server.shard_of(id) == crowded)
+            .unwrap();
+        for i in 0..40u64 {
+            server.submit(victim, a, i * 100 + 100, &[]).unwrap();
+        }
+        server.run_until(40 * 100 + 1).unwrap();
+
+        let migrated = server.rebalance().unwrap().expect("a session migrates");
+        assert_eq!(
+            server.shard_of(migrated),
+            1 - crowded,
+            "migrated to the cooler shard"
+        );
+        let counts: Vec<usize> = (0..2)
+            .map(|s| ids.iter().filter(|&&id| server.shard_of(id) == s).count())
+            .collect();
+        assert!(
+            counts.iter().all(|&n| n >= 1),
+            "both shards stay populated: {counts:?}"
+        );
+        // State survives the move: globals, clock, and liveness.
+        let acc = server
+            .with_runtime(migrated, move |rt| rt.global(ga).clone())
+            .unwrap();
+        if migrated == victim {
+            assert_eq!(acc, Value::Int(40 * 3));
+        } else {
+            assert_eq!(acc, Value::Int(0));
+        }
+        server.raise_sync(migrated, a, &[]).unwrap();
+        let report = server.report();
+        assert_eq!(report.sessions.len(), 3);
     }
 }

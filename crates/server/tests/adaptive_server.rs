@@ -135,15 +135,32 @@ proptest! {
             }
         }
 
-        let rt = server.runtime(sid).unwrap();
-        prop_assert!(rt.spec().get(b).is_some(), "B specialized after shift");
-        prop_assert!(rt.spec().get(a).is_none(), "A despecialized after shift");
-        prop_assert!(rt.cost.fastpath_hits > 0, "chains actually used");
-        for i in 0..m.globals.len() {
-            let g = pdo_ir::GlobalId::from_index(i);
-            prop_assert_eq!(rt.global(g), reference.global(g), "global {}", i);
+        let n_globals = m.globals.len();
+        let (spec_b, spec_a, fastpath_hits, globals) = server
+            .with_runtime(sid, move |rt| {
+                let globals: Vec<Value> = (0..n_globals)
+                    .map(|i| rt.global(pdo_ir::GlobalId::from_index(i)).clone())
+                    .collect();
+                (
+                    rt.spec().get(b).is_some(),
+                    rt.spec().get(a).is_some(),
+                    rt.cost.fastpath_hits,
+                    globals,
+                )
+            })
+            .unwrap();
+        prop_assert!(spec_b, "B specialized after shift");
+        prop_assert!(!spec_a, "A despecialized after shift");
+        prop_assert!(fastpath_hits > 0, "chains actually used");
+        for (i, g) in globals.iter().enumerate() {
+            prop_assert_eq!(
+                g,
+                reference.global(pdo_ir::GlobalId::from_index(i)),
+                "global {}",
+                i
+            );
         }
-        let stats = server.engine(sid).unwrap().borrow().stats();
+        let stats = server.engine_stats(sid).unwrap();
         prop_assert!(stats.chains_dropped >= 1, "A's chain was dropped");
     }
 }
@@ -151,8 +168,11 @@ proptest! {
 #[test]
 fn ctp_sessions_are_shard_resident_and_adapt() {
     let program = ctp_program();
+    // Threaded on purpose: the protocol endpoint lives on a worker
+    // thread and every interaction below crosses the command channel.
     let mut server = Server::new(ServerConfig {
         shards: 2,
+        threads: 2,
         adapt: AdaptConfig {
             epoch_ns: 50_000_000,
             min_fresh_events: 40,
@@ -166,20 +186,23 @@ fn ctp_sessions_are_shard_resident_and_adapt() {
         .unwrap();
 
     for i in 0..30u64 {
+        let payload = vec![i as u8; 300];
         server
-            .ctp_mut(sid)
+            .with_ctp(sid, move |ep| ep.send(&payload))
             .unwrap()
-            .send(&vec![i as u8; 300])
             .unwrap();
         server.run_until((i + 1) * 40_000_000).unwrap();
     }
-    server.ctp_mut(sid).unwrap().drain(2_000_000_000).unwrap();
+    server
+        .with_ctp(sid, |ep| ep.drain(2_000_000_000))
+        .unwrap()
+        .unwrap();
 
-    let stats = server.ctp_mut(sid).unwrap().stats();
+    let stats = server.with_ctp(sid, |ep| ep.stats()).unwrap();
     assert_eq!(stats.segments_acked, stats.segments_sent);
     assert!(stats.segments_sent >= 30);
 
-    let adapt = server.engine(sid).unwrap().borrow().stats();
+    let adapt = server.engine_stats(sid).unwrap();
     assert!(
         adapt.epochs > 0,
         "epochs fired inside the protocol's run_until"
@@ -201,6 +224,7 @@ fn seccomm_sessions_roundtrip_across_adaptation() {
     let keys = Keys::default();
     let mut server = Server::new(ServerConfig {
         shards: 2,
+        threads: 2,
         adapt: AdaptConfig {
             epoch_ns: 1_000,
             min_fresh_events: 30,
@@ -221,28 +245,41 @@ fn seccomm_sessions_roundtrip_across_adaptation() {
     for round in 0..20u64 {
         for k in 0..8u64 {
             let msg = vec![(round * 8 + k) as u8; 48];
-            let wire = server.seccomm_mut(tx).unwrap().push(&msg).unwrap();
-            let plain = server.seccomm_mut(rx).unwrap().pop(&wire).unwrap();
+            let pushed = msg.clone();
+            let wire = server
+                .with_seccomm(tx, move |ep| ep.push(&pushed))
+                .unwrap()
+                .unwrap();
+            let plain = server
+                .with_seccomm(rx, move |ep| ep.pop(&wire))
+                .unwrap()
+                .unwrap();
             assert_eq!(plain, msg, "round {round} msg {k}");
         }
         server.run_until((round + 1) * 2_000).unwrap();
     }
 
-    let tx_adapt = server.engine(tx).unwrap().borrow().stats();
+    let tx_adapt = server.engine_stats(tx).unwrap();
     assert!(tx_adapt.epochs > 0);
     assert!(
         tx_adapt.reprofiles >= 1,
         "the encode chain is hot enough to re-profile: {tx_adapt:?}"
     );
     assert!(
-        server.runtime(tx).unwrap().cost.fastpath_hits > 0,
+        server.with_runtime(tx, |rt| rt.cost.fastpath_hits).unwrap() > 0,
         "post-swap pushes take the compiled chain"
     );
     // Tampering is still caught after the swap.
-    let mut evil = server.seccomm_mut(tx).unwrap().push(b"payload").unwrap();
+    let mut evil = server
+        .with_seccomm(tx, |ep| ep.push(b"payload"))
+        .unwrap()
+        .unwrap();
     evil[0] ^= 0x80;
-    assert!(server.seccomm_mut(rx).unwrap().pop(&evil).is_err());
-    assert_eq!(server.seccomm_mut(rx).unwrap().mac_failures(), 1);
+    assert!(server
+        .with_seccomm(rx, move |ep| ep.pop(&evil))
+        .unwrap()
+        .is_err());
+    assert_eq!(server.with_seccomm(rx, |ep| ep.mac_failures()).unwrap(), 1);
 }
 
 #[test]
@@ -251,6 +288,7 @@ fn mixed_fleet_report_is_consistent() {
     let program = ctp_program();
     let mut server = Server::new(ServerConfig {
         shards: 3,
+        threads: 3,
         adapt: fast_adapt(),
         ..Default::default()
     });
@@ -286,6 +324,8 @@ fn mixed_fleet_report_is_consistent() {
         "every session accounted to exactly one shard"
     );
     for &sid in &plain {
-        assert!(server.runtime(sid).unwrap().spec().get(a).is_some());
+        assert!(server
+            .with_runtime(sid, move |rt| rt.spec().get(a).is_some())
+            .unwrap());
     }
 }

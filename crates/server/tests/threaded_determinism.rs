@@ -1,0 +1,161 @@
+//! Shard confinement makes parallelism observationally invisible: a
+//! seeded workload driven through the threaded server must yield an
+//! aggregate `ServerReport`, a merged `MetricsSnapshot`, and a
+//! flight-recorder dump identical to the single-thread (`threads = 1`)
+//! path. The only series allowed to differ are the two wall-clock
+//! families (`pdo_adapt_reprofile_wall_ns`, the daemon's host-time
+//! profiling histogram, and `pdo_server_shard_busy_ns_total`, the shard
+//! busy gauge), which `MetricsSnapshot::retain_families` strips before
+//! comparison — everything the virtual clock governs must agree.
+
+use pdo::{AdaptConfig, OptimizeOptions};
+use pdo_events::RuntimeConfig;
+use pdo_ir::{BinOp, EventId, FuncId, FunctionBuilder, Module, Value};
+use pdo_server::{Server, ServerConfig, ServerReport, SessionId};
+use proptest::prelude::*;
+
+/// Two independent events; handler `k` of each adds `k` to its event's
+/// accumulator, so one dispatch of [h1, h2] adds 3.
+fn two_chain_module() -> (Module, [EventId; 2]) {
+    let mut m = Module::new();
+    let a = m.add_event("A");
+    let b = m.add_event("B");
+    let ga = m.add_global("acc_a", Value::Int(0));
+    let gb = m.add_global("acc_b", Value::Int(0));
+    let adder = |m: &mut Module, name: &str, g: pdo_ir::GlobalId, d: i64| {
+        let mut fb = FunctionBuilder::new(name, 0);
+        let v = fb.load_global(g);
+        let dd = fb.const_int(d);
+        let o = fb.bin(BinOp::Add, v, dd);
+        fb.store_global(g, o);
+        fb.ret(None);
+        m.add_function(fb.finish())
+    };
+    adder(&mut m, "a1", ga, 1);
+    adder(&mut m, "a2", ga, 2);
+    adder(&mut m, "b1", gb, 1);
+    adder(&mut m, "b2", gb, 2);
+    (m, [a, b])
+}
+
+fn bindings(m: &Module, a: EventId, b: EventId) -> Vec<(EventId, FuncId, i32)> {
+    vec![
+        (a, m.function_by_name("a1").unwrap(), 0),
+        (a, m.function_by_name("a2").unwrap(), 1),
+        (b, m.function_by_name("b1").unwrap(), 0),
+        (b, m.function_by_name("b2").unwrap(), 1),
+    ]
+}
+
+fn fast_adapt() -> AdaptConfig {
+    AdaptConfig {
+        epoch_ns: 1_000,
+        min_fresh_events: 20,
+        opts: OptimizeOptions::new(10),
+        ..Default::default()
+    }
+}
+
+/// One seeded workload: per-session event choice and burst size, shared
+/// spacing, a number of phases (the event flips each phase so the
+/// adaptation loop re-specializes), and whether to close a session at
+/// the end. Everything the drive does is derived from this data, so
+/// both servers replay it bit-for-bit.
+#[derive(Debug, Clone)]
+struct Case {
+    sessions: Vec<(bool, u64)>,
+    spacing: u64,
+    phases: usize,
+    close_one: bool,
+}
+
+/// Flight-recorder timestamps are virtual, but reprofile records carry
+/// their wall-clock duration (`took=…ns`) inline; blank it so dumps
+/// compare byte-for-byte across thread counts.
+fn scrub_wall_ns(dump: &str) -> String {
+    let mut out = String::with_capacity(dump.len());
+    for line in dump.lines() {
+        match line.find("took=") {
+            Some(i) => {
+                out.push_str(&line[..i]);
+                out.push_str("took=_");
+                let rest = &line[i + "took=".len()..];
+                out.push_str(rest.trim_start_matches(|c: char| c.is_ascii_digit()));
+            }
+            None => out.push_str(line),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The full observable surface after driving `case` on `threads`
+/// workers: the aggregate report, the (wall-clock-stripped) metrics
+/// exposition, and the flight-recorder dump.
+fn drive(threads: usize, case: &Case) -> (ServerReport, String, String) {
+    let (m, [a, b]) = two_chain_module();
+    let mut server = Server::new(ServerConfig {
+        shards: 4,
+        threads,
+        adapt: fast_adapt(),
+        ..Default::default()
+    });
+    let sids: Vec<SessionId> = case
+        .sessions
+        .iter()
+        .map(|_| {
+            server
+                .open_session(m.clone(), RuntimeConfig::default(), &bindings(&m, a, b))
+                .unwrap()
+        })
+        .collect();
+    let mut deadline = 0u64;
+    for phase in 0..case.phases {
+        let mut phase_end = deadline + 1;
+        for (k, &(use_b, burst)) in case.sessions.iter().enumerate() {
+            let flipped = use_b ^ (phase % 2 == 1);
+            let event = if flipped { b } else { a };
+            let delays: Vec<u64> = (0..burst).map(|i| i * case.spacing + 1).collect();
+            server.submit_batch(sids[k], event, &delays).unwrap();
+            phase_end = phase_end.max(deadline + burst * case.spacing + 1);
+        }
+        deadline = phase_end;
+        server.run_until(deadline).unwrap();
+        // Epoch-boundary rebalancing is part of the observable surface:
+        // it must pick the same shard pair and migrate the same session
+        // regardless of thread count.
+        server.rebalance().unwrap();
+    }
+    if case.close_one && sids.len() > 1 {
+        assert!(server.close_session(sids[0]));
+    }
+    let report = server.report();
+    let mut snap = server.metrics();
+    snap.retain_families(|name| {
+        name != "pdo_adapt_reprofile_wall_ns" && name != "pdo_server_shard_busy_ns_total"
+    });
+    (
+        report,
+        snap.render(),
+        scrub_wall_ns(&server.dump_flight_recorders(8)),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn threaded_server_is_observationally_identical_to_inline(
+        sessions in prop::collection::vec((any::<bool>(), 30u64..70), 2..6),
+        spacing in prop_oneof![Just(50u64), Just(100), Just(150)],
+        phases in 1usize..3,
+        close_one in any::<bool>(),
+    ) {
+        let case = Case { sessions, spacing, phases, close_one };
+        let (inline_report, inline_metrics, inline_dump) = drive(1, &case);
+        let (threaded_report, threaded_metrics, threaded_dump) = drive(4, &case);
+        prop_assert_eq!(inline_report, threaded_report, "aggregate reports differ");
+        prop_assert_eq!(inline_metrics, threaded_metrics, "merged metrics differ");
+        prop_assert_eq!(inline_dump, threaded_dump, "flight-recorder dumps differ");
+    }
+}

@@ -49,8 +49,12 @@ fn hot_module() -> (Module, EventId, Vec<(EventId, FuncId, i32)>) {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two shards on two worker threads: every runtime below is built and
+    // driven on a shard-owned thread; this coordinator only ships
+    // commands and closures over the per-shard channels.
     let mut server = Server::new(ServerConfig {
         shards: 2,
+        threads: 2,
         adapt: AdaptConfig {
             epoch_ns: 1_000,
             min_fresh_events: 20,
@@ -86,7 +90,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     for i in 0..6u64 {
         let payload = vec![i as u8; 40 + i as usize * 17];
-        let _ = server.ctp_mut(ctp)?.send(&payload);
+        let _ = server.with_ctp(ctp, move |ep| ep.send(&payload))?;
         let _ = server.run_until(8_001 + (i + 1) * 50_000_000);
     }
 
@@ -98,7 +102,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut wire = sender.push(b"tamper with me")?;
     let mid = wire.len() / 2;
     wire[mid] ^= 0xFF;
-    let _ = server.seccomm_mut(sec)?.pop(&wire);
+    let _ = server.with_seccomm(sec, move |ep| ep.pop(&wire))?;
 
     // --- 1. The scrape: one snapshot, every layer, every shard. ---------
     println!("==== metrics scrape ====");

@@ -98,8 +98,11 @@ fn bindings(m: &Module, a: EventId, b: EventId) -> Vec<(EventId, FuncId, i32)> {
 
 #[test]
 fn live_server_scrape_covers_every_layer() {
+    // Threaded on purpose: the scrape and the flight-recorder dump must
+    // cross the shard command channels and still cover every layer.
     let mut server = Server::new(ServerConfig {
         shards: 2,
+        threads: 2,
         adapt: AdaptConfig {
             epoch_ns: 1_000,
             min_fresh_events: 20,
@@ -141,7 +144,7 @@ fn live_server_scrape_covers_every_layer() {
         .unwrap();
     for i in 0..6u64 {
         let payload = vec![i as u8; 40 + i as usize * 17];
-        let _ = server.ctp_mut(ctp).unwrap().send(&payload);
+        let _ = server.with_ctp(ctp, move |ep| ep.send(&payload)).unwrap();
         let _ = server.run_until(8_001 + (i + 1) * 50_000_000);
     }
 
@@ -154,7 +157,10 @@ fn live_server_scrape_covers_every_layer() {
     let mut wire = sender.push(b"tamper with me").unwrap();
     let mid = wire.len() / 2;
     wire[mid] ^= 0xFF;
-    assert!(server.seccomm_mut(sec).unwrap().pop(&wire).is_err());
+    assert!(server
+        .with_seccomm(sec, move |ep| ep.pop(&wire))
+        .unwrap()
+        .is_err());
 
     let snap = server.metrics();
     let text = snap.render();
