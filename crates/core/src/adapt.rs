@@ -37,12 +37,12 @@
 //! session state.
 
 use crate::heal::SelfHealer;
-use crate::quarantine::QuarantineConfig;
+use crate::quarantine::{QuarantineConfig, QuarantineEntry};
 use crate::{optimize, Optimization, OptimizeOptions};
 use pdo_events::{Registry, Runtime, TraceConfig};
 use pdo_ir::{EventId, Module};
 use pdo_obs::{Histogram, MetricsSnapshot, ObsKind};
-use pdo_profile::{Profile, ProfileBuilder};
+use pdo_profile::{BuilderState, Profile, ProfileBuilder};
 use std::cell::RefCell;
 use std::collections::BTreeSet;
 use std::rc::Rc;
@@ -299,6 +299,30 @@ impl AdaptStats {
     }
 }
 
+/// Serializable state of one [`AdaptiveEngine`], captured at an epoch
+/// boundary (when the trace window and stats delta have just been
+/// drained, so nothing in-flight is lost). A restored engine *resumes*
+/// specialization: the decaying profile accumulators, the cumulative
+/// adaptation counters, the trace duty-cycle position, and every
+/// quarantine strike/backoff carry over.
+///
+/// Deliberately **not** captured — each is rebuilt deterministically or
+/// is diagnostic-only: compiled chains (the next re-profile rebuilds them
+/// from the carried profile), the [`ChainCache`] (a warm-start cache),
+/// the reprofile wall-clock histogram (wall time is nondeterministic),
+/// and the healer's chain records (recaptured at the next deploy).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EngineSnapshot {
+    /// Decaying profile accumulators ([`ProfileBuilder`] state).
+    pub profile: BuilderState,
+    /// Cumulative adaptation counters (cache counters folded in).
+    pub stats: AdaptStats,
+    /// Trace duty-cycle position (epochs left asleep; 0 = sampling).
+    pub sleep_remaining: u32,
+    /// Per-event quarantine entries in id order.
+    pub quarantine: Vec<(EventId, QuarantineEntry)>,
+}
+
 /// Per-session state of the adaptive-specialization daemon.
 #[derive(Debug)]
 pub struct AdaptiveEngine {
@@ -318,6 +342,10 @@ pub struct AdaptiveEngine {
     /// Previously built optimizations, keyed by profile shape and binding
     /// versions, so oscillating phases skip `optimize`.
     cache: ChainCache,
+    /// Quarantine entries carried across a snapshot/restore cycle, adopted
+    /// by the healer the next time chains deploy (the healer itself only
+    /// exists once a re-profile has run).
+    restored_quarantine: Option<Vec<(EventId, QuarantineEntry)>>,
 }
 
 impl AdaptiveEngine {
@@ -333,6 +361,7 @@ impl AdaptiveEngine {
             sleep_remaining: 0,
             reprofile_wall_ns: Histogram::new(),
             cache: ChainCache::new(config.chain_cache),
+            restored_quarantine: None,
         }
     }
 
@@ -365,13 +394,65 @@ impl AdaptiveEngine {
         engine
     }
 
-    /// Adaptation counters so far (cache counters folded in).
+    /// Captures the engine's serializable state. Meaningful at an epoch
+    /// boundary, where the trace window and stats delta have just been
+    /// drained into the builder — snapshotting mid-epoch loses only that
+    /// partial window, never corrupts.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            profile: self.builder.export_state(),
+            stats: self.stats(),
+            sleep_remaining: self.sleep_remaining,
+            quarantine: match &self.healer {
+                Some(h) => h.quarantine().export_entries(),
+                None => self.restored_quarantine.clone().unwrap_or_default(),
+            },
+        }
+    }
+
+    /// Rebuilds an engine from a snapshot: profile accumulators, counters,
+    /// duty-cycle position, and quarantine entries resume; chains and the
+    /// cache rebuild at the next re-profile.
+    pub fn from_snapshot(base: Module, config: AdaptConfig, snap: EngineSnapshot) -> Self {
+        AdaptiveEngine {
+            base,
+            config,
+            builder: ProfileBuilder::from_state(snap.profile),
+            healer: None,
+            stats: snap.stats,
+            sleep_remaining: snap.sleep_remaining,
+            reprofile_wall_ns: Histogram::new(),
+            cache: ChainCache::new(config.chain_cache),
+            restored_quarantine: (!snap.quarantine.is_empty()).then_some(snap.quarantine),
+        }
+    }
+
+    /// Rebuilds an engine from `snap` and attaches it to `rt`, honoring a
+    /// mid-sleep trace duty cycle (the tracer stays off until the carried
+    /// sleep count runs out).
+    pub fn attach_restored(
+        rt: &mut Runtime,
+        base: Module,
+        config: AdaptConfig,
+        snap: EngineSnapshot,
+    ) -> Rc<RefCell<Self>> {
+        let engine = Rc::new(RefCell::new(Self::from_snapshot(base, config, snap)));
+        Self::attach(Rc::clone(&engine), rt);
+        if engine.borrow().sleep_remaining > 0 {
+            rt.set_trace_config(TraceConfig::off());
+        }
+        engine
+    }
+
+    /// Adaptation counters so far (cache counters folded in). The base
+    /// cache fields are zero on a fresh engine; a restored engine carries
+    /// its pre-snapshot totals there, and the live cache adds on top.
     pub fn stats(&self) -> AdaptStats {
         AdaptStats {
-            cache_hits: self.cache.hits(),
-            cache_misses: self.cache.misses(),
-            cache_evictions: self.cache.evictions(),
-            cache_invalidations: self.cache.invalidations(),
+            cache_hits: self.stats.cache_hits + self.cache.hits(),
+            cache_misses: self.stats.cache_misses + self.cache.misses(),
+            cache_evictions: self.stats.cache_evictions + self.cache.evictions(),
+            cache_invalidations: self.stats.cache_invalidations + self.cache.invalidations(),
             ..self.stats
         }
     }
@@ -516,6 +597,20 @@ impl AdaptiveEngine {
         }
         rt.replace_module(opt.module.clone());
 
+        // The healer (re)binds before the install loop so the quarantine
+        // check below sees every entry — including strikes and backoffs
+        // carried across a snapshot/restore cycle, adopted here on the
+        // first deploy of a restored session.
+        match self.healer.as_mut() {
+            Some(h) => h.rebind(&opt, rt.registry()),
+            None => {
+                let mut h = SelfHealer::new(self.config.quarantine, &opt, rt.registry());
+                if let Some(entries) = self.restored_quarantine.take() {
+                    h.quarantine_mut().restore_entries(entries);
+                }
+                self.healer = Some(h);
+            }
+        }
         let now = rt.clock_ns();
         for chain in &opt.chains {
             let quarantined = self
@@ -534,12 +629,6 @@ impl AdaptiveEngine {
                         event: chain.head.0,
                     },
                 );
-            }
-        }
-        match self.healer.as_mut() {
-            Some(h) => h.rebind(&opt, rt.registry()),
-            None => {
-                self.healer = Some(SelfHealer::new(self.config.quarantine, &opt, rt.registry()));
             }
         }
         self.note_reprofile(rt, started, opt.chains.len() as u32);
@@ -576,25 +665,25 @@ impl AdaptiveEngine {
             "pdo_adapt_cache_hits_total",
             "Re-profiles served from the specialization cache",
             extra,
-            self.cache.hits(),
+            self.stats.cache_hits + self.cache.hits(),
         );
         snap.counter(
             "pdo_adapt_cache_misses_total",
             "Re-profiles that had to run the optimizer",
             extra,
-            self.cache.misses(),
+            self.stats.cache_misses + self.cache.misses(),
         );
         snap.counter(
             "pdo_adapt_cache_evictions_total",
             "Specialization-cache entries evicted by the LRU bound",
             extra,
-            self.cache.evictions(),
+            self.stats.cache_evictions + self.cache.evictions(),
         );
         snap.counter(
             "pdo_adapt_cache_invalidations_total",
             "Specialization-cache entries dropped for staleness",
             extra,
-            self.cache.invalidations(),
+            self.stats.cache_invalidations + self.cache.invalidations(),
         );
         snap.counter(
             "pdo_adapt_sampled_epochs_total",
@@ -1035,6 +1124,91 @@ mod tests {
         assert!(
             stats.cache_misses >= 1,
             "version churn must force at least one rebuild: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_specialization_and_quarantine() {
+        let (m, [a, b], _) = two_chain_module();
+        let adapt_config = AdaptConfig {
+            quarantine: QuarantineConfig {
+                fault_threshold: 2,
+                base_backoff_ns: 1_000_000,
+                ..Default::default()
+            },
+            ..config()
+        };
+        let mut rt = Runtime::with_config(
+            m.clone(),
+            RuntimeConfig {
+                fault_policy: FaultPolicy::Despecialize,
+                ..Default::default()
+            },
+        );
+        bind_all(&mut rt, &m, a, b);
+        let engine = AdaptiveEngine::attach_new(&mut rt, adapt_config);
+        drive(&mut rt, a, 60);
+        assert!(rt.spec().get(a).is_some());
+        // Quarantine A with a long backoff, then let an epoch process it.
+        rt.set_fault_injector(FaultInjector::from_plan((0..3).map(|i| FaultSpec {
+            event: a,
+            occurrence: i,
+            kind: FaultKind::TrapDispatch,
+        })));
+        drive(&mut rt, a, 3);
+        drive(&mut rt, b, 30);
+        let until = engine
+            .borrow()
+            .healer()
+            .expect("healer deployed")
+            .quarantine()
+            .quarantined_until(a)
+            .expect("A quarantined");
+        let snap = engine.borrow().snapshot();
+        assert!(snap.stats.epochs > 0);
+        assert_eq!(
+            snap.quarantine
+                .iter()
+                .find(|(e, _)| *e == a)
+                .map(|(_, q)| q.until_ns,),
+            Some(Some(until))
+        );
+
+        // Restore into a fresh runtime at the same virtual time.
+        let clock = rt.clock_ns();
+        let mut rt2 = Runtime::with_config(
+            m.clone(),
+            RuntimeConfig {
+                fault_policy: FaultPolicy::Despecialize,
+                ..Default::default()
+            },
+        );
+        bind_all(&mut rt2, &m, a, b);
+        rt2.advance_clock(clock);
+        let engine2 =
+            AdaptiveEngine::attach_restored(&mut rt2, m.clone(), adapt_config, snap.clone());
+        assert_eq!(engine2.borrow().snapshot(), snap, "round trip is exact");
+        // A stays hot but its carried quarantine bars re-specialization…
+        drive(&mut rt2, a, 60);
+        assert!(
+            engine2.borrow().stats().reprofiles > snap.stats.reprofiles,
+            "restored engine resumes re-profiling"
+        );
+        assert!(
+            rt2.spec().get(a).is_none(),
+            "carried quarantine must bar A from re-specializing"
+        );
+        // …until the carried backoff expires on the virtual clock.
+        rt2.advance_clock(1_000_000);
+        drive(&mut rt2, a, 60);
+        assert!(
+            rt2.spec().get(a).is_some(),
+            "A re-specializes once the carried backoff expires"
+        );
+        assert_eq!(
+            engine2.borrow().healer().unwrap().quarantine().strikes(a),
+            1,
+            "strike count survives the restore"
         );
     }
 

@@ -116,6 +116,13 @@ impl SelfHealer {
         &self.quarantine
     }
 
+    /// Mutable quarantine access — used by the adaptive engine to adopt
+    /// strike counts and backoff expiries carried across a session
+    /// snapshot/restore cycle.
+    pub fn quarantine_mut(&mut self) -> &mut Quarantine {
+        &mut self.quarantine
+    }
+
     /// Runs one epoch boundary: takes the runtime's stats delta and heals.
     pub fn after_epoch(&mut self, runtime: &mut Runtime) -> HealReport {
         let stats = runtime.take_stats();

@@ -77,10 +77,12 @@ pub mod report;
 pub mod subsume;
 pub mod workflow;
 
-pub use adapt::{AdaptConfig, AdaptStats, AdaptiveEngine, ChainCache, ChainCacheKey};
+pub use adapt::{
+    AdaptConfig, AdaptStats, AdaptiveEngine, ChainCache, ChainCacheKey, EngineSnapshot,
+};
 pub use heal::{HealReport, SelfHealer};
 pub use merge::{build_super_handler, build_super_handler_metered, MergeSkip};
-pub use quarantine::{Quarantine, QuarantineConfig};
+pub use quarantine::{Quarantine, QuarantineConfig, QuarantineEntry};
 pub use report::{EventReport, OptReport};
 pub use subsume::{subsume_direct, subsume_partitioned, sync_raise_sites, RaiseSite};
 pub use workflow::{profile_and_optimize, Deployed, WorkflowError};

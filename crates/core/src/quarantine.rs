@@ -54,6 +54,20 @@ struct Entry {
     until_ns: Option<u64>,
 }
 
+/// Externally serializable per-event quarantine state — the snapshot form
+/// of one tracked event's accumulators, strike count, and backoff expiry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QuarantineEntry {
+    /// Accumulated faults this (dirty) epoch run.
+    pub faults: u64,
+    /// Accumulated guard misses this (dirty) epoch run.
+    pub guard_misses: u64,
+    /// Lifetime quarantine count (drives the backoff exponent).
+    pub strikes: u32,
+    /// Current (or most recent) backoff expiry in virtual ns.
+    pub until_ns: Option<u64>,
+}
+
 /// Per-event quarantine state. Feed it one [`RuntimeStats`] delta per epoch
 /// via [`Quarantine::observe`]; query with [`Quarantine::is_quarantined`].
 #[derive(Debug, Clone)]
@@ -157,6 +171,44 @@ impl Quarantine {
             .get(&event)
             .map_or((0, 0), |e| (e.faults, e.guard_misses))
     }
+
+    /// Exports every tracked event's state in id order (snapshotting).
+    pub fn export_entries(&self) -> Vec<(EventId, QuarantineEntry)> {
+        self.entries
+            .iter()
+            .map(|(&event, e)| {
+                (
+                    event,
+                    QuarantineEntry {
+                        faults: e.faults,
+                        guard_misses: e.guard_misses,
+                        strikes: e.strikes,
+                        until_ns: e.until_ns,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Replaces the tracked entries with previously exported ones (the
+    /// inverse of [`Quarantine::export_entries`]), preserving strike
+    /// counts and backoff expiries across a restore.
+    pub fn restore_entries(&mut self, entries: Vec<(EventId, QuarantineEntry)>) {
+        self.entries = entries
+            .into_iter()
+            .map(|(event, e)| {
+                (
+                    event,
+                    Entry {
+                        faults: e.faults,
+                        guard_misses: e.guard_misses,
+                        strikes: e.strikes,
+                        until_ns: e.until_ns,
+                    },
+                )
+            })
+            .collect();
+    }
 }
 
 #[cfg(test)]
@@ -253,6 +305,25 @@ mod tests {
         // Still quarantined: further faults accumulate but do not re-arm.
         assert!(q.observe(&stats_with_faults(e, 40), 10).is_empty());
         assert_eq!(q.quarantined_until(e), Some(until));
+    }
+
+    #[test]
+    fn export_restore_preserves_strikes_and_backoff() {
+        let e = EventId(0);
+        let mut q = Quarantine::new(config());
+        q.observe(&stats_with_faults(e, 4), 0);
+        q.observe(&stats_with_faults(e, 2), 10); // accumulating mid-window
+        let entries = q.export_entries();
+        let mut r = Quarantine::new(config());
+        r.restore_entries(entries.clone());
+        assert_eq!(r.export_entries(), entries, "round trip is exact");
+        assert_eq!(r.strikes(e), q.strikes(e));
+        assert_eq!(r.quarantined_until(e), q.quarantined_until(e));
+        assert_eq!(r.counters(e), q.counters(e));
+        // A repeat offense after restore doubles from the carried strike.
+        let until = r.quarantined_until(e).unwrap();
+        assert_eq!(r.observe(&stats_with_faults(e, 4), until), vec![e]);
+        assert_eq!(r.quarantined_until(e), Some(until + 2_000));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! A runnable CTP endpoint: natives, simulated link, and statistics.
 
 use pdo_cactus::EventProgram;
-use pdo_events::wire::{Arrival, FaultyWire, SequencedReceiver};
+use pdo_events::wire::{Arrival, FaultyWire, ReceiverState, SequencedReceiver, WireState};
 use pdo_events::{Runtime, RuntimeError};
 use pdo_ir::{EventId, GlobalId, RaiseMode, Value};
 use std::cell::RefCell;
@@ -164,6 +164,43 @@ impl LinkState {
         }
         self.rx.accept(seq, payload);
     }
+}
+
+/// The complete externally serializable state of an endpoint's native
+/// side — everything in [`LinkState`], with hash maps flattened into
+/// key-sorted vectors so the representation (and any bytes derived from
+/// it) is deterministic. Captured by [`CtpEndpoint::export_link`] and
+/// reinstated by [`CtpEndpoint::restore_link`]; the runtime's own state
+/// (globals, scheduler, clock) is snapshotted separately through
+/// [`pdo_events::Runtime`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CtpLinkState {
+    /// Unacknowledged segments, seq-sorted.
+    pub unacked: Vec<(i64, Vec<u8>)>,
+    /// Every wire transmission so far, in first-transmission order.
+    pub wire: Vec<(i64, Vec<u8>)>,
+    /// Retransmissions performed.
+    pub retransmissions: u64,
+    /// Sends since the controller last sampled.
+    pub sends_since_sample: i64,
+    /// Legacy deterministic ack-drop period.
+    pub ack_drop_every: u64,
+    /// Faulty-link layer (fault rates, RNG position, parked frame, stats).
+    pub link: WireState<(i64, Vec<u8>)>,
+    /// Delivery outcome per first transmission, seq-sorted.
+    pub outcome: Vec<(i64, bool)>,
+    /// Retransmission budget per segment.
+    pub max_retries: u32,
+    /// Retry counters for segments awaiting ack, seq-sorted.
+    pub retries: Vec<(i64, u32)>,
+    /// Base retransmission timeout (doubles per retry).
+    pub timeout_base_ns: i64,
+    /// True once any segment exhausted its retry budget.
+    pub unreachable: bool,
+    /// Receiver dedup/gap-buffer state.
+    pub rx: ReceiverState<Vec<u8>>,
+    /// Arrivals rejected by the parity check.
+    pub rx_corrupt_dropped: u64,
 }
 
 /// Statistics snapshot of an endpoint.
@@ -487,6 +524,58 @@ impl CtpEndpoint {
     /// Read-only runtime access.
     pub fn runtime(&self) -> &Runtime {
         &self.rt
+    }
+
+    /// Exports the native-side protocol state (retransmit queues, retry
+    /// counters, faulty-link layer, receiver buffers) for snapshotting.
+    /// The runtime's state is exported separately by the caller.
+    pub fn export_link(&self) -> CtpLinkState {
+        let st = self.state.borrow();
+        let sorted = |m: &HashMap<i64, Vec<u8>>| {
+            let mut v: Vec<(i64, Vec<u8>)> = m.iter().map(|(&k, d)| (k, d.clone())).collect();
+            v.sort_by_key(|&(k, _)| k);
+            v
+        };
+        let mut outcome: Vec<(i64, bool)> = st.outcome.iter().map(|(&k, &v)| (k, v)).collect();
+        outcome.sort_by_key(|&(k, _)| k);
+        let mut retries: Vec<(i64, u32)> = st.retries.iter().map(|(&k, &v)| (k, v)).collect();
+        retries.sort_by_key(|&(k, _)| k);
+        CtpLinkState {
+            unacked: sorted(&st.unacked),
+            wire: st.wire.clone(),
+            retransmissions: st.retransmissions,
+            sends_since_sample: st.sends_since_sample,
+            ack_drop_every: st.ack_drop_every,
+            link: st.link.export_state(),
+            outcome,
+            max_retries: st.max_retries,
+            retries,
+            timeout_base_ns: st.timeout_base_ns,
+            unreachable: st.unreachable,
+            rx: st.rx.export_state(),
+            rx_corrupt_dropped: st.rx_corrupt_dropped,
+        }
+    }
+
+    /// Reinstates native-side protocol state exported by
+    /// [`CtpEndpoint::export_link`]. Call on a freshly built endpoint
+    /// (before [`CtpEndpoint::open`] — a restored session resumes, it does
+    /// not re-run setup).
+    pub fn restore_link(&mut self, link: CtpLinkState) {
+        let mut st = self.state.borrow_mut();
+        st.unacked = link.unacked.into_iter().collect();
+        st.wire = link.wire;
+        st.retransmissions = link.retransmissions;
+        st.sends_since_sample = link.sends_since_sample;
+        st.ack_drop_every = link.ack_drop_every;
+        st.link = FaultyWire::from_state(link.link);
+        st.outcome = link.outcome.into_iter().collect();
+        st.max_retries = link.max_retries;
+        st.retries = link.retries.into_iter().collect();
+        st.timeout_base_ns = link.timeout_base_ns;
+        st.unreachable = link.unreachable;
+        st.rx = SequencedReceiver::from_state(link.rx);
+        st.rx_corrupt_dropped = link.rx_corrupt_dropped;
     }
 }
 
@@ -985,6 +1074,61 @@ mod tests {
         assert_eq!(stats.segments_acked, stats.segments_sent);
         assert!(!stats.peer_unreachable);
         assert_eq!(e.received_payload(), vec![42u8; 100]);
+    }
+
+    #[test]
+    fn kill_restore_mid_session_continues_identically() {
+        // Reference run: lossy link, messages interleaved with timer work.
+        let faults = LinkFaults {
+            drop_per_mille: 250,
+            dup_per_mille: 150,
+            reorder_per_mille: 200,
+            corrupt_per_mille: 150,
+            seed: 31,
+        };
+        let params = CtpParams {
+            ack_drop_every: 0,
+            link_faults: faults,
+            max_retries: 8,
+            ..Default::default()
+        };
+        let program = ctp_program();
+        let run_segment = |e: &mut CtpEndpoint, i: u64| {
+            e.send(&vec![i as u8; 300]).unwrap();
+            e.run_until((i + 1) * 50_000_000).unwrap();
+        };
+
+        let mut reference = CtpEndpoint::new(&program, params).unwrap();
+        reference.open().unwrap();
+        let mut victim = CtpEndpoint::new(&program, params).unwrap();
+        victim.open().unwrap();
+        for i in 0..10 {
+            run_segment(&mut reference, i);
+            run_segment(&mut victim, i);
+            // Kill the victim endpoint and rebuild it from exported state:
+            // runtime globals + scheduler + clock, then the link state.
+            let module = victim.runtime().module().clone();
+            let globals: Vec<Value> = (0..module.globals.len())
+                .map(|g| victim.runtime().global(GlobalId::from_index(g)).clone())
+                .collect();
+            let sched = victim.runtime().export_sched();
+            let clock = victim.runtime().clock_ns();
+            let link = victim.export_link();
+            drop(victim);
+
+            victim = CtpEndpoint::new(&program, params).unwrap();
+            for (g, v) in globals.into_iter().enumerate() {
+                victim.runtime_mut().set_global(GlobalId::from_index(g), v);
+            }
+            victim.runtime_mut().restore_sched(sched);
+            victim.runtime_mut().advance_clock(clock);
+            victim.restore_link(link);
+        }
+        reference.drain(10_000_000_000).unwrap();
+        victim.drain(10_000_000_000).unwrap();
+        assert_eq!(victim.stats(), reference.stats());
+        assert_eq!(victim.received_payload(), reference.received_payload());
+        assert_eq!(victim.export_link(), reference.export_link());
     }
 
     #[test]

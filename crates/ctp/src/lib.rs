@@ -41,6 +41,6 @@ pub mod endpoint;
 pub mod protocol;
 pub mod video;
 
-pub use endpoint::{CtpEndpoint, CtpError, CtpParams, CtpStats, LinkFaults};
+pub use endpoint::{CtpEndpoint, CtpError, CtpLinkState, CtpParams, CtpStats, LinkFaults};
 pub use protocol::{ctp_program, ctp_protocol};
 pub use video::{PlayStats, VideoPlayer};

@@ -161,6 +161,22 @@ pub fn corrupt_value(v: &Value) -> Value {
     }
 }
 
+/// The complete, externally serializable state of a [`FaultInjector`]:
+/// the faults still pending and the per-event occurrence counters. A
+/// session snapshot carries this so a restored session neither re-fires
+/// faults that already hit nor miscounts occurrences toward pending ones.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultInjectorState {
+    /// Pending dispatch-targeted faults, ascending by `(event, occurrence)`.
+    pub dispatch_plan: Vec<(EventId, u64, FaultKind)>,
+    /// Pending timed-raise-targeted faults, ascending by `(event, occurrence)`.
+    pub timed_plan: Vec<(EventId, u64, FaultKind)>,
+    /// Top-level dispatch occurrences counted so far, per event.
+    pub dispatch_counts: Vec<(EventId, u64)>,
+    /// Timed raises counted so far, per event.
+    pub timed_counts: Vec<(EventId, u64)>,
+}
+
 /// A seeded, deterministic fault plan with per-event occurrence counters.
 ///
 /// Counting is the injector's whole contract: `on_dispatch` must be called
@@ -239,6 +255,44 @@ impl FaultInjector {
     /// Number of faults still pending (not yet fired).
     pub fn pending(&self) -> usize {
         self.dispatch_plan.len() + self.timed_plan.len()
+    }
+
+    /// Exports the injector's complete state: pending plan entries plus
+    /// the occurrence counters (deterministically ordered).
+    pub fn export_state(&self) -> FaultInjectorState {
+        FaultInjectorState {
+            dispatch_plan: self
+                .dispatch_plan
+                .iter()
+                .map(|(&(e, n), &k)| (e, n, k))
+                .collect(),
+            timed_plan: self
+                .timed_plan
+                .iter()
+                .map(|(&(e, n), &k)| (e, n, k))
+                .collect(),
+            dispatch_counts: self.dispatch_counts.iter().map(|(&e, &n)| (e, n)).collect(),
+            timed_counts: self.timed_counts.iter().map(|(&e, &n)| (e, n)).collect(),
+        }
+    }
+
+    /// Rebuilds an injector from exported state (the inverse of
+    /// [`FaultInjector::export_state`]).
+    pub fn from_state(state: FaultInjectorState) -> Self {
+        FaultInjector {
+            dispatch_plan: state
+                .dispatch_plan
+                .into_iter()
+                .map(|(e, n, k)| ((e, n), k))
+                .collect(),
+            timed_plan: state
+                .timed_plan
+                .into_iter()
+                .map(|(e, n, k)| ((e, n), k))
+                .collect(),
+            dispatch_counts: state.dispatch_counts.into_iter().collect(),
+            timed_counts: state.timed_counts.into_iter().collect(),
+        }
     }
 
     /// Advances the dispatch counter for `event` and returns a fault if this
@@ -322,6 +376,39 @@ mod tests {
             let b = corrupt_value(&v);
             assert_eq!(format!("{a:?}"), format!("{b:?}"));
             assert_ne!(format!("{a:?}"), format!("{v:?}"));
+        }
+    }
+
+    #[test]
+    fn export_restore_preserves_counters_and_pending_plan() {
+        let e = EventId(1);
+        let mut fi = FaultInjector::from_plan([
+            FaultSpec {
+                event: e,
+                occurrence: 0,
+                kind: FaultKind::TrapDispatch,
+            },
+            FaultSpec {
+                event: e,
+                occurrence: 2,
+                kind: FaultKind::ExhaustFuel,
+            },
+            FaultSpec {
+                event: e,
+                occurrence: 1,
+                kind: FaultKind::DropTimed,
+            },
+        ]);
+        assert_eq!(fi.on_dispatch(e), Some(FaultKind::TrapDispatch));
+        assert_eq!(fi.on_timed(e), None);
+        let mut restored = FaultInjector::from_state(fi.export_state());
+        // The restored injector neither re-fires occurrence 0 nor loses
+        // count toward occurrence 2; both continue identically.
+        for injector in [&mut fi, &mut restored] {
+            assert_eq!(injector.on_dispatch(e), None, "occurrence 1 untargeted");
+            assert_eq!(injector.on_dispatch(e), Some(FaultKind::ExhaustFuel));
+            assert_eq!(injector.on_timed(e), Some(FaultKind::DropTimed));
+            assert_eq!(injector.pending(), 0);
         }
     }
 

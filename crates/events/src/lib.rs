@@ -59,10 +59,15 @@ pub mod spec;
 pub mod trace;
 pub mod wire;
 
-pub use fault::{corrupt_value, FaultInjector, FaultKind, FaultPolicy, FaultSpec};
+pub use fault::{
+    corrupt_value, FaultInjector, FaultInjectorState, FaultKind, FaultPolicy, FaultSpec,
+};
 pub use registry::{Binding, Registry};
 pub use runtime::{EpochHook, ObservableStats, Runtime, RuntimeConfig, RuntimeError, RuntimeStats};
-pub use sched::VirtualClock;
+pub use sched::{Pending, SchedulerState, TimerEntry, VirtualClock};
 pub use spec::{CompiledChain, Guard, SpecTable};
 pub use trace::{HandlerTraceMode, Trace, TraceConfig, TraceRecord};
-pub use wire::{Arrival, FaultyWire, SequencedReceiver, Transmit, WireFaults, WireStats};
+pub use wire::{
+    Arrival, FaultyWire, ReceiverState, SequencedReceiver, Transmit, WireFaults, WireState,
+    WireStats,
+};

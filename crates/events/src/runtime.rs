@@ -3,7 +3,7 @@
 use crate::fault::{corrupt_value, FaultInjector, FaultKind, FaultPolicy, EXHAUST_FUEL_BUDGET};
 use crate::marshal::{marshal, unmarshal};
 use crate::registry::Registry;
-use crate::sched::{Scheduler, VirtualClock};
+use crate::sched::{Scheduler, SchedulerState, VirtualClock};
 use crate::spec::{CompiledChain, SpecTable};
 use crate::trace::{Trace, TraceConfig, TraceRecord};
 use pdo_ir::interp::{call, Env, ExecError};
@@ -729,6 +729,34 @@ impl Runtime {
     /// Pending asynchronous + timed event count.
     pub fn pending(&self) -> usize {
         self.sched.queued_len() + self.sched.timer_len()
+    }
+
+    /// Queued (async FIFO) event count.
+    pub fn queued_len(&self) -> usize {
+        self.sched.queued_len()
+    }
+
+    /// Scheduled (timed) event count.
+    pub fn timer_len(&self) -> usize {
+        self.sched.timer_len()
+    }
+
+    /// Exports the scheduler's complete state (FIFO, timers in pop order,
+    /// sequence counter) for snapshotting.
+    pub fn export_sched(&self) -> SchedulerState {
+        self.sched.export_state()
+    }
+
+    /// Restores scheduler state exported by [`Runtime::export_sched`].
+    /// Timer deadlines are absolute virtual times; restore the clock (via
+    /// [`Runtime::advance_clock`]) to the snapshotted time as well.
+    pub fn restore_sched(&mut self, state: SchedulerState) {
+        self.sched.restore_state(state);
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref()
     }
 
     /// Resets cost counters.

@@ -79,6 +79,21 @@ impl PartialOrd for TimerEntry {
     }
 }
 
+/// The complete, externally serializable state of a [`Scheduler`]: the
+/// async FIFO in order, every timer in pop order, and the insertion
+/// sequence counter (whose value keeps FIFO tie-breaking among equal
+/// deadlines stable across a snapshot/restore cycle).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SchedulerState {
+    /// Queued asynchronous events, front first.
+    pub queue: Vec<Pending>,
+    /// Scheduled timers in exact pop order (earliest deadline, then
+    /// lowest insertion sequence).
+    pub timers: Vec<TimerEntry>,
+    /// Next insertion sequence number.
+    pub seq: u64,
+}
+
 /// FIFO queue plus timer heap.
 #[derive(Debug, Default)]
 pub struct Scheduler {
@@ -155,6 +170,30 @@ impl Scheduler {
     pub fn timer_len(&self) -> usize {
         self.timers.len()
     }
+
+    /// Exports the scheduler's complete state for snapshotting: the FIFO
+    /// in order, the timers in exact pop order, and the sequence counter.
+    pub fn export_state(&self) -> SchedulerState {
+        let mut heap = self.timers.clone();
+        let mut timers = Vec::with_capacity(heap.len());
+        while let Some(t) = heap.pop() {
+            timers.push(t);
+        }
+        SchedulerState {
+            queue: self.queue.iter().cloned().collect(),
+            timers,
+            seq: self.seq,
+        }
+    }
+
+    /// Replaces this scheduler's state with `state` (the inverse of
+    /// [`Scheduler::export_state`]). Timer deadlines are absolute virtual
+    /// times, so the caller restores the clock separately.
+    pub fn restore_state(&mut self, state: SchedulerState) {
+        self.queue = state.queue.into();
+        self.timers = state.timers.into();
+        self.seq = state.seq;
+    }
 }
 
 #[cfg(test)]
@@ -224,6 +263,34 @@ mod tests {
         assert!(s.is_idle());
         s.push_timed(0, 5, EventId(0), vec![]);
         assert!(!s.is_idle());
+    }
+
+    #[test]
+    fn export_restore_preserves_order_and_tiebreak() {
+        let mut s = Scheduler::new();
+        s.push_async(EventId(7), vec![Value::Int(1)]);
+        s.push_async(EventId(8), vec![]);
+        s.push_timed(0, 100, EventId(1), vec![]);
+        s.push_timed(0, 100, EventId(2), vec![]);
+        s.push_timed(0, 50, EventId(3), vec![]);
+        let state = s.export_state();
+        assert_eq!(
+            state.timers.iter().map(|t| t.event).collect::<Vec<_>>(),
+            [EventId(3), EventId(1), EventId(2)],
+            "timers export in pop order"
+        );
+        assert_eq!(state.seq, 3);
+        let mut r = Scheduler::new();
+        r.restore_state(state.clone());
+        assert_eq!(r.export_state(), state, "round trip is exact");
+        // The restored scheduler pops identically and keeps the seq
+        // counter, so new timers tie-break after restored ones.
+        r.push_timed(0, 100, EventId(9), vec![]);
+        assert_eq!(r.pop_async().unwrap().event, EventId(7));
+        assert_eq!(r.pop_due_timer(100).unwrap().event, EventId(3));
+        assert_eq!(r.pop_due_timer(100).unwrap().event, EventId(1));
+        assert_eq!(r.pop_due_timer(100).unwrap().event, EventId(2));
+        assert_eq!(r.pop_due_timer(100).unwrap().event, EventId(9));
     }
 
     #[test]

@@ -114,6 +114,23 @@ impl<T> Transmit<T> {
     }
 }
 
+/// The complete, externally serializable state of a [`FaultyWire`]: the
+/// configured fault probabilities, the RNG stream *cursor* (not the seed —
+/// a restored wire continues the exact roll sequence a live one would
+/// have drawn), any frame parked by the reordering stage, and the fault
+/// counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireState<T> {
+    /// Configured fault probabilities (including the original seed).
+    pub faults: WireFaults,
+    /// Current RNG stream position.
+    pub rng: u64,
+    /// Frame held back by the reordering stage, with its copy count.
+    pub held: Option<(T, u32)>,
+    /// Fault counters so far.
+    pub stats: WireStats,
+}
+
 /// A seeded lossy/duplicating/reordering/corrupting wire for frames of
 /// type `T`.
 #[derive(Debug, Clone)]
@@ -249,6 +266,45 @@ impl<T: Clone> FaultyWire<T> {
     pub fn has_held(&self) -> bool {
         self.held.is_some()
     }
+
+    /// Exports the wire's complete state — RNG cursor, held frame, and
+    /// counters — so a restored wire continues the identical fault
+    /// sequence.
+    pub fn export_state(&self) -> WireState<T> {
+        WireState {
+            faults: self.faults,
+            rng: self.rng,
+            held: self.held.clone(),
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuilds a wire from exported state (the inverse of
+    /// [`FaultyWire::export_state`]).
+    pub fn from_state(state: WireState<T>) -> Self {
+        FaultyWire {
+            faults: state.faults,
+            rng: state.rng,
+            held: state.held,
+            stats: state.stats,
+        }
+    }
+}
+
+/// The complete, externally serializable state of a
+/// [`SequencedReceiver`]: the next expected sequence number, the
+/// out-of-order gap buffer (sorted by sequence number), everything
+/// released so far, and the duplicate counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReceiverState<T> {
+    /// Next in-order sequence number expected.
+    pub next: i64,
+    /// Buffered out-of-order frames, ascending by sequence number.
+    pub buffer: Vec<(i64, T)>,
+    /// Frames released in order so far.
+    pub delivered: Vec<(i64, T)>,
+    /// Duplicate arrivals discarded.
+    pub duplicates: u64,
 }
 
 /// Receiver-side companion to [`FaultyWire`] for sequence-numbered frames:
@@ -305,6 +361,30 @@ impl<T> SequencedReceiver<T> {
     /// Out-of-order frames buffered but not yet released.
     pub fn buffered(&self) -> usize {
         self.buffer.len()
+    }
+
+    /// Exports the receiver's complete dedup/gap-buffer state.
+    pub fn export_state(&self) -> ReceiverState<T>
+    where
+        T: Clone,
+    {
+        ReceiverState {
+            next: self.next,
+            buffer: self.buffer.iter().map(|(&s, p)| (s, p.clone())).collect(),
+            delivered: self.delivered.clone(),
+            duplicates: self.duplicates,
+        }
+    }
+
+    /// Rebuilds a receiver from exported state (the inverse of
+    /// [`SequencedReceiver::export_state`]).
+    pub fn from_state(state: ReceiverState<T>) -> Self {
+        SequencedReceiver {
+            next: state.next,
+            buffer: state.buffer.into_iter().collect(),
+            delivered: state.delivered,
+            duplicates: state.duplicates,
+        }
     }
 }
 
@@ -460,6 +540,38 @@ mod tests {
         assert_eq!(r.delivered().len(), 3);
         assert_eq!(r.duplicates(), 3);
         assert_eq!(r.next_expected(), 4);
+    }
+
+    #[test]
+    fn export_restore_continues_the_exact_fault_sequence() {
+        let faults = WireFaults {
+            drop_per_mille: 300,
+            dup_per_mille: 200,
+            reorder_per_mille: 250,
+            corrupt_per_mille: 150,
+            seed: 77,
+        };
+        // Uninterrupted run vs a run snapshotted/restored at every step:
+        // identical arrivals and counters throughout.
+        let mut live: FaultyWire<(i64, i64)> = FaultyWire::new(faults);
+        let mut restored: FaultyWire<(i64, i64)> = FaultyWire::new(faults);
+        let mut rx_live = SequencedReceiver::new(0);
+        let mut rx_restored = SequencedReceiver::new(0);
+        for seq in 0..100i64 {
+            restored = FaultyWire::from_state(restored.export_state());
+            rx_restored = SequencedReceiver::from_state(rx_restored.export_state());
+            let a = live.transmit((seq, seq), |v| v.1 = -1);
+            let b = restored.transmit((seq, seq), |v| v.1 = -1);
+            assert_eq!(a, b);
+            for arr in a.arrivals {
+                rx_live.accept(arr.item.0, arr.item.1);
+            }
+            for arr in b.arrivals {
+                rx_restored.accept(arr.item.0, arr.item.1);
+            }
+        }
+        assert_eq!(live.stats(), restored.stats());
+        assert_eq!(rx_live.export_state(), rx_restored.export_state());
     }
 
     #[test]

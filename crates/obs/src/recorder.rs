@@ -95,6 +95,36 @@ pub enum ObsKind {
         /// Backoff expiry (virtual ns).
         until_ns: u64,
     },
+    /// A quiescent session migrated between shards.
+    SessionMigrated {
+        /// Session id.
+        session: u64,
+        /// Source shard.
+        from: u32,
+        /// Destination shard.
+        to: u32,
+    },
+    /// A server image (all quiescent sessions) was encoded and persisted.
+    SnapshotPersisted {
+        /// Sessions captured in the image.
+        sessions: u32,
+        /// Encoded size in bytes.
+        bytes: u64,
+    },
+    /// A persisted server image was decoded and its sessions reopened.
+    SnapshotRestored {
+        /// Sessions recovered from the image.
+        sessions: u32,
+        /// Decoded size in bytes.
+        bytes: u64,
+    },
+    /// One session was rebuilt from a snapshot onto `shard`.
+    SessionRestored {
+        /// Session id.
+        session: u64,
+        /// Shard the session was placed on.
+        shard: u32,
+    },
 }
 
 impl fmt::Display for ObsKind {
@@ -123,6 +153,18 @@ impl fmt::Display for ObsKind {
             ObsKind::ChainDropped { event } => write!(f, "chain-dropped e{event}"),
             ObsKind::Quarantined { event, until_ns } => {
                 write!(f, "quarantined e{event} until={until_ns}ns")
+            }
+            ObsKind::SessionMigrated { session, from, to } => {
+                write!(f, "session-migrated s{session} shard{from}->shard{to}")
+            }
+            ObsKind::SnapshotPersisted { sessions, bytes } => {
+                write!(f, "snapshot-persisted sessions={sessions} bytes={bytes}")
+            }
+            ObsKind::SnapshotRestored { sessions, bytes } => {
+                write!(f, "snapshot-restored sessions={sessions} bytes={bytes}")
+            }
+            ObsKind::SessionRestored { session, shard } => {
+                write!(f, "session-restored s{session} shard={shard}")
             }
         }
     }

@@ -22,6 +22,22 @@ use crate::Profile;
 use pdo_events::{Trace, TraceRecord};
 use pdo_ir::{EventId, FuncId, RaiseMode};
 
+/// The complete externally serializable state of a [`ProfileBuilder`]:
+/// the decaying accumulators, the cross-window boundary raise, and the
+/// fresh-raise counter. Exporting and restoring this is exact — a
+/// restored builder produces the same profiles as the original.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BuilderState {
+    /// Accumulated (decayed) event graph.
+    pub event_graph: EventGraph,
+    /// Accumulated (decayed) handler graph.
+    pub handler_graph: HandlerGraph,
+    /// Last raise of the previous window, if any.
+    pub prev_raise: Option<EventId>,
+    /// Raises observed since the last re-profile.
+    pub fresh: u64,
+}
+
 /// Accumulates trace windows into a decaying profile.
 #[derive(Debug, Clone, Default)]
 pub struct ProfileBuilder {
@@ -200,6 +216,27 @@ impl ProfileBuilder {
     pub fn handler_graph(&self) -> &HandlerGraph {
         &self.handler_graph
     }
+
+    /// Exports the builder's complete state for snapshotting.
+    pub fn export_state(&self) -> BuilderState {
+        BuilderState {
+            event_graph: self.event_graph.clone(),
+            handler_graph: self.handler_graph.clone(),
+            prev_raise: self.prev_raise,
+            fresh: self.fresh,
+        }
+    }
+
+    /// Rebuilds a builder from exported state (the inverse of
+    /// [`ProfileBuilder::export_state`]).
+    pub fn from_state(state: BuilderState) -> Self {
+        ProfileBuilder {
+            event_graph: state.event_graph,
+            handler_graph: state.handler_graph,
+            prev_raise: state.prev_raise,
+            fresh: state.fresh,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -329,6 +366,28 @@ mod tests {
             b.end_epoch();
         }
         assert!(!b.handler_graph().nested.contains_key(&nested_key));
+    }
+
+    #[test]
+    fn export_restore_round_trips_and_continues_identically() {
+        let mut a = ProfileBuilder::new();
+        a.observe(&Trace {
+            records: vec![raise(0), enter(0, 7, 0), raise(1), exit(0, 7, 0)],
+        });
+        a.end_epoch();
+        let state = a.export_state();
+        let mut b = ProfileBuilder::from_state(state.clone());
+        assert_eq!(b.export_state(), state, "round trip is exact");
+        // Both continue identically, including the boundary edge carried
+        // in prev_raise and the fresh counter.
+        let window = Trace {
+            records: vec![raise(0), raise(1)],
+        };
+        a.observe(&window);
+        b.observe(&window);
+        assert_eq!(a.export_state(), b.export_state());
+        assert_eq!(a.fresh_events(), b.fresh_events());
+        assert_eq!(a.snapshot(1).reduced().nodes, b.snapshot(1).reduced().nodes);
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod handlers;
 pub mod json;
 pub mod store;
 
-pub use builder::ProfileBuilder;
+pub use builder::{BuilderState, ProfileBuilder};
 pub use chains::{event_chains, event_paths, hot_events};
 pub use graph::{EdgeData, EdgeMode, EventGraph};
 pub use handlers::{HandlerGraph, HandlerSeq, NestedRaise};

@@ -42,5 +42,6 @@ pub mod crypto;
 pub mod service;
 
 pub use service::{
-    seccomm_protocol, Endpoint, Keys, LossyChannel, SecCommError, CONFIG_FULL, CONFIG_PAPER,
+    seccomm_protocol, Endpoint, Keys, LossyChannel, SecCommError, SecWireState, CONFIG_FULL,
+    CONFIG_PAPER,
 };

@@ -206,6 +206,34 @@ pub fn seccomm_protocol() -> CompositeProtocol {
     b.finish()
 }
 
+/// Portable image of an endpoint's native-side wire state: the outbox and
+/// delivery queues, the decode verdict for any in-flight packet, and the
+/// MAC-failure counter. Exported with [`Endpoint::export_wire`] and applied
+/// with [`Endpoint::restore_wire`] so a rebuilt endpoint resumes exactly
+/// where the killed one stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecWireState {
+    /// Wire messages produced by the encode chain, not yet taken.
+    pub outbox: Vec<Vec<u8>>,
+    /// Plaintexts recovered by the decode chain, not yet taken.
+    pub delivered: Vec<Vec<u8>>,
+    /// Integrity verdict for the packet currently in the decode chain.
+    pub decode_ok: bool,
+    /// Packets dropped because KeyedMD5 verification failed.
+    pub mac_failures: u64,
+}
+
+impl Default for SecWireState {
+    fn default() -> Self {
+        SecWireState {
+            outbox: Vec::new(),
+            delivered: Vec::new(),
+            decode_ok: true,
+            mac_failures: 0,
+        }
+    }
+}
+
 /// Shared state of one endpoint's natives.
 #[derive(Debug)]
 struct Wire {
@@ -415,6 +443,28 @@ impl Endpoint {
         self.wire.borrow().mac_failures
     }
 
+    /// Exports the native-side wire state (queues, decode verdict,
+    /// MAC-failure counter) for a snapshot.
+    pub fn export_wire(&self) -> SecWireState {
+        let w = self.wire.borrow();
+        SecWireState {
+            outbox: w.outbox.iter().cloned().collect(),
+            delivered: w.delivered.iter().cloned().collect(),
+            decode_ok: w.decode_ok,
+            mac_failures: w.mac_failures,
+        }
+    }
+
+    /// Restores wire state exported by [`Endpoint::export_wire`] into this
+    /// (freshly built) endpoint.
+    pub fn restore_wire(&mut self, state: SecWireState) {
+        let mut w = self.wire.borrow_mut();
+        w.outbox = state.outbox.into();
+        w.delivered = state.delivered.into();
+        w.decode_ok = state.decode_ok;
+        w.mac_failures = state.mac_failures;
+    }
+
     /// The underlying runtime (tracing, cost counters, chain installation).
     pub fn runtime_mut(&mut self) -> &mut Runtime {
         &mut self.rt
@@ -555,6 +605,28 @@ impl LossyChannel {
     /// The receiving endpoint (chain installation, adaptation hooks).
     pub fn rx_mut(&mut self) -> &mut Endpoint {
         &mut self.rx
+    }
+
+    /// Read-only access to the sending endpoint.
+    pub fn tx(&self) -> &Endpoint {
+        &self.tx
+    }
+
+    /// Read-only access to the receiving endpoint.
+    pub fn rx(&self) -> &Endpoint {
+        &self.rx
+    }
+
+    /// Replaces both endpoints, returning the old pair. The channel itself
+    /// (the faulty wire, its fault schedule, and the delivery log) persists:
+    /// it is the network, which survives an endpoint crash. Used by
+    /// crash-restart tests that kill an endpoint pair and swap in rebuilt
+    /// ones restored from a snapshot.
+    pub fn swap_endpoints(&mut self, tx: Endpoint, rx: Endpoint) -> (Endpoint, Endpoint) {
+        (
+            std::mem::replace(&mut self.tx, tx),
+            std::mem::replace(&mut self.rx, rx),
+        )
     }
 }
 
@@ -743,6 +815,109 @@ mod tests {
         ch.send(b"twice").unwrap();
         ch.settle().unwrap();
         assert_eq!(ch.delivered(), &[b"twice".to_vec(), b"twice".to_vec()]);
+    }
+
+    #[test]
+    fn kill_restore_mid_session_continues_identically() {
+        use pdo_ir::GlobalId;
+
+        let proto = seccomm_protocol();
+        let program = proto.instantiate(CONFIG_FULL).unwrap();
+        let keys = Keys::default();
+        let faults = WireFaults {
+            drop_per_mille: 150,
+            dup_per_mille: 150,
+            reorder_per_mille: 250,
+            corrupt_per_mille: 200,
+            seed: 77,
+        };
+        let msgs: Vec<Vec<u8>> = (0..24u8).map(|i| vec![i ^ 0x5A; 20]).collect();
+
+        // Reference: an uninterrupted run.
+        let reference = {
+            let mut ch = LossyChannel::new(
+                Endpoint::new(&program, &keys).unwrap(),
+                Endpoint::new(&program, &keys).unwrap(),
+                faults,
+            );
+            for m in &msgs {
+                ch.send(m).unwrap();
+            }
+            ch.settle().unwrap();
+            (
+                ch.delivered().to_vec(),
+                ch.mac_dropped(),
+                ch.wire_stats(),
+                ch.tx().export_wire(),
+                ch.rx().export_wire(),
+            )
+        };
+
+        // Victim: both endpoints are killed and rebuilt from exported state
+        // after every message. The channel (the network) persists.
+        let mut ch = LossyChannel::new(
+            Endpoint::new(&program, &keys).unwrap(),
+            Endpoint::new(&program, &keys).unwrap(),
+            faults,
+        );
+        for m in &msgs {
+            ch.send(m).unwrap();
+
+            let rebuild = |ep: &Endpoint| {
+                let globals: Vec<Value> = (0..program.module.globals.len())
+                    .map(|g| ep.runtime().global(GlobalId::from_index(g)).clone())
+                    .collect();
+                let sched = ep.runtime().export_sched();
+                let clock = ep.runtime().clock_ns();
+                let wire = ep.export_wire();
+                let mut fresh = Endpoint::new(&program, &keys).unwrap();
+                for (g, v) in globals.into_iter().enumerate() {
+                    fresh.runtime_mut().set_global(GlobalId::from_index(g), v);
+                }
+                fresh.runtime_mut().restore_sched(sched);
+                fresh.runtime_mut().advance_clock(clock);
+                fresh.restore_wire(wire);
+                fresh
+            };
+            let (tx, rx) = (rebuild(ch.tx()), rebuild(ch.rx()));
+            drop(ch.swap_endpoints(tx, rx));
+        }
+        ch.settle().unwrap();
+
+        assert_eq!(ch.delivered(), &reference.0[..]);
+        assert_eq!(ch.mac_dropped(), reference.1);
+        assert_eq!(ch.wire_stats(), reference.2);
+        assert_eq!(ch.tx().export_wire(), reference.3);
+        assert_eq!(ch.rx().export_wire(), reference.4);
+    }
+
+    #[test]
+    fn export_restore_wire_round_trips() {
+        let (mut tx, mut rx) = endpoints(CONFIG_FULL);
+        let wire = tx.push(b"first").unwrap();
+        rx.pop(&wire).unwrap();
+        let mut bad = tx.push(b"second").unwrap();
+        bad[0] ^= 0x80;
+        assert!(rx.pop(&bad).is_err());
+
+        let state = rx.export_wire();
+        assert_eq!(state.mac_failures, 1);
+        assert!(!state.decode_ok);
+
+        let proto = seccomm_protocol();
+        let program = proto.instantiate(CONFIG_FULL).unwrap();
+        let mut fresh = Endpoint::new(&program, &Keys::default()).unwrap();
+        fresh.restore_wire(state.clone());
+        assert_eq!(fresh.export_wire(), state);
+
+        // The restored endpoint keeps working and keeps counting from the
+        // carried totals.
+        let ok = tx.push(b"third").unwrap();
+        assert_eq!(fresh.pop(&ok).unwrap(), b"third");
+        let mut bad2 = tx.push(b"fourth").unwrap();
+        bad2[0] ^= 0x80;
+        assert!(fresh.pop(&bad2).is_err());
+        assert_eq!(fresh.mac_failures(), 2);
     }
 
     #[test]

@@ -48,17 +48,22 @@
 use pdo::{AdaptConfig, AdaptStats, AdaptiveEngine};
 use pdo_cactus::EventProgram;
 use pdo_ctp::{CtpEndpoint, CtpError, CtpParams};
-use pdo_events::{Runtime, RuntimeConfig, RuntimeError};
+use pdo_events::{FaultInjector, Runtime, RuntimeConfig, RuntimeError};
 use pdo_ir::{EventId, FuncId, GlobalId, Module, RaiseMode, Value};
-use pdo_obs::MetricsSnapshot;
+use pdo_obs::{Histogram, MetricsSnapshot, ObsHub, ObsKind, DEFAULT_RECORDER_CAPACITY};
 use pdo_seccomm::{Endpoint as SecCommEndpoint, Keys, SecCommError};
+use pdo_snap::SnapshotError;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::path::Path;
 use std::rc::Rc;
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::thread::{self, JoinHandle};
 use std::time::Instant;
+
+mod snapshot;
+use snapshot::{KindSnapshot, SessionSnapshot};
 
 const WORKER_ALIVE: &str = "shard worker lives until Server::drop closes the channel";
 const WORKER_REPLIES: &str = "shard worker replies to every command before exiting";
@@ -120,6 +125,9 @@ pub enum ServerError {
     Ctp(SessionId, CtpError),
     /// A SecComm session failed.
     SecComm(SessionId, SecCommError),
+    /// A durable snapshot failed to encode, persist, read, or decode.
+    /// Corrupt or truncated input always lands here — never a panic.
+    Snapshot(SnapshotError),
 }
 
 impl fmt::Display for ServerError {
@@ -130,6 +138,7 @@ impl fmt::Display for ServerError {
             ServerError::Runtime(s, e) => write!(f, "session {s}: runtime error: {e}"),
             ServerError::Ctp(s, e) => write!(f, "session {s}: {e}"),
             ServerError::SecComm(s, e) => write!(f, "session {s}: {e}"),
+            ServerError::Snapshot(e) => write!(f, "{e}"),
         }
     }
 }
@@ -137,11 +146,13 @@ impl fmt::Display for ServerError {
 impl std::error::Error for ServerError {}
 
 /// What lives inside a session: a plain event program or a protocol
-/// endpoint built through the server.
+/// endpoint built through the server. Protocol variants carry their
+/// rebuild recipe (params/keys) so any session kind can be snapshotted
+/// and reconstructed on another shard or after a restart.
 enum SessionKind {
     Plain(Runtime),
-    Ctp(CtpEndpoint),
-    SecComm(SecCommEndpoint),
+    Ctp { ep: CtpEndpoint, params: CtpParams },
+    SecComm { ep: SecCommEndpoint, keys: Keys },
 }
 
 /// One resident session: its runtime (possibly wrapped in a protocol
@@ -157,17 +168,21 @@ impl Session {
     fn runtime(&self) -> &Runtime {
         match &self.kind {
             SessionKind::Plain(rt) => rt,
-            SessionKind::Ctp(ep) => ep.runtime(),
-            SessionKind::SecComm(ep) => ep.runtime(),
+            SessionKind::Ctp { ep, .. } => ep.runtime(),
+            SessionKind::SecComm { ep, .. } => ep.runtime(),
         }
     }
 
     fn runtime_mut(&mut self) -> &mut Runtime {
-        match &mut self.kind {
-            SessionKind::Plain(rt) => rt,
-            SessionKind::Ctp(ep) => ep.runtime_mut(),
-            SessionKind::SecComm(ep) => ep.runtime_mut(),
-        }
+        kind_runtime_mut(&mut self.kind)
+    }
+}
+
+fn kind_runtime_mut(kind: &mut SessionKind) -> &mut Runtime {
+    match kind {
+        SessionKind::Plain(rt) => rt,
+        SessionKind::Ctp { ep, .. } => ep.runtime_mut(),
+        SessionKind::SecComm { ep, .. } => ep.runtime_mut(),
     }
 }
 
@@ -188,21 +203,35 @@ enum SessionSpec {
         program: EventProgram,
         keys: Keys,
     },
-    /// A session drained from another shard (see [`Server::rebalance`]).
-    Restore(SessionSnapshot),
+    /// A session drained from another shard or decoded from a durable
+    /// image (see [`Server::rebalance`] and
+    /// [`Server::restore_from_bytes`]). Carries complete state: sched
+    /// queue/timers, fault plan, endpoint link/wire state, and the
+    /// adaptation daemon's profile so the session *resumes*
+    /// specialization instead of cold-starting.
+    Restore(Box<SessionSnapshot>),
 }
 
-/// The migratable portion of a plain session: base module, runtime
-/// limits, live bindings (with orders), global values, and the virtual
-/// clock. The adaptation daemon's profile state is deliberately *not*
-/// carried — the session re-profiles on its new shard, and any cached
-/// optimization for the phase is one `ChainCache` hit away.
-struct SessionSnapshot {
-    module: Module,
-    config: RuntimeConfig,
-    bindings: Vec<(EventId, FuncId, i32)>,
-    globals: Vec<Value>,
-    clock_ns: u64,
+/// Why [`Server::rebalance`] refused to migrate a session. Surfaced per
+/// session in [`SessionReport::refusal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrateRefusal {
+    /// The session's async FIFO is non-empty: it is mid-batch, and
+    /// moving it would interleave the move into its dispatch order.
+    QueuedEvents,
+    /// The session's live trace window holds undrained records: it is
+    /// mid-epoch, and moving it would discard that window's profile
+    /// contribution.
+    MidEpoch,
+}
+
+impl fmt::Display for MigrateRefusal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MigrateRefusal::QueuedEvents => write!(f, "queued events"),
+            MigrateRefusal::MidEpoch => write!(f, "mid-epoch trace window"),
+        }
+    }
 }
 
 /// A point-in-time load summary of one shard, used for
@@ -241,6 +270,9 @@ pub struct SessionReport {
     pub chains_live: usize,
     /// The session daemon's adaptation counters.
     pub adapt: AdaptStats,
+    /// Why the session would currently be refused migration (`None` =
+    /// quiescent, migratable by [`Server::rebalance`]).
+    pub refusal: Option<MigrateRefusal>,
 }
 
 /// Aggregated counters of one shard.
@@ -343,37 +375,92 @@ impl ShardState {
                 let mut ep =
                     CtpEndpoint::new(&program, params).map_err(|e| ServerError::Ctp(id, e))?;
                 ep.open().map_err(|e| ServerError::Ctp(id, e))?;
-                SessionKind::Ctp(ep)
+                SessionKind::Ctp { ep, params }
             }
-            SessionSpec::SecComm { program, keys } => SessionKind::SecComm(
-                SecCommEndpoint::new(&program, &keys).map_err(|e| ServerError::SecComm(id, e))?,
-            ),
-            SessionSpec::Restore(snap) => {
-                let mut rt = Runtime::with_config(snap.module, snap.config);
-                for (event, handler, order) in snap.bindings {
-                    rt.bind(event, handler, order)
-                        .map_err(|e| ServerError::Runtime(id, e))?;
-                }
-                for (idx, value) in snap.globals.into_iter().enumerate() {
-                    rt.set_global(GlobalId::from_index(idx), value);
-                }
-                // Restore the virtual clock before the epoch hook exists,
-                // so the catch-up doesn't fire a burst of stale epochs.
-                if snap.clock_ns > 0 {
-                    rt.advance_clock(snap.clock_ns);
-                }
-                SessionKind::Plain(rt)
-            }
+            SessionSpec::SecComm { program, keys } => SessionKind::SecComm {
+                ep: SecCommEndpoint::new(&program, &keys)
+                    .map_err(|e| ServerError::SecComm(id, e))?,
+                keys,
+            },
+            SessionSpec::Restore(snap) => return self.restore(id, *snap),
         };
-        let rt = match &mut kind {
-            SessionKind::Plain(rt) => rt,
-            SessionKind::Ctp(ep) => ep.runtime_mut(),
-            SessionKind::SecComm(ep) => ep.runtime_mut(),
-        };
+        let rt = kind_runtime_mut(&mut kind);
         if self.observability {
             rt.enable_observability();
         }
         let engine = AdaptiveEngine::attach_new(rt, self.adapt);
+        self.sessions.insert(id, Session { kind, engine });
+        Ok(())
+    }
+
+    /// Rebuilds a session from its snapshot: endpoint natives from the
+    /// carried recipe, then globals, scheduler queue/timers, pending
+    /// fault plan, virtual clock (before the epoch hook exists, so the
+    /// catch-up doesn't fire a burst of stale epochs), endpoint link or
+    /// wire state, and finally the adaptation daemon — restored, so the
+    /// session resumes specialization where it left off.
+    fn restore(&mut self, id: SessionId, snap: SessionSnapshot) -> Result<(), ServerError> {
+        let SessionSnapshot {
+            module,
+            config,
+            bindings,
+            globals,
+            clock_ns,
+            sched,
+            injector,
+            engine,
+            kind,
+        } = snap;
+        let mut kind = match kind {
+            KindSnapshot::Plain => {
+                let mut rt = Runtime::with_config(module.clone(), config);
+                for &(event, handler, order) in &bindings {
+                    rt.bind(event, handler, order)
+                        .map_err(|e| ServerError::Runtime(id, e))?;
+                }
+                SessionKind::Plain(rt)
+            }
+            KindSnapshot::Ctp { params, link } => {
+                let program = EventProgram {
+                    module: module.clone(),
+                    bindings: bindings.clone(),
+                };
+                // No `open()`: a restored session resumes, it does not
+                // re-run session setup.
+                let mut ep =
+                    CtpEndpoint::new(&program, params).map_err(|e| ServerError::Ctp(id, e))?;
+                ep.restore_link(*link);
+                SessionKind::Ctp { ep, params }
+            }
+            KindSnapshot::SecComm { keys, wire } => {
+                let program = EventProgram {
+                    module: module.clone(),
+                    bindings: bindings.clone(),
+                };
+                let mut ep = SecCommEndpoint::new(&program, &keys)
+                    .map_err(|e| ServerError::SecComm(id, e))?;
+                ep.restore_wire(*wire);
+                SessionKind::SecComm { ep, keys }
+            }
+        };
+        let rt = kind_runtime_mut(&mut kind);
+        for (idx, value) in globals.into_iter().enumerate() {
+            rt.set_global(GlobalId::from_index(idx), value);
+        }
+        rt.restore_sched(sched);
+        if let Some(state) = injector {
+            rt.set_fault_injector(FaultInjector::from_state(state));
+        }
+        // Endpoint kinds build their runtime internally; re-apply the one
+        // config knob that can change after construction.
+        rt.set_fault_policy(config.fault_policy);
+        if clock_ns > 0 {
+            rt.advance_clock(clock_ns);
+        }
+        if self.observability {
+            rt.enable_observability();
+        }
+        let engine = AdaptiveEngine::attach_restored(rt, module, self.adapt, engine);
         self.sessions.insert(id, Session { kind, engine });
         Ok(())
     }
@@ -426,7 +513,7 @@ impl ShardState {
     fn run_until_inner(&mut self, deadline_ns: u64) -> Result<(), ServerError> {
         for (&id, session) in &mut self.sessions {
             match &mut session.kind {
-                SessionKind::Ctp(ep) => {
+                SessionKind::Ctp { ep, .. } => {
                     // Pads its clock and checks link liveness itself.
                     ep.run_until(deadline_ns)
                         .map_err(|e| ServerError::Ctp(id, e))?;
@@ -439,7 +526,7 @@ impl ShardState {
                         rt.advance_clock(deadline_ns - now);
                     }
                 }
-                SessionKind::SecComm(ep) => {
+                SessionKind::SecComm { ep, .. } => {
                     let rt = ep.runtime_mut();
                     rt.run_until(deadline_ns)
                         .map_err(|e| ServerError::Runtime(id, e))?;
@@ -470,22 +557,28 @@ impl ShardState {
         }
     }
 
-    /// Drains the lowest-id migratable session: a plain session with
-    /// nothing queued or on timers (protocol endpoints carry link state
-    /// the snapshot can't represent, and a non-empty queue would be
-    /// lost). The session is removed and its spec returned.
-    fn drain_idle(&mut self) -> Option<(SessionId, SessionSnapshot)> {
-        let id = self
-            .sessions
-            .iter()
-            .find(|(_, s)| matches!(s.kind, SessionKind::Plain(_)) && s.runtime().pending() == 0)
-            .map(|(&id, _)| id)?;
-        let session = self.sessions.remove(&id).expect("session found above");
+    /// Why this session cannot migrate right now, or `None` if it is
+    /// quiescent. Timers are *not* a refusal: the scheduler snapshot
+    /// carries the timer wheel, so a session parked on perpetual timers
+    /// (every protocol endpoint) still migrates cleanly.
+    fn refusal_of(session: &Session) -> Option<MigrateRefusal> {
+        let rt = session.runtime();
+        if rt.queued_len() > 0 {
+            Some(MigrateRefusal::QueuedEvents)
+        } else if !rt.trace().records.is_empty() {
+            Some(MigrateRefusal::MidEpoch)
+        } else {
+            None
+        }
+    }
+
+    /// Captures one session's complete state: base module, bindings,
+    /// globals, clock, scheduler queue/timers, pending fault plan, the
+    /// adaptation daemon's profile/quarantine, and (for protocol kinds)
+    /// the endpoint's link or wire state plus its rebuild recipe.
+    fn snapshot_session(session: &Session) -> SessionSnapshot {
         let module = session.engine.borrow().base().clone();
-        let rt = match &session.kind {
-            SessionKind::Plain(rt) => rt,
-            _ => unreachable!("drain_idle only selects plain sessions"),
-        };
+        let rt = session.runtime();
         let mut bindings = Vec::new();
         for idx in 0..module.events.len() {
             let event = EventId::from_index(idx);
@@ -496,14 +589,53 @@ impl ShardState {
         let globals = (0..module.globals.len())
             .map(|idx| rt.global(GlobalId::from_index(idx)).clone())
             .collect();
-        let snap = SessionSnapshot {
+        let kind = match &session.kind {
+            SessionKind::Plain(_) => KindSnapshot::Plain,
+            SessionKind::Ctp { ep, params } => KindSnapshot::Ctp {
+                params: *params,
+                link: Box::new(ep.export_link()),
+            },
+            SessionKind::SecComm { ep, keys } => KindSnapshot::SecComm {
+                keys: keys.clone(),
+                wire: Box::new(ep.export_wire()),
+            },
+        };
+        SessionSnapshot {
             config: rt.config(),
             bindings,
             globals,
             clock_ns: rt.clock_ns(),
+            sched: rt.export_sched(),
+            injector: rt.fault_injector().map(|f| f.export_state()),
+            engine: session.engine.borrow().snapshot(),
+            kind,
             module,
-        };
-        Some((id, snap))
+        }
+    }
+
+    /// Drains the lowest-id quiescent session of *any* kind: nothing in
+    /// the async FIFO and no live trace window (see [`Self::refusal_of`]).
+    /// The session is removed and its complete snapshot returned.
+    fn drain_quiescent(&mut self) -> Option<(SessionId, SessionSnapshot)> {
+        let id = self
+            .sessions
+            .iter()
+            .find(|(_, s)| Self::refusal_of(s).is_none())
+            .map(|(&id, _)| id)?;
+        let session = self.sessions.remove(&id).expect("session found above");
+        Some((id, Self::snapshot_session(&session)))
+    }
+
+    /// Snapshots every resident session in id order, without removing
+    /// any. Used by [`Server::snapshot_to_bytes`]; unlike rebalance this
+    /// is unconditional — the scheduler snapshot carries queued work, so
+    /// nothing is lost (only the live trace window's profile
+    /// contribution, which is empty at epoch boundaries).
+    fn snapshot_all(&self) -> Vec<(SessionId, SessionSnapshot)> {
+        self.sessions
+            .iter()
+            .map(|(&id, s)| (id, Self::snapshot_session(s)))
+            .collect()
     }
 
     /// Scrapes this shard into a fresh snapshot: per-shard session and
@@ -542,8 +674,8 @@ impl ShardState {
                 .export_metrics(rt, &mut snap, &labels);
             match &session.kind {
                 SessionKind::Plain(_) => {}
-                SessionKind::Ctp(ep) => ep.stats().export_metrics(&mut snap, &labels),
-                SessionKind::SecComm(ep) => snap.counter(
+                SessionKind::Ctp { ep, .. } => ep.stats().export_metrics(&mut snap, &labels),
+                SessionKind::SecComm { ep, .. } => snap.counter(
                     "pdo_seccomm_mac_failures_total",
                     "Inbound SecComm messages rejected by MAC verification",
                     &labels,
@@ -575,6 +707,7 @@ impl ShardState {
                 guard_misses: rt.cost.fastpath_misses,
                 chains_live: rt.spec().len(),
                 adapt,
+                refusal: Self::refusal_of(session),
             };
             agg.dispatched += row.dispatched;
             agg.fastpath_hits += row.fastpath_hits;
@@ -661,6 +794,10 @@ enum Cmd {
         shard: usize,
         reply: Sender<Option<(SessionId, SessionSnapshot)>>,
     },
+    SnapshotAll {
+        shard: usize,
+        reply: Sender<Vec<(SessionId, SessionSnapshot)>>,
+    },
     With {
         shard: usize,
         id: SessionId,
@@ -740,7 +877,10 @@ fn worker_main(rx: Receiver<Cmd>, shard_ids: Vec<usize>, adapt: AdaptConfig, obs
                 let _ = reply.send(shards.get(&shard).expect(SHARD_OWNED).dump(n));
             }
             Cmd::Drain { shard, reply } => {
-                let _ = reply.send(shards.get_mut(&shard).expect(SHARD_OWNED).drain_idle());
+                let _ = reply.send(shards.get_mut(&shard).expect(SHARD_OWNED).drain_quiescent());
+            }
+            Cmd::SnapshotAll { shard, reply } => {
+                let _ = reply.send(shards.get(&shard).expect(SHARD_OWNED).snapshot_all());
             }
             Cmd::With { shard, id, f } => {
                 let state = shards.get_mut(&shard).expect(SHARD_OWNED);
@@ -806,7 +946,7 @@ impl SessionCtx<'_> {
     /// The CTP endpoint, if this is a CTP session.
     pub fn ctp(&mut self) -> Option<&mut CtpEndpoint> {
         match &mut self.session.kind {
-            SessionKind::Ctp(ep) => Some(ep),
+            SessionKind::Ctp { ep, .. } => Some(ep),
             _ => None,
         }
     }
@@ -814,7 +954,7 @@ impl SessionCtx<'_> {
     /// The SecComm endpoint, if this is a SecComm session.
     pub fn seccomm(&mut self) -> Option<&mut SecCommEndpoint> {
         match &mut self.session.kind {
-            SessionKind::SecComm(ep) => Some(ep),
+            SessionKind::SecComm { ep, .. } => Some(ep),
             _ => None,
         }
     }
@@ -831,6 +971,16 @@ pub struct Server {
     /// maintained synchronously on open/close; the rest refreshes on
     /// `run_until`, `shard_loads`, and `rebalance`.
     loads: Vec<ShardLoad>,
+    /// Coordinator flight recorder: migration / persist / restore
+    /// lifecycle records, dumped alongside the per-session recorders.
+    obs: ObsHub,
+    /// Logical timestamp source for `obs` (see [`Self::obs_record`]).
+    obs_seq: u64,
+    snapshots_total: u64,
+    restores_total: u64,
+    snapshot_bytes: Histogram,
+    encode_wall_ns: Histogram,
+    decode_wall_ns: Histogram,
 }
 
 impl fmt::Debug for Server {
@@ -893,7 +1043,22 @@ impl Server {
                     ..Default::default()
                 })
                 .collect(),
+            obs: ObsHub::new(DEFAULT_RECORDER_CAPACITY),
+            obs_seq: 0,
+            snapshots_total: 0,
+            restores_total: 0,
+            snapshot_bytes: Histogram::new(),
+            encode_wall_ns: Histogram::new(),
+            decode_wall_ns: Histogram::new(),
         }
+    }
+
+    /// Records a coordinator lifecycle event in the flight recorder.
+    /// Timestamps are a logical sequence (the coordinator has no virtual
+    /// clock), so dumps stay deterministic.
+    fn obs_record(&mut self, kind: ObsKind) {
+        self.obs_seq += 1;
+        self.obs.record(self.obs_seq, kind);
     }
 
     /// Number of shards.
@@ -1353,13 +1518,16 @@ impl Server {
     /// One placement-rebalancing step, intended for epoch boundaries:
     /// picks the hottest shard (most dispatches, then most sessions) and
     /// the coolest (fewest sessions, then fewest dispatches), and if the
-    /// hottest holds strictly more sessions, drains its lowest-id idle
-    /// plain session (nothing queued, nothing on timers) and restores it
-    /// on the coolest shard — same id, same bindings, same globals, same
-    /// virtual clock. The daemon's profile state restarts on the new
-    /// shard; a recurring phase re-specializes via the `ChainCache`
-    /// instead of a full `optimize` pass. Returns the migrated session,
-    /// if any. Deterministic: load inputs are virtual-clock counters.
+    /// hottest holds strictly more sessions, drains its lowest-id
+    /// quiescent session — *any* kind: plain, CTP, or SecComm — and
+    /// restores it on the coolest shard: same id, same bindings, same
+    /// globals, same virtual clock, same scheduler queue/timers and
+    /// endpoint link/wire state, and the same adaptation state, so the
+    /// session resumes specialization instead of cold-starting.
+    /// Quiescent means nothing in the async FIFO and no live trace
+    /// window (see [`MigrateRefusal`]; refusals surface per session in
+    /// [`SessionReport::refusal`]). Returns the migrated session, if
+    /// any. Deterministic: load inputs are virtual-clock counters.
     ///
     /// # Errors
     ///
@@ -1386,7 +1554,7 @@ impl Server {
             return Ok(None);
         }
         let drained = match &mut self.mode {
-            Mode::Inline(states) => states[hot].drain_idle(),
+            Mode::Inline(states) => states[hot].drain_quiescent(),
             Mode::Threaded { txs, .. } => {
                 let (reply, rx) = mpsc::channel();
                 txs[hot]
@@ -1401,14 +1569,14 @@ impl Server {
         self.placement.remove(&id);
         self.loads[hot].sessions = self.loads[hot].sessions.saturating_sub(1);
         let restored = match &mut self.mode {
-            Mode::Inline(states) => states[cool].open(id, SessionSpec::Restore(snap)),
+            Mode::Inline(states) => states[cool].open(id, SessionSpec::Restore(Box::new(snap))),
             Mode::Threaded { txs, .. } => {
                 let (reply, rx) = mpsc::channel();
                 txs[cool]
                     .send(Cmd::Open {
                         shard: cool,
                         id,
-                        spec: SessionSpec::Restore(snap),
+                        spec: SessionSpec::Restore(Box::new(snap)),
                         reply,
                     })
                     .expect(WORKER_ALIVE);
@@ -1418,7 +1586,152 @@ impl Server {
         restored?;
         self.placement.insert(id, cool);
         self.loads[cool].sessions += 1;
+        self.obs_record(ObsKind::SessionMigrated {
+            session: id.0,
+            from: hot as u32,
+            to: cool as u32,
+        });
         Ok(Some(id))
+    }
+
+    /// Serializes the whole server — every session on every shard, of
+    /// every kind — into one durable, versioned, checksummed image (see
+    /// `pdo-snap` for the framing). Unconditional: unlike
+    /// [`Server::rebalance`] it never refuses a session, because the
+    /// scheduler snapshot carries queued work and timers. The only state
+    /// not captured is each session's live trace window (the profile
+    /// contribution of the *current* partial epoch), which is empty at
+    /// epoch boundaries — snapshot there and the image is exact.
+    ///
+    /// Encoding is deterministic: sessions are sorted by id and every
+    /// interior map iterates in key order, so equal servers produce
+    /// byte-identical images.
+    pub fn snapshot_to_bytes(&mut self) -> Vec<u8> {
+        let started = Instant::now();
+        let mut sessions: Vec<(SessionId, usize, SessionSnapshot)> = Vec::new();
+        match &mut self.mode {
+            Mode::Inline(states) => {
+                for state in states.iter() {
+                    for (id, snap) in state.snapshot_all() {
+                        sessions.push((id, state.index, snap));
+                    }
+                }
+            }
+            Mode::Threaded { txs, .. } => {
+                let receivers: Vec<Receiver<Vec<(SessionId, SessionSnapshot)>>> = (0..txs.len())
+                    .map(|shard| {
+                        let (reply, rx) = mpsc::channel();
+                        txs[shard]
+                            .send(Cmd::SnapshotAll { shard, reply })
+                            .expect(WORKER_ALIVE);
+                        rx
+                    })
+                    .collect();
+                for (shard, rx) in receivers.into_iter().enumerate() {
+                    for (id, snap) in rx.recv().expect(WORKER_REPLIES) {
+                        sessions.push((id, shard, snap));
+                    }
+                }
+            }
+        }
+        sessions.sort_by_key(|(id, _, _)| *id);
+        let bytes = snapshot::encode_image(self.next_id, &sessions);
+        self.snapshots_total += 1;
+        self.snapshot_bytes.record(bytes.len() as u64);
+        self.encode_wall_ns
+            .record(started.elapsed().as_nanos() as u64);
+        self.obs_record(ObsKind::SnapshotPersisted {
+            sessions: sessions.len() as u32,
+            bytes: bytes.len() as u64,
+        });
+        bytes
+    }
+
+    /// Rebuilds sessions from an image produced by
+    /// [`Server::snapshot_to_bytes`], restoring each onto a shard (the
+    /// recorded shard when it exists on this server, wrapped modulo the
+    /// shard count otherwise) with its id, state, and adaptation profile
+    /// intact. Returns the restored ids in ascending order.
+    ///
+    /// # Errors
+    ///
+    /// A corrupt, truncated, or version-skewed image yields
+    /// [`ServerError::Snapshot`] — never a panic. An image session id
+    /// that is already open on this server is rejected the same way,
+    /// before any session from the image is opened.
+    pub fn restore_from_bytes(&mut self, bytes: &[u8]) -> Result<Vec<SessionId>, ServerError> {
+        let started = Instant::now();
+        let (next_id, sessions) = snapshot::decode_image(bytes).map_err(ServerError::Snapshot)?;
+        for (id, _, _) in &sessions {
+            if self.placement.contains_key(id) {
+                return Err(ServerError::Snapshot(SnapshotError::Malformed(format!(
+                    "image session {id} is already open on this server"
+                ))));
+            }
+        }
+        let mut restored = Vec::with_capacity(sessions.len());
+        let count = sessions.len() as u32;
+        for (id, shard, snap) in sessions {
+            let shard = shard % self.shards();
+            let result = match &mut self.mode {
+                Mode::Inline(states) => {
+                    states[shard].open(id, SessionSpec::Restore(Box::new(snap)))
+                }
+                Mode::Threaded { txs, .. } => {
+                    let (reply, rx) = mpsc::channel();
+                    txs[shard]
+                        .send(Cmd::Open {
+                            shard,
+                            id,
+                            spec: SessionSpec::Restore(Box::new(snap)),
+                            reply,
+                        })
+                        .expect(WORKER_ALIVE);
+                    rx.recv().expect(WORKER_REPLIES)
+                }
+            };
+            result?;
+            self.placement.insert(id, shard);
+            self.loads[shard].sessions += 1;
+            self.obs_record(ObsKind::SessionRestored {
+                session: id.0,
+                shard: shard as u32,
+            });
+            restored.push(id);
+        }
+        self.next_id = self.next_id.max(next_id);
+        self.restores_total += 1;
+        self.decode_wall_ns
+            .record(started.elapsed().as_nanos() as u64);
+        self.obs_record(ObsKind::SnapshotRestored {
+            sessions: count,
+            bytes: bytes.len() as u64,
+        });
+        Ok(restored)
+    }
+
+    /// Persists [`Server::snapshot_to_bytes`] to `path` atomically:
+    /// written to a sibling temp file, synced, then renamed, so a crash
+    /// mid-write leaves either the old image or the new one — never a
+    /// torn file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures as [`ServerError::Snapshot`].
+    pub fn save(&mut self, path: &Path) -> Result<(), ServerError> {
+        let bytes = self.snapshot_to_bytes();
+        pdo_snap::write_atomic(path, &bytes).map_err(ServerError::Snapshot)
+    }
+
+    /// Reads a durable image from `path` and restores it (see
+    /// [`Server::restore_from_bytes`]).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and corrupt images yield [`ServerError::Snapshot`].
+    pub fn restore_from_file(&mut self, path: &Path) -> Result<Vec<SessionId>, ServerError> {
+        let bytes = pdo_snap::read(path).map_err(ServerError::Snapshot)?;
+        self.restore_from_bytes(&bytes)
     }
 
     /// Scrapes every shard into one server-wide [`MetricsSnapshot`]:
@@ -1456,6 +1769,36 @@ impl Server {
                 }
             }
         }
+        snap.counter(
+            "pdo_server_snapshots_total",
+            "Durable server images encoded",
+            &[],
+            self.snapshots_total,
+        );
+        snap.counter(
+            "pdo_server_restores_total",
+            "Durable server images restored",
+            &[],
+            self.restores_total,
+        );
+        snap.histogram(
+            "pdo_server_snapshot_bytes",
+            "Encoded size of durable server images",
+            &[],
+            &self.snapshot_bytes,
+        );
+        snap.histogram(
+            "pdo_server_snapshot_encode_wall_ns",
+            "Wall-clock ns spent encoding durable images",
+            &[],
+            &self.encode_wall_ns,
+        );
+        snap.histogram(
+            "pdo_server_snapshot_decode_wall_ns",
+            "Wall-clock ns spent decoding and restoring durable images",
+            &[],
+            &self.decode_wall_ns,
+        );
         snap
     }
 
@@ -1485,6 +1828,11 @@ impl Server {
         };
         dumps.sort_by_key(|(id, _)| *id);
         let mut out = String::new();
+        let coord = self.obs.dump(n);
+        if !coord.is_empty() {
+            out.push_str(&format!("--- server coordinator (last {n} records) ---\n"));
+            out.push_str(&coord);
+        }
         for (id, dump) in dumps {
             out.push_str(&format!("--- session {id} (last {n} records) ---\n"));
             out.push_str(&dump);

@@ -1,0 +1,483 @@
+//! Durable snapshots, universal migration, and refusal semantics.
+//!
+//! Pins the robustness contract: any quiescent session kind migrates
+//! under `rebalance` (refusals carry a typed reason in the report), a
+//! whole server round-trips through `snapshot_to_bytes` /
+//! `restore_from_bytes` with sessions resuming where they left off,
+//! images are deterministic (restore-then-re-encode is byte-identical),
+//! and corrupt images surface typed errors — never panics.
+
+use pdo::{AdaptConfig, OptimizeOptions};
+use pdo_ctp::{ctp_program, CtpParams};
+use pdo_events::RuntimeConfig;
+use pdo_ir::{BinOp, EventId, FuncId, FunctionBuilder, Module, RaiseMode, Value};
+use pdo_seccomm::{seccomm_protocol, Keys, CONFIG_FULL};
+use pdo_server::{MigrateRefusal, Server, ServerConfig, ServerError};
+
+/// Two independent events; handler `k` of each adds `k` to its event's
+/// accumulator, so one dispatch of [h1, h2] adds 3.
+fn two_chain_module() -> (Module, [EventId; 2], [pdo_ir::GlobalId; 2]) {
+    let mut m = Module::new();
+    let a = m.add_event("A");
+    let b = m.add_event("B");
+    let ga = m.add_global("acc_a", Value::Int(0));
+    let gb = m.add_global("acc_b", Value::Int(0));
+    let adder = |m: &mut Module, name: &str, g: pdo_ir::GlobalId, d: i64| {
+        let mut fb = FunctionBuilder::new(name, 0);
+        let v = fb.load_global(g);
+        let dd = fb.const_int(d);
+        let o = fb.bin(BinOp::Add, v, dd);
+        fb.store_global(g, o);
+        fb.ret(None);
+        m.add_function(fb.finish())
+    };
+    adder(&mut m, "a1", ga, 1);
+    adder(&mut m, "a2", ga, 2);
+    adder(&mut m, "b1", gb, 1);
+    adder(&mut m, "b2", gb, 2);
+    (m, [a, b], [ga, gb])
+}
+
+fn bindings(m: &Module, a: EventId, b: EventId) -> Vec<(EventId, FuncId, i32)> {
+    vec![
+        (a, m.function_by_name("a1").unwrap(), 0),
+        (a, m.function_by_name("a2").unwrap(), 1),
+        (b, m.function_by_name("b1").unwrap(), 0),
+        (b, m.function_by_name("b2").unwrap(), 1),
+    ]
+}
+
+fn fast_adapt() -> AdaptConfig {
+    AdaptConfig {
+        epoch_ns: 1_000,
+        min_fresh_events: 20,
+        opts: OptimizeOptions::new(10),
+        ..Default::default()
+    }
+}
+
+/// Refusal reasons surface per session and gate `rebalance`: a session
+/// with queued events or a live trace window stays put, and draining the
+/// condition clears the refusal.
+#[test]
+fn rebalance_refuses_busy_sessions_and_reports_why() {
+    let (m, [a, b], _) = two_chain_module();
+    let mut server = Server::new(ServerConfig {
+        shards: 2,
+        adapt: fast_adapt(),
+        ..Default::default()
+    });
+    let binds = bindings(&m, a, b);
+    let mut ids = Vec::new();
+    for _ in 0..3 {
+        ids.push(
+            server
+                .open_session(m.clone(), RuntimeConfig::default(), &binds)
+                .unwrap(),
+        );
+    }
+    let crowded = (0..2)
+        .find(|&s| ids.iter().filter(|&&id| server.shard_of(id) == s).count() == 2)
+        .expect("one shard holds two of three sessions");
+    let on_crowded: Vec<_> = ids
+        .iter()
+        .copied()
+        .filter(|&id| server.shard_of(id) == crowded)
+        .collect();
+
+    // Make the crowded shard hottest (sync dispatches count), leaving
+    // every one of its sessions mid-epoch with a live trace window...
+    for &id in &on_crowded {
+        for _ in 0..10 {
+            server.raise_sync(id, a, &[]).unwrap();
+        }
+    }
+    let report = server.report();
+    for &id in &on_crowded {
+        let row = report.sessions.iter().find(|r| r.session == id).unwrap();
+        assert_eq!(
+            row.refusal,
+            Some(MigrateRefusal::MidEpoch),
+            "undrained trace window refuses migration"
+        );
+    }
+    assert_eq!(
+        server.rebalance().unwrap(),
+        None,
+        "no quiescent session on the hot shard"
+    );
+
+    // ...then also queue an async event: the queue wins as the reason.
+    server
+        .with_runtime(on_crowded[0], move |rt| {
+            rt.raise(a, RaiseMode::Async, &[]).unwrap();
+        })
+        .unwrap();
+    let report = server.report();
+    let row = report
+        .sessions
+        .iter()
+        .find(|r| r.session == on_crowded[0])
+        .unwrap();
+    assert_eq!(row.refusal, Some(MigrateRefusal::QueuedEvents));
+    assert_eq!(server.rebalance().unwrap(), None);
+
+    // Draining the queue and crossing an epoch boundary clears both
+    // refusals; the next rebalance migrates.
+    server.run_until(4_000).unwrap();
+    let report = server.report();
+    for &id in &on_crowded {
+        let row = report.sessions.iter().find(|r| r.session == id).unwrap();
+        assert_eq!(row.refusal, None, "quiescent after the drain");
+    }
+    let migrated = server.rebalance().unwrap().expect("now it migrates");
+    assert_eq!(server.shard_of(migrated), 1 - crowded);
+}
+
+/// The 'plain sessions only' restriction is gone: a quiescent CTP
+/// session — perpetual controller timer and all — migrates off the hot
+/// shard and keeps acking traffic from its new home.
+#[test]
+fn rebalance_migrates_protocol_sessions() {
+    let program = ctp_program();
+    let mut server = Server::new(ServerConfig {
+        shards: 2,
+        adapt: AdaptConfig {
+            epoch_ns: 50_000_000,
+            min_fresh_events: 40,
+            opts: OptimizeOptions::new(10),
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let mut ids = Vec::new();
+    for _ in 0..3 {
+        ids.push(
+            server
+                .open_ctp_session(&program, CtpParams::default())
+                .unwrap(),
+        );
+    }
+    let crowded = (0..2)
+        .find(|&s| ids.iter().filter(|&&id| server.shard_of(id) == s).count() == 2)
+        .expect("one shard holds two of three sessions");
+    let victim = *ids
+        .iter()
+        .find(|&&id| server.shard_of(id) == crowded)
+        .unwrap();
+    for i in 0..10u64 {
+        let payload = vec![i as u8; 200];
+        server
+            .with_ctp(victim, move |ep| ep.send(&payload))
+            .unwrap()
+            .unwrap();
+        server.run_until((i + 1) * 60_000_000).unwrap();
+    }
+    server
+        .with_ctp(victim, |ep| ep.drain(2_000_000_000))
+        .unwrap()
+        .unwrap();
+    // Pad across epoch boundaries so every trace window drains.
+    server.run_until(2_500_000_000).unwrap();
+
+    let migrated = server.rebalance().unwrap().expect("a CTP session moves");
+    assert_eq!(server.shard_of(migrated), 1 - crowded);
+
+    // The moved endpoint still speaks the protocol: more traffic acks.
+    let before = server.with_ctp(migrated, |ep| ep.stats()).unwrap();
+    for i in 0..5u64 {
+        let payload = vec![0xA5; 100];
+        server
+            .with_ctp(migrated, move |ep| ep.send(&payload))
+            .unwrap()
+            .unwrap();
+        server
+            .run_until(2_500_000_000 + (i + 1) * 60_000_000)
+            .unwrap();
+    }
+    server
+        .with_ctp(migrated, |ep| ep.drain(5_000_000_000))
+        .unwrap()
+        .unwrap();
+    let after = server.with_ctp(migrated, |ep| ep.stats()).unwrap();
+    assert_eq!(after.segments_acked, after.segments_sent);
+    assert!(
+        after.segments_sent >= before.segments_sent + 5,
+        "post-migration sends: {before:?} -> {after:?}"
+    );
+}
+
+/// A mixed fleet survives the full durability cycle: snapshot every
+/// session kind, restore into a fresh server, and both the plain
+/// accumulators and the protocol endpoints resume exactly. The restored
+/// image re-encodes byte-identically, and the persistence counters and
+/// coordinator flight records show up in observability.
+#[test]
+fn snapshot_restore_resumes_every_session_kind() {
+    let (m, [a, b], [ga, _]) = two_chain_module();
+    let ctp = ctp_program();
+    let sec = seccomm_protocol().instantiate(CONFIG_FULL).unwrap();
+    let keys = Keys::default();
+    let config = || ServerConfig {
+        shards: 2,
+        adapt: fast_adapt(),
+        ..Default::default()
+    };
+
+    let mut server = Server::new(config());
+    let binds = bindings(&m, a, b);
+    let plain = server
+        .open_session(m.clone(), RuntimeConfig::default(), &binds)
+        .unwrap();
+    let tx = server.open_seccomm_session(&sec, &keys).unwrap();
+    let rx = server.open_seccomm_session(&sec, &keys).unwrap();
+    let ctp_id = server.open_ctp_session(&ctp, CtpParams::default()).unwrap();
+
+    // Phase 1: drive every kind, then land on an epoch boundary.
+    for i in 0..40u64 {
+        server.submit(plain, a, i * 100 + 100, &[]).unwrap();
+    }
+    for k in 0..6u64 {
+        let msg = vec![k as u8; 32];
+        let wire = server
+            .with_seccomm(tx, move |ep| ep.push(&msg))
+            .unwrap()
+            .unwrap();
+        let plain_msg = server
+            .with_seccomm(rx, move |ep| ep.pop(&wire))
+            .unwrap()
+            .unwrap();
+        assert_eq!(plain_msg, vec![k as u8; 32]);
+    }
+    let mut evil = server
+        .with_seccomm(tx, |ep| ep.push(b"payload"))
+        .unwrap()
+        .unwrap();
+    evil[0] ^= 0x80;
+    assert!(server
+        .with_seccomm(rx, move |ep| ep.pop(&evil))
+        .unwrap()
+        .is_err());
+    for i in 0..4u64 {
+        let payload = vec![i as u8; 150];
+        server
+            .with_ctp(ctp_id, move |ep| ep.send(&payload))
+            .unwrap()
+            .unwrap();
+    }
+    server
+        .with_ctp(ctp_id, |ep| ep.drain(1_000_000_000))
+        .unwrap()
+        .unwrap();
+    server.run_until(1_200_000_000).unwrap();
+
+    let bytes = server.snapshot_to_bytes();
+    let acc_before = server
+        .with_runtime(plain, move |rt| rt.global(ga).clone())
+        .unwrap();
+    let ctp_before = server.with_ctp(ctp_id, |ep| ep.stats()).unwrap();
+
+    // Crash: the server dies; a fresh one restores the image.
+    drop(server);
+    let mut revived = Server::new(config());
+    let restored = revived.restore_from_bytes(&bytes).unwrap();
+    assert_eq!(restored, vec![plain, tx, rx, ctp_id]);
+    assert_eq!(revived.sessions().len(), 4);
+
+    // Deterministic format: re-encoding the restored fleet reproduces
+    // the image bit for bit.
+    assert_eq!(revived.snapshot_to_bytes(), bytes, "round-trip bytes");
+
+    // Plain state carried: accumulator, then it keeps accumulating.
+    assert_eq!(
+        revived
+            .with_runtime(plain, move |rt| rt.global(ga).clone())
+            .unwrap(),
+        acc_before
+    );
+    revived.raise_sync(plain, a, &[]).unwrap();
+    let Value::Int(n0) = acc_before else {
+        panic!("int accumulator")
+    };
+    assert_eq!(
+        revived
+            .with_runtime(plain, move |rt| rt.global(ga).clone())
+            .unwrap(),
+        Value::Int(n0 + 3)
+    );
+
+    // SecComm state carried: the MAC-failure counter survived and the
+    // restored pair still round-trips traffic under the same keys.
+    assert_eq!(revived.with_seccomm(rx, |ep| ep.mac_failures()).unwrap(), 1);
+    let wire = revived
+        .with_seccomm(tx, |ep| ep.push(b"after-restore"))
+        .unwrap()
+        .unwrap();
+    assert_eq!(
+        revived
+            .with_seccomm(rx, move |ep| ep.pop(&wire))
+            .unwrap()
+            .unwrap(),
+        b"after-restore".to_vec()
+    );
+
+    // CTP state carried: counters resume (not reset) and new traffic
+    // still acks completely.
+    let ctp_mid = revived.with_ctp(ctp_id, |ep| ep.stats()).unwrap();
+    assert_eq!(ctp_mid.segments_sent, ctp_before.segments_sent);
+    for i in 0..3u64 {
+        let payload = vec![0x5A; 120];
+        revived
+            .with_ctp(ctp_id, move |ep| ep.send(&payload))
+            .unwrap()
+            .unwrap();
+        revived
+            .run_until(1_200_000_000 + (i + 1) * 60_000_000)
+            .unwrap();
+    }
+    revived
+        .with_ctp(ctp_id, |ep| ep.drain(3_000_000_000))
+        .unwrap()
+        .unwrap();
+    let ctp_after = revived.with_ctp(ctp_id, |ep| ep.stats()).unwrap();
+    assert_eq!(ctp_after.segments_acked, ctp_after.segments_sent);
+    assert!(ctp_after.segments_sent >= ctp_before.segments_sent + 3);
+
+    // Adaptation continuity: the restored plain session had profile and
+    // counters carried, so epochs keep counting from where they stopped.
+    let stats = revived.engine_stats(plain).unwrap();
+    assert!(stats.epochs > 0, "carried epoch counter: {stats:?}");
+
+    // Fresh ids never collide with restored ones.
+    let extra = revived
+        .open_session(m.clone(), RuntimeConfig::default(), &binds)
+        .unwrap();
+    assert!(restored.iter().all(|&id| id != extra));
+
+    // Observability satellite: counters, size/latency histograms, and
+    // coordinator flight records all mention the cycle.
+    let text = revived.metrics().render();
+    assert!(text.contains("pdo_server_snapshots_total 1"));
+    assert!(text.contains("pdo_server_restores_total 1"));
+    assert!(text.contains("# TYPE pdo_server_snapshot_bytes summary"));
+    assert!(text.contains("# TYPE pdo_server_snapshot_encode_wall_ns summary"));
+    assert!(text.contains("# TYPE pdo_server_snapshot_decode_wall_ns summary"));
+    let dump = revived.dump_flight_recorders(16);
+    assert!(dump.contains("server coordinator"), "coordinator section");
+    assert!(
+        dump.contains("snapshot-restored"),
+        "restore recorded:\n{dump}"
+    );
+    assert!(dump.contains("session-restored"), "per-session records");
+}
+
+/// Images restore onto threaded servers too, and placement follows the
+/// recorded shard (mod the shard count of the receiving server).
+#[test]
+fn restore_works_across_thread_counts() {
+    let (m, [a, b], [ga, _]) = two_chain_module();
+    let binds = bindings(&m, a, b);
+    let mut server = Server::new(ServerConfig {
+        shards: 4,
+        adapt: fast_adapt(),
+        ..Default::default()
+    });
+    let mut ids = Vec::new();
+    for _ in 0..6 {
+        ids.push(
+            server
+                .open_session(m.clone(), RuntimeConfig::default(), &binds)
+                .unwrap(),
+        );
+    }
+    for i in 0..30u64 {
+        for &id in &ids {
+            server.submit(id, a, i * 100 + 100, &[]).unwrap();
+        }
+    }
+    server.run_until(30 * 100 + 1_000).unwrap();
+    let bytes = server.snapshot_to_bytes();
+    let expect: Vec<_> = ids.iter().map(|&id| server.shard_of(id)).collect();
+    drop(server);
+
+    let mut threaded = Server::new(ServerConfig {
+        shards: 4,
+        threads: 4,
+        adapt: fast_adapt(),
+        ..Default::default()
+    });
+    let restored = threaded.restore_from_bytes(&bytes).unwrap();
+    assert_eq!(restored, ids);
+    for (&id, &shard) in ids.iter().zip(&expect) {
+        assert_eq!(threaded.shard_of(id), shard, "placement carried");
+    }
+    for &id in &ids {
+        assert_eq!(
+            threaded
+                .with_runtime(id, move |rt| rt.global(ga).clone())
+                .unwrap(),
+            Value::Int(30 * 3)
+        );
+    }
+}
+
+/// Corruption never panics: truncations, bit flips, id collisions, and
+/// garbage files all come back as `ServerError::Snapshot`.
+#[test]
+fn corrupt_images_yield_typed_errors() {
+    let (m, [a, b], _) = two_chain_module();
+    let binds = bindings(&m, a, b);
+    let config = || ServerConfig {
+        shards: 2,
+        adapt: fast_adapt(),
+        ..Default::default()
+    };
+    let mut server = Server::new(config());
+    let id = server
+        .open_session(m.clone(), RuntimeConfig::default(), &binds)
+        .unwrap();
+    server.raise_sync(id, a, &[]).unwrap();
+    let bytes = server.snapshot_to_bytes();
+
+    // Every truncation is detected.
+    for cut in 0..bytes.len() {
+        let mut fresh = Server::new(config());
+        match fresh.restore_from_bytes(&bytes[..cut]) {
+            Err(ServerError::Snapshot(_)) => {}
+            other => panic!("truncation at {cut} must fail typed, got {other:?}"),
+        }
+        assert!(fresh.sessions().is_empty(), "failed restore opens nothing");
+    }
+    // A seeded sweep of single-bit flips is detected.
+    for k in 0..64usize {
+        let pos = (k * 2654435761) % (bytes.len() * 8);
+        let mut bad = bytes.clone();
+        bad[pos / 8] ^= 1 << (pos % 8);
+        let mut fresh = Server::new(config());
+        match fresh.restore_from_bytes(&bad) {
+            Err(ServerError::Snapshot(_)) => {}
+            other => panic!("bit flip at {pos} must fail typed, got {other:?}"),
+        }
+    }
+    // Restoring over an already-open id is rejected before any state
+    // changes.
+    match server.restore_from_bytes(&bytes) {
+        Err(ServerError::Snapshot(_)) => {}
+        other => panic!("id collision must fail typed, got {other:?}"),
+    }
+    assert_eq!(server.sessions().len(), 1);
+
+    // File-level persistence: save atomically, restore from disk, and a
+    // missing file is a typed error.
+    let dir = std::env::temp_dir().join(format!("pdo-persist-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("image.pdosnap");
+    server.save(&path).unwrap();
+    let mut fresh = Server::new(config());
+    assert_eq!(fresh.restore_from_file(&path).unwrap(), vec![id]);
+    match Server::new(config()).restore_from_file(&dir.join("absent.pdosnap")) {
+        Err(ServerError::Snapshot(_)) => {}
+        other => panic!("missing file must fail typed, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,644 @@
+//! # pdo-snap — durable snapshot framing
+//!
+//! A small, dependency-light binary format for persisting session and
+//! server snapshots. The frame layout is
+//!
+//! ```text
+//! magic (8 bytes) | version (u32 LE) | payload_len (u64 LE)
+//! | payload | fnv1a64(all preceding bytes) (u64 LE)
+//! ```
+//!
+//! so a reader can reject foreign files ([`SnapshotError::BadMagic`]),
+//! future formats ([`SnapshotError::UnsupportedVersion`]), torn writes
+//! ([`SnapshotError::Truncated`]) and bit rot
+//! ([`SnapshotError::ChecksumMismatch`]) before decoding a single payload
+//! byte — always as a typed error, never a panic.
+//!
+//! [`SnapWriter`] and [`SnapReader`] provide the primitive vocabulary
+//! (fixed-width little-endian integers, length-prefixed byte strings,
+//! tagged [`Value`]s, and whole [`Module`]s carried as IR text, which
+//! round-trips exactly). [`write_atomic`] persists a frame with the
+//! write-temp-then-rename discipline so a crash mid-write leaves either
+//! the old file or the new one, never a torn hybrid.
+
+use pdo_ir::{display::print_module, parse::parse_module, Module, Value};
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Leading bytes of every snapshot frame.
+pub const MAGIC: [u8; 8] = *b"PDOSNAP\0";
+
+/// Current frame version.
+pub const VERSION: u32 = 1;
+
+/// A typed decode/persistence failure. Corrupt or truncated input must
+/// surface as one of these — decoding never panics.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Input ended before a field's bytes: `needed` more than `available`.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually remaining.
+        available: usize,
+    },
+    /// The leading bytes are not [`MAGIC`] — not a snapshot file.
+    BadMagic,
+    /// The frame declares a version this build does not understand.
+    UnsupportedVersion(u32),
+    /// The trailing FNV-1a checksum does not match the frame contents.
+    ChecksumMismatch {
+        /// Checksum stored in the frame.
+        expected: u64,
+        /// Checksum recomputed over the frame.
+        actual: u64,
+    },
+    /// A field decoded but its value is invalid (bad tag, bad UTF-8,
+    /// unparsable module text, inconsistent counts...).
+    Malformed(String),
+    /// Bytes remained after the decoder consumed the full payload.
+    TrailingBytes,
+    /// The filesystem failed underneath persistence.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Truncated { needed, available } => {
+                write!(
+                    f,
+                    "truncated snapshot: needed {needed} bytes, {available} available"
+                )
+            }
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (this build reads {VERSION})"
+                )
+            }
+            SnapshotError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "snapshot checksum mismatch: stored {expected:#018x}, computed {actual:#018x}"
+            ),
+            SnapshotError::Malformed(why) => write!(f, "malformed snapshot: {why}"),
+            SnapshotError::TrailingBytes => {
+                write!(f, "snapshot has trailing bytes after the payload")
+            }
+            SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// FNV-1a 64-bit over `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// Value tag bytes (mirrors the marshaling vocabulary in pdo-events).
+const TAG_UNIT: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_BOOL: u8 = 2;
+const TAG_BYTES: u8 = 3;
+const TAG_STR: u8 = 4;
+
+/// Builds a snapshot payload and frames it.
+#[derive(Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// An empty writer.
+    pub fn new() -> SnapWriter {
+        SnapWriter::default()
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i64`, little-endian two's complement.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Appends a tagged [`Value`].
+    pub fn value(&mut self, v: &Value) {
+        match v {
+            Value::Unit => self.u8(TAG_UNIT),
+            Value::Int(i) => {
+                self.u8(TAG_INT);
+                self.i64(*i);
+            }
+            Value::Bool(b) => {
+                self.u8(TAG_BOOL);
+                self.bool(*b);
+            }
+            Value::Bytes(b) => {
+                self.u8(TAG_BYTES);
+                self.bytes(b);
+            }
+            Value::Str(s) => {
+                self.u8(TAG_STR);
+                self.str(s);
+            }
+        }
+    }
+
+    /// Appends a whole [`Module`] as its IR text (which parses back to an
+    /// identical module).
+    pub fn module(&mut self, m: &Module) {
+        self.str(&print_module(m));
+    }
+
+    /// Payload bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Frames the payload: magic, version, length, payload, checksum.
+    pub fn finish(self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.buf.len() + 28);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.buf.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.buf);
+        let sum = fnv1a64(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+}
+
+/// Decodes a framed snapshot: validates magic, version, length, and
+/// checksum up front, then hands out payload fields.
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    payload: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// Validates the frame around `bytes` and positions a reader at the
+    /// start of the payload.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] / [`BadMagic`](SnapshotError::BadMagic)
+    /// / [`UnsupportedVersion`](SnapshotError::UnsupportedVersion) /
+    /// [`ChecksumMismatch`](SnapshotError::ChecksumMismatch) /
+    /// [`TrailingBytes`](SnapshotError::TrailingBytes) describe exactly how
+    /// the frame is unusable.
+    pub fn new(bytes: &'a [u8]) -> Result<SnapReader<'a>, SnapshotError> {
+        let header = MAGIC.len() + 4 + 8;
+        if bytes.len() < header {
+            return Err(SnapshotError::Truncated {
+                needed: header,
+                available: bytes.len(),
+            });
+        }
+        if bytes[..MAGIC.len()] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+        let payload_len = usize::try_from(payload_len)
+            .map_err(|_| SnapshotError::Malformed("payload length overflows usize".into()))?;
+        let framed = header
+            .checked_add(payload_len)
+            .and_then(|n| n.checked_add(8))
+            .ok_or_else(|| SnapshotError::Malformed("payload length overflows usize".into()))?;
+        if bytes.len() < framed {
+            return Err(SnapshotError::Truncated {
+                needed: framed,
+                available: bytes.len(),
+            });
+        }
+        if bytes.len() > framed {
+            return Err(SnapshotError::TrailingBytes);
+        }
+        let body = &bytes[..framed - 8];
+        let expected = u64::from_le_bytes(bytes[framed - 8..framed].try_into().expect("8 bytes"));
+        let actual = fnv1a64(body);
+        if expected != actual {
+            return Err(SnapshotError::ChecksumMismatch { expected, actual });
+        }
+        Ok(SnapReader {
+            payload: &bytes[header..framed - 8],
+            pos: 0,
+        })
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let available = self.payload.len() - self.pos;
+        if available < n {
+            return Err(SnapshotError::Truncated {
+                needed: n,
+                available,
+            });
+        }
+        let out = &self.payload[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] if the payload is exhausted. The same
+    /// holds for every `take_*` method below.
+    pub fn take_u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SnapReader::take_u8`].
+    pub fn take_u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SnapReader::take_u8`].
+    pub fn take_u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `i64`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SnapReader::take_u8`].
+    pub fn take_i64(&mut self) -> Result<i64, SnapshotError> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a bool byte.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] on a byte that is neither 0 nor 1, and
+    /// truncation as in [`SnapReader::take_u8`].
+    pub fn take_bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(SnapshotError::Malformed(format!(
+                "invalid bool byte {b:#04x}"
+            ))),
+        }
+    }
+
+    /// Reads a length-prefixed byte string.
+    ///
+    /// # Errors
+    ///
+    /// See [`SnapReader::take_u8`].
+    pub fn take_bytes(&mut self) -> Result<Vec<u8>, SnapshotError> {
+        let len = self.take_u64()?;
+        let len = usize::try_from(len)
+            .map_err(|_| SnapshotError::Malformed("byte-string length overflows usize".into()))?;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] on invalid UTF-8, plus truncation.
+    pub fn take_str(&mut self) -> Result<String, SnapshotError> {
+        String::from_utf8(self.take_bytes()?)
+            .map_err(|e| SnapshotError::Malformed(format!("invalid UTF-8 string: {e}")))
+    }
+
+    /// Reads a tagged [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] on an unknown tag, plus truncation.
+    pub fn take_value(&mut self) -> Result<Value, SnapshotError> {
+        match self.take_u8()? {
+            TAG_UNIT => Ok(Value::Unit),
+            TAG_INT => Ok(Value::Int(self.take_i64()?)),
+            TAG_BOOL => Ok(Value::Bool(self.take_bool()?)),
+            TAG_BYTES => Ok(Value::Bytes(self.take_bytes()?.into())),
+            TAG_STR => Ok(Value::Str(self.take_str()?.into())),
+            t => Err(SnapshotError::Malformed(format!(
+                "unknown value tag {t:#04x}"
+            ))),
+        }
+    }
+
+    /// Reads a [`Module`] from its IR text.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] when the text does not parse, plus
+    /// truncation.
+    pub fn take_module(&mut self) -> Result<Module, SnapshotError> {
+        let text = self.take_str()?;
+        parse_module(&text)
+            .map_err(|e| SnapshotError::Malformed(format!("module does not parse: {e}")))
+    }
+
+    /// Payload bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.payload.len() - self.pos
+    }
+
+    /// Asserts the payload was consumed exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::TrailingBytes`] if fields remain.
+    pub fn finish(self) -> Result<(), SnapshotError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(SnapshotError::TrailingBytes)
+        }
+    }
+}
+
+/// Persists `bytes` at `path` atomically: writes a sibling temp file,
+/// syncs it, then renames it over `path`. A crash mid-write leaves either
+/// the previous file or the complete new one.
+///
+/// # Errors
+///
+/// [`SnapshotError::Io`] on any filesystem failure.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
+    let tmp = match path.file_name() {
+        Some(name) => {
+            let mut n = name.to_os_string();
+            n.push(".tmp");
+            path.with_file_name(n)
+        }
+        None => {
+            return Err(SnapshotError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "snapshot path has no file name",
+            )))
+        }
+    };
+    let mut f = fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads a snapshot file whole.
+///
+/// # Errors
+///
+/// [`SnapshotError::Io`] on any filesystem failure. The bytes are returned
+/// unvalidated; frame validation happens in [`SnapReader::new`].
+pub fn read(path: &Path) -> Result<Vec<u8>, SnapshotError> {
+    Ok(fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdo_ir::{FunctionBuilder, RaiseMode};
+
+    fn sample_frame() -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 3);
+        w.i64(-42);
+        w.bool(true);
+        w.bytes(b"raw bytes");
+        w.str("a string");
+        w.value(&Value::Unit);
+        w.value(&Value::Int(-7));
+        w.value(&Value::Bool(false));
+        w.value(&Value::bytes(vec![1, 2, 3]));
+        w.value(&Value::str("hello"));
+        w.finish()
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let frame = sample_frame();
+        let mut r = SnapReader::new(&frame).unwrap();
+        assert_eq!(r.take_u8().unwrap(), 7);
+        assert_eq!(r.take_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.take_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.take_i64().unwrap(), -42);
+        assert!(r.take_bool().unwrap());
+        assert_eq!(r.take_bytes().unwrap(), b"raw bytes");
+        assert_eq!(r.take_str().unwrap(), "a string");
+        assert_eq!(r.take_value().unwrap(), Value::Unit);
+        assert_eq!(r.take_value().unwrap(), Value::Int(-7));
+        assert_eq!(r.take_value().unwrap(), Value::Bool(false));
+        assert_eq!(r.take_value().unwrap(), Value::bytes(vec![1, 2, 3]));
+        assert_eq!(r.take_value().unwrap(), Value::str("hello"));
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn module_round_trips_exactly() {
+        let mut m = Module::new();
+        let ev = m.add_event("Tick");
+        let g = m.add_global("count", Value::Int(0));
+        let mut f = FunctionBuilder::new("on_tick", 1);
+        let c = f.load_global(g);
+        let p = f.param(0);
+        let sum = f.bin(pdo_ir::BinOp::Add, c, p);
+        f.store_global(g, sum);
+        f.raise(ev, RaiseMode::Async, &[]);
+        f.ret(None);
+        m.add_function(f.finish());
+
+        let mut w = SnapWriter::new();
+        w.module(&m);
+        let frame = w.finish();
+        let mut r = SnapReader::new(&frame).unwrap();
+        assert_eq!(r.take_module().unwrap(), m);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let frame = sample_frame();
+        for len in 0..frame.len() {
+            let err = match SnapReader::new(&frame[..len]) {
+                Err(e) => e,
+                Ok(mut r) => loop {
+                    // A prefix that still frames (impossible here, but keep
+                    // the loop total): drain fields until one fails.
+                    match r.take_u8() {
+                        Ok(_) => {}
+                        Err(e) => break e,
+                    }
+                },
+            };
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Truncated { .. } | SnapshotError::ChecksumMismatch { .. }
+                ),
+                "prefix of {len} bytes gave {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let frame = sample_frame();
+        for byte in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[byte] ^= 1 << (byte % 8);
+            let err = SnapReader::new(&bad).expect_err("flip must be rejected");
+            match byte {
+                0..=7 => assert!(matches!(err, SnapshotError::BadMagic), "byte {byte}: {err}"),
+                8..=11 => assert!(
+                    matches!(err, SnapshotError::UnsupportedVersion(_)),
+                    "byte {byte}: {err}"
+                ),
+                12..=19 => assert!(
+                    matches!(
+                        err,
+                        SnapshotError::Truncated { .. } | SnapshotError::TrailingBytes
+                    ),
+                    "byte {byte}: {err}"
+                ),
+                _ => assert!(
+                    matches!(err, SnapshotError::ChecksumMismatch { .. }),
+                    "byte {byte}: {err}"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut frame = sample_frame();
+        frame.push(0);
+        assert!(matches!(
+            SnapReader::new(&frame),
+            Err(SnapshotError::TrailingBytes)
+        ));
+    }
+
+    #[test]
+    fn foreign_version_is_rejected() {
+        let mut frame = SnapWriter::new().finish();
+        frame[8] = 99;
+        assert!(matches!(
+            SnapReader::new(&frame),
+            Err(SnapshotError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn reader_rejects_overconsumption_and_bad_tags() {
+        let mut w = SnapWriter::new();
+        w.u8(200); // not a bool, not a value tag
+        let frame = w.finish();
+
+        let mut r = SnapReader::new(&frame).unwrap();
+        assert!(matches!(r.take_bool(), Err(SnapshotError::Malformed(_))));
+
+        let mut r = SnapReader::new(&frame).unwrap();
+        assert!(matches!(r.take_value(), Err(SnapshotError::Malformed(_))));
+
+        let mut r = SnapReader::new(&frame).unwrap();
+        assert!(matches!(
+            r.take_u64(),
+            Err(SnapshotError::Truncated {
+                needed: 8,
+                available: 1
+            })
+        ));
+
+        let r = SnapReader::new(&frame).unwrap();
+        assert!(matches!(r.finish(), Err(SnapshotError::TrailingBytes)));
+    }
+
+    #[test]
+    fn atomic_write_then_read_round_trips() {
+        let dir = std::env::temp_dir().join(format!("pdo-snap-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("image.pdosnap");
+
+        let frame = sample_frame();
+        write_atomic(&path, &frame).unwrap();
+        assert_eq!(read(&path).unwrap(), frame);
+
+        // Overwrite goes through the same temp+rename path.
+        let frame2 = SnapWriter::new().finish();
+        write_atomic(&path, &frame2).unwrap();
+        assert_eq!(read(&path).unwrap(), frame2);
+        assert!(!dir.join("image.pdosnap.tmp").exists());
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -272,3 +272,71 @@ pub fn assert_equivalent<S: PartialEq + fmt::Debug>(
 
 /// Both containment policies the suites sweep.
 pub const POLICIES: [FaultPolicy; 2] = [FaultPolicy::SkipEvent, FaultPolicy::Despecialize];
+
+// --- kill-restore machinery (crash-restart equivalence) ------------------
+
+use pdo::{AdaptConfig, AdaptiveEngine, EngineSnapshot};
+use pdo_events::{FaultInjector, FaultInjectorState, SchedulerState};
+use pdo_ir::Module;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Complete captured state of a live adaptive session — what survives a
+/// crash. Meaningful at an epoch boundary, where the trace window and
+/// stats delta have just been drained into the engine's profile, so the
+/// capture is exact; substrate link/wire state travels separately (it
+/// lives in the endpoint, not the runtime).
+pub struct SessionCapture {
+    pub globals: Vec<Value>,
+    pub clock_ns: u64,
+    pub sched: SchedulerState,
+    pub injector: Option<FaultInjectorState>,
+    pub engine: EngineSnapshot,
+}
+
+/// Captures a session: every global, the virtual clock, the scheduler's
+/// queue and timer wheel, the remaining dispatch-fault plan (with fired
+/// occurrence counts, so restored sessions don't re-fire spent faults),
+/// and the adaptation daemon's snapshot.
+pub fn capture_session(
+    rt: &Runtime,
+    n_globals: usize,
+    engine: &Rc<RefCell<AdaptiveEngine>>,
+) -> SessionCapture {
+    SessionCapture {
+        globals: (0..n_globals)
+            .map(|i| rt.global(GlobalId::from_index(i)).clone())
+            .collect(),
+        clock_ns: rt.clock_ns(),
+        sched: rt.export_sched(),
+        injector: rt.fault_injector().map(|f| f.export_state()),
+        engine: engine.borrow().snapshot(),
+    }
+}
+
+/// Rebuilds a freshly constructed session runtime from `cap`, mirroring
+/// the server's restore path: globals, scheduler, fault plan, policy,
+/// clock (before the epoch hook exists, so the catch-up doesn't fire a
+/// burst of stale epochs), then the adaptation daemon from its snapshot
+/// — the session resumes specialization instead of cold-starting.
+pub fn restore_session(
+    rt: &mut Runtime,
+    base: Module,
+    config: AdaptConfig,
+    policy: FaultPolicy,
+    cap: SessionCapture,
+) -> Rc<RefCell<AdaptiveEngine>> {
+    arm_flight_recorder(rt);
+    for (i, value) in cap.globals.into_iter().enumerate() {
+        rt.set_global(GlobalId::from_index(i), value);
+    }
+    rt.restore_sched(cap.sched);
+    if let Some(state) = cap.injector {
+        rt.set_fault_injector(FaultInjector::from_state(state));
+    }
+    rt.set_fault_policy(policy);
+    if cap.clock_ns > 0 {
+        rt.advance_clock(cap.clock_ns);
+    }
+    AdaptiveEngine::attach_restored(rt, base, config, cap.engine)
+}
