@@ -37,6 +37,33 @@ impl Tag {
             Value::Str(_) => Tag::Str,
         }
     }
+
+    /// The wire byte for this tag. This is the shared marshaling
+    /// vocabulary: `pdo-snap` images and the `pdo-ingress` wire protocol
+    /// both carry tagged values with these bytes, so a payload marshaled
+    /// for generic dispatch encodes with the same tags it travels under.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            Tag::Unit => 0,
+            Tag::Int => 1,
+            Tag::Bool => 2,
+            Tag::Bytes => 3,
+            Tag::Str => 4,
+        }
+    }
+
+    /// Decodes a wire byte back into a tag. `None` for unknown bytes —
+    /// wire decoders surface that as their typed malformed-input error.
+    pub fn from_byte(b: u8) -> Option<Tag> {
+        match b {
+            0 => Some(Tag::Unit),
+            1 => Some(Tag::Int),
+            2 => Some(Tag::Bool),
+            3 => Some(Tag::Bytes),
+            4 => Some(Tag::Str),
+            _ => None,
+        }
+    }
 }
 
 /// Arguments packed for generic handler invocation.
@@ -129,6 +156,15 @@ mod tests {
         let m = marshal(&[]);
         assert!(m.is_empty());
         assert!(unmarshal(&m).unwrap().is_empty());
+    }
+
+    #[test]
+    fn tag_bytes_round_trip() {
+        for tag in [Tag::Unit, Tag::Int, Tag::Bool, Tag::Bytes, Tag::Str] {
+            assert_eq!(Tag::from_byte(tag.to_byte()), Some(tag));
+        }
+        assert_eq!(Tag::from_byte(5), None);
+        assert_eq!(Tag::from_byte(0xFF), None);
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! A token/permit concurrency limiter.
+//!
+//! One permit is held per admitted request from the moment the acceptor
+//! decides to enqueue it until the engine has written its reply. The
+//! acceptor never blocks on a permit: [`Limiter::try_acquire`] either
+//! succeeds immediately or the request is shed with a typed reply. That
+//! is the whole backpressure story — capacity is a hard bound on
+//! in-flight work, not a queue in front of more queueing.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Fixed-capacity permit pool.
+#[derive(Debug)]
+pub struct Limiter {
+    available: AtomicUsize,
+    capacity: usize,
+}
+
+impl Limiter {
+    /// A pool holding `capacity` permits (min 1).
+    pub fn new(capacity: usize) -> Limiter {
+        let capacity = capacity.max(1);
+        Limiter {
+            available: AtomicUsize::new(capacity),
+            capacity,
+        }
+    }
+
+    /// Takes one permit if any remain. Never blocks.
+    pub fn try_acquire(&self) -> bool {
+        let mut cur = self.available.load(Ordering::Relaxed);
+        loop {
+            if cur == 0 {
+                return false;
+            }
+            match self.available.compare_exchange_weak(
+                cur,
+                cur - 1,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Returns one permit. Callers release exactly what they acquired;
+    /// over-release is a logic bug and saturates at capacity.
+    pub fn release(&self) {
+        let mut cur = self.available.load(Ordering::Relaxed);
+        loop {
+            let next = (cur + 1).min(self.capacity);
+            match self.available.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Release,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Permits currently free.
+    pub fn available(&self) -> usize {
+        self.available.load(Ordering::Relaxed)
+    }
+
+    /// Total permits.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Permits currently held (admitted, not yet replied).
+    pub fn in_flight(&self) -> usize {
+        self.capacity - self.available()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_cycle() {
+        let l = Limiter::new(2);
+        assert_eq!(l.capacity(), 2);
+        assert!(l.try_acquire());
+        assert!(l.try_acquire());
+        assert!(!l.try_acquire(), "pool exhausted");
+        assert_eq!(l.in_flight(), 2);
+        l.release();
+        assert_eq!(l.in_flight(), 1);
+        assert!(l.try_acquire());
+        l.release();
+        l.release();
+        assert_eq!(l.available(), 2);
+    }
+
+    #[test]
+    fn release_saturates_at_capacity() {
+        let l = Limiter::new(1);
+        l.release();
+        l.release();
+        assert_eq!(l.available(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let l = Limiter::new(0);
+        assert!(l.try_acquire());
+        assert!(!l.try_acquire());
+    }
+}

@@ -1,0 +1,719 @@
+//! The ingress wire protocol: length-prefixed, versioned, checksummed
+//! frames carrying session commands and typed replies.
+//!
+//! A frame is exactly the `pdo-snap` framing discipline under a different
+//! magic — `magic(8) | version(u32) | payload_len(u64) | payload |
+//! fnv1a64(checksum)` — so the reader inherits the same hardening: corrupt
+//! input is always a typed error, never a panic. The payload begins with a
+//! caller-chosen `req_id` (replies are matched by id, not by arrival
+//! order, because a `Shed` reply can overtake queued work) followed by a
+//! command or reply body.
+//!
+//! Raise arguments travel in the `pdo-events` marshaling layout — a tag
+//! vector then the value bodies, exactly how [`pdo_events::marshal`]
+//! packs arguments for generic dispatch — and the decoder runs the same
+//! tag/value validation walk ([`unmarshal`]) the generic path pays. The
+//! tag bytes are the shared vocabulary pinned by
+//! [`pdo_events::marshal::Tag::to_byte`].
+//!
+//! Error classification matters more than error detail here: a frame that
+//! fails *framing* (bad magic, bad version, bad checksum, impossible
+//! length) proves the byte stream itself is unreliable, so the connection
+//! must die; a frame whose checksum verifies but whose *payload* grammar
+//! is wrong proves only that one request is garbage, so the reply is a
+//! typed `Error` and the connection lives. [`IngressError::is_stream_fatal`]
+//! encodes that split.
+
+use crate::IngressError;
+use pdo_events::marshal::{marshal, unmarshal, Marshaled, Tag};
+use pdo_ir::{Module, Value};
+use pdo_snap::{peek_frame_len, SnapReader, SnapWriter, SnapshotError};
+
+/// Leading bytes of every ingress frame. Distinct from the `pdo-snap`
+/// durable-image magic so a wire frame can never be mistaken for a
+/// snapshot file (or vice versa).
+pub const WIRE_MAGIC: [u8; 8] = *b"PDOWIRE\0";
+
+/// Wire format version this build speaks.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Hard ceiling on one frame (header + payload + checksum). The reader
+/// rejects larger declarations before buffering them, so a hostile
+/// length field cannot balloon memory.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+const REQ_OPEN: u8 = 1;
+const REQ_RAISE: u8 = 2;
+const REQ_QUERY: u8 = 3;
+const REQ_CLOSE: u8 = 4;
+
+const OPEN_PLAIN: u8 = 0;
+const OPEN_CTP: u8 = 1;
+const OPEN_SECCOMM: u8 = 2;
+
+const MODE_SYNC: u8 = 0;
+const MODE_ASYNC: u8 = 1;
+const MODE_TIMED: u8 = 2;
+
+const REP_OPENED: u8 = 1;
+const REP_DONE: u8 = 2;
+const REP_STATS: u8 = 3;
+const REP_CLOSED: u8 = 4;
+const REP_SHED: u8 = 5;
+const REP_ERROR: u8 = 6;
+
+/// What kind of session an `Open` creates on the connection's shard.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpenKind {
+    /// A plain event program: the module travels as IR text plus its
+    /// (event, func, order) handler bindings.
+    Plain {
+        /// The module to load (IR text on the wire).
+        module: Module,
+        /// Handler bindings as raw (event, func, order) triples.
+        bindings: Vec<(u32, u32, i32)>,
+    },
+    /// The server's canonical CTP transport session.
+    Ctp,
+    /// The server's canonical SecComm secure-channel session.
+    SecComm,
+}
+
+/// Raise mode on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireMode {
+    /// Dispatch before replying.
+    Sync,
+    /// Enqueue on the session's async FIFO.
+    Async,
+    /// Enqueue on the session's timer queue, due `delay_ns` from its
+    /// current virtual time.
+    Timed {
+        /// Virtual-clock delay.
+        delay_ns: u64,
+    },
+}
+
+/// A decoded client command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Open a session on the connection's shard.
+    Open(OpenKind),
+    /// Raise `event` on `session` with marshaled `args`.
+    Raise {
+        /// Target session id.
+        session: u64,
+        /// Raw event id.
+        event: u32,
+        /// Dispatch mode.
+        mode: WireMode,
+        /// Handler arguments (marshal-layout on the wire).
+        args: Vec<Value>,
+    },
+    /// Read one session's counters.
+    Query {
+        /// Target session id.
+        session: u64,
+    },
+    /// Tear a session down.
+    Close {
+        /// Target session id.
+        session: u64,
+    },
+}
+
+/// One session's counters, as returned by `Query`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// The session id.
+    pub session: u64,
+    /// Shard the session resides on.
+    pub shard: u32,
+    /// The session's virtual clock.
+    pub clock_ns: u64,
+    /// Events dispatched (generic + fast path).
+    pub dispatched: u64,
+    /// Specialized fast-path dispatches.
+    pub fastpath_hits: u64,
+    /// Specialized dispatches that failed guards and fell back.
+    pub guard_misses: u64,
+    /// Compiled chains currently installed.
+    pub chains_live: u64,
+    /// Events waiting on the async FIFO.
+    pub queued: u64,
+    /// Events waiting on timers.
+    pub timers: u64,
+}
+
+/// Why a request was refused, in machine-readable form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// No session with that id.
+    UnknownSession,
+    /// Session exists but is not of the requested protocol kind.
+    WrongKind,
+    /// The session's runtime or protocol endpoint failed.
+    Runtime,
+    /// The server is quiesced and not admitting.
+    Quiesced,
+    /// The request frame's payload failed to decode (checksum was valid).
+    Malformed,
+    /// An internal server failure (snapshot machinery etc.).
+    Internal,
+}
+
+impl ErrorCode {
+    /// Wire byte for this code.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            ErrorCode::UnknownSession => 1,
+            ErrorCode::WrongKind => 2,
+            ErrorCode::Runtime => 3,
+            ErrorCode::Quiesced => 4,
+            ErrorCode::Malformed => 5,
+            ErrorCode::Internal => 6,
+        }
+    }
+
+    /// Decode a wire byte.
+    pub fn from_byte(b: u8) -> Option<ErrorCode> {
+        match b {
+            1 => Some(ErrorCode::UnknownSession),
+            2 => Some(ErrorCode::WrongKind),
+            3 => Some(ErrorCode::Runtime),
+            4 => Some(ErrorCode::Quiesced),
+            5 => Some(ErrorCode::Malformed),
+            6 => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded server reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// `Open` succeeded; here is the session id.
+    Opened {
+        /// The new session.
+        session: u64,
+    },
+    /// `Raise` was executed (sync) or enqueued (async/timed).
+    Done,
+    /// `Query` result.
+    Stats(SessionStats),
+    /// `Close` result.
+    Closed {
+        /// Whether the session existed.
+        existed: bool,
+    },
+    /// The request was refused by admission control: over capacity.
+    /// Retry after the hinted backoff instead of immediately.
+    Shed {
+        /// Suggested client backoff (wall ns), scaled by current load.
+        retry_after_ns: u64,
+    },
+    /// The request was admitted but failed.
+    Error {
+        /// Machine-readable failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+fn malformed<T>(why: impl Into<String>) -> Result<T, SnapshotError> {
+    Err(SnapshotError::Malformed(why.into()))
+}
+
+/// Encodes one request under `req_id` into a complete wire frame.
+pub fn encode_request(req_id: u64, req: &Request) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    w.u64(req_id);
+    match req {
+        Request::Open(kind) => {
+            w.u8(REQ_OPEN);
+            match kind {
+                OpenKind::Plain { module, bindings } => {
+                    w.u8(OPEN_PLAIN);
+                    w.module(module);
+                    w.u64(bindings.len() as u64);
+                    for &(event, func, order) in bindings {
+                        w.u32(event);
+                        w.u32(func);
+                        w.i64(i64::from(order));
+                    }
+                }
+                OpenKind::Ctp => w.u8(OPEN_CTP),
+                OpenKind::SecComm => w.u8(OPEN_SECCOMM),
+            }
+        }
+        Request::Raise {
+            session,
+            event,
+            mode,
+            args,
+        } => {
+            w.u8(REQ_RAISE);
+            w.u64(*session);
+            w.u32(*event);
+            match mode {
+                WireMode::Sync => w.u8(MODE_SYNC),
+                WireMode::Async => w.u8(MODE_ASYNC),
+                WireMode::Timed { delay_ns } => {
+                    w.u8(MODE_TIMED);
+                    w.u64(*delay_ns);
+                }
+            }
+            // The marshal layout: pack exactly as the generic dispatch
+            // path would, then emit the tag vector followed by the bodies.
+            let m = marshal(args);
+            w.u64(m.len() as u64);
+            for t in m.tags.iter() {
+                w.u8(t.to_byte());
+            }
+            for v in m.values.iter() {
+                value_body(&mut w, v);
+            }
+        }
+        Request::Query { session } => {
+            w.u8(REQ_QUERY);
+            w.u64(*session);
+        }
+        Request::Close { session } => {
+            w.u8(REQ_CLOSE);
+            w.u64(*session);
+        }
+    }
+    w.finish_frame(&WIRE_MAGIC, WIRE_VERSION)
+}
+
+fn value_body(w: &mut SnapWriter, v: &Value) {
+    match v {
+        Value::Unit => {}
+        Value::Int(i) => w.i64(*i),
+        Value::Bool(b) => w.bool(*b),
+        Value::Bytes(b) => w.bytes(b),
+        Value::Str(s) => w.str(s),
+    }
+}
+
+fn take_value_body(r: &mut SnapReader<'_>, tag: Tag) -> Result<Value, SnapshotError> {
+    Ok(match tag {
+        Tag::Unit => Value::Unit,
+        Tag::Int => Value::Int(r.take_i64()?),
+        Tag::Bool => Value::Bool(r.take_bool()?),
+        Tag::Bytes => Value::bytes(r.take_bytes()?),
+        Tag::Str => Value::Str(r.take_str()?.into()),
+    })
+}
+
+fn take_args(r: &mut SnapReader<'_>) -> Result<Vec<Value>, SnapshotError> {
+    let argc = r.take_u64()? as usize;
+    // Each argument costs at least one tag byte, so a count larger than
+    // the remaining payload is provably a lie — reject before allocating.
+    if argc > r.remaining() {
+        return malformed(format!(
+            "argument count {argc} exceeds remaining payload ({} bytes)",
+            r.remaining()
+        ));
+    }
+    let mut tags = Vec::with_capacity(argc);
+    for _ in 0..argc {
+        let b = r.take_u8()?;
+        match Tag::from_byte(b) {
+            Some(t) => tags.push(t),
+            None => return malformed(format!("unknown argument tag byte {b:#04x}")),
+        }
+    }
+    let mut values = Vec::with_capacity(argc);
+    for &t in &tags {
+        values.push(take_value_body(r, t)?);
+    }
+    // Run the same tag/value validation walk the generic dispatch path
+    // performs; by construction it passes, and its cost is the point.
+    let m = Marshaled {
+        values: values.into_boxed_slice(),
+        tags: tags.into_boxed_slice(),
+    };
+    unmarshal(&m).map_err(SnapshotError::Malformed)
+}
+
+/// Decodes a complete request frame into `(req_id, request)`.
+///
+/// # Errors
+///
+/// [`IngressError::Frame`] when the framing itself (magic, version,
+/// checksum, length) is wrong — the byte stream is unreliable and the
+/// connection must close. [`IngressError::Payload`] when the frame
+/// verified but its body grammar is wrong — reply with a typed error and
+/// keep the connection.
+pub fn decode_request(frame: &[u8]) -> Result<(u64, Request), IngressError> {
+    let mut r =
+        SnapReader::framed(frame, &WIRE_MAGIC, WIRE_VERSION).map_err(IngressError::Frame)?;
+    request_body(&mut r).map_err(IngressError::Payload)
+}
+
+fn request_body(r: &mut SnapReader<'_>) -> Result<(u64, Request), SnapshotError> {
+    let req_id = r.take_u64()?;
+    let tag = r.take_u8()?;
+    let req = match tag {
+        REQ_OPEN => {
+            let kind = match r.take_u8()? {
+                OPEN_PLAIN => {
+                    let module = r.take_module()?;
+                    let n = r.take_u64()? as usize;
+                    if n > r.remaining() {
+                        return malformed(format!(
+                            "binding count {n} exceeds remaining payload ({} bytes)",
+                            r.remaining()
+                        ));
+                    }
+                    let mut bindings = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let event = r.take_u32()?;
+                        let func = r.take_u32()?;
+                        let order = r.take_i64()?;
+                        let order = i32::try_from(order).map_err(|_| {
+                            SnapshotError::Malformed(format!("binding order {order} overflows i32"))
+                        })?;
+                        bindings.push((event, func, order));
+                    }
+                    OpenKind::Plain { module, bindings }
+                }
+                OPEN_CTP => OpenKind::Ctp,
+                OPEN_SECCOMM => OpenKind::SecComm,
+                b => return malformed(format!("unknown open kind byte {b:#04x}")),
+            };
+            Request::Open(kind)
+        }
+        REQ_RAISE => {
+            let session = r.take_u64()?;
+            let event = r.take_u32()?;
+            let mode = match r.take_u8()? {
+                MODE_SYNC => WireMode::Sync,
+                MODE_ASYNC => WireMode::Async,
+                MODE_TIMED => WireMode::Timed {
+                    delay_ns: r.take_u64()?,
+                },
+                b => return malformed(format!("unknown raise mode byte {b:#04x}")),
+            };
+            let args = take_args(r)?;
+            Request::Raise {
+                session,
+                event,
+                mode,
+                args,
+            }
+        }
+        REQ_QUERY => Request::Query {
+            session: r.take_u64()?,
+        },
+        REQ_CLOSE => Request::Close {
+            session: r.take_u64()?,
+        },
+        b => return malformed(format!("unknown request tag byte {b:#04x}")),
+    };
+    // Consume-everything check: trailing bytes in a checksum-valid frame
+    // mean the sender speaks a different grammar.
+    take_finish(r)?;
+    Ok((req_id, req))
+}
+
+/// Encodes one reply under `req_id` into a complete wire frame.
+pub fn encode_reply(req_id: u64, reply: &Reply) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    w.u64(req_id);
+    match reply {
+        Reply::Opened { session } => {
+            w.u8(REP_OPENED);
+            w.u64(*session);
+        }
+        Reply::Done => w.u8(REP_DONE),
+        Reply::Stats(s) => {
+            w.u8(REP_STATS);
+            w.u64(s.session);
+            w.u32(s.shard);
+            w.u64(s.clock_ns);
+            w.u64(s.dispatched);
+            w.u64(s.fastpath_hits);
+            w.u64(s.guard_misses);
+            w.u64(s.chains_live);
+            w.u64(s.queued);
+            w.u64(s.timers);
+        }
+        Reply::Closed { existed } => {
+            w.u8(REP_CLOSED);
+            w.bool(*existed);
+        }
+        Reply::Shed { retry_after_ns } => {
+            w.u8(REP_SHED);
+            w.u64(*retry_after_ns);
+        }
+        Reply::Error { code, message } => {
+            w.u8(REP_ERROR);
+            w.u8(code.to_byte());
+            w.str(message);
+        }
+    }
+    w.finish_frame(&WIRE_MAGIC, WIRE_VERSION)
+}
+
+/// Decodes a complete reply frame into `(req_id, reply)`.
+///
+/// # Errors
+///
+/// As [`decode_request`].
+pub fn decode_reply(frame: &[u8]) -> Result<(u64, Reply), IngressError> {
+    let mut r =
+        SnapReader::framed(frame, &WIRE_MAGIC, WIRE_VERSION).map_err(IngressError::Frame)?;
+    reply_body(&mut r).map_err(IngressError::Payload)
+}
+
+fn reply_body(r: &mut SnapReader<'_>) -> Result<(u64, Reply), SnapshotError> {
+    let req_id = r.take_u64()?;
+    let tag = r.take_u8()?;
+    let reply = match tag {
+        REP_OPENED => Reply::Opened {
+            session: r.take_u64()?,
+        },
+        REP_DONE => Reply::Done,
+        REP_STATS => Reply::Stats(SessionStats {
+            session: r.take_u64()?,
+            shard: r.take_u32()?,
+            clock_ns: r.take_u64()?,
+            dispatched: r.take_u64()?,
+            fastpath_hits: r.take_u64()?,
+            guard_misses: r.take_u64()?,
+            chains_live: r.take_u64()?,
+            queued: r.take_u64()?,
+            timers: r.take_u64()?,
+        }),
+        REP_CLOSED => Reply::Closed {
+            existed: r.take_bool()?,
+        },
+        REP_SHED => Reply::Shed {
+            retry_after_ns: r.take_u64()?,
+        },
+        REP_ERROR => {
+            let b = r.take_u8()?;
+            let code = ErrorCode::from_byte(b)
+                .ok_or_else(|| SnapshotError::Malformed(format!("unknown error code {b:#04x}")))?;
+            Reply::Error {
+                code,
+                message: r.take_str()?,
+            }
+        }
+        b => return malformed(format!("unknown reply tag byte {b:#04x}")),
+    };
+    take_finish(r)?;
+    Ok((req_id, reply))
+}
+
+fn take_finish(r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+    if r.remaining() != 0 {
+        return Err(SnapshotError::TrailingBytes);
+    }
+    Ok(())
+}
+
+/// Best-effort extraction of the `req_id` from a frame whose payload
+/// failed to decode, so the typed error reply can still be matched by
+/// the client. `None` when even the id is unreadable.
+pub fn frame_req_id(frame: &[u8]) -> Option<u64> {
+    let mut r = SnapReader::framed(frame, &WIRE_MAGIC, WIRE_VERSION).ok()?;
+    r.take_u64().ok()
+}
+
+/// Reassembles frames from a byte stream that arrives in arbitrary
+/// chunks. Feed bytes with [`FrameBuffer::extend`], then drain complete
+/// frames with [`FrameBuffer::next_frame`].
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> FrameBuffer {
+        FrameBuffer::default()
+    }
+
+    /// Appends freshly read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Pops the next complete frame, if one is fully buffered.
+    ///
+    /// `Ok(None)` means the bytes so far are a consistent prefix — read
+    /// more. An error means the stream is unrecoverable at this position
+    /// (wrong magic, impossible length, over `max_frame`): frame
+    /// boundaries can no longer be trusted, so the connection must close.
+    ///
+    /// # Errors
+    ///
+    /// [`IngressError::Frame`] on header corruption,
+    /// [`IngressError::FrameTooLarge`] on an over-limit declaration.
+    pub fn next_frame(&mut self, max_frame: usize) -> Result<Option<Vec<u8>>, IngressError> {
+        let total = match peek_frame_len(&self.buf, &WIRE_MAGIC) {
+            Ok(Some(total)) => total,
+            Ok(None) => return Ok(None),
+            Err(e) => return Err(IngressError::Frame(e)),
+        };
+        if total > max_frame {
+            return Err(IngressError::FrameTooLarge {
+                declared: total,
+                max: max_frame,
+            });
+        }
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let frame = self.buf[..total].to_vec();
+        self.buf.drain(..total);
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_frames_round_trip() {
+        let reqs = [
+            Request::Open(OpenKind::Ctp),
+            Request::Open(OpenKind::SecComm),
+            Request::Raise {
+                session: 7,
+                event: 3,
+                mode: WireMode::Timed { delay_ns: 1_000 },
+                args: vec![
+                    Value::Unit,
+                    Value::Int(-5),
+                    Value::Bool(true),
+                    Value::bytes(vec![1, 2, 3]),
+                    Value::str("hello"),
+                ],
+            },
+            Request::Query { session: 9 },
+            Request::Close { session: 2 },
+        ];
+        for (i, req) in reqs.iter().enumerate() {
+            let frame = encode_request(i as u64, req);
+            let (id, back) = decode_request(&frame).unwrap();
+            assert_eq!(id, i as u64);
+            assert_eq!(&back, req);
+        }
+    }
+
+    #[test]
+    fn reply_frames_round_trip() {
+        let reps = [
+            Reply::Opened { session: 4 },
+            Reply::Done,
+            Reply::Stats(SessionStats {
+                session: 4,
+                shard: 1,
+                clock_ns: 123,
+                dispatched: 10,
+                fastpath_hits: 6,
+                guard_misses: 1,
+                chains_live: 2,
+                queued: 3,
+                timers: 0,
+            }),
+            Reply::Closed { existed: true },
+            Reply::Shed {
+                retry_after_ns: 2_000_000,
+            },
+            Reply::Error {
+                code: ErrorCode::UnknownSession,
+                message: "unknown session s9".into(),
+            },
+        ];
+        for (i, rep) in reps.iter().enumerate() {
+            let frame = encode_reply(1000 + i as u64, rep);
+            let (id, back) = decode_reply(&frame).unwrap();
+            assert_eq!(id, 1000 + i as u64);
+            assert_eq!(&back, rep);
+        }
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_split_and_coalesced_frames() {
+        let f1 = encode_request(1, &Request::Query { session: 1 });
+        let f2 = encode_request(2, &Request::Close { session: 1 });
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&f1);
+        stream.extend_from_slice(&f2);
+
+        // Feed one byte at a time: every prefix is "need more", and the
+        // two frames pop out exactly at their boundaries.
+        let mut fb = FrameBuffer::new();
+        let mut out = Vec::new();
+        for &b in &stream {
+            fb.extend(&[b]);
+            while let Some(frame) = fb.next_frame(MAX_FRAME_LEN).unwrap() {
+                out.push(frame);
+            }
+        }
+        assert_eq!(out, vec![f1.clone(), f2.clone()]);
+        assert!(fb.is_empty());
+
+        // Feed everything at once: both frames drain back to back.
+        let mut fb = FrameBuffer::new();
+        fb.extend(&stream);
+        assert_eq!(fb.next_frame(MAX_FRAME_LEN).unwrap().unwrap(), f1);
+        assert_eq!(fb.next_frame(MAX_FRAME_LEN).unwrap().unwrap(), f2);
+        assert!(fb.next_frame(MAX_FRAME_LEN).unwrap().is_none());
+    }
+
+    #[test]
+    fn stream_and_payload_corruption_classify_differently() {
+        // Wrong magic: stream-fatal.
+        let mut fb = FrameBuffer::new();
+        fb.extend(b"NOTMAGIC________________");
+        let err = fb.next_frame(MAX_FRAME_LEN).unwrap_err();
+        assert!(err.is_stream_fatal(), "bad magic must be stream-fatal");
+
+        // Oversized declaration: stream-fatal before buffering it.
+        let mut huge = SnapWriter::new();
+        huge.u64(1);
+        let mut frame = huge.finish_frame(&WIRE_MAGIC, WIRE_VERSION);
+        frame[12..20].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        let mut fb = FrameBuffer::new();
+        fb.extend(&frame);
+        let err = fb.next_frame(MAX_FRAME_LEN).unwrap_err();
+        assert!(matches!(err, IngressError::FrameTooLarge { .. }));
+
+        // Valid checksum, bogus body tag: payload-level, connection
+        // survives.
+        let mut w = SnapWriter::new();
+        w.u64(42);
+        w.u8(0xEE);
+        let frame = w.finish_frame(&WIRE_MAGIC, WIRE_VERSION);
+        let err = decode_request(&frame).unwrap_err();
+        assert!(!err.is_stream_fatal(), "bad body must keep the stream");
+        assert_eq!(frame_req_id(&frame), Some(42));
+    }
+
+    #[test]
+    fn wire_frames_are_not_snapshots() {
+        let frame = encode_request(1, &Request::Query { session: 1 });
+        assert!(matches!(
+            SnapReader::new(&frame),
+            Err(SnapshotError::BadMagic)
+        ));
+    }
+}

@@ -125,6 +125,29 @@ pub enum ObsKind {
         /// Shard the session was placed on.
         shard: u32,
     },
+    /// A network connection reached the ingress and was mapped onto a
+    /// shard.
+    ConnOpened {
+        /// Connection id (ingress-assigned, monotone).
+        conn: u64,
+        /// Shard the connection's commands flow to.
+        shard: u32,
+    },
+    /// A network connection ended.
+    ConnClosed {
+        /// Connection id.
+        conn: u64,
+        /// Why: `"eof"`, `"io"`, `"corrupt"`, `"slow"`, or `"shutdown"`.
+        reason: &'static str,
+    },
+    /// An over-capacity request was refused with a typed `Shed` reply
+    /// instead of queueing unboundedly.
+    RequestShed {
+        /// Connection the request arrived on.
+        conn: u64,
+        /// Which limit fired: `"permits"`, `"queue"`, or `"quiesced"`.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for ObsKind {
@@ -165,6 +188,15 @@ impl fmt::Display for ObsKind {
             }
             ObsKind::SessionRestored { session, shard } => {
                 write!(f, "session-restored s{session} shard={shard}")
+            }
+            ObsKind::ConnOpened { conn, shard } => {
+                write!(f, "conn-opened c{conn} shard={shard}")
+            }
+            ObsKind::ConnClosed { conn, reason } => {
+                write!(f, "conn-closed c{conn} reason={reason}")
+            }
+            ObsKind::RequestShed { conn, reason } => {
+                write!(f, "request-shed c{conn} reason={reason}")
             }
         }
     }

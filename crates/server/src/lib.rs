@@ -128,6 +128,9 @@ pub enum ServerError {
     /// A durable snapshot failed to encode, persist, read, or decode.
     /// Corrupt or truncated input always lands here — never a panic.
     Snapshot(SnapshotError),
+    /// The server is quiesced ([`Server::quiesce`]): it stops admitting
+    /// new sessions and new work until [`Server::resume_admission`].
+    Quiesced,
 }
 
 impl fmt::Display for ServerError {
@@ -139,6 +142,7 @@ impl fmt::Display for ServerError {
             ServerError::Ctp(s, e) => write!(f, "session {s}: {e}"),
             ServerError::SecComm(s, e) => write!(f, "session {s}: {e}"),
             ServerError::Snapshot(e) => write!(f, "{e}"),
+            ServerError::Quiesced => write!(f, "server is quiesced (not admitting)"),
         }
     }
 }
@@ -251,6 +255,9 @@ pub struct ShardLoad {
     pub queue_depth: u64,
     /// Cumulative wall-clock time the shard spent inside `run_until`.
     pub busy_ns: u64,
+    /// The furthest-advanced session clock on the shard (virtual ns).
+    /// [`Server::quiesce`] drains every shard to the fleet-wide maximum.
+    pub max_clock_ns: u64,
 }
 
 /// Adaptation and dispatch counters of one session.
@@ -543,10 +550,12 @@ impl ShardState {
     fn load(&self) -> ShardLoad {
         let mut dispatched = 0u64;
         let mut queue_depth = 0u64;
+        let mut max_clock_ns = 0u64;
         for session in self.sessions.values() {
             let rt = session.runtime();
             dispatched += rt.cost.registry_lookups + rt.cost.fastpath_hits;
             queue_depth += rt.pending() as u64;
+            max_clock_ns = max_clock_ns.max(rt.clock_ns());
         }
         ShardLoad {
             shard: self.index,
@@ -554,6 +563,7 @@ impl ShardState {
             dispatched,
             queue_depth,
             busy_ns: self.busy_ns,
+            max_clock_ns,
         }
     }
 
@@ -964,6 +974,9 @@ impl SessionCtx<'_> {
 pub struct Server {
     mode: Mode,
     next_id: u64,
+    /// False after [`Server::quiesce`]: opens and raises are refused with
+    /// [`ServerError::Quiesced`] until [`Server::resume_admission`].
+    admitting: bool,
     /// Where every open session lives. The coordinator is the only
     /// writer, so this never races with the workers.
     placement: BTreeMap<SessionId, usize>,
@@ -1036,6 +1049,7 @@ impl Server {
         Server {
             mode,
             next_id: 1,
+            admitting: true,
             placement: BTreeMap::new(),
             loads: (0..shards)
                 .map(|shard| ShardLoad {
@@ -1114,8 +1128,21 @@ impl Server {
     }
 
     fn open(&mut self, spec: SessionSpec) -> Result<SessionId, ServerError> {
+        self.open_at(spec, None)
+    }
+
+    /// Opens a session on `pin` when given (wrapped modulo the shard
+    /// count — the ingress pins a connection's sessions to the shard its
+    /// connection was mapped onto), p2c placement otherwise.
+    fn open_at(&mut self, spec: SessionSpec, pin: Option<usize>) -> Result<SessionId, ServerError> {
+        if !self.admitting {
+            return Err(ServerError::Quiesced);
+        }
         let id = SessionId(self.next_id);
-        let shard = self.pick_shard(id);
+        let shard = match pin {
+            Some(s) => s % self.shards(),
+            None => self.pick_shard(id),
+        };
         let result = match &mut self.mode {
             Mode::Inline(states) => states[shard].open(id, spec),
             Mode::Threaded { txs, .. } => {
@@ -1192,6 +1219,72 @@ impl Server {
         })
     }
 
+    /// As [`Server::open_session`], but pinned onto shard `shard`
+    /// (wrapped modulo the shard count) instead of p2c placement. The
+    /// ingress uses this to keep a connection's sessions resident on the
+    /// shard the connection itself was mapped onto, so one connection's
+    /// commands flow through one admission queue in order.
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::open_session`], plus [`ServerError::Quiesced`].
+    pub fn open_session_on(
+        &mut self,
+        shard: usize,
+        module: Module,
+        config: RuntimeConfig,
+        bindings: &[(EventId, FuncId, i32)],
+    ) -> Result<SessionId, ServerError> {
+        self.open_at(
+            SessionSpec::Plain {
+                module,
+                config,
+                bindings: bindings.to_vec(),
+            },
+            Some(shard),
+        )
+    }
+
+    /// As [`Server::open_ctp_session`], but pinned onto shard `shard`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::open_ctp_session`], plus [`ServerError::Quiesced`].
+    pub fn open_ctp_session_on(
+        &mut self,
+        shard: usize,
+        program: &EventProgram,
+        params: CtpParams,
+    ) -> Result<SessionId, ServerError> {
+        self.open_at(
+            SessionSpec::Ctp {
+                program: program.clone(),
+                params,
+            },
+            Some(shard),
+        )
+    }
+
+    /// As [`Server::open_seccomm_session`], but pinned onto shard `shard`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::open_seccomm_session`], plus [`ServerError::Quiesced`].
+    pub fn open_seccomm_session_on(
+        &mut self,
+        shard: usize,
+        program: &EventProgram,
+        keys: &Keys,
+    ) -> Result<SessionId, ServerError> {
+        self.open_at(
+            SessionSpec::SecComm {
+                program: program.clone(),
+                keys: keys.clone(),
+            },
+            Some(shard),
+        )
+    }
+
     /// Closes a session, returning whether it existed.
     pub fn close_session(&mut self, id: SessionId) -> bool {
         let Some(&shard) = self.placement.get(&id) else {
@@ -1226,6 +1319,9 @@ impl Server {
         mode: RaiseMode,
         args: &[Value],
     ) -> Result<(), ServerError> {
+        if !self.admitting {
+            return Err(ServerError::Quiesced);
+        }
         let shard = *self
             .placement
             .get(&id)
@@ -1297,6 +1393,9 @@ impl Server {
         event: EventId,
         delays: &[u64],
     ) -> Result<(), ServerError> {
+        if !self.admitting {
+            return Err(ServerError::Quiesced);
+        }
         let shard = *self
             .placement
             .get(&id)
@@ -1592,6 +1691,45 @@ impl Server {
             to: cool as u32,
         });
         Ok(Some(id))
+    }
+
+    /// Graceful-shutdown drain: stops admitting (every subsequent open,
+    /// raise, or submit returns [`ServerError::Quiesced`] until
+    /// [`Server::resume_admission`]), then advances every shard to the
+    /// fleet's furthest session clock. The load refresh is a barrier
+    /// through every per-shard command channel, so all previously
+    /// submitted work is resident before the drain; `run_until` then
+    /// dispatches every queued async event and every timer due by the
+    /// drain deadline, and pads the stragglers' clocks to it. Afterwards
+    /// each session's FIFO is empty and all clocks agree — the fleet is
+    /// idle in exactly the state [`Server::save`] assumes, instead of
+    /// snapshotting mid-flight work and hoping the image carries it.
+    /// Returns the common virtual time the fleet was drained to.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first session failure of the drain (a failed drain
+    /// still leaves admission stopped).
+    pub fn quiesce(&mut self) -> Result<u64, ServerError> {
+        self.admitting = false;
+        let deadline = self
+            .shard_loads()
+            .iter()
+            .map(|l| l.max_clock_ns)
+            .max()
+            .unwrap_or(0);
+        self.run_until(deadline)?;
+        Ok(deadline)
+    }
+
+    /// Re-opens admission after [`Server::quiesce`].
+    pub fn resume_admission(&mut self) {
+        self.admitting = true;
+    }
+
+    /// False between [`Server::quiesce`] and [`Server::resume_admission`].
+    pub fn is_admitting(&self) -> bool {
+        self.admitting
     }
 
     /// Serializes the whole server — every session on every shard, of
@@ -2145,6 +2283,69 @@ mod tests {
             server.report()
         };
         assert_eq!(run(1), run(4), "threads are observationally invisible");
+    }
+
+    #[test]
+    fn quiesce_drains_queues_and_stops_admission() {
+        let (m, [a, b], [ga, _]) = two_chain_module();
+        for threads in [1usize, 2] {
+            let mut server = Server::new(ServerConfig {
+                shards: 2,
+                threads,
+                adapt: fast_adapt(),
+                ..Default::default()
+            });
+            let binds = bindings(&m, a, b);
+            let s1 = server
+                .open_session(m.clone(), RuntimeConfig::default(), &binds)
+                .unwrap();
+            let s2 = server
+                .open_session_on(0, m.clone(), RuntimeConfig::default(), &binds)
+                .unwrap();
+            assert_eq!(server.shard_of(s2), 0, "pinned open lands on its shard");
+            // Async raises queue in the FIFO; one session's clock runs ahead.
+            for _ in 0..5 {
+                server.raise(s1, a, RaiseMode::Async, &[]).unwrap();
+                server.raise(s2, a, RaiseMode::Async, &[]).unwrap();
+            }
+            server
+                .with_runtime(s1, |rt| rt.advance_clock(7_777))
+                .unwrap();
+
+            let drained_to = server.quiesce().unwrap();
+            assert_eq!(drained_to, 7_777, "drained to the furthest clock");
+            for &sid in &[s1, s2] {
+                let (queued, clock) = server
+                    .with_runtime(sid, |rt| (rt.queued_len(), rt.clock_ns()))
+                    .unwrap();
+                assert_eq!(queued, 0, "FIFO drained");
+                assert_eq!(clock, drained_to, "clocks aligned");
+            }
+            assert_eq!(
+                server
+                    .with_runtime(s1, move |rt| rt.global(ga).clone())
+                    .unwrap(),
+                Value::Int(5 * 3),
+                "queued work dispatched, not dropped"
+            );
+
+            // Quiesced: no new sessions, no new work — typed refusals.
+            assert!(!server.is_admitting());
+            assert!(matches!(
+                server.raise_sync(s1, a, &[]),
+                Err(ServerError::Quiesced)
+            ));
+            assert!(matches!(
+                server.submit_batch(s1, a, &[1, 2]),
+                Err(ServerError::Quiesced)
+            ));
+            assert!(matches!(
+                server.open_session(m.clone(), RuntimeConfig::default(), &binds),
+                Err(ServerError::Quiesced)
+            ));
+            server.resume_admission();
+            server.raise_sync(s1, a, &[]).unwrap();
+        }
     }
 
     #[test]

@@ -371,6 +371,114 @@ fn snapshot_restore_resumes_every_session_kind() {
     assert!(dump.contains("session-restored"), "per-session records");
 }
 
+/// Graceful shutdown: `quiesce()` before `save()` drains every queued
+/// event and timer to a common clock, refuses new work with a typed
+/// error, and the image then restores with the drained state — nothing
+/// mid-flight to lose. `resume_admission()` reopens the door.
+#[test]
+fn quiesce_drains_before_save_and_restore_resumes() {
+    let (m, [a, b], [ga, _]) = two_chain_module();
+    let binds = bindings(&m, a, b);
+    let config = || ServerConfig {
+        shards: 2,
+        adapt: fast_adapt(),
+        ..Default::default()
+    };
+    let mut server = Server::new(config());
+    let id = server
+        .open_session(m.clone(), RuntimeConfig::default(), &binds)
+        .unwrap();
+    let ctp_id = server
+        .open_ctp_session(&ctp_program(), CtpParams::default())
+        .unwrap();
+
+    // Leave real work in flight: 25 timed events (a dispatch of [a1, a2]
+    // adds 3), 13 of them dispatched by advancing to t=1300, plus 4
+    // async events sitting undispatched in the FIFO.
+    for i in 0..25u64 {
+        server.submit(id, a, i * 100 + 100, &[]).unwrap();
+    }
+    server.run_until(1_300).unwrap();
+    for _ in 0..4 {
+        server
+            .with_runtime(id, move |rt| rt.raise(a, RaiseMode::Async, &[]).unwrap())
+            .unwrap();
+    }
+
+    let drained_to = server.quiesce().unwrap();
+    assert!(!server.is_admitting());
+    assert_eq!(
+        server.with_runtime(id, |rt| rt.queued_len()).unwrap(),
+        0,
+        "quiesce drains the FIFO (future timers stay armed — the \
+         snapshot carries the timer wheel)"
+    );
+    assert_eq!(
+        server
+            .with_runtime(id, move |rt| rt.global(ga).clone())
+            .unwrap(),
+        Value::Int(13 * 3 + 4 * 3),
+        "every due timer and every queued async event dispatched"
+    );
+    let clock = server.with_runtime(id, |rt| rt.clock_ns()).unwrap();
+    assert!(clock >= drained_to, "clocks padded to the drain deadline");
+
+    // The quiesced server refuses new work with a typed error — on every
+    // entry point.
+    assert!(matches!(
+        server.raise_sync(id, a, &[]),
+        Err(ServerError::Quiesced)
+    ));
+    assert!(matches!(
+        server.submit(id, b, 100, &[]),
+        Err(ServerError::Quiesced)
+    ));
+    assert!(matches!(
+        server.open_session(m.clone(), RuntimeConfig::default(), &binds),
+        Err(ServerError::Quiesced)
+    ));
+
+    // Save the drained image, revive it elsewhere, and the restored
+    // fleet resumes from exactly the drained state.
+    let dir = std::env::temp_dir().join(format!("pdo-quiesce-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("drained.pdosnap");
+    server.save(&path).unwrap();
+    let mut revived = Server::new(config());
+    assert_eq!(revived.restore_from_file(&path).unwrap(), vec![id, ctp_id]);
+    assert_eq!(
+        revived
+            .with_runtime(id, move |rt| rt.global(ga).clone())
+            .unwrap(),
+        Value::Int(13 * 3 + 4 * 3),
+        "drained state restored exactly"
+    );
+    // The 12 not-yet-due timers crossed the save/restore: advancing past
+    // their deadlines dispatches them in the revived server.
+    revived.run_until(2_600).unwrap();
+    assert_eq!(
+        revived
+            .with_runtime(id, move |rt| rt.global(ga).clone())
+            .unwrap(),
+        Value::Int(25 * 3 + 4 * 3),
+        "armed timers carried by the image fire after restore"
+    );
+    revived.raise_sync(id, a, &[]).unwrap();
+    assert_eq!(
+        revived
+            .with_runtime(id, move |rt| rt.global(ga).clone())
+            .unwrap(),
+        Value::Int(25 * 3 + 4 * 3 + 3),
+        "a fresh server admits by default"
+    );
+
+    // And the original recovers too once admission resumes.
+    server.resume_admission();
+    assert!(server.is_admitting());
+    server.raise_sync(id, a, &[]).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Images restore onto threaded servers too, and placement follows the
 /// recorded shard (mod the shard count of the receiving server).
 #[test]

@@ -207,15 +207,55 @@ impl SnapWriter {
 
     /// Frames the payload: magic, version, length, payload, checksum.
     pub fn finish(self) -> Vec<u8> {
+        self.finish_frame(&MAGIC, VERSION)
+    }
+
+    /// As [`SnapWriter::finish`], but under a caller-supplied magic and
+    /// version — the same framing discipline reused by other formats
+    /// (the `pdo-ingress` wire protocol frames with its own magic so a
+    /// network peer can never confuse a wire frame with a durable image).
+    pub fn finish_frame(self, magic: &[u8; 8], version: u32) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.buf.len() + 28);
-        out.extend_from_slice(&MAGIC);
-        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(magic);
+        out.extend_from_slice(&version.to_le_bytes());
         out.extend_from_slice(&(self.buf.len() as u64).to_le_bytes());
         out.extend_from_slice(&self.buf);
         let sum = fnv1a64(&out);
         out.extend_from_slice(&sum.to_le_bytes());
         out
     }
+}
+
+/// Total framed length (header + payload + checksum) declared by the
+/// frame starting at `bytes`, or `None` when too few bytes have arrived
+/// to read the header yet. This is the stream-reassembly primitive: a
+/// socket reader calls it on its receive buffer to learn how many bytes
+/// to accumulate before handing the exact slice to
+/// [`SnapReader::framed`].
+///
+/// # Errors
+///
+/// [`SnapshotError::BadMagic`] as soon as the available prefix provably
+/// mismatches `magic` (no point buffering more of a foreign stream), and
+/// [`SnapshotError::Malformed`] when the declared length cannot fit in
+/// memory.
+pub fn peek_frame_len(bytes: &[u8], magic: &[u8; 8]) -> Result<Option<usize>, SnapshotError> {
+    let probe = bytes.len().min(magic.len());
+    if bytes[..probe] != magic[..probe] {
+        return Err(SnapshotError::BadMagic);
+    }
+    let header = magic.len() + 4 + 8;
+    if bytes.len() < header {
+        return Ok(None);
+    }
+    let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    let payload_len = usize::try_from(payload_len)
+        .map_err(|_| SnapshotError::Malformed("payload length overflows usize".into()))?;
+    let framed = header
+        .checked_add(payload_len)
+        .and_then(|n| n.checked_add(8))
+        .ok_or_else(|| SnapshotError::Malformed("payload length overflows usize".into()))?;
+    Ok(Some(framed))
 }
 
 /// Decodes a framed snapshot: validates magic, version, length, and
@@ -238,18 +278,32 @@ impl<'a> SnapReader<'a> {
     /// [`TrailingBytes`](SnapshotError::TrailingBytes) describe exactly how
     /// the frame is unusable.
     pub fn new(bytes: &'a [u8]) -> Result<SnapReader<'a>, SnapshotError> {
-        let header = MAGIC.len() + 4 + 8;
+        SnapReader::framed(bytes, &MAGIC, VERSION)
+    }
+
+    /// As [`SnapReader::new`], but validating against a caller-supplied
+    /// magic and version (see [`SnapWriter::finish_frame`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`SnapReader::new`].
+    pub fn framed(
+        bytes: &'a [u8],
+        magic: &[u8; 8],
+        expect_version: u32,
+    ) -> Result<SnapReader<'a>, SnapshotError> {
+        let header = magic.len() + 4 + 8;
         if bytes.len() < header {
             return Err(SnapshotError::Truncated {
                 needed: header,
                 available: bytes.len(),
             });
         }
-        if bytes[..MAGIC.len()] != MAGIC {
+        if bytes[..magic.len()] != *magic {
             return Err(SnapshotError::BadMagic);
         }
         let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-        if version != VERSION {
+        if version != expect_version {
             return Err(SnapshotError::UnsupportedVersion(version));
         }
         let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
@@ -621,6 +675,47 @@ mod tests {
 
         let r = SnapReader::new(&frame).unwrap();
         assert!(matches!(r.finish(), Err(SnapshotError::TrailingBytes)));
+    }
+
+    #[test]
+    fn foreign_magic_frames_round_trip_and_stay_disjoint() {
+        const WIRE: [u8; 8] = *b"PDOWIRE\0";
+        let mut w = SnapWriter::new();
+        w.u64(42);
+        w.str("hello");
+        let frame = w.finish_frame(&WIRE, 3);
+
+        // Streams reassemble via peek: short prefixes ask for more bytes,
+        // the full header declares the exact framed length.
+        for cut in 0..20.min(frame.len()) {
+            assert!(matches!(peek_frame_len(&frame[..cut], &WIRE), Ok(None)));
+        }
+        assert_eq!(peek_frame_len(&frame, &WIRE).unwrap(), Some(frame.len()));
+        // A provably foreign prefix fails fast, even before 8 bytes.
+        assert!(matches!(
+            peek_frame_len(b"NOTPDO", &WIRE),
+            Err(SnapshotError::BadMagic)
+        ));
+
+        let mut r = SnapReader::framed(&frame, &WIRE, 3).unwrap();
+        assert_eq!(r.take_u64().unwrap(), 42);
+        assert_eq!(r.take_str().unwrap(), "hello");
+        r.finish().unwrap();
+
+        // Wrong magic or wrong version is typed, and a wire frame is
+        // never readable as a durable image.
+        assert!(matches!(
+            SnapReader::framed(&frame, &MAGIC, 3),
+            Err(SnapshotError::BadMagic)
+        ));
+        assert!(matches!(
+            SnapReader::framed(&frame, &WIRE, 4),
+            Err(SnapshotError::UnsupportedVersion(3))
+        ));
+        assert!(matches!(
+            SnapReader::new(&frame),
+            Err(SnapshotError::BadMagic)
+        ));
     }
 
     #[test]
