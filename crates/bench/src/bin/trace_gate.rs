@@ -1,0 +1,219 @@
+//! Causal-tracing overhead gate: proves the `pdo-obs` trace layer is
+//! near-free when off and cheap when on.
+//!
+//! Times the same synthetic fast-path dispatch workload on three
+//! identical runtimes — no trace store attached (`Runtime.tracer ==
+//! None`, a single `Option` check on the hot path), a store attached but
+//! disabled (the deployment default: one `Cell` load more), and tracing
+//! fully enabled (every raise and dispatch records a ring span) — in
+//! interleaved rounds so machine drift hits all sides equally. The
+//! headline statistics are the ratios of the medians of the per-round
+//! minimum batch averages; the gate fails if attached-but-disabled costs
+//! more than [`GATE_OFF`] (2%) or enabled more than [`GATE_ON`] (10%)
+//! over the no-store baseline.
+//!
+//! Writes `BENCH_trace.json` (mean, 95% CI, and both ratios — the
+//! machine-readable artifact CI checks in) to the path given as the
+//! first argument, default `BENCH_trace.json` in the working directory,
+//! and exits nonzero when either gate fails.
+
+use criterion::{black_box, measure, Measurement};
+use pdo::{optimize, OptimizeOptions};
+use pdo_events::{Runtime, TraceConfig};
+use pdo_ir::{BinOp, EventId, FuncId, FunctionBuilder, Module, RaiseMode, Value};
+use pdo_obs::trace::TraceStore;
+use pdo_profile::Profile;
+
+/// Maximum tolerated attached-but-disabled / no-store ratio.
+const GATE_OFF: f64 = 1.02;
+
+/// Maximum tolerated tracing-on / no-store ratio.
+const GATE_ON: f64 = 1.10;
+
+/// Interleaved measurement rounds per side (median taken across them).
+const ROUNDS: usize = 9;
+
+/// Batch-average samples per round (passed to the criterion shim).
+const SAMPLES: usize = 10;
+
+fn build_module(handlers: usize) -> (Module, EventId, Vec<FuncId>) {
+    let mut m = Module::new();
+    let e = m.add_event("E");
+    let g = m.add_global("acc", Value::Int(0));
+    let ids = (0..handlers)
+        .map(|i| {
+            let mut b = FunctionBuilder::new(format!("h{i}"), 1);
+            b.lock(g);
+            let v = b.load_global(g);
+            let k = b.const_int(i as i64 + 1);
+            let s = b.bin(BinOp::Add, v, k);
+            b.store_global(g, s);
+            b.unlock(g);
+            b.ret(None);
+            m.add_function(b.finish())
+        })
+        .collect();
+    (m, e, ids)
+}
+
+fn runtime_for(m: &Module, e: EventId, hs: &[FuncId]) -> Runtime {
+    let mut rt = Runtime::new(m.clone());
+    for (i, &h) in hs.iter().enumerate() {
+        rt.bind(e, h, i as i32).expect("bind");
+    }
+    rt
+}
+
+/// How the measured runtime carries the trace layer.
+#[derive(Clone, Copy, PartialEq)]
+enum Tracing {
+    /// No store attached: the pre-tracing hot path.
+    None,
+    /// Store attached but disabled — the deployment default, one
+    /// enabled-check more than `None`.
+    AttachedOff,
+    /// Recording every raise and dispatch.
+    On,
+}
+
+/// Builds a runtime running the specialized fast path for `E`, matching
+/// the `dispatch` bench's fastpath configuration, with the requested
+/// trace layer.
+fn fastpath_runtime(tracing: Tracing) -> (Runtime, EventId) {
+    let (m, e, hs) = build_module(6);
+    let mut prof_rt = runtime_for(&m, e, &hs);
+    prof_rt.set_trace_config(TraceConfig::full());
+    for _ in 0..100 {
+        prof_rt.raise(e, RaiseMode::Sync, &[Value::Unit]).unwrap();
+    }
+    let profile = Profile::from_trace(&prof_rt.take_trace(), 50);
+    let opt = optimize(&m, prof_rt.registry(), &profile, &OptimizeOptions::new(50));
+    let mut rt = runtime_for(&opt.module, e, &hs);
+    opt.install_chains(&mut rt);
+    match tracing {
+        Tracing::None => {}
+        Tracing::AttachedOff => {
+            let store = TraceStore::new(0);
+            store.set_enabled(false);
+            rt.set_tracer(store);
+        }
+        Tracing::On => {
+            rt.enable_tracing();
+        }
+    }
+    (rt, e)
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+/// Mean and normal-approximation 95% CI half-width over `xs`.
+fn mean_ci(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, 1.96 * (var / n).sqrt())
+}
+
+fn round(rt: &mut Runtime, e: EventId) -> Measurement {
+    measure(
+        || {
+            rt.raise(black_box(e), RaiseMode::Sync, &[Value::Unit])
+                .unwrap()
+        },
+        SAMPLES,
+    )
+}
+
+#[derive(Default)]
+struct Side {
+    mins: Vec<f64>,
+    means: Vec<f64>,
+}
+
+impl Side {
+    fn json(&self) -> String {
+        let mut mins = self.mins.clone();
+        let (mean, ci95) = mean_ci(&self.means);
+        format!(
+            "{{ \"median_min_ns\": {:.2}, \"mean_ns\": {:.2}, \"ci95_ns\": {:.2} }}",
+            median(&mut mins),
+            mean,
+            ci95
+        )
+    }
+
+    fn median_min(&self) -> f64 {
+        median(&mut self.mins.clone())
+    }
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_trace.json".into());
+
+    let (mut none_rt, e) = fastpath_runtime(Tracing::None);
+    let (mut off_rt, _) = fastpath_runtime(Tracing::AttachedOff);
+    let (mut on_rt, _) = fastpath_runtime(Tracing::On);
+    assert!(none_rt.tracer().is_none(), "baseline must have no store");
+    assert!(
+        off_rt.tracer().is_some_and(|t| !t.enabled()),
+        "off side must be attached but disabled"
+    );
+    assert!(
+        on_rt.tracer().is_some_and(TraceStore::enabled),
+        "on side must record"
+    );
+
+    let mut sides = [Side::default(), Side::default(), Side::default()];
+    for i in 0..ROUNDS {
+        // Rotate the in-round order so slow drift (thermal, scheduler)
+        // spreads across all three sides instead of biasing one.
+        let order = [i % 3, (i + 1) % 3, (i + 2) % 3];
+        for &which in &order {
+            let rt = match which {
+                0 => &mut none_rt,
+                1 => &mut off_rt,
+                _ => &mut on_rt,
+            };
+            let m = round(rt, e);
+            sides[which].mins.push(m.min_ns);
+            sides[which].means.push(m.mean_ns);
+        }
+    }
+
+    let base = sides[0].median_min();
+    let ratio_off = sides[1].median_min() / base;
+    let ratio_on = sides[2].median_min() / base;
+    let pass = ratio_off <= GATE_OFF && ratio_on <= GATE_ON;
+    let json = format!(
+        "{{\n  \"bench\": \"dispatch/fastpath/6+trace\",\n  \"rounds\": {ROUNDS},\n  \
+         \"tracing_none\": {},\n  \"tracing_attached_off\": {},\n  \"tracing_on\": {},\n  \
+         \"off_ratio\": {ratio_off:.4},\n  \"on_ratio\": {ratio_on:.4},\n  \
+         \"gate_off\": {GATE_OFF},\n  \"gate_on\": {GATE_ON},\n  \"pass\": {pass}\n}}\n",
+        sides[0].json(),
+        sides[1].json(),
+        sides[2].json(),
+    );
+    std::fs::write(&out, &json).expect("write BENCH_trace.json");
+    print!("{json}");
+    if !pass {
+        eprintln!(
+            "trace gate FAILED: attached-off ratio {ratio_off:.4} (gate {GATE_OFF}), \
+             on ratio {ratio_on:.4} (gate {GATE_ON})"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "trace gate passed: attached-off ratio {ratio_off:.4} <= {GATE_OFF}, \
+         on ratio {ratio_on:.4} <= {GATE_ON}"
+    );
+}

@@ -1,0 +1,83 @@
+//! Offline causal-trace analyzer: turns a line dump (from
+//! `Client::trace_dump(…, TraceFormat::Lines)`, the chaos oracle, or
+//! `export_lines`) into per-trace critical paths and a latency
+//! attribution summary.
+//!
+//! Usage: `trace_report <dump-file>` (or `-` to read stdin). For every
+//! trace in the dump it prints the happens-before critical path —
+//! root-first, indented, with the per-span layer and duration — followed
+//! by the attribution footer (fast/slow handler time, wire time,
+//! scheduler wait, other). A final table aggregates attribution across
+//! all traces so a profile run's dominant cost shows at a glance.
+
+use pdo_obs::trace::{attribute, critical_path, parse_lines, render_path, trace_ids, Attribution};
+use std::io::Read;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: trace_report <dump-file|->");
+        std::process::exit(2);
+    });
+    let text = if arg == "-" {
+        let mut s = String::new();
+        std::io::stdin().read_to_string(&mut s).expect("read stdin");
+        s
+    } else {
+        std::fs::read_to_string(&arg).unwrap_or_else(|e| {
+            eprintln!("trace_report: cannot read {arg}: {e}");
+            std::process::exit(2);
+        })
+    };
+
+    let spans = parse_lines(&text);
+    if spans.is_empty() {
+        eprintln!("trace_report: no parseable spans in {arg}");
+        std::process::exit(1);
+    }
+    let traces = trace_ids(&spans);
+    println!("{} spans across {} traces\n", spans.len(), traces.len());
+
+    let mut total = Attribution::default();
+    let mut rows: Vec<(u64, usize, Attribution)> = Vec::new();
+    for t in &traces {
+        let path = critical_path(&spans, *t);
+        let a = attribute(&path);
+        println!("trace {} — critical path ({} spans):", t.0, path.len());
+        print!("{}", render_path(&path));
+        println!();
+        total.fast_ns += a.fast_ns;
+        total.slow_ns += a.slow_ns;
+        total.wire_ns += a.wire_ns;
+        total.sched_wait_ns += a.sched_wait_ns;
+        total.other_ns += a.other_ns;
+        rows.push((t.0, path.len(), a));
+    }
+
+    println!("summary (critical-path attribution, virtual ns):");
+    println!(
+        "{:>20} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "trace", "spans", "fast", "slow", "wire", "sched", "other", "total"
+    );
+    for (t, n, a) in &rows {
+        println!(
+            "{t:>20} {n:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            a.fast_ns,
+            a.slow_ns,
+            a.wire_ns,
+            a.sched_wait_ns,
+            a.other_ns,
+            a.total_ns()
+        );
+    }
+    println!(
+        "{:>20} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "all",
+        spans.len(),
+        total.fast_ns,
+        total.slow_ns,
+        total.wire_ns,
+        total.sched_wait_ns,
+        total.other_ns,
+        total.total_ns()
+    );
+}

@@ -41,7 +41,7 @@ use crate::quarantine::{QuarantineConfig, QuarantineEntry};
 use crate::{optimize, Optimization, OptimizeOptions};
 use pdo_events::{Registry, Runtime, TraceConfig};
 use pdo_ir::{EventId, Module};
-use pdo_obs::{Histogram, MetricsSnapshot, ObsKind};
+use pdo_obs::{AuditAction, Histogram, MetricsSnapshot, ObsKind, SpanKind};
 use pdo_profile::{BuilderState, Profile, ProfileBuilder};
 use std::cell::RefCell;
 use std::collections::BTreeSet;
@@ -527,6 +527,23 @@ impl AdaptiveEngine {
                         );
                     }
                 }
+                if let Some(t) = rt.tracer() {
+                    // Audit spans: each quarantine decision joins the
+                    // trace whose dispatch exposed the fault.
+                    let now = rt.clock_ns();
+                    for &(event, until_ns) in &report.quarantined {
+                        t.record_under(
+                            rt.last_trace_ctx(),
+                            now,
+                            now,
+                            SpanKind::ChainAudit {
+                                event: Some(event.0),
+                                action: AuditAction::Quarantine,
+                                why: format!("faults exceeded quarantine threshold; backoff until t={until_ns}ns"),
+                            },
+                        );
+                    }
+                }
                 !report.stale.is_empty()
             }
             None => false,
@@ -535,7 +552,7 @@ impl AdaptiveEngine {
         // handler graph holds an undecayed sequence for whatever the event
         // graph says is hot, so the optimizer can actually build chains.
         if stale || (sampling && self.builder.fresh_events() >= self.config.min_fresh_events) {
-            self.reprofile(rt);
+            self.reprofile(rt, stale);
         }
         self.builder.end_epoch();
         if sampling {
@@ -560,20 +577,51 @@ impl AdaptiveEngine {
 
     /// One full profile-and-optimize pass against the base module, followed
     /// by a hot swap of module and chains.
-    fn reprofile(&mut self, rt: &mut Runtime) {
+    fn reprofile(&mut self, rt: &mut Runtime, stale: bool) {
         let started = Instant::now();
-        self.builder.take_fresh();
+        let fresh = self.builder.take_fresh();
         let profile = self.builder.snapshot(self.config.opts.threshold);
         let key = ChainCacheKey::of(&profile, rt.registry());
+        let mut cache_hit = true;
         let opt = match self.cache.lookup(&key, rt.registry()) {
             Some(cached) => cached,
             None => {
+                cache_hit = false;
                 let opt = optimize(&self.base, rt.registry(), &profile, &self.config.opts);
                 self.cache.insert(key, &opt);
                 opt
             }
         };
         self.stats.reprofiles += 1;
+        // The auditable "why" every decision span below carries: the
+        // profile evidence that triggered this pass.
+        let evidence = format!(
+            "fresh_events={fresh} min_fresh={} threshold={} stale={stale} cache={} chains={}",
+            self.config.min_fresh_events,
+            self.config.opts.threshold,
+            if cache_hit { "hit" } else { "miss" },
+            opt.chains.len(),
+        );
+        let audit = |rt: &Runtime, event: Option<u32>, action: AuditAction, extra: &str| {
+            if let Some(t) = rt.tracer() {
+                let now = rt.clock_ns();
+                t.record_under(
+                    rt.last_trace_ctx(),
+                    now,
+                    now,
+                    SpanKind::ChainAudit {
+                        event,
+                        action,
+                        why: if extra.is_empty() {
+                            evidence.clone()
+                        } else {
+                            format!("{extra}; {evidence}")
+                        },
+                    },
+                );
+            }
+        };
+        audit(rt, None, AuditAction::Reprofile, "");
         if opt.chains.is_empty() {
             // Nothing is hot enough right now; keep the deployed chains
             // (they are still guard-correct) rather than thrashing.
@@ -593,6 +641,12 @@ impl AdaptiveEngine {
                 if let Some(obs) = rt.obs() {
                     obs.record(rt.clock_ns(), ObsKind::ChainDropped { event: event.0 });
                 }
+                audit(
+                    rt,
+                    Some(event.0),
+                    AuditAction::Drop,
+                    "chain not reproduced by new profile",
+                );
             }
         }
         rt.replace_module(opt.module.clone());
@@ -618,6 +672,12 @@ impl AdaptiveEngine {
                 .as_ref()
                 .is_some_and(|h| h.quarantine().is_quarantined(chain.head, now));
             if quarantined {
+                audit(
+                    rt,
+                    Some(chain.head.0),
+                    AuditAction::Quarantine,
+                    "install skipped: event under quarantine backoff",
+                );
                 continue; // the healer re-installs it after backoff
             }
             rt.install_chain(chain.clone());
@@ -630,6 +690,12 @@ impl AdaptiveEngine {
                     },
                 );
             }
+            audit(
+                rt,
+                Some(chain.head.0),
+                AuditAction::Install,
+                "hot chain from profile snapshot",
+            );
         }
         self.note_reprofile(rt, started, opt.chains.len() as u32);
     }

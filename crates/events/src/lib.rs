@@ -64,7 +64,7 @@ pub use fault::{
 };
 pub use registry::{Binding, Registry};
 pub use runtime::{EpochHook, ObservableStats, Runtime, RuntimeConfig, RuntimeError, RuntimeStats};
-pub use sched::{Pending, SchedulerState, TimerEntry, VirtualClock};
+pub use sched::{Pending, QueuedTrace, SchedulerState, TimerEntry, VirtualClock};
 pub use spec::{CompiledChain, Guard, SpecTable};
 pub use trace::{HandlerTraceMode, Trace, TraceConfig, TraceRecord};
 pub use wire::{

@@ -3,12 +3,14 @@
 use crate::fault::{corrupt_value, FaultInjector, FaultKind, FaultPolicy, EXHAUST_FUEL_BUDGET};
 use crate::marshal::{marshal, unmarshal};
 use crate::registry::Registry;
-use crate::sched::{Scheduler, SchedulerState, VirtualClock};
+use crate::sched::{QueuedTrace, Scheduler, SchedulerState, VirtualClock};
 use crate::spec::{CompiledChain, SpecTable};
 use crate::trace::{Trace, TraceConfig, TraceRecord};
 use pdo_ir::interp::{call, Env, ExecError};
 use pdo_ir::{CostCounter, EventId, FuncId, GlobalId, Module, NativeId, RaiseMode, Value};
-use pdo_obs::{MetricsSnapshot, ObsHub, ObsKind, RaiseKind};
+use pdo_obs::{
+    DispatchSrc, MetricsSnapshot, ObsHub, ObsKind, RaiseKind, Span, SpanKind, TraceCtx, TraceStore,
+};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -266,6 +268,20 @@ pub struct Runtime {
     /// Observability hub: `None` means metrics are off and every hot path
     /// pays exactly one `Option` check (see [`Runtime::enable_obs`]).
     obs: Option<ObsHub>,
+    /// Causal trace store: `None` means tracing is detached and every
+    /// instrumentation site pays one `Option` check; attached-but-
+    /// disabled adds one `Cell` load (see [`Runtime::set_tracer`]).
+    tracer: Option<TraceStore>,
+    /// Ambient causal context: the span currently executing, which
+    /// nested raises, guard misses, and despecializations parent to.
+    cur_tctx: Option<TraceCtx>,
+    /// The most recent top-level dispatch's span, retained so the epoch
+    /// hook (adaptive engine) and the wire layer can parent audit and
+    /// wire spans into the trace that drove them.
+    last_tctx: Option<TraceCtx>,
+    /// Trace context of a just-popped queue/timer entry, consumed by the
+    /// next dispatch (set only inside [`Runtime::run_until`]).
+    queued_tctx: Option<(QueuedTrace, DispatchSrc)>,
     stats: RuntimeStats,
     /// Cost counters charged by dispatch and handler execution.
     pub cost: CostCounter,
@@ -335,6 +351,10 @@ impl Runtime {
             dispatch_accounting: false,
             frame_stack: Vec::new(),
             obs: None,
+            tracer: None,
+            cur_tctx: None,
+            last_tctx: None,
+            queued_tctx: None,
             stats: RuntimeStats::default(),
             cost: CostCounter::new(),
             reserved,
@@ -590,6 +610,44 @@ impl Runtime {
         self.obs.take()
     }
 
+    /// Attaches a causal trace store (see `pdo-obs::trace`, DESIGN.md
+    /// §16): every raise, dispatch, timer fire, guard miss, and
+    /// despecialization records a span with a parent edge. A raise with
+    /// no ambient or caller-supplied context mints a fresh [`TraceId`] —
+    /// it is an external stimulus and becomes the trace root. The same
+    /// store may be shared with the adaptive engine and the server shard
+    /// that owns this runtime; it is a cheap `Rc` handle.
+    pub fn set_tracer(&mut self, store: TraceStore) {
+        self.tracer = Some(store);
+    }
+
+    /// Attaches a fresh default-capacity trace store and returns a
+    /// handle to it.
+    pub fn enable_tracing(&mut self) -> TraceStore {
+        let store = TraceStore::default();
+        self.tracer = Some(store.clone());
+        store
+    }
+
+    /// The attached causal trace store, if any.
+    pub fn tracer(&self) -> Option<&TraceStore> {
+        self.tracer.as_ref()
+    }
+
+    /// Detaches the causal trace store (spans survive in the returned
+    /// handle).
+    pub fn take_tracer(&mut self) -> Option<TraceStore> {
+        self.tracer.take()
+    }
+
+    /// The most recent top-level dispatch's trace context — the anchor
+    /// the adaptive engine parents its chain-audit spans to, and the
+    /// wire layer its segment spans, so cross-layer actions join the
+    /// trace that causally drove them.
+    pub fn last_trace_ctx(&self) -> Option<TraceCtx> {
+        self.last_tctx
+    }
+
     /// Exports the runtime's counters and (when a hub is attached) its
     /// per-event dispatch-latency histograms into `snap`, with `extra`
     /// labels (e.g. `shard`/`session`) on every series.
@@ -785,8 +843,26 @@ impl Runtime {
         mode: RaiseMode,
         args: &[Value],
     ) -> Result<(), RuntimeError> {
+        self.raise_traced(event, mode, args, None)
+    }
+
+    /// As [`Runtime::raise`], but joining the caller-supplied causal
+    /// trace context instead of minting a fresh trace — how the ingress
+    /// front door extends its root span into the runtime. Ignored when
+    /// no trace store is attached.
+    ///
+    /// # Errors
+    ///
+    /// As [`Runtime::raise`].
+    pub fn raise_traced(
+        &mut self,
+        event: EventId,
+        mode: RaiseMode,
+        args: &[Value],
+        ctx: Option<TraceCtx>,
+    ) -> Result<(), RuntimeError> {
         let module = self.module_arc();
-        self.raise_inner(&module, event, mode, args)
+        self.raise_inner(&module, event, mode, args, ctx)
     }
 
     /// Raises an event looked up by name.
@@ -813,6 +889,7 @@ impl Runtime {
         event: EventId,
         mode: RaiseMode,
         args: &[Value],
+        ctx: Option<TraceCtx>,
     ) -> Result<(), RuntimeError> {
         self.check_event(event)?;
         if self.trace_config.as_ref().is_some_and(|c| c.events) {
@@ -839,6 +916,38 @@ impl Runtime {
                 );
             }
         }
+        // Causal tracing: a queued raise records an instant `Raise`
+        // span — the enqueue half of the queue/timer happens-before
+        // edge; the popped dispatch parents to it and charges the wait
+        // to `queued_ns`. A *sync* raise IS its dispatch, so it records
+        // no span of its own: the dispatch span represents both,
+        // keeping the specialization-critical hot path at one ring
+        // write per dispatch. Either way an explicit `ctx` (wire
+        // caller) wins, then the ambient span; with neither, the raise
+        // is an external stimulus and the span roots a fresh trace.
+        let traise: Option<TraceCtx> = match &self.tracer {
+            Some(t) if t.enabled() => match mode {
+                RaiseMode::Sync => ctx.or(self.cur_tctx),
+                RaiseMode::Async | RaiseMode::Timed => {
+                    let now = self.clock.now_ns();
+                    let src = if matches!(mode, RaiseMode::Async) {
+                        DispatchSrc::Queue
+                    } else {
+                        DispatchSrc::Timer
+                    };
+                    t.record_under(
+                        ctx.or(self.cur_tctx),
+                        now,
+                        now,
+                        SpanKind::Raise {
+                            event: event.0,
+                            mode: src,
+                        },
+                    )
+                }
+            },
+            _ => None,
+        };
         match mode {
             RaiseMode::Sync => {
                 if self.sync_depth >= self.config.max_sync_depth {
@@ -859,12 +968,29 @@ impl Runtime {
                     }
                 }
                 self.sync_depth += 1;
+                let saved_tctx = self.cur_tctx;
+                if traise.is_some() {
+                    // The synchronous dispatch (and everything nested in
+                    // it) parents to the caller's context — the wire
+                    // span for ingress-originated raises.
+                    self.cur_tctx = traise;
+                }
                 let r = self.dispatch_now(module, event, args);
+                if traise.is_some() {
+                    self.cur_tctx = saved_tctx;
+                }
                 self.sync_depth -= 1;
                 r
             }
             RaiseMode::Async => {
-                self.sched.push_async(event, args.to_vec());
+                self.sched.push_async_traced(
+                    event,
+                    args.to_vec(),
+                    traise.map(|c| QueuedTrace {
+                        ctx: c,
+                        enqueued_ns: self.clock.now_ns(),
+                    }),
+                );
                 Ok(())
             }
             RaiseMode::Timed => {
@@ -890,8 +1016,16 @@ impl Runtime {
                     }
                     _ => {}
                 }
-                self.sched
-                    .push_timed(self.clock.now_ns(), delay, event, args[1..].to_vec());
+                self.sched.push_timed_traced(
+                    self.clock.now_ns(),
+                    delay,
+                    event,
+                    args[1..].to_vec(),
+                    traise.map(|c| QueuedTrace {
+                        ctx: c,
+                        enqueued_ns: self.clock.now_ns(),
+                    }),
+                );
                 Ok(())
             }
         }
@@ -932,6 +1066,15 @@ impl Runtime {
         if self.spec.remove(event).is_some() {
             self.stats.chains_removed += 1;
             *self.stats.despecialized_by_event.entry(event).or_insert(0) += 1;
+            if let Some(t) = &self.tracer {
+                let now = self.clock.now_ns();
+                t.record_under(
+                    self.cur_tctx,
+                    now,
+                    now,
+                    SpanKind::Despecialize { event: event.0 },
+                );
+            }
         }
     }
 
@@ -1026,10 +1169,67 @@ impl Runtime {
         force_generic: bool,
         injected_fuel: bool,
     ) -> Result<(), RuntimeError> {
+        // Causal tracing bracket: with no store this is one `Option`
+        // check (plus the `queued_tctx` take, a plain field move). The
+        // span's parent is the popped queue/timer entry's raise (with
+        // its queue wait), or the ambient span for sync dispatch.
+        let queued = self.queued_tctx.take();
+        let tspan = match &self.tracer {
+            Some(t) if t.enabled() => {
+                let t0 = self.clock.now_ns();
+                let (src, parent_ctx, queued_ns) = match queued {
+                    Some((qt, src)) => (src, Some(qt.ctx), t0.saturating_sub(qt.enqueued_ns)),
+                    None => (DispatchSrc::Sync, self.cur_tctx, 0),
+                };
+                let (trace, parent, id) = t.begin(parent_ctx);
+                Some((trace, parent, id, t0, queued_ns, src))
+            }
+            _ => None,
+        };
+        let saved_tctx = self.cur_tctx;
+        if let Some((trace, _, id, ..)) = tspan {
+            self.cur_tctx = Some(TraceCtx { trace, parent: id });
+        }
+        let r = self.dispatch_handlers_obs(module, event, args, force_generic, injected_fuel);
+        if let Some((trace, parent, id, t0, queued_ns, src)) = tspan {
+            self.cur_tctx = saved_tctx;
+            let ctx = TraceCtx { trace, parent: id };
+            self.last_tctx = Some(ctx);
+            // An aborting dispatch has no lane; attribute it slow, like
+            // the metrics path does.
+            let fast = *r.as_ref().unwrap_or(&false);
+            let end = self.clock.now_ns();
+            if let Some(t) = &self.tracer {
+                t.record(Span {
+                    id,
+                    trace,
+                    parent,
+                    start_ns: t0,
+                    end_ns: end,
+                    kind: SpanKind::Dispatch {
+                        event: event.0,
+                        fast,
+                        src,
+                        queued_ns,
+                    },
+                });
+            }
+        }
+        r.map(|_fast| ())
+    }
+
+    /// Observability (metrics) wrapper — see [`Runtime::dispatch_handlers`]
+    /// for the tracing layer above it. Returns the lane like the body.
+    fn dispatch_handlers_obs(
+        &mut self,
+        module: &Module,
+        event: EventId,
+        args: &[Value],
+        force_generic: bool,
+        injected_fuel: bool,
+    ) -> Result<bool, RuntimeError> {
         let Some(obs) = self.obs.clone() else {
-            return self
-                .dispatch_handlers_inner(module, event, args, force_generic, injected_fuel)
-                .map(|_fast| ());
+            return self.dispatch_handlers_inner(module, event, args, force_generic, injected_fuel);
         };
         let t0 = self.clock.now_ns();
         if obs.trace_dispatch() {
@@ -1055,7 +1255,7 @@ impl Runtime {
         // no lane to attribute; count it as slow.
         let fast = *r.as_ref().unwrap_or(&false);
         obs.dispatch_end(t1, event.0, fast, t1 - t0);
-        r.map(|_fast| ())
+        r
     }
 
     /// The actual fast-path / generic dispatch, with per-call trap
@@ -1156,6 +1356,15 @@ impl Runtime {
                 *self.stats.guard_misses_by_event.entry(event).or_insert(0) += 1;
                 if let Some(obs) = &self.obs {
                     obs.record(self.clock.now_ns(), ObsKind::GuardMiss { event: event.0 });
+                }
+                if let Some(t) = &self.tracer {
+                    let now = self.clock.now_ns();
+                    t.record_under(
+                        self.cur_tctx,
+                        now,
+                        now,
+                        SpanKind::GuardMiss { event: event.0 },
+                    );
                 }
             }
         }
@@ -1285,6 +1494,7 @@ impl Runtime {
                     return Err(RuntimeError::StepLimit);
                 }
                 let p = self.sched.pop_async().expect("queue non-empty");
+                self.queued_tctx = p.trace.map(|qt| (qt, DispatchSrc::Queue));
                 self.dispatch_now(&module, p.event, &p.args)?;
                 steps += 1;
                 if self.poll_epoch() {
@@ -1303,6 +1513,7 @@ impl Runtime {
                         .sched
                         .pop_due_timer(self.clock.now_ns())
                         .expect("deadline was due");
+                    self.queued_tctx = t.trace.map(|qt| (qt, DispatchSrc::Timer));
                     self.dispatch_now(&module, t.event, &t.args)?;
                     steps += 1;
                     if self.poll_epoch() {
@@ -1433,7 +1644,9 @@ impl Env for Runtime {
         mode: RaiseMode,
         args: &[Value],
     ) -> Result<(), ExecError> {
-        self.raise_inner(module, event, mode, args)
+        // Nested raise from handler IR: the ambient span (the dispatch
+        // executing this handler) is the causal parent.
+        self.raise_inner(module, event, mode, args, None)
             .map_err(|e| match e {
                 RuntimeError::Exec(inner) => inner,
                 other => ExecError::Raise(other.to_string()),

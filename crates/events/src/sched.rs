@@ -6,9 +6,24 @@
 //! the next deadline when the FIFO is empty (paper §2.2: timed events "are
 //! activated at a specified time or after a specified delay").
 
+use pdo_obs::TraceCtx;
+
 use pdo_ir::{EventId, Value};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
+
+/// Causal-trace context riding a queued event: the parent span that
+/// enqueued it plus the virtual time of enqueue, so the dispatch span
+/// can attribute its queue wait (DESIGN.md §16). Diagnostic only —
+/// excluded from [`Pending`]/[`TimerEntry`] equality and from the
+/// durable snapshot encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedTrace {
+    /// The trace and parent span of the raise that enqueued the event.
+    pub ctx: TraceCtx,
+    /// Virtual time the event was enqueued, nanoseconds.
+    pub enqueued_ns: u64,
+}
 
 /// A monotonically advancing virtual clock in nanoseconds.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -39,16 +54,28 @@ impl VirtualClock {
 }
 
 /// An event waiting in the asynchronous queue.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Pending {
     /// The event to dispatch.
     pub event: EventId,
     /// Its arguments.
     pub args: Vec<Value>,
+    /// Causal-trace context of the enqueuing raise, if tracing.
+    pub trace: Option<QueuedTrace>,
+}
+
+// Equality is logical state only: the trace context is a diagnostic
+// rider and must not make two otherwise-identical schedulers diverge
+// (the chaos oracle compares reference vs optimized runtimes whose
+// span ids differ).
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.event == other.event && self.args == other.args
+    }
 }
 
 /// A timed event waiting for its deadline.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct TimerEntry {
     /// Virtual deadline (ns).
     pub deadline_ns: u64,
@@ -58,6 +85,18 @@ pub struct TimerEntry {
     pub event: EventId,
     /// Its arguments.
     pub args: Vec<Value>,
+    /// Causal-trace context of the scheduling raise, if tracing.
+    pub trace: Option<QueuedTrace>,
+}
+
+// Same contract as [`Pending`]: trace context is excluded.
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline_ns == other.deadline_ns
+            && self.seq == other.seq
+            && self.event == other.event
+            && self.args == other.args
+    }
 }
 
 impl Eq for TimerEntry {}
@@ -110,11 +149,33 @@ impl Scheduler {
 
     /// Enqueues an asynchronous event.
     pub fn push_async(&mut self, event: EventId, args: Vec<Value>) {
-        self.queue.push_back(Pending { event, args });
+        self.push_async_traced(event, args, None);
+    }
+
+    /// Enqueues an asynchronous event carrying a causal-trace context.
+    pub fn push_async_traced(
+        &mut self,
+        event: EventId,
+        args: Vec<Value>,
+        trace: Option<QueuedTrace>,
+    ) {
+        self.queue.push_back(Pending { event, args, trace });
     }
 
     /// Schedules a timed event `delay_ns` after `now_ns`.
     pub fn push_timed(&mut self, now_ns: u64, delay_ns: u64, event: EventId, args: Vec<Value>) {
+        self.push_timed_traced(now_ns, delay_ns, event, args, None);
+    }
+
+    /// Schedules a timed event carrying a causal-trace context.
+    pub fn push_timed_traced(
+        &mut self,
+        now_ns: u64,
+        delay_ns: u64,
+        event: EventId,
+        args: Vec<Value>,
+        trace: Option<QueuedTrace>,
+    ) {
         let seq = self.seq;
         self.seq += 1;
         self.timers.push(TimerEntry {
@@ -122,6 +183,7 @@ impl Scheduler {
             seq,
             event,
             args,
+            trace,
         });
     }
 

@@ -4,7 +4,9 @@
 //! connection with its own non-blocking driver, but speaks exactly the
 //! same [`proto`] frames.
 
-use crate::proto::{self, OpenKind, Reply, Request, SessionStats, WireMode};
+use crate::proto::{
+    self, OpenKind, Reply, Request, SessionStats, TraceFormat, TraceSelector, WireMode,
+};
 use crate::IngressError;
 use pdo_ir::Value;
 use std::io::{Read, Write};
@@ -193,6 +195,38 @@ impl Client {
         match self.request(&Request::Close { session })? {
             Reply::Closed { existed } => Ok(existed),
             other => Err(unexpected("Closed", &other)),
+        }
+    }
+
+    /// Scrapes the whole deployment (server + ingress) as one Prometheus
+    /// text exposition — the remote-scrape path (`curl`-equivalent over
+    /// the wire protocol).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors; non-`MetricsText` replies via [`unexpected`].
+    pub fn scrape_metrics(&mut self) -> Result<String, IngressError> {
+        match self.request(&Request::MetricsScrape)? {
+            Reply::MetricsText { text } => Ok(text),
+            other => Err(unexpected("MetricsText", &other)),
+        }
+    }
+
+    /// Pulls retained causal trace spans from every layer in the chosen
+    /// format (line dump for `trace_report`, Chrome JSON for Perfetto).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors; non-`Trace` replies via [`unexpected`] —
+    /// including the typed `Error` for an over-frame-limit Chrome dump.
+    pub fn trace_dump(
+        &mut self,
+        selector: TraceSelector,
+        format: TraceFormat,
+    ) -> Result<String, IngressError> {
+        match self.request(&Request::TraceDump { selector, format })? {
+            Reply::Trace { body } => Ok(body),
+            other => Err(unexpected("Trace", &other)),
         }
     }
 }

@@ -35,7 +35,8 @@ use pdo_cactus::EventProgram;
 use pdo_ctp::{ctp_program, CtpParams};
 use pdo_events::RuntimeConfig;
 use pdo_ir::{EventId, FuncId, RaiseMode};
-use pdo_obs::{FlightRecorder, Histogram, MetricsSnapshot, ObsKind};
+use pdo_obs::trace::{export_chrome, export_lines};
+use pdo_obs::{FlightRecorder, Histogram, MetricsSnapshot, ObsKind, Span, SpanKind, TraceStore};
 use pdo_seccomm::{seccomm_protocol, Keys, CONFIG_FULL};
 use pdo_server::{Server, ServerError, SessionId};
 use pdo_snap::SnapshotError;
@@ -56,9 +57,14 @@ pub mod proto;
 pub use client::Client;
 pub use limiter::Limiter;
 pub use proto::{
-    ErrorCode, FrameBuffer, OpenKind, Reply, Request, SessionStats, WireMode, MAX_FRAME_LEN,
-    WIRE_MAGIC, WIRE_VERSION,
+    ErrorCode, FrameBuffer, OpenKind, Reply, Request, SessionStats, TraceFormat, TraceSelector,
+    WireMode, MAX_FRAME_LEN, WIRE_MAGIC, WIRE_VERSION,
 };
+
+/// Trace-store tag of the ingress layer. Shard stores use `index + 1`,
+/// so the top of the tag space keeps ingress-minted span/trace ids
+/// disjoint from every shard's.
+pub const INGRESS_TRACE_TAG: u16 = 0xFFFF;
 
 /// Consecutive idle iterations the engine and acceptor loops yield
 /// (staying runnable) before backing off to sleeps — see
@@ -236,6 +242,11 @@ pub struct Ingress {
     keys: Keys,
     vnow: u64,
     since_epoch: u64,
+    /// Causal trace store of the ingress layer: every session-facing
+    /// request mints a root `Ingress` span here, and the resulting
+    /// context rides into the server so runtime/adapt/wire spans hang
+    /// off it. Tagged [`INGRESS_TRACE_TAG`].
+    tracer: TraceStore,
 }
 
 impl Ingress {
@@ -329,7 +340,15 @@ impl Ingress {
             keys: Keys::default(),
             vnow: 0,
             since_epoch: 0,
+            tracer: TraceStore::new(INGRESS_TRACE_TAG),
         })
+    }
+
+    /// The ingress layer's trace store (enabled by default; disable via
+    /// [`pdo_obs::TraceStore::set_enabled`] to make request handling
+    /// span-free).
+    pub fn tracer(&self) -> &TraceStore {
+        &self.tracer
     }
 
     /// The bound TCP address (with the kernel-assigned port when the
@@ -363,7 +382,7 @@ impl Ingress {
                     Ok(w) => w,
                     Err(_) => break,
                 };
-                let reply = self.execute(server, shard, &work.request);
+                let reply = self.execute(server, shard, work.conn, &work.request);
                 let latency = work.admitted_at.elapsed().as_nanos() as u64;
                 if let Ok(mut h) = self.shared.latency.lock() {
                     h.record(latency.max(1));
@@ -382,7 +401,37 @@ impl Ingress {
         Ok(processed)
     }
 
-    fn execute(&mut self, server: &mut Server, shard: usize, request: &Request) -> Reply {
+    fn execute(
+        &mut self,
+        server: &mut Server,
+        shard: usize,
+        conn: u64,
+        request: &Request,
+    ) -> Reply {
+        // Session-facing requests are external stimuli: each mints a root
+        // `Ingress` span whose context rides into the server, linking the
+        // runtime / adapt / wire spans it causes under one trace. The
+        // telemetry requests (`MetricsScrape`, `TraceDump`) deliberately
+        // mint nothing — the observer should not perturb the observed.
+        let tctx = match request {
+            Request::MetricsScrape | Request::TraceDump { .. } => None,
+            _ => self.tracer.record_under(
+                None,
+                self.vnow,
+                self.vnow,
+                SpanKind::Ingress {
+                    request: match request {
+                        Request::Open(_) => "open",
+                        Request::Raise { .. } => "raise",
+                        Request::Query { .. } => "query",
+                        Request::Close { .. } => "close",
+                        Request::MetricsScrape | Request::TraceDump { .. } => unreachable!(),
+                    }
+                    .to_string(),
+                    conn,
+                },
+            ),
+        };
         match request {
             Request::Open(kind) => {
                 let opened = match kind {
@@ -419,9 +468,11 @@ impl Ingress {
                 let id = SessionId(*session);
                 let event = EventId(*event);
                 let done = match mode {
-                    WireMode::Sync => server.raise(id, event, RaiseMode::Sync, args),
-                    WireMode::Async => server.raise(id, event, RaiseMode::Async, args),
-                    WireMode::Timed { delay_ns } => server.submit(id, event, *delay_ns, args),
+                    WireMode::Sync => server.raise_traced(id, event, RaiseMode::Sync, args, tctx),
+                    WireMode::Async => server.raise_traced(id, event, RaiseMode::Async, args, tctx),
+                    WireMode::Timed { delay_ns } => {
+                        server.submit_traced(id, event, *delay_ns, args, tctx)
+                    }
                 };
                 match done {
                     Ok(()) => Reply::Done,
@@ -431,17 +482,26 @@ impl Ingress {
             Request::Query { session } => {
                 let id = SessionId(*session);
                 let sid = *session;
-                let shard_no = server.shard_of(id) as u32;
-                let stats = server.with_runtime(id, move |rt| SessionStats {
-                    session: sid,
-                    shard: shard_no,
-                    clock_ns: rt.clock_ns(),
-                    dispatched: rt.cost.registry_lookups + rt.cost.fastpath_hits,
-                    fastpath_hits: rt.cost.fastpath_hits,
-                    guard_misses: rt.cost.fastpath_misses,
-                    chains_live: rt.spec().len() as u64,
-                    queued: rt.queued_len() as u64,
-                    timers: rt.timer_len() as u64,
+                // `with_session` resolves the shard *and* the session in
+                // one placement lookup, and turns an unknown or
+                // already-closed id into a typed `UnknownSession` error
+                // (`Server::shard_of` would panic — a remote client must
+                // never be able to bring the engine down by querying a
+                // stale id).
+                let stats = server.with_session(id, move |ctx| {
+                    let shard_no = ctx.shard() as u32;
+                    let rt = ctx.runtime();
+                    SessionStats {
+                        session: sid,
+                        shard: shard_no,
+                        clock_ns: rt.clock_ns(),
+                        dispatched: rt.cost.registry_lookups + rt.cost.fastpath_hits,
+                        fastpath_hits: rt.cost.fastpath_hits,
+                        guard_misses: rt.cost.fastpath_misses,
+                        chains_live: rt.spec().len() as u64,
+                        queued: rt.queued_len() as u64,
+                        timers: rt.timer_len() as u64,
+                    }
                 });
                 match stats {
                     Ok(s) => Reply::Stats(s),
@@ -451,7 +511,71 @@ impl Ingress {
             Request::Close { session } => Reply::Closed {
                 existed: server.close_session(SessionId(*session)),
             },
+            Request::MetricsScrape => {
+                let mut m = server.metrics();
+                m.merge(&self.metrics());
+                Reply::MetricsText {
+                    text: truncate_at_line(m.render(), self.reply_body_budget()),
+                }
+            }
+            Request::TraceDump { selector, format } => {
+                let mut spans = self.tracer.spans();
+                spans.extend(server.trace_spans());
+                let selected: Vec<Span> = match selector {
+                    TraceSelector::Id(id) => {
+                        spans.retain(|s| s.trace.0 == *id);
+                        spans
+                    }
+                    TraceSelector::LastN(n) => {
+                        // Traces ordered by the position of their newest
+                        // retained span (exact within one store; stores
+                        // are concatenated ingress-first, shards after).
+                        let mut order: Vec<u64> = Vec::new();
+                        for s in &spans {
+                            if let Some(pos) = order.iter().position(|&t| t == s.trace.0) {
+                                order.remove(pos);
+                            }
+                            order.push(s.trace.0);
+                        }
+                        let keep: std::collections::BTreeSet<u64> =
+                            order.iter().rev().take(*n as usize).copied().collect();
+                        spans.retain(|s| keep.contains(&s.trace.0));
+                        spans
+                    }
+                };
+                let budget = self.reply_body_budget();
+                match format {
+                    TraceFormat::Lines => Reply::Trace {
+                        // Every line is a self-contained span record, so
+                        // line-boundary truncation keeps the dump parseable.
+                        body: truncate_at_line(export_lines(&selected), budget),
+                    },
+                    TraceFormat::Chrome => {
+                        let body = export_chrome(&selected);
+                        if body.len() > budget {
+                            Reply::Error {
+                                code: ErrorCode::Internal,
+                                message: format!(
+                                    "chrome trace dump is {} bytes, frame limit {}; \
+                                     narrow the selector or use the line format",
+                                    body.len(),
+                                    budget
+                                ),
+                            }
+                        } else {
+                            Reply::Trace { body }
+                        }
+                    }
+                }
+            }
         }
+    }
+
+    /// Budget for a string reply body: the frame ceiling minus framing
+    /// and payload overhead (magic/version/length, req id, tag, string
+    /// length, checksum — padded generously).
+    fn reply_body_budget(&self) -> usize {
+        self.cfg.max_frame.saturating_sub(256)
     }
 
     /// Advances the server's virtual clock if enough requests have been
@@ -694,6 +818,22 @@ impl Drop for Ingress {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// Truncates `s` to at most `max` bytes, cutting only at a line
+/// boundary so the survivor is still a sequence of complete lines.
+fn truncate_at_line(mut s: String, max: usize) -> String {
+    if s.len() <= max {
+        return s;
+    }
+    let mut end = 0;
+    for (i, b) in s.bytes().enumerate().take(max) {
+        if b == b'\n' {
+            end = i + 1;
+        }
+    }
+    s.truncate(end);
+    s
 }
 
 fn error_reply(e: &ServerError) -> Reply {

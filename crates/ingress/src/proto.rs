@@ -46,6 +46,8 @@ const REQ_OPEN: u8 = 1;
 const REQ_RAISE: u8 = 2;
 const REQ_QUERY: u8 = 3;
 const REQ_CLOSE: u8 = 4;
+const REQ_METRICS: u8 = 5;
+const REQ_TRACE_DUMP: u8 = 6;
 
 const OPEN_PLAIN: u8 = 0;
 const OPEN_CTP: u8 = 1;
@@ -61,6 +63,14 @@ const REP_STATS: u8 = 3;
 const REP_CLOSED: u8 = 4;
 const REP_SHED: u8 = 5;
 const REP_ERROR: u8 = 6;
+const REP_METRICS_TEXT: u8 = 7;
+const REP_TRACE: u8 = 8;
+
+const TRACE_SEL_LAST: u8 = 0;
+const TRACE_SEL_ID: u8 = 1;
+
+const TRACE_FMT_LINES: u8 = 0;
+const TRACE_FMT_CHROME: u8 = 1;
 
 /// What kind of session an `Open` creates on the connection's shard.
 #[derive(Debug, Clone, PartialEq)]
@@ -120,6 +130,36 @@ pub enum Request {
         /// Target session id.
         session: u64,
     },
+    /// Scrape the whole deployment (server + ingress) as one Prometheus
+    /// text exposition — the wire-level scrape endpoint a remote
+    /// Prometheus (or `curl` through the client) pulls.
+    MetricsScrape,
+    /// Pull retained causal trace spans from every layer's trace store.
+    TraceDump {
+        /// Which traces to pull.
+        selector: TraceSelector,
+        /// Export encoding of the reply body.
+        format: TraceFormat,
+    },
+}
+
+/// Which traces a [`Request::TraceDump`] pulls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceSelector {
+    /// The `n` most recently minted traces still retained.
+    LastN(u64),
+    /// One specific trace by id (as reported in a previous dump or in
+    /// span output).
+    Id(u64),
+}
+
+/// Export encoding of a [`Reply::Trace`] body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Line-oriented `span …` dump (grep-able; `trace_report` input).
+    Lines,
+    /// Chrome trace-event JSON (load in `about:tracing` or Perfetto).
+    Chrome,
 }
 
 /// One session's counters, as returned by `Query`.
@@ -219,6 +259,17 @@ pub enum Reply {
         /// Human-readable detail.
         message: String,
     },
+    /// `MetricsScrape` result: Prometheus text exposition.
+    MetricsText {
+        /// The rendered exposition (possibly truncated to fit the frame
+        /// ceiling; truncation drops whole lines, never splits one).
+        text: String,
+    },
+    /// `TraceDump` result in the requested [`TraceFormat`].
+    Trace {
+        /// Line dump or Chrome trace-event JSON.
+        body: String,
+    },
 }
 
 fn malformed<T>(why: impl Into<String>) -> Result<T, SnapshotError> {
@@ -282,6 +333,24 @@ pub fn encode_request(req_id: u64, req: &Request) -> Vec<u8> {
         Request::Close { session } => {
             w.u8(REQ_CLOSE);
             w.u64(*session);
+        }
+        Request::MetricsScrape => w.u8(REQ_METRICS),
+        Request::TraceDump { selector, format } => {
+            w.u8(REQ_TRACE_DUMP);
+            match selector {
+                TraceSelector::LastN(n) => {
+                    w.u8(TRACE_SEL_LAST);
+                    w.u64(*n);
+                }
+                TraceSelector::Id(id) => {
+                    w.u8(TRACE_SEL_ID);
+                    w.u64(*id);
+                }
+            }
+            w.u8(match format {
+                TraceFormat::Lines => TRACE_FMT_LINES,
+                TraceFormat::Chrome => TRACE_FMT_CHROME,
+            });
         }
     }
     w.finish_frame(&WIRE_MAGIC, WIRE_VERSION)
@@ -411,6 +480,20 @@ fn request_body(r: &mut SnapReader<'_>) -> Result<(u64, Request), SnapshotError>
         REQ_CLOSE => Request::Close {
             session: r.take_u64()?,
         },
+        REQ_METRICS => Request::MetricsScrape,
+        REQ_TRACE_DUMP => {
+            let selector = match r.take_u8()? {
+                TRACE_SEL_LAST => TraceSelector::LastN(r.take_u64()?),
+                TRACE_SEL_ID => TraceSelector::Id(r.take_u64()?),
+                b => return malformed(format!("unknown trace selector byte {b:#04x}")),
+            };
+            let format = match r.take_u8()? {
+                TRACE_FMT_LINES => TraceFormat::Lines,
+                TRACE_FMT_CHROME => TraceFormat::Chrome,
+                b => return malformed(format!("unknown trace format byte {b:#04x}")),
+            };
+            Request::TraceDump { selector, format }
+        }
         b => return malformed(format!("unknown request tag byte {b:#04x}")),
     };
     // Consume-everything check: trailing bytes in a checksum-valid frame
@@ -453,6 +536,14 @@ pub fn encode_reply(req_id: u64, reply: &Reply) -> Vec<u8> {
             w.u8(REP_ERROR);
             w.u8(code.to_byte());
             w.str(message);
+        }
+        Reply::MetricsText { text } => {
+            w.u8(REP_METRICS_TEXT);
+            w.str(text);
+        }
+        Reply::Trace { body } => {
+            w.u8(REP_TRACE);
+            w.str(body);
         }
     }
     w.finish_frame(&WIRE_MAGIC, WIRE_VERSION)
@@ -503,6 +594,12 @@ fn reply_body(r: &mut SnapReader<'_>) -> Result<(u64, Reply), SnapshotError> {
                 message: r.take_str()?,
             }
         }
+        REP_METRICS_TEXT => Reply::MetricsText {
+            text: r.take_str()?,
+        },
+        REP_TRACE => Reply::Trace {
+            body: r.take_str()?,
+        },
         b => return malformed(format!("unknown reply tag byte {b:#04x}")),
     };
     take_finish(r)?;
@@ -608,6 +705,15 @@ mod tests {
             },
             Request::Query { session: 9 },
             Request::Close { session: 2 },
+            Request::MetricsScrape,
+            Request::TraceDump {
+                selector: TraceSelector::LastN(16),
+                format: TraceFormat::Lines,
+            },
+            Request::TraceDump {
+                selector: TraceSelector::Id(0x0001_0000_0000_0007),
+                format: TraceFormat::Chrome,
+            },
         ];
         for (i, req) in reqs.iter().enumerate() {
             let frame = encode_request(i as u64, req);
@@ -640,6 +746,12 @@ mod tests {
             Reply::Error {
                 code: ErrorCode::UnknownSession,
                 message: "unknown session s9".into(),
+            },
+            Reply::MetricsText {
+                text: "# TYPE pdo_up gauge\npdo_up 1\n".into(),
+            },
+            Reply::Trace {
+                body: "span trace=1 id=2 parent=- start=0 end=10 layer=ingress kind=ingress request=raise conn=3\n".into(),
             },
         ];
         for (i, rep) in reps.iter().enumerate() {

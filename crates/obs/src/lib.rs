@@ -16,6 +16,11 @@
 //!   structured runtime records (dispatch, raise, guard miss, fault,
 //!   reprofile, chain install/drop, quarantine) dumped post-mortem when
 //!   a fault or chaos-oracle mismatch needs explaining.
+//! * [`TraceStore`] / [`Span`] — causal trace graphs: a [`TraceId`]
+//!   minted per external stimulus, spans with parent edges across
+//!   layers (ingress, runtime, adaptive engine, wire), Chrome
+//!   trace-event and line-dump exporters, and critical-path latency
+//!   attribution (DESIGN.md §16).
 //!
 //! The crate is dependency-free by design: every other crate in the
 //! workspace can use it, including over the wire boundary, and event
@@ -28,8 +33,13 @@ mod hist;
 mod hub;
 mod recorder;
 mod snapshot;
+pub mod trace;
 
 pub use hist::{Histogram, BUCKETS};
 pub use hub::{ObsHub, DEFAULT_RECORDER_CAPACITY};
 pub use recorder::{FlightRecorder, ObsKind, ObsRecord, RaiseKind};
 pub use snapshot::{Labels, MetricsSnapshot};
+pub use trace::{
+    AuditAction, DispatchSrc, Span, SpanId, SpanKind, TraceCtx, TraceId, TraceStore,
+    DEFAULT_TRACE_CAPACITY,
+};

@@ -337,4 +337,57 @@ mod tests {
         assert!(dump.contains("dispatch-begin e1 path=fast"));
         assert!(dump.contains("fault e1 kind=trap_dispatch"));
     }
+
+    #[test]
+    fn tail_larger_than_capacity_returns_everything_retained() {
+        let mut r = FlightRecorder::new(3);
+        // Before the ring is full: tail(n > len) is just everything.
+        r.record(1, ObsKind::GuardMiss { event: 0 });
+        assert_eq!(r.tail(100).len(), 1);
+        for i in 1..5u32 {
+            r.record(u64::from(i), ObsKind::GuardMiss { event: i });
+        }
+        // n > capacity clamps to the retained window, never panics and
+        // never fabricates records.
+        let tail = r.tail(usize::MAX);
+        assert_eq!(tail.len(), 3);
+        assert_eq!(
+            tail.iter().map(|t| t.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        // tail(0) is empty regardless of state.
+        assert!(r.tail(0).is_empty());
+    }
+
+    #[test]
+    fn wraparound_preserves_oldest_first_order_across_many_overwrites() {
+        let mut r = FlightRecorder::new(5);
+        for i in 0..23u32 {
+            r.record(u64::from(i) * 2, ObsKind::GuardMiss { event: i });
+            // At every step the tail must be contiguous, strictly
+            // ascending in seq, and end at the newest record.
+            let tail = r.tail(5);
+            let seqs: Vec<u64> = tail.iter().map(|t| t.seq).collect();
+            let newest = u64::from(i);
+            let oldest = newest.saturating_sub(4).min(newest + 1 - tail.len() as u64);
+            assert_eq!(seqs, (oldest..=newest).collect::<Vec<u64>>());
+        }
+    }
+
+    #[test]
+    fn recorded_is_monotone_and_counts_overwritten_records() {
+        let mut r = FlightRecorder::new(2);
+        assert_eq!(r.recorded(), 0);
+        let mut last = 0;
+        for i in 0..9u32 {
+            r.record(0, ObsKind::GuardMiss { event: i });
+            let now = r.recorded();
+            assert!(now > last, "recorded() must strictly increase");
+            last = now;
+        }
+        // 9 appends through a capacity-2 ring: recorded() counts all 9,
+        // while only 2 records remain retrievable.
+        assert_eq!(r.recorded(), 9);
+        assert_eq!(r.tail(64).len(), 2);
+    }
 }

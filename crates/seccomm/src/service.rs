@@ -244,6 +244,10 @@ struct Wire {
     decode_ok: bool,
     /// Packets dropped because KeyedMD5 verification failed.
     mac_failures: u64,
+    /// Wire frames the outbound chain handed to `net_send`. Telemetry
+    /// only — deliberately *not* part of [`SecWireState`], whose byte
+    /// format is pinned by the golden snapshot fixture.
+    frames_sent: u64,
 }
 
 impl Default for Wire {
@@ -253,6 +257,7 @@ impl Default for Wire {
             delivered: VecDeque::new(),
             decode_ok: true,
             mac_failures: 0,
+            frames_sent: 0,
         }
     }
 }
@@ -374,7 +379,9 @@ impl Endpoint {
         .and_then(|()| {
             rt.bind_native_by_name("net_send", move |args| {
                 let data = bytes_arg(args)?;
-                out_wire.borrow_mut().outbox.push_back(data);
+                let mut w = out_wire.borrow_mut();
+                w.outbox.push_back(data);
+                w.frames_sent += 1;
                 Ok(Value::Unit)
             })
         })
@@ -441,6 +448,13 @@ impl Endpoint {
     /// Inbound packets dropped because KeyedMD5 verification failed.
     pub fn mac_failures(&self) -> u64 {
         self.wire.borrow().mac_failures
+    }
+
+    /// Wire frames the outbound chain has handed to `net_send` over the
+    /// endpoint's lifetime. Not persisted across snapshots (telemetry
+    /// only): a restored endpoint restarts at zero.
+    pub fn frames_sent(&self) -> u64 {
+        self.wire.borrow().frames_sent
     }
 
     /// Exports the native-side wire state (queues, decode verdict,

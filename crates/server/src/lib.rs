@@ -50,7 +50,10 @@ use pdo_cactus::EventProgram;
 use pdo_ctp::{CtpEndpoint, CtpError, CtpParams};
 use pdo_events::{FaultInjector, Runtime, RuntimeConfig, RuntimeError};
 use pdo_ir::{EventId, FuncId, GlobalId, Module, RaiseMode, Value};
-use pdo_obs::{Histogram, MetricsSnapshot, ObsHub, ObsKind, DEFAULT_RECORDER_CAPACITY};
+use pdo_obs::{
+    Histogram, MetricsSnapshot, ObsHub, ObsKind, Span, SpanKind, TraceCtx, TraceStore,
+    DEFAULT_RECORDER_CAPACITY,
+};
 use pdo_seccomm::{Endpoint as SecCommEndpoint, Keys, SecCommError};
 use pdo_snap::SnapshotError;
 use std::cell::RefCell;
@@ -349,16 +352,24 @@ struct ShardState {
     sessions: BTreeMap<SessionId, Session>,
     /// Cumulative wall-clock ns spent in `run_until` (obs only).
     busy_ns: u64,
+    /// The shard's causal trace store, shared with every resident
+    /// runtime. Tagged `index + 1` so span/trace ids minted by
+    /// different shards (and by the ingress, tag `0xFFFF`) never
+    /// collide when the coordinator merges them.
+    tracer: TraceStore,
 }
 
 impl ShardState {
     fn new(index: usize, adapt: AdaptConfig, observability: bool) -> ShardState {
+        let tracer = TraceStore::new((index as u16).wrapping_add(1));
+        tracer.set_enabled(observability);
         ShardState {
             index,
             adapt,
             observability,
             sessions: BTreeMap::new(),
             busy_ns: 0,
+            tracer,
         }
     }
 
@@ -394,6 +405,7 @@ impl ShardState {
         let rt = kind_runtime_mut(&mut kind);
         if self.observability {
             rt.enable_observability();
+            rt.set_tracer(self.tracer.clone());
         }
         let engine = AdaptiveEngine::attach_new(rt, self.adapt);
         self.sessions.insert(id, Session { kind, engine });
@@ -466,6 +478,7 @@ impl ShardState {
         }
         if self.observability {
             rt.enable_observability();
+            rt.set_tracer(self.tracer.clone());
         }
         let engine = AdaptiveEngine::attach_restored(rt, module, self.adapt, engine);
         self.sessions.insert(id, Session { kind, engine });
@@ -482,13 +495,76 @@ impl ShardState {
         event: EventId,
         mode: RaiseMode,
         args: &[Value],
+        ctx: Option<TraceCtx>,
     ) -> Result<(), ServerError> {
-        self.sessions
+        let session = self
+            .sessions
             .get_mut(&id)
-            .ok_or(ServerError::UnknownSession(id))?
+            .ok_or(ServerError::UnknownSession(id))?;
+        let before = Self::wire_counters(&session.kind);
+        let result = session
             .runtime_mut()
-            .raise(event, mode, args)
-            .map_err(|e| ServerError::Runtime(id, e))
+            .raise_traced(event, mode, args, ctx)
+            .map_err(|e| ServerError::Runtime(id, e));
+        Self::record_wire_delta(&self.tracer, session, before);
+        result
+    }
+
+    /// Wire-layer counters of a protocol session: protocol name, frames
+    /// put on the wire, retransmissions. `None` for plain sessions.
+    fn wire_counters(kind: &SessionKind) -> Option<(&'static str, u64, u64)> {
+        match kind {
+            SessionKind::Plain(_) => None,
+            SessionKind::Ctp { ep, .. } => {
+                let s = ep.stats();
+                Some((
+                    "ctp",
+                    s.segments_sent.max(0) as u64,
+                    s.retransmissions.max(0) as u64,
+                ))
+            }
+            SessionKind::SecComm { ep, .. } => Some(("seccomm", ep.frames_sent(), 0)),
+        }
+    }
+
+    /// Records a `Wire` span on the shard tracer when a protocol
+    /// session's wire counters moved past `before`, parented to the
+    /// dispatch that moved them (the runtime's last top-level trace
+    /// context) so frame/retransmit activity hangs off the causal DAG
+    /// of the stimulus that caused it.
+    fn record_wire_delta(
+        tracer: &TraceStore,
+        session: &Session,
+        before: Option<(&'static str, u64, u64)>,
+    ) {
+        if !tracer.enabled() {
+            return;
+        }
+        let (Some((proto, f0, r0)), Some((_, f1, r1))) =
+            (before, Self::wire_counters(&session.kind))
+        else {
+            return;
+        };
+        if f1 == f0 && r1 == r0 {
+            return;
+        }
+        let rt = session.runtime();
+        let now = rt.clock_ns();
+        tracer.record_under(
+            rt.last_trace_ctx(),
+            now,
+            now,
+            SpanKind::Wire {
+                proto: proto.to_string(),
+                frames: f1.saturating_sub(f0),
+                retransmits: r1.saturating_sub(r0),
+            },
+        );
+    }
+
+    /// Oldest-first copy of every span retained by the shard tracer.
+    fn trace_spans(&self) -> Vec<Span> {
+        self.tracer.spans()
     }
 
     /// Submits a batch of timed raises of `event`, one per delay, in one
@@ -519,6 +595,7 @@ impl ShardState {
 
     fn run_until_inner(&mut self, deadline_ns: u64) -> Result<(), ServerError> {
         for (&id, session) in &mut self.sessions {
+            let before = Self::wire_counters(&session.kind);
             match &mut session.kind {
                 SessionKind::Ctp { ep, .. } => {
                     // Pads its clock and checks link liveness itself.
@@ -543,6 +620,7 @@ impl ShardState {
                     }
                 }
             }
+            Self::record_wire_delta(&self.tracer, session, before);
         }
         Ok(())
     }
@@ -769,6 +847,7 @@ enum Cmd {
         event: EventId,
         mode: RaiseMode,
         args: Vec<Value>,
+        ctx: Option<TraceCtx>,
         reply: Sender<Result<(), ServerError>>,
     },
     Batch {
@@ -808,6 +887,10 @@ enum Cmd {
         shard: usize,
         reply: Sender<Vec<(SessionId, SessionSnapshot)>>,
     },
+    Traces {
+        shard: usize,
+        reply: Sender<Vec<Span>>,
+    },
     With {
         shard: usize,
         id: SessionId,
@@ -842,13 +925,14 @@ fn worker_main(rx: Receiver<Cmd>, shard_ids: Vec<usize>, adapt: AdaptConfig, obs
                 event,
                 mode,
                 args,
+                ctx,
                 reply,
             } => {
                 let _ = reply.send(
                     shards
                         .get_mut(&shard)
                         .expect(SHARD_OWNED)
-                        .raise(id, event, mode, &args),
+                        .raise(id, event, mode, &args, ctx),
                 );
             }
             Cmd::Batch {
@@ -891,6 +975,9 @@ fn worker_main(rx: Receiver<Cmd>, shard_ids: Vec<usize>, adapt: AdaptConfig, obs
             }
             Cmd::SnapshotAll { shard, reply } => {
                 let _ = reply.send(shards.get(&shard).expect(SHARD_OWNED).snapshot_all());
+            }
+            Cmd::Traces { shard, reply } => {
+                let _ = reply.send(shards.get(&shard).expect(SHARD_OWNED).trace_spans());
             }
             Cmd::With { shard, id, f } => {
                 let state = shards.get_mut(&shard).expect(SHARD_OWNED);
@@ -1319,6 +1406,25 @@ impl Server {
         mode: RaiseMode,
         args: &[Value],
     ) -> Result<(), ServerError> {
+        self.raise_traced(id, event, mode, args, None)
+    }
+
+    /// As [`Server::raise`], but records the raise under an existing
+    /// trace context (e.g. the ingress span of the network request that
+    /// caused it), so the cross-layer causal DAG stays connected. With
+    /// `ctx = None` a fresh root trace is minted when tracing is on.
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::raise`].
+    pub fn raise_traced(
+        &mut self,
+        id: SessionId,
+        event: EventId,
+        mode: RaiseMode,
+        args: &[Value],
+        ctx: Option<TraceCtx>,
+    ) -> Result<(), ServerError> {
         if !self.admitting {
             return Err(ServerError::Quiesced);
         }
@@ -1327,7 +1433,7 @@ impl Server {
             .get(&id)
             .ok_or(ServerError::UnknownSession(id))?;
         match &mut self.mode {
-            Mode::Inline(states) => states[shard].raise(id, event, mode, args),
+            Mode::Inline(states) => states[shard].raise(id, event, mode, args, ctx),
             Mode::Threaded { txs, .. } => {
                 let (reply, rx) = mpsc::channel();
                 txs[shard]
@@ -1337,6 +1443,7 @@ impl Server {
                         event,
                         mode,
                         args: args.to_vec(),
+                        ctx,
                         reply,
                     })
                     .expect(WORKER_ALIVE);
@@ -1373,10 +1480,28 @@ impl Server {
         delay_ns: u64,
         args: &[Value],
     ) -> Result<(), ServerError> {
+        self.submit_traced(id, event, delay_ns, args, None)
+    }
+
+    /// As [`Server::submit`], but records the timer install under an
+    /// existing trace context, so the eventual fire dispatches inside the
+    /// same causal trace (with its queue wait attributed to the timer).
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::raise`].
+    pub fn submit_traced(
+        &mut self,
+        id: SessionId,
+        event: EventId,
+        delay_ns: u64,
+        args: &[Value],
+        ctx: Option<TraceCtx>,
+    ) -> Result<(), ServerError> {
         let mut full = Vec::with_capacity(args.len() + 1);
         full.push(Value::Int(delay_ns as i64));
         full.extend_from_slice(args);
-        self.raise(id, event, RaiseMode::Timed, &full)
+        self.raise_traced(id, event, RaiseMode::Timed, &full, ctx)
     }
 
     /// Submits one timed raise of `event` (no extra args) per delay in
@@ -1976,6 +2101,33 @@ impl Server {
             out.push_str(&dump);
         }
         out
+    }
+
+    /// Collects every shard's retained trace spans in shard-index order
+    /// (spans stay oldest-first within a shard). Span/trace ids are
+    /// partitioned by shard tag, so the merged vector never aliases ids
+    /// across shards; together with an ingress tracer's spans this is
+    /// the full cross-layer causal DAG, ready for
+    /// [`pdo_obs::trace::export_chrome`] / `export_lines`.
+    pub fn trace_spans(&self) -> Vec<Span> {
+        match &self.mode {
+            Mode::Inline(states) => states.iter().flat_map(|s| s.trace_spans()).collect(),
+            Mode::Threaded { txs, .. } => {
+                let receivers: Vec<Receiver<Vec<Span>>> = (0..txs.len())
+                    .map(|shard| {
+                        let (reply, rx) = mpsc::channel();
+                        txs[shard]
+                            .send(Cmd::Traces { shard, reply })
+                            .expect(WORKER_ALIVE);
+                        rx
+                    })
+                    .collect();
+                receivers
+                    .into_iter()
+                    .flat_map(|rx| rx.recv().expect(WORKER_REPLIES))
+                    .collect()
+            }
+        }
     }
 
     /// A point-in-time snapshot of per-shard and per-session counters.

@@ -164,7 +164,16 @@ fn take_args(r: &mut SnapReader<'_>) -> Result<Vec<Value>, SnapshotError> {
 fn put_sched(w: &mut SnapWriter, s: &SchedulerState) {
     let SchedulerState { queue, timers, seq } = s;
     put_len(w, queue.len());
-    for Pending { event, args } in queue {
+    // `trace` is an in-memory diagnostic rider (causal trace context);
+    // it is deliberately not encoded, keeping the byte format — pinned
+    // by the golden fixture — unchanged. Traces do not survive a
+    // snapshot/restore cycle.
+    for Pending {
+        event,
+        args,
+        trace: _,
+    } in queue
+    {
         put_event(w, *event);
         put_args(w, args);
     }
@@ -174,6 +183,7 @@ fn put_sched(w: &mut SnapWriter, s: &SchedulerState) {
         seq,
         event,
         args,
+        trace: _,
     } in timers
     {
         w.u64(*deadline_ns);
@@ -190,6 +200,7 @@ fn take_sched(r: &mut SnapReader<'_>) -> Result<SchedulerState, SnapshotError> {
         queue.push(Pending {
             event: take_event(r)?,
             args: take_args(r)?,
+            trace: None,
         });
     }
     let mut timers = Vec::new();
@@ -199,6 +210,7 @@ fn take_sched(r: &mut SnapReader<'_>) -> Result<SchedulerState, SnapshotError> {
             seq: r.take_u64()?,
             event: take_event(r)?,
             args: take_args(r)?,
+            trace: None,
         });
     }
     Ok(SchedulerState {

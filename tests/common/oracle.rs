@@ -16,6 +16,7 @@
 use pdo_events::wire::WireFaults;
 use pdo_events::{FaultKind, FaultPolicy, FaultSpec, ObservableStats, Runtime};
 use pdo_ir::{EventId, GlobalId, Value};
+use pdo_obs::trace::{critical_path, render_path};
 use pdo_obs::ObsHub;
 use std::fmt;
 
@@ -153,6 +154,11 @@ pub struct Observed<S> {
     pub substrate: S,
     /// Rendered flight-recorder tail (diagnostic, not compared).
     pub flight: String,
+    /// Rendered critical path of the run's most recent causal trace
+    /// (diagnostic, not compared — like `flight`): on divergence it
+    /// shows the happens-before chain and latency attribution of the
+    /// last thing each run did.
+    pub trace_path: String,
 }
 
 impl<S: PartialEq> PartialEq for Observed<S> {
@@ -170,11 +176,13 @@ fn snapshot_globals(rt: &Runtime, base_globals: usize) -> Vec<Value> {
         .collect()
 }
 
-/// Arms a flight recorder on a freshly built session so divergence
-/// reports carry a per-run activity tail. Dispatch begin/end tracing is
+/// Arms a flight recorder and a causal trace store on a freshly built
+/// session so divergence reports carry a per-run activity tail and the
+/// divergent trace's critical path. Dispatch begin/end tracing is
 /// left off: faults, guard misses, and adaptation transitions are the
 /// interesting records, and the quiet ring keeps them in the tail.
 pub fn arm_flight_recorder(rt: &mut Runtime) -> ObsHub {
+    rt.enable_tracing();
     rt.enable_observability()
 }
 
@@ -185,6 +193,19 @@ fn flight_tail(rt: &Runtime) -> String {
     }
 }
 
+/// Renders the critical path of the most recent trace the runtime's
+/// span ring retains — root-first with the attribution footer.
+fn trace_path_tail(rt: &Runtime) -> String {
+    let Some(store) = rt.tracer() else {
+        return String::from("(causal tracing not armed)\n");
+    };
+    let spans = store.spans();
+    let Some(latest) = spans.last().map(|s| s.trace) else {
+        return String::from("(no spans retained)\n");
+    };
+    render_path(&critical_path(&spans, latest))
+}
+
 /// Full snapshot of a session that ran with `TraceConfig::full()` and no
 /// adaptation engine attached.
 pub fn observe<S>(rt: &mut Runtime, base_globals: usize, substrate: S) -> Observed<S> {
@@ -193,6 +214,7 @@ pub fn observe<S>(rt: &mut Runtime, base_globals: usize, substrate: S) -> Observ
         faults: rt.take_trace().fault_sequence(),
         counters: rt.stats().observable(),
         flight: flight_tail(rt),
+        trace_path: trace_path_tail(rt),
         substrate,
     }
 }
@@ -207,6 +229,7 @@ pub fn observe_external<S>(rt: &Runtime, base_globals: usize, substrate: S) -> O
         faults: Vec::new(),
         counters: ObservableStats::default(),
         flight: flight_tail(rt),
+        trace_path: trace_path_tail(rt),
         substrate,
     }
 }
@@ -248,6 +271,8 @@ pub fn assert_equivalent<S: PartialEq + fmt::Debug>(
     panic!(
         "chaos conformance violated: {} diverged on {} ({}, {:?})\n\
          replay: CHAOS_SEED={} CHAOS_CASES=1 cargo test --test chaos_{}\n\
+         reference critical path (latest trace):\n{rp}\
+         optimized critical path (latest trace):\n{op}\
          wire faults: {:?}\n\
          fault plan: {:?}\n\
          reference: {:#?}\n\
@@ -267,6 +292,8 @@ pub fn assert_equivalent<S: PartialEq + fmt::Debug>(
         n = FLIGHT_TAIL,
         rf = reference.flight,
         of = optimized.flight,
+        rp = reference.trace_path,
+        op = optimized.trace_path,
     );
 }
 

@@ -13,7 +13,7 @@ use oracle::SplitMix;
 use pdo_ingress::proto::{decode_reply, decode_request, encode_reply, encode_request, FrameBuffer};
 use pdo_ingress::{
     Client, ErrorCode, Ingress, IngressConfig, IngressError, OpenKind, Reply, Request,
-    SessionStats, WireMode, MAX_FRAME_LEN,
+    SessionStats, TraceFormat, TraceSelector, WireMode, MAX_FRAME_LEN,
 };
 use pdo_ir::{BinOp, EventId, FunctionBuilder, Module, Value};
 use pdo_server::{Server, ServerConfig};
@@ -82,6 +82,21 @@ fn arb_request() -> impl Strategy<Value = Request> {
             }),
         any::<u64>().prop_map(|session| Request::Query { session }),
         any::<u64>().prop_map(|session| Request::Close { session }),
+        Just(Request::MetricsScrape),
+        (any::<u64>(), any::<bool>(), any::<bool>()).prop_map(|(v, by_id, chrome)| {
+            Request::TraceDump {
+                selector: if by_id {
+                    TraceSelector::Id(v)
+                } else {
+                    TraceSelector::LastN(v)
+                },
+                format: if chrome {
+                    TraceFormat::Chrome
+                } else {
+                    TraceFormat::Lines
+                },
+            }
+        }),
     ]
 }
 
@@ -108,6 +123,10 @@ fn arb_reply() -> impl Strategy<Value = Reply> {
             code: ErrorCode::from_byte(c).unwrap(),
             message,
         }),
+        // Scrape and trace bodies are free-form text on the wire; throw
+        // newlines and quotes at them, not just printable ASCII.
+        "(?s).{0,120}".prop_map(|text| Reply::MetricsText { text }),
+        "(?s).{0,120}".prop_map(|body| Reply::Trace { body }),
     ]
 }
 
@@ -260,4 +279,45 @@ fn corrupted_wire_traffic_leaves_the_server_serving() {
         .counter_value("pdo_ingress_corrupt_streams_total", &[])
         .unwrap_or(0);
     assert!(corrupt >= 1, "the sweep produced at least one fatal stream");
+}
+
+/// A `Query` for a session that never existed — or existed and was
+/// closed — must come back as a typed `Error{UnknownSession}` reply on a
+/// live connection: not a hang, not a stream-fatal close, and certainly
+/// not an engine panic (the engine used to resolve the shard with
+/// `Server::shard_of`, which panics on unplaced ids).
+#[test]
+fn query_on_unknown_or_closed_session_is_a_typed_error() {
+    let mut server = Server::new(ServerConfig::default());
+    let mut ingress = Ingress::bind(IngressConfig::default(), server.shards()).unwrap();
+    let addr = ingress.tcp_addr().unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let client_stop = Arc::clone(&stop);
+    let client = std::thread::spawn(move || {
+        let mut c = Client::connect_tcp(addr).unwrap();
+
+        // Never-opened id: typed error, connection survives.
+        match c.request(&Request::Query { session: 424242 }).unwrap() {
+            Reply::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownSession),
+            other => panic!("query of unknown session must be a typed error, got {other:?}"),
+        }
+
+        // Open → close → query the stale id: same typed error, and the
+        // connection is still healthy enough to run a full session
+        // lifecycle afterwards.
+        let session = c.open(OpenKind::Ctp).unwrap();
+        assert!(c.close(session).unwrap());
+        match c.request(&Request::Query { session }).unwrap() {
+            Reply::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownSession),
+            other => panic!("query of closed session must be a typed error, got {other:?}"),
+        }
+        let s2 = c.open(OpenKind::Ctp).unwrap();
+        let stats = c.query(s2).unwrap();
+        assert_eq!(stats.session, s2);
+        assert!(c.close(s2).unwrap());
+        client_stop.store(true, Ordering::SeqCst);
+    });
+    ingress.serve(&mut server, &stop).unwrap();
+    client.join().unwrap();
 }
