@@ -1,0 +1,324 @@
+//! Superinstruction speedup gate: proves profile-directed fusion pays on
+//! the interpreter's hot inner loops, and that opcode-profile sampling is
+//! near-free on the dispatch path.
+//!
+//! Three handler bodies model the paper's workload inner loops:
+//!
+//! * `video`  — a run of locked frame-counter bumps
+//!   (`lock; load; const; add; store; unlock`), the shape the video
+//!   player's timer handler executes per frame; fuses to `lfold.i`.
+//! * `seccomm` — a run of checksum folds over a global
+//!   (`load; const; xor; store`), the SecComm packet-digest shape; fuses
+//!   to `gfold.i`.
+//! * `x`      — a const-heavy register expression chain
+//!   (`const; add` pairs), the X-client coordinate-arithmetic shape;
+//!   fuses to `bin.i`.
+//!
+//! Each body is timed unfused and after `pdo_passes::fuse` rewrote it, in
+//! interleaved rounds so machine drift hits both sides equally. The
+//! headline statistic per workload is the ratio of the medians of the
+//! per-round minimum batch averages; the gate passes when at least one
+//! workload speeds up by [`GATE`] (1.5×) or more. A second, independent
+//! check times a full generic-dispatch runtime with opcode-profile
+//! sampling on vs off and fails if sampling costs more than
+//! [`OVERHEAD_GATE`] (5%).
+//!
+//! Writes `BENCH_interp.json` (per-workload mean, 95% CI, and speedups —
+//! the machine-readable artifact CI checks in) to the path given as the
+//! first argument, default `BENCH_interp.json` in the working directory,
+//! and exits nonzero when either gate fails.
+
+use criterion::{black_box, measure, Measurement};
+use pdo_events::Runtime;
+use pdo_ir::interp::{call, BasicEnv};
+use pdo_ir::{BinOp, EventId, FuncId, FunctionBuilder, Module, RaiseMode, Value};
+use pdo_passes::fuse_module;
+
+/// Minimum fused-over-unfused speedup required on at least one workload.
+const GATE: f64 = 1.5;
+
+/// Maximum tolerated profiling-on/profiling-off dispatch ratio.
+const OVERHEAD_GATE: f64 = 1.05;
+
+/// Interleaved measurement rounds per side (median taken across them).
+const ROUNDS: usize = 9;
+
+/// Batch-average samples per round (passed to the criterion shim).
+const SAMPLES: usize = 10;
+
+/// Straight-line repetitions of the inner-loop pattern per handler body.
+const REPS: usize = 16;
+
+/// The video player's timer tick: `REPS` locked frame-counter bumps.
+fn video_module() -> Module {
+    let mut m = Module::new();
+    let g = m.add_global("frames", Value::Int(0));
+    let mut b = FunctionBuilder::new("video_tick", 0);
+    for _ in 0..REPS {
+        b.lock(g);
+        let v = b.load_global(g);
+        let k = b.const_int(1);
+        let s = b.bin(BinOp::Add, v, k);
+        b.store_global(g, s);
+        b.unlock(g);
+    }
+    b.ret(None);
+    m.add_function(b.finish());
+    m
+}
+
+/// The SecComm packet digest: `REPS` checksum folds over a global.
+fn seccomm_module() -> Module {
+    let mut m = Module::new();
+    let g = m.add_global("digest", Value::Int(0x5EED));
+    let mut b = FunctionBuilder::new("seccomm_digest", 0);
+    for i in 0..REPS {
+        let v = b.load_global(g);
+        let k = b.const_int(0x9E37_79B9 ^ i as i64);
+        let s = b.bin(BinOp::Xor, v, k);
+        b.store_global(g, s);
+    }
+    b.ret(None);
+    m.add_function(b.finish());
+    m
+}
+
+/// The X client's coordinate arithmetic: a const-heavy expression chain.
+fn x_module() -> Module {
+    let mut m = Module::new();
+    let g = m.add_global("coord", Value::Int(0));
+    let mut b = FunctionBuilder::new("x_translate", 0);
+    let mut acc = b.const_int(1);
+    for i in 0..2 * REPS {
+        let k = b.const_int(i as i64 + 3);
+        acc = b.bin(BinOp::Add, acc, k);
+    }
+    b.store_global(g, acc);
+    b.ret(None);
+    m.add_function(b.finish());
+    m
+}
+
+/// The fused twin of `m`; panics if fusion found nothing to rewrite (the
+/// gate would be meaningless).
+fn fused_twin(m: &Module, workload: &str) -> Module {
+    let mut fused = m.clone();
+    let records = fuse_module(&mut fused, None, 0);
+    assert!(
+        !records.is_empty(),
+        "{workload}: fusion pass found nothing to rewrite"
+    );
+    pdo_ir::verify_module(&fused)
+        .unwrap_or_else(|e| panic!("{workload}: fused module invalid: {e}"));
+    assert!(
+        fused.instr_count() < m.instr_count(),
+        "{workload}: fusion must shrink the body"
+    );
+    fused
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+/// Mean and normal-approximation 95% CI half-width over `xs`.
+fn mean_ci(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, 1.96 * (var / n).sqrt())
+}
+
+fn json_side(mins: &[f64], means: &[f64]) -> String {
+    let mut mins = mins.to_vec();
+    let (mean, ci95) = mean_ci(means);
+    format!(
+        "{{ \"median_min_ns\": {:.2}, \"mean_ns\": {:.2}, \"ci95_ns\": {:.2} }}",
+        median(&mut mins),
+        mean,
+        ci95
+    )
+}
+
+struct Side {
+    mins: Vec<f64>,
+    means: Vec<f64>,
+}
+
+impl Side {
+    fn new() -> Side {
+        Side {
+            mins: Vec::new(),
+            means: Vec::new(),
+        }
+    }
+    fn push(&mut self, m: Measurement) {
+        self.mins.push(m.min_ns);
+        self.means.push(m.mean_ns);
+    }
+    fn median_min(&self) -> f64 {
+        median(&mut self.mins.clone())
+    }
+    fn json(&self) -> String {
+        json_side(&self.mins, &self.means)
+    }
+}
+
+/// Interleaved A/B rounds of `call` on two variants of one handler.
+fn ab_rounds(a_mod: &Module, b_mod: &Module) -> (Side, Side) {
+    let fa = FuncId(0);
+    let mut env_a = BasicEnv::new(a_mod);
+    let mut env_b = BasicEnv::new(b_mod);
+    let mut a = Side::new();
+    let mut b = Side::new();
+    for i in 0..ROUNDS {
+        // Alternate order each round so slow drift (thermal, scheduler)
+        // cancels instead of biasing one side.
+        if i % 2 == 0 {
+            a.push(measure(
+                || call(black_box(a_mod), &mut env_a, fa, &[]).unwrap(),
+                SAMPLES,
+            ));
+            b.push(measure(
+                || call(black_box(b_mod), &mut env_b, fa, &[]).unwrap(),
+                SAMPLES,
+            ));
+        } else {
+            b.push(measure(
+                || call(black_box(b_mod), &mut env_b, fa, &[]).unwrap(),
+                SAMPLES,
+            ));
+            a.push(measure(
+                || call(black_box(a_mod), &mut env_a, fa, &[]).unwrap(),
+                SAMPLES,
+            ));
+        }
+    }
+    (a, b)
+}
+
+/// A generic-dispatch runtime for the sampling overhead check: one event
+/// fanned out to six short handlers, the registry-walk-plus-small-body
+/// shape users actually pay during sampled epochs (same mix as
+/// `BENCH_dispatch.json`'s workload, where dispatch overhead and handler
+/// work are both on the clock).
+fn dispatch_runtime(profiling: bool) -> (Runtime, EventId) {
+    let mut m = Module::new();
+    let mut handlers = Vec::new();
+    for h in 0..6 {
+        let g = m.add_global(format!("g{h}"), Value::Int(0));
+        let mut b = FunctionBuilder::new(format!("h{h}"), 0);
+        b.lock(g);
+        let v = b.load_global(g);
+        let k = b.const_int(1);
+        let s = b.bin(BinOp::Add, v, k);
+        b.store_global(g, s);
+        b.unlock(g);
+        b.ret(None);
+        handlers.push(m.add_function(b.finish()));
+    }
+    let e = m.add_event("Tick");
+    let mut rt = Runtime::new(m);
+    for (order, h) in handlers.into_iter().enumerate() {
+        rt.bind(e, h, order as i32).expect("bind");
+    }
+    rt.set_opcode_profiling(profiling);
+    (rt, e)
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_interp.json".into());
+
+    // Fused-vs-unfused inner loops.
+    let mut workloads_json = Vec::new();
+    let mut best = ("", 0.0f64);
+    for (name, module) in [
+        ("video", video_module()),
+        ("seccomm", seccomm_module()),
+        ("x", x_module()),
+    ] {
+        let fused = fused_twin(&module, name);
+        let (unfused_side, fused_side) = ab_rounds(&module, &fused);
+        let speedup = unfused_side.median_min() / fused_side.median_min();
+        if speedup > best.1 {
+            best = (name, speedup);
+        }
+        workloads_json.push(format!(
+            "    \"{name}\": {{\n      \"instrs_unfused\": {}, \"instrs_fused\": {},\n      \
+             \"unfused\": {},\n      \"fused\": {},\n      \"speedup\": {speedup:.4}\n    }}",
+            module.instr_count(),
+            fused.instr_count(),
+            unfused_side.json(),
+            fused_side.json(),
+        ));
+    }
+
+    // Opcode-profile sampling overhead on the full dispatch path.
+    let (mut off_rt, e) = dispatch_runtime(false);
+    let (mut on_rt, _) = dispatch_runtime(true);
+    let mut off = Side::new();
+    let mut on = Side::new();
+    for i in 0..ROUNDS {
+        let (first, second): (&mut Runtime, &mut Runtime) = if i % 2 == 0 {
+            (&mut off_rt, &mut on_rt)
+        } else {
+            (&mut on_rt, &mut off_rt)
+        };
+        let a = measure(
+            || first.raise(black_box(e), RaiseMode::Sync, &[]).unwrap(),
+            SAMPLES,
+        );
+        let b = measure(
+            || second.raise(black_box(e), RaiseMode::Sync, &[]).unwrap(),
+            SAMPLES,
+        );
+        let (o, n) = if i % 2 == 0 { (a, b) } else { (b, a) };
+        off.push(o);
+        on.push(n);
+    }
+    assert!(
+        on_rt.opcode_profile_data().is_some_and(|p| p.total() > 0),
+        "profiling runtime must actually record opcodes"
+    );
+    let overhead = on.median_min() / off.median_min();
+    let overhead_pass = overhead <= OVERHEAD_GATE;
+
+    let speedup_pass = best.1 >= GATE;
+    let pass = speedup_pass && overhead_pass;
+    let json = format!(
+        "{{\n  \"bench\": \"interp/superinstructions\",\n  \"rounds\": {ROUNDS},\n  \
+         \"workloads\": {{\n{}\n  }},\n  \
+         \"best_workload\": \"{}\",\n  \"best_speedup\": {:.4},\n  \"gate\": {GATE},\n  \
+         \"profiling_off\": {},\n  \"profiling_on\": {},\n  \
+         \"profiling_overhead_ratio\": {overhead:.4},\n  \"overhead_gate\": {OVERHEAD_GATE},\n  \
+         \"pass\": {pass}\n}}\n",
+        workloads_json.join(",\n"),
+        best.0,
+        best.1,
+        off.json(),
+        on.json(),
+    );
+    std::fs::write(&out, &json).expect("write BENCH_interp.json");
+    print!("{json}");
+    if !speedup_pass {
+        eprintln!("interp gate FAILED: best speedup {:.4} < {GATE}", best.1);
+    }
+    if !overhead_pass {
+        eprintln!("interp gate FAILED: sampling overhead {overhead:.4} > {OVERHEAD_GATE}");
+    }
+    if !pass {
+        std::process::exit(1);
+    }
+    println!(
+        "interp gate passed: {} sped up {:.2}x (gate {GATE}), sampling overhead {overhead:.4} (gate {OVERHEAD_GATE})",
+        best.0, best.1
+    );
+}

@@ -75,6 +75,15 @@ pub struct AdaptConfig {
     /// between phases it has already seen swaps the pre-built optimization
     /// back in instead of re-running `optimize`. `0` disables caching.
     pub chain_cache: usize,
+    /// Superinstruction fusion over freshly built super-handlers: `None`
+    /// disables; `Some(min_pair)` runs the `pdo-passes` fusion pass on
+    /// every function the optimizer appended, rewriting sequences whose
+    /// adjacent-pair evidence in the interpreter's sampled opcode profile
+    /// reaches `min_pair` (when no profile was sampled, every structural
+    /// match fuses). Enabling this also duty-cycles opcode profiling
+    /// alongside the tracer. Fused super-handlers install under the same
+    /// binding-version guards as the chains that carry them.
+    pub fuse_min_pair: Option<u64>,
 }
 
 impl Default for AdaptConfig {
@@ -87,6 +96,7 @@ impl Default for AdaptConfig {
             trace_window: Some(8192),
             trace_sleep_epochs: 0,
             chain_cache: 8,
+            fuse_min_pair: Some(0),
         }
     }
 }
@@ -371,13 +381,20 @@ impl AdaptiveEngine {
     /// adapts with no further caller involvement. The engine handle stays
     /// shared so callers can read [`AdaptiveEngine::stats`].
     pub fn attach(engine: Rc<RefCell<Self>>, rt: &mut Runtime) {
-        let (epoch_ns, window) = {
+        let (epoch_ns, window, fusing) = {
             let e = engine.borrow();
-            (e.config.epoch_ns, e.config.trace_window)
+            (
+                e.config.epoch_ns,
+                e.config.trace_window,
+                e.config.fuse_min_pair.is_some(),
+            )
         };
         rt.set_trace_config(TraceConfig::full());
         rt.set_trace_window(window);
         rt.set_dispatch_accounting(true);
+        // Opcode profiling rides the same duty cycle as the tracer: on
+        // while sampling, off while asleep.
+        rt.set_opcode_profiling(fusing);
         rt.set_epoch_hook(epoch_ns, move |rt, _boundary| {
             engine.borrow_mut().on_epoch(rt);
         });
@@ -440,6 +457,7 @@ impl AdaptiveEngine {
         Self::attach(Rc::clone(&engine), rt);
         if engine.borrow().sleep_remaining > 0 {
             rt.set_trace_config(TraceConfig::off());
+            rt.set_opcode_profiling(false);
         }
         engine
     }
@@ -558,6 +576,7 @@ impl AdaptiveEngine {
         if sampling {
             if self.config.trace_sleep_epochs > 0 && !rt.spec().is_empty() {
                 rt.set_trace_config(TraceConfig::off());
+                rt.set_opcode_profiling(false);
                 self.sleep_remaining = self.config.trace_sleep_epochs;
             }
         } else {
@@ -571,6 +590,9 @@ impl AdaptiveEngine {
             self.sleep_remaining -= 1;
             if self.sleep_remaining == 0 {
                 rt.set_trace_config(TraceConfig::full());
+                if self.config.fuse_min_pair.is_some() {
+                    rt.set_opcode_profiling(true);
+                }
             }
         }
     }
@@ -583,11 +605,15 @@ impl AdaptiveEngine {
         let profile = self.builder.snapshot(self.config.opts.threshold);
         let key = ChainCacheKey::of(&profile, rt.registry());
         let mut cache_hit = true;
+        let mut fused: Vec<pdo_passes::FusionRecord> = Vec::new();
         let opt = match self.cache.lookup(&key, rt.registry()) {
             Some(cached) => cached,
             None => {
                 cache_hit = false;
-                let opt = optimize(&self.base, rt.registry(), &profile, &self.config.opts);
+                let mut opt = optimize(&self.base, rt.registry(), &profile, &self.config.opts);
+                // Fusion happens before the cache insert, so a later hit
+                // replays the already-fused optimization.
+                fused = self.fuse_super_handlers(rt, &mut opt);
                 self.cache.insert(key, &opt);
                 opt
             }
@@ -622,6 +648,30 @@ impl AdaptiveEngine {
             }
         };
         audit(rt, None, AuditAction::Reprofile, "");
+        // Fusion flight record: which sequences fused where, with the
+        // pair-frequency evidence that justified each rewrite.
+        for r in &fused {
+            if let Some(obs) = rt.obs() {
+                obs.record(
+                    rt.clock_ns(),
+                    ObsKind::SequenceFused {
+                        func: r.func.0,
+                        pattern: r.pattern,
+                        sites: u32::try_from(r.sites).unwrap_or(u32::MAX),
+                        evidence: r.evidence,
+                    },
+                );
+            }
+            audit(
+                rt,
+                None,
+                AuditAction::Install,
+                &format!(
+                    "superinstruction fusion: func={} pattern={} sites={} pair_evidence={}",
+                    r.func.0, r.pattern, r.sites, r.evidence
+                ),
+            );
+        }
         if opt.chains.is_empty() {
             // Nothing is hot enough right now; keep the deployed chains
             // (they are still guard-correct) rather than thrashing.
@@ -698,6 +748,39 @@ impl AdaptiveEngine {
             );
         }
         self.note_reprofile(rt, started, opt.chains.len() as u32);
+    }
+
+    /// Fuses hot instruction sequences in the freshly built super-handlers
+    /// (functions the optimizer appended past the base module), guided by
+    /// the opcode/pair profile the interpreter sampled since the last
+    /// reprofile. Base functions are never rewritten — the hot-swap
+    /// contract only appends — so the fused module installs under the
+    /// same binding-version guards as the chains that reference it.
+    fn fuse_super_handlers(
+        &self,
+        rt: &mut Runtime,
+        opt: &mut crate::Optimization,
+    ) -> Vec<pdo_passes::FusionRecord> {
+        let Some(min_pair) = self.config.fuse_min_pair else {
+            return Vec::new();
+        };
+        // Taking the profile zeroes it, so each reprofile interval fuses
+        // on evidence from its own sampled windows only.
+        let profile = rt.take_opcode_profile();
+        let mut records = Vec::new();
+        for idx in self.base.functions.len()..opt.module.functions.len() {
+            pdo_passes::fuse_function(
+                &mut opt.module.functions[idx],
+                pdo_ir::FuncId::from_index(idx),
+                profile.as_ref(),
+                min_pair,
+                &mut records,
+            );
+        }
+        if !records.is_empty() {
+            debug_assert_eq!(pdo_ir::verify_module(&opt.module), Ok(()));
+        }
+        records
     }
 
     /// Closes out one reprofile pass: wall-clock duration into the
@@ -880,6 +963,64 @@ mod tests {
         drive(&mut rt, a, 10);
         assert!(rt.cost.fastpath_hits > before, "fast path actually used");
         // Behaviour preserved: 70 dispatches of [a1, a2], each adding 3.
+        assert_eq!(rt.global(ga), &Value::Int(70 * 3));
+    }
+
+    #[test]
+    fn reprofile_fuses_super_handlers_online() {
+        let (m, [a, b], [ga, _]) = two_chain_module();
+        let mut rt = Runtime::new(m.clone());
+        bind_all(&mut rt, &m, a, b);
+        let hub = rt.enable_observability();
+        let _engine = AdaptiveEngine::attach_new(&mut rt, config());
+        drive(&mut rt, a, 60);
+        assert!(rt.spec().get(a).is_some(), "hot chain installed");
+        // The installed super-handler (appended past the base module) must
+        // carry superinstructions; base functions stay untouched.
+        let base_fns = m.functions.len();
+        assert!(
+            rt.module().functions[base_fns..].iter().any(|f| f
+                .blocks
+                .iter()
+                .any(|b| b.instrs.iter().any(|i| i.opcode().is_fused()))),
+            "online reprofile should fuse the super-handler"
+        );
+        assert_eq!(rt.module().functions[..base_fns], m.functions[..]);
+        // The flight record names the fused pattern with its evidence.
+        assert!(
+            hub.tail(4096)
+                .iter()
+                .any(|r| matches!(r.kind, ObsKind::SequenceFused { sites, .. } if sites > 0)),
+            "fusion must leave a SequenceFused flight record"
+        );
+        // Behaviour preserved through the fused fast path.
+        drive(&mut rt, a, 10);
+        assert_eq!(rt.global(ga), &Value::Int(70 * 3));
+    }
+
+    #[test]
+    fn fusion_disabled_leaves_super_handlers_unfused() {
+        let (m, [a, b], [ga, _]) = two_chain_module();
+        let mut rt = Runtime::new(m.clone());
+        bind_all(&mut rt, &m, a, b);
+        let _engine = AdaptiveEngine::attach_new(
+            &mut rt,
+            AdaptConfig {
+                fuse_min_pair: None,
+                ..config()
+            },
+        );
+        drive(&mut rt, a, 60);
+        assert!(rt.spec().get(a).is_some());
+        assert!(
+            !rt.module().functions.iter().any(|f| f
+                .blocks
+                .iter()
+                .any(|b| b.instrs.iter().any(|i| i.opcode().is_fused()))),
+            "fuse_min_pair: None must disable fusion"
+        );
+        assert!(!rt.opcode_profiling(), "profiling stays off when disabled");
+        drive(&mut rt, a, 10);
         assert_eq!(rt.global(ga), &Value::Int(70 * 3));
     }
 

@@ -7,7 +7,9 @@ use crate::sched::{QueuedTrace, Scheduler, SchedulerState, VirtualClock};
 use crate::spec::{CompiledChain, SpecTable};
 use crate::trace::{Trace, TraceConfig, TraceRecord};
 use pdo_ir::interp::{call, Env, ExecError};
-use pdo_ir::{CostCounter, EventId, FuncId, GlobalId, Module, NativeId, RaiseMode, Value};
+use pdo_ir::{
+    CostCounter, EventId, FuncId, GlobalId, Module, NativeId, OpcodeProfile, RaiseMode, Value,
+};
 use pdo_obs::{
     DispatchSrc, MetricsSnapshot, ObsHub, ObsKind, RaiseKind, Span, SpanKind, TraceCtx, TraceStore,
 };
@@ -282,6 +284,12 @@ pub struct Runtime {
     /// Trace context of a just-popped queue/timer entry, consumed by the
     /// next dispatch (set only inside [`Runtime::run_until`]).
     queued_tctx: Option<(QueuedTrace, DispatchSrc)>,
+    /// Opcode/pair frequency profile fed by the interpreter. `None` until
+    /// profiling is first enabled; retained (counts intact) while sampling
+    /// is paused so duty-cycled windows accumulate into one profile.
+    opcode_prof: Option<Box<OpcodeProfile>>,
+    /// Whether the interpreter records into `opcode_prof` right now.
+    opcode_sampling: bool,
     stats: RuntimeStats,
     /// Cost counters charged by dispatch and handler execution.
     pub cost: CostCounter,
@@ -355,6 +363,8 @@ impl Runtime {
             cur_tctx: None,
             last_tctx: None,
             queued_tctx: None,
+            opcode_prof: None,
+            opcode_sampling: false,
             stats: RuntimeStats::default(),
             cost: CostCounter::new(),
             reserved,
@@ -640,6 +650,39 @@ impl Runtime {
         self.tracer.take()
     }
 
+    /// Turns interpreter opcode/pair profiling on or off. Off by default.
+    /// Turning it off pauses sampling without discarding accumulated
+    /// counts, so the adaptive engine can duty-cycle profiling alongside
+    /// its trace windows and still aggregate one profile per reprofile
+    /// interval.
+    pub fn set_opcode_profiling(&mut self, on: bool) {
+        if on && self.opcode_prof.is_none() {
+            self.opcode_prof = Some(Box::new(OpcodeProfile::new()));
+        }
+        self.opcode_sampling = on;
+    }
+
+    /// Whether the interpreter is currently recording opcode frequencies.
+    pub fn opcode_profiling(&self) -> bool {
+        self.opcode_sampling
+    }
+
+    /// The accumulated opcode profile, if profiling was ever enabled.
+    pub fn opcode_profile_data(&self) -> Option<&OpcodeProfile> {
+        self.opcode_prof.as_deref()
+    }
+
+    /// Takes the accumulated opcode profile, leaving a zeroed one behind
+    /// (sampling state unchanged). Returns `None` when profiling was never
+    /// enabled.
+    pub fn take_opcode_profile(&mut self) -> Option<OpcodeProfile> {
+        self.opcode_prof.as_deref_mut().map(|p| {
+            let taken = p.clone();
+            p.reset();
+            taken
+        })
+    }
+
     /// The most recent top-level dispatch's trace context — the anchor
     /// the adaptive engine parents its chain-audit spans to, and the
     /// wire layer its segment spans, so cross-layer actions join the
@@ -709,6 +752,24 @@ impl Runtime {
                 "Faults recorded per event (injected and contained-organic)",
                 &labels,
                 *n,
+            );
+        }
+        if let Some(prof) = self.opcode_prof.as_deref() {
+            for (op, n) in prof.counts() {
+                let mut labels: Vec<(&str, &str)> = vec![("op", op.name())];
+                labels.extend_from_slice(extra);
+                snap.counter(
+                    "pdo_interp_opcode_total",
+                    "Interpreter instructions executed per opcode (sampled windows)",
+                    &labels,
+                    n,
+                );
+            }
+            snap.counter(
+                "pdo_interp_fused_total",
+                "Interpreter superinstructions executed (sampled windows)",
+                extra,
+                prof.fused_total(),
             );
         }
         if let Some(obs) = &self.obs {
@@ -1659,6 +1720,14 @@ impl Env for Runtime {
 
     fn fuel(&mut self) -> Option<&mut u64> {
         self.fuel.as_mut()
+    }
+
+    fn opcode_profile(&mut self) -> Option<&mut OpcodeProfile> {
+        if self.opcode_sampling {
+            self.opcode_prof.as_deref_mut()
+        } else {
+            None
+        }
     }
 }
 

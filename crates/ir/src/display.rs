@@ -113,6 +113,26 @@ fn instr_text(i: &Instr, sym: &Symbols<'_>) -> String {
             start,
             end,
         } => format!("{dst} = bslice {bytes}, {start}, {end}"),
+        // Superinstructions: the `.i` suffix marks an immediate operand.
+        Instr::BinImm { op, dst, lhs, imm } => {
+            format!("{dst} = {}.i {lhs}, {}", op.mnemonic(), value_text(imm))
+        }
+        Instr::GlobalFold { op, global, src } => {
+            format!("gfold {} {}, {src}", op.mnemonic(), sym.global(*global))
+        }
+        Instr::GlobalFoldImm { op, global, imm } => format!(
+            "gfold.i {} {}, {}",
+            op.mnemonic(),
+            sym.global(*global),
+            value_text(imm)
+        ),
+        Instr::LockedStore { global, src } => format!("lstore {}, {src}", sym.global(*global)),
+        Instr::LockedFoldImm { op, global, imm } => format!(
+            "lfold.i {} {}, {}",
+            op.mnemonic(),
+            sym.global(*global),
+            value_text(imm)
+        ),
     }
 }
 

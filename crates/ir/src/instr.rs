@@ -332,6 +332,44 @@ pub enum Instr {
         start: Reg,
         end: Reg,
     },
+    /// Superinstruction: `dst = lhs <op> imm` — a fused `Const`+`Bin` with
+    /// the constant carried as an immediate operand (no register traffic).
+    ///
+    /// Produced by the profile-directed fusion pass; costs exactly as many
+    /// abstract instructions as its two constituents.
+    BinImm {
+        op: BinOp,
+        dst: Reg,
+        lhs: Reg,
+        imm: Value,
+    },
+    /// Superinstruction: `globals[global] = globals[global] <op> src` — a
+    /// fused `LoadGlobal`+`Bin`+`StoreGlobal` read-modify-write.
+    GlobalFold {
+        op: BinOp,
+        global: GlobalId,
+        src: Reg,
+    },
+    /// Superinstruction: `globals[global] = globals[global] <op> imm` — a
+    /// fused `LoadGlobal`+`Const`+`Bin`+`StoreGlobal` with an immediate.
+    GlobalFoldImm {
+        op: BinOp,
+        global: GlobalId,
+        imm: Value,
+    },
+    /// Superinstruction: `lock global; globals[global] = src; unlock global`
+    /// — a fused single-store critical section.
+    LockedStore { global: GlobalId, src: Reg },
+    /// Superinstruction: the full locked counter-bump pattern
+    /// `lock g; v = load g; c = const imm; d = v <op> c; store g, d;
+    /// unlock g` collapsed into one locked read-modify-write with an
+    /// immediate operand. This is the hottest sequence in the video and
+    /// SecComm inner loops.
+    LockedFoldImm {
+        op: BinOp,
+        global: GlobalId,
+        imm: Value,
+    },
 }
 
 impl Instr {
@@ -349,12 +387,17 @@ impl Instr {
             | Instr::BytesLen { dst, .. }
             | Instr::BytesGet { dst, .. }
             | Instr::BytesConcat { dst, .. }
-            | Instr::BytesSlice { dst, .. } => Some(*dst),
+            | Instr::BytesSlice { dst, .. }
+            | Instr::BinImm { dst, .. } => Some(*dst),
             Instr::StoreGlobal { .. }
             | Instr::Lock { .. }
             | Instr::Unlock { .. }
             | Instr::Raise { .. }
-            | Instr::BytesSet { .. } => None,
+            | Instr::BytesSet { .. }
+            | Instr::GlobalFold { .. }
+            | Instr::GlobalFoldImm { .. }
+            | Instr::LockedStore { .. }
+            | Instr::LockedFoldImm { .. } => None,
         }
     }
 
@@ -364,13 +407,18 @@ impl Instr {
             Instr::Const { .. }
             | Instr::LoadGlobal { .. }
             | Instr::Lock { .. }
-            | Instr::Unlock { .. } => {}
+            | Instr::Unlock { .. }
+            | Instr::GlobalFoldImm { .. }
+            | Instr::LockedFoldImm { .. } => {}
             Instr::Mov { src, .. } | Instr::Un { src, .. } => f(*src),
             Instr::Bin { lhs, rhs, .. } | Instr::BytesConcat { lhs, rhs, .. } => {
                 f(*lhs);
                 f(*rhs);
             }
-            Instr::StoreGlobal { src, .. } => f(*src),
+            Instr::BinImm { lhs, .. } => f(*lhs),
+            Instr::StoreGlobal { src, .. }
+            | Instr::GlobalFold { src, .. }
+            | Instr::LockedStore { src, .. } => f(*src),
             Instr::Call { args, .. }
             | Instr::CallNative { args, .. }
             | Instr::Raise { args, .. } => {
@@ -409,13 +457,18 @@ impl Instr {
             Instr::Const { .. }
             | Instr::LoadGlobal { .. }
             | Instr::Lock { .. }
-            | Instr::Unlock { .. } => {}
+            | Instr::Unlock { .. }
+            | Instr::GlobalFoldImm { .. }
+            | Instr::LockedFoldImm { .. } => {}
             Instr::Mov { src, .. } | Instr::Un { src, .. } => *src = f(*src),
             Instr::Bin { lhs, rhs, .. } | Instr::BytesConcat { lhs, rhs, .. } => {
                 *lhs = f(*lhs);
                 *rhs = f(*rhs);
             }
-            Instr::StoreGlobal { src, .. } => *src = f(*src),
+            Instr::BinImm { lhs, .. } => *lhs = f(*lhs),
+            Instr::StoreGlobal { src, .. }
+            | Instr::GlobalFold { src, .. }
+            | Instr::LockedStore { src, .. } => *src = f(*src),
             Instr::Call { args, .. }
             | Instr::CallNative { args, .. }
             | Instr::Raise { args, .. } => {
@@ -462,12 +515,17 @@ impl Instr {
             | Instr::BytesLen { dst, .. }
             | Instr::BytesGet { dst, .. }
             | Instr::BytesConcat { dst, .. }
-            | Instr::BytesSlice { dst, .. } => *dst = f(*dst),
+            | Instr::BytesSlice { dst, .. }
+            | Instr::BinImm { dst, .. } => *dst = f(*dst),
             Instr::StoreGlobal { .. }
             | Instr::Lock { .. }
             | Instr::Unlock { .. }
             | Instr::Raise { .. }
-            | Instr::BytesSet { .. } => {}
+            | Instr::BytesSet { .. }
+            | Instr::GlobalFold { .. }
+            | Instr::GlobalFoldImm { .. }
+            | Instr::LockedStore { .. }
+            | Instr::LockedFoldImm { .. } => {}
         }
     }
 
@@ -485,9 +543,61 @@ impl Instr {
             | Instr::CallNative { .. }
             | Instr::Raise { .. }
             | Instr::BytesSet { .. } => true,
-            Instr::Bin { op, .. } => matches!(op, BinOp::Div | BinOp::Rem),
+            Instr::Bin { op, .. } | Instr::BinImm { op, .. } => {
+                matches!(op, BinOp::Div | BinOp::Rem)
+            }
             Instr::BytesGet { .. } | Instr::BytesSlice { .. } | Instr::BytesNew { .. } => true,
+            // Fused forms that write globals or touch locks are effectful
+            // regardless of operator.
+            Instr::GlobalFold { .. }
+            | Instr::GlobalFoldImm { .. }
+            | Instr::LockedStore { .. }
+            | Instr::LockedFoldImm { .. } => true,
             _ => false,
+        }
+    }
+
+    /// The profile tag for this instruction.
+    #[inline]
+    pub fn opcode(&self) -> crate::cost::Opcode {
+        use crate::cost::Opcode;
+        match self {
+            Instr::Const { .. } => Opcode::Const,
+            Instr::Mov { .. } => Opcode::Mov,
+            Instr::Bin { .. } => Opcode::Bin,
+            Instr::Un { .. } => Opcode::Un,
+            Instr::LoadGlobal { .. } => Opcode::LoadGlobal,
+            Instr::StoreGlobal { .. } => Opcode::StoreGlobal,
+            Instr::Lock { .. } => Opcode::Lock,
+            Instr::Unlock { .. } => Opcode::Unlock,
+            Instr::Call { .. } => Opcode::Call,
+            Instr::CallNative { .. } => Opcode::CallNative,
+            Instr::Raise { .. } => Opcode::Raise,
+            Instr::BytesNew { .. } => Opcode::BytesNew,
+            Instr::BytesLen { .. } => Opcode::BytesLen,
+            Instr::BytesGet { .. } => Opcode::BytesGet,
+            Instr::BytesSet { .. } => Opcode::BytesSet,
+            Instr::BytesConcat { .. } => Opcode::BytesConcat,
+            Instr::BytesSlice { .. } => Opcode::BytesSlice,
+            Instr::BinImm { .. } => Opcode::BinImm,
+            Instr::GlobalFold { .. } => Opcode::GlobalFold,
+            Instr::GlobalFoldImm { .. } => Opcode::GlobalFoldImm,
+            Instr::LockedStore { .. } => Opcode::LockedStore,
+            Instr::LockedFoldImm { .. } => Opcode::LockedFoldImm,
+        }
+    }
+
+    /// Abstract cost of this instruction in interpreter charge units: 1 for
+    /// plain instructions, the constituent count for fused superinstructions
+    /// (so fuel and budget semantics are unchanged by fusion).
+    pub fn charge_units(&self) -> u64 {
+        match self {
+            Instr::BinImm { .. } => 2,        // const + bin
+            Instr::GlobalFold { .. } => 3,    // load + bin + store
+            Instr::GlobalFoldImm { .. } => 4, // load + const + bin + store
+            Instr::LockedStore { .. } => 3,   // lock + store + unlock
+            Instr::LockedFoldImm { .. } => 6, // lock + load + const + bin + store + unlock
+            _ => 1,
         }
     }
 }

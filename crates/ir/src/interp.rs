@@ -7,7 +7,7 @@
 //! self-contained [`BasicEnv`] here records raises for inspection, which is
 //! what unit tests and the optimizer's equivalence checks need.
 
-use crate::cost::CostCounter;
+use crate::cost::{CostCounter, OpcodeProfile};
 use crate::func::Module;
 use crate::ids::{EventId, FuncId, GlobalId, NativeId};
 use crate::instr::{EvalError, Instr, RaiseMode, Terminator};
@@ -162,6 +162,17 @@ pub trait Env {
     fn fuel(&mut self) -> Option<&mut u64> {
         None
     }
+
+    /// The opcode/adjacent-pair frequency profile to record into, if any.
+    ///
+    /// When `Some`, the interpreter records every executed instruction's
+    /// [`crate::cost::Opcode`] tag (and the pair it forms with its
+    /// predecessor in the same straight-line run). The default `None`
+    /// monomorphizes the recording away entirely, so environments that never
+    /// profile pay nothing.
+    fn opcode_profile(&mut self) -> Option<&mut OpcodeProfile> {
+        None
+    }
 }
 
 /// Calls IR function `func` with `args` under environment `env`.
@@ -204,14 +215,46 @@ fn call_at_depth<E: Env + ?Sized>(
     let mut regs: Vec<Value> = vec![Value::Unit; usize::from(f.reg_count)];
     regs[..args.len()].clone_from_slice(args);
 
+    // A fresh function body starts a fresh pair chain: pairs never span a
+    // call boundary the fusion pass could not rewrite.
+    if let Some(p) = env.opcode_profile() {
+        p.break_chain();
+    }
+
     let mut block = 0usize;
     loop {
         let b = &f.blocks[block];
         for instr in &b.instrs {
             charge(env)?;
-            step(module, env, &mut regs, instr, depth)?;
+            if let Some(p) = env.opcode_profile() {
+                p.record(instr.opcode());
+            }
+            // Direct calls recurse from this frame rather than through
+            // `step`, keeping `step`'s many-armed frame (every arm's locals
+            // are allocated up front in unoptimized builds) off the
+            // recursion path.
+            if let Instr::Call { dst, func, args } = instr {
+                env.cost().calls += 1;
+                let argv: Vec<Value> = args.iter().map(|r| regs[r.index()].clone()).collect();
+                regs[dst.index()] = call_at_depth(module, env, *func, &argv, depth + 1)?;
+            } else {
+                step(module, env, &mut regs, instr, depth)?;
+            }
+            // Nested execution (callee bodies, sync-dispatched handlers)
+            // recorded in between; don't pair across the return.
+            if matches!(
+                instr,
+                Instr::Call { .. } | Instr::CallNative { .. } | Instr::Raise { .. }
+            ) {
+                if let Some(p) = env.opcode_profile() {
+                    p.break_chain();
+                }
+            }
         }
         charge(env)?;
+        if let Some(p) = env.opcode_profile() {
+            p.break_chain();
+        }
         match &b.term {
             Terminator::Jump(t) => block = t.index(),
             Terminator::Branch {
@@ -236,28 +279,55 @@ fn call_at_depth<E: Env + ?Sized>(
     }
 }
 
+#[inline]
 fn charge<E: Env + ?Sized>(env: &mut E) -> Result<(), ExecError> {
     env.cost().instrs += 1;
     if let Some(fuel) = env.fuel() {
         if *fuel == 0 {
-            return Err(ExecError::OutOfFuel);
+            return Err(out_of_fuel());
         }
         *fuel -= 1;
     }
     Ok(())
 }
 
+// Error construction lives behind `#[cold]` helpers so the hot dispatch arms
+// stay branch-predictable and small.
+#[cold]
+#[inline(never)]
+fn out_of_fuel() -> ExecError {
+    ExecError::OutOfFuel
+}
+
+#[cold]
+#[inline(never)]
+fn bytes_type_error(op: &'static str) -> ExecError {
+    ExecError::BytesTypeError(op)
+}
+
+#[cold]
+#[inline(never)]
+fn out_of_bounds(index: i64, len: usize) -> ExecError {
+    ExecError::OutOfBounds { index, len }
+}
+
+#[cold]
+#[inline(never)]
+fn negative_size(n: i64) -> ExecError {
+    ExecError::NegativeSize(n)
+}
+
 fn index_of(v: &Value, len: usize, op: &'static str) -> Result<usize, ExecError> {
-    let i = v.as_int().ok_or(ExecError::BytesTypeError(op))?;
+    let i = match v.as_int() {
+        Some(i) => i,
+        None => return Err(bytes_type_error(op)),
+    };
     if i < 0 {
-        return Err(ExecError::NegativeSize(i));
+        return Err(negative_size(i));
     }
     let i = i as usize;
     if i >= len {
-        return Err(ExecError::OutOfBounds {
-            index: i as i64,
-            len,
-        });
+        return Err(out_of_bounds(i as i64, len));
     }
     Ok(i)
 }
@@ -269,21 +339,48 @@ fn step<E: Env + ?Sized>(
     instr: &Instr,
     depth: usize,
 ) -> Result<(), ExecError> {
+    // Arms are ordered by measured opcode frequency on the video/SecComm/X
+    // inner loops (const/bin/load/store and the fused forms dominate);
+    // rare and failure-prone arms sit at the bottom with their error
+    // construction split into `#[cold]` helpers.
     match instr {
         Instr::Const { dst, value } => regs[dst.index()] = value.clone(),
-        Instr::Mov { dst, src } => regs[dst.index()] = regs[src.index()].clone(),
         Instr::Bin { op, dst, lhs, rhs } => {
             regs[dst.index()] = op.eval(&regs[lhs.index()], &regs[rhs.index()])?;
         }
-        Instr::Un { op, dst, src } => {
-            regs[dst.index()] = op.eval(&regs[src.index()])?;
+        // Fused Const+Bin. The interpreter loop pre-charged the `Const`
+        // constituent; the immediate rides in the instruction, so the fused
+        // form skips one dispatch and all constant register traffic.
+        Instr::BinImm { op, dst, lhs, imm } => {
+            charge(env)?; // Bin
+            regs[dst.index()] = op.eval(&regs[lhs.index()], imm)?;
         }
+        Instr::Mov { dst, src } => regs[dst.index()] = regs[src.index()].clone(),
         Instr::LoadGlobal { dst, global } => {
             regs[dst.index()] = env.load_global(*global)?;
         }
         Instr::StoreGlobal { global, src } => {
             let v = regs[src.index()].clone();
             env.store_global(*global, v)?;
+        }
+        // Fused read-modify-write and critical-section forms live in their
+        // own functions (below) so their temporaries don't enlarge this
+        // frame — `step` sits on the recursive `Call` path, where debug
+        // builds allocate every arm's locals up front.
+        Instr::LockedFoldImm { op, global, imm } => {
+            step_locked_fold_imm(env, *op, *global, imm)?;
+        }
+        Instr::GlobalFoldImm { op, global, imm } => {
+            step_global_fold_imm(env, *op, *global, imm)?;
+        }
+        Instr::GlobalFold { op, global, src } => {
+            step_global_fold(env, *op, *global, &regs[src.index()])?;
+        }
+        Instr::LockedStore { global, src } => {
+            step_locked_store(env, *global, &regs[src.index()])?;
+        }
+        Instr::Un { op, dst, src } => {
+            regs[dst.index()] = op.eval(&regs[src.index()])?;
         }
         Instr::Lock { global } => {
             env.cost().lock_ops += 1;
@@ -314,22 +411,22 @@ fn step<E: Env + ?Sized>(
         Instr::BytesNew { dst, len } => {
             let n = regs[len.index()]
                 .as_int()
-                .ok_or(ExecError::BytesTypeError("bnew"))?;
+                .ok_or_else(|| bytes_type_error("bnew"))?;
             if n < 0 {
-                return Err(ExecError::NegativeSize(n));
+                return Err(negative_size(n));
             }
             regs[dst.index()] = Value::Bytes(Arc::new(vec![0u8; n as usize]));
         }
         Instr::BytesLen { dst, bytes } => {
             let b = regs[bytes.index()]
                 .as_bytes()
-                .ok_or(ExecError::BytesTypeError("blen"))?;
+                .ok_or_else(|| bytes_type_error("blen"))?;
             regs[dst.index()] = Value::Int(b.len() as i64);
         }
         Instr::BytesGet { dst, bytes, index } => {
             let b = regs[bytes.index()]
                 .as_bytes()
-                .ok_or(ExecError::BytesTypeError("bget"))?;
+                .ok_or_else(|| bytes_type_error("bget"))?;
             let i = index_of(&regs[index.index()], b.len(), "bget")?;
             regs[dst.index()] = Value::Int(i64::from(b[i]));
         }
@@ -340,21 +437,21 @@ fn step<E: Env + ?Sized>(
         } => {
             let v = regs[value.index()]
                 .as_int()
-                .ok_or(ExecError::BytesTypeError("bset"))?;
+                .ok_or_else(|| bytes_type_error("bset"))?;
             let idx = regs[index.index()].clone();
             let buf = regs[bytes.index()]
                 .bytes_mut()
-                .ok_or(ExecError::BytesTypeError("bset"))?;
+                .ok_or_else(|| bytes_type_error("bset"))?;
             let i = index_of(&idx, buf.len(), "bset")?;
             buf[i] = v as u8;
         }
         Instr::BytesConcat { dst, lhs, rhs } => {
             let a = regs[lhs.index()]
                 .as_bytes()
-                .ok_or(ExecError::BytesTypeError("bcat"))?;
+                .ok_or_else(|| bytes_type_error("bcat"))?;
             let b = regs[rhs.index()]
                 .as_bytes()
-                .ok_or(ExecError::BytesTypeError("bcat"))?;
+                .ok_or_else(|| bytes_type_error("bcat"))?;
             let mut out = Vec::with_capacity(a.len() + b.len());
             out.extend_from_slice(a);
             out.extend_from_slice(b);
@@ -368,26 +465,257 @@ fn step<E: Env + ?Sized>(
         } => {
             let b = regs[bytes.index()]
                 .as_bytes()
-                .ok_or(ExecError::BytesTypeError("bslice"))?;
+                .ok_or_else(|| bytes_type_error("bslice"))?;
             let s = regs[start.index()]
                 .as_int()
-                .ok_or(ExecError::BytesTypeError("bslice"))?;
+                .ok_or_else(|| bytes_type_error("bslice"))?;
             let e = regs[end.index()]
                 .as_int()
-                .ok_or(ExecError::BytesTypeError("bslice"))?;
+                .ok_or_else(|| bytes_type_error("bslice"))?;
             if s < 0 || e < s {
-                return Err(ExecError::NegativeSize(s.min(e)));
+                return Err(negative_size(s.min(e)));
             }
             if e as usize > b.len() {
-                return Err(ExecError::OutOfBounds {
-                    index: e,
-                    len: b.len(),
-                });
+                return Err(out_of_bounds(e, b.len()));
             }
             regs[dst.index()] = Value::Bytes(Arc::new(b[s as usize..e as usize].to_vec()));
         }
     }
     Ok(())
+}
+
+// Fused fast-path handlers. Each constituent of a superinstruction is
+// charged as if it executed individually, so fuel exhaustion and faults
+// interleave with effects exactly as before fusion (e.g. a mid-sequence
+// OutOfFuel in `LockedFoldImm` leaves the lock held, just as the unfused
+// program would). The first constituent's charge is paid by the interpreter
+// loop before `step` is entered.
+//
+// The hot path pays the remaining constituents' charges in ONE batch,
+// which is observationally exact as long as fuel cannot run out in the
+// middle of the sequence: if a non-fuel fault fires mid-sequence, the cold
+// refund path returns the charges of the constituents that never executed,
+// restoring precisely the cost/fuel state the unfused sequence would show
+// at that fault point. When fuel IS low enough to exhaust mid-sequence,
+// the handlers fall back to a per-constituent replay that reproduces the
+// exact exhaustion point and partial effects.
+
+/// Pays `n` constituents' charges at once. Returns `false` (paying
+/// nothing) when fuel could run out mid-sequence, in which case the caller
+/// must replay charges per-constituent.
+#[inline]
+fn try_batch_charge<E: Env + ?Sized>(env: &mut E, n: u64) -> bool {
+    if let Some(fuel) = env.fuel() {
+        if *fuel < n {
+            return false;
+        }
+        *fuel -= n;
+    }
+    env.cost().instrs += n;
+    true
+}
+
+/// Returns the charges of the `n` constituents that never executed after a
+/// mid-sequence fault on the batched fast path.
+#[cold]
+#[inline(never)]
+fn refund_charges<E: Env + ?Sized>(env: &mut E, n: u64) {
+    env.cost().instrs -= n;
+    if let Some(fuel) = env.fuel() {
+        *fuel += n;
+    }
+}
+
+/// Fused `Lock`+`LoadGlobal`+`Const`+`Bin`+`StoreGlobal`+`Unlock`: the
+/// locked counter-bump pattern that dominates the video/SecComm inner loops.
+#[inline]
+fn step_locked_fold_imm<E: Env + ?Sized>(
+    env: &mut E,
+    op: crate::instr::BinOp,
+    global: GlobalId,
+    imm: &Value,
+) -> Result<(), ExecError> {
+    if !try_batch_charge(env, 5) {
+        return locked_fold_imm_exact(env, op, global, imm);
+    }
+    env.cost().lock_ops += 1;
+    if let Err(e) = env.lock(global) {
+        refund_charges(env, 5); // Load..Unlock never ran
+        return Err(e);
+    }
+    let lhs = match env.load_global(global) {
+        Ok(v) => v,
+        Err(e) => {
+            refund_charges(env, 4); // Const..Unlock never ran
+            return Err(e);
+        }
+    };
+    let v = match op.eval(&lhs, imm) {
+        Ok(v) => v,
+        Err(e) => {
+            refund_charges(env, 2); // Store, Unlock never ran
+            return Err(e.into());
+        }
+    };
+    if let Err(e) = env.store_global(global, v) {
+        refund_charges(env, 1); // Unlock never ran
+        return Err(e);
+    }
+    env.cost().lock_ops += 1;
+    env.unlock(global)
+}
+
+/// Exact per-constituent replay of [`step_locked_fold_imm`], used when
+/// fuel may exhaust mid-sequence.
+#[cold]
+#[inline(never)]
+fn locked_fold_imm_exact<E: Env + ?Sized>(
+    env: &mut E,
+    op: crate::instr::BinOp,
+    global: GlobalId,
+    imm: &Value,
+) -> Result<(), ExecError> {
+    env.cost().lock_ops += 1; // Lock (pre-charged by the loop)
+    env.lock(global)?;
+    charge(env)?; // Load
+    let lhs = env.load_global(global)?;
+    charge(env)?; // Const
+    charge(env)?; // Bin
+    let v = op.eval(&lhs, imm)?;
+    charge(env)?; // Store
+    env.store_global(global, v)?;
+    charge(env)?; // Unlock
+    env.cost().lock_ops += 1;
+    env.unlock(global)
+}
+
+/// Fused `LoadGlobal`+`Const`+`Bin`+`StoreGlobal` read-modify-write.
+#[inline]
+fn step_global_fold_imm<E: Env + ?Sized>(
+    env: &mut E,
+    op: crate::instr::BinOp,
+    global: GlobalId,
+    imm: &Value,
+) -> Result<(), ExecError> {
+    if !try_batch_charge(env, 3) {
+        return global_fold_imm_exact(env, op, global, imm);
+    }
+    let lhs = match env.load_global(global) {
+        Ok(v) => v,
+        Err(e) => {
+            refund_charges(env, 3); // Const, Bin, Store never ran
+            return Err(e);
+        }
+    };
+    let v = match op.eval(&lhs, imm) {
+        Ok(v) => v,
+        Err(e) => {
+            refund_charges(env, 1); // Store never ran
+            return Err(e.into());
+        }
+    };
+    env.store_global(global, v)
+}
+
+/// Exact per-constituent replay of [`step_global_fold_imm`].
+#[cold]
+#[inline(never)]
+fn global_fold_imm_exact<E: Env + ?Sized>(
+    env: &mut E,
+    op: crate::instr::BinOp,
+    global: GlobalId,
+    imm: &Value,
+) -> Result<(), ExecError> {
+    let lhs = env.load_global(global)?; // Load (pre-charged)
+    charge(env)?; // Const
+    charge(env)?; // Bin
+    let v = op.eval(&lhs, imm)?;
+    charge(env)?; // Store
+    env.store_global(global, v)
+}
+
+/// Fused `LoadGlobal`+`Bin`+`StoreGlobal` with a register operand.
+#[inline]
+fn step_global_fold<E: Env + ?Sized>(
+    env: &mut E,
+    op: crate::instr::BinOp,
+    global: GlobalId,
+    rhs: &Value,
+) -> Result<(), ExecError> {
+    if !try_batch_charge(env, 2) {
+        return global_fold_exact(env, op, global, rhs);
+    }
+    let lhs = match env.load_global(global) {
+        Ok(v) => v,
+        Err(e) => {
+            refund_charges(env, 2); // Bin, Store never ran
+            return Err(e);
+        }
+    };
+    let v = match op.eval(&lhs, rhs) {
+        Ok(v) => v,
+        Err(e) => {
+            refund_charges(env, 1); // Store never ran
+            return Err(e.into());
+        }
+    };
+    env.store_global(global, v)
+}
+
+/// Exact per-constituent replay of [`step_global_fold`].
+#[cold]
+#[inline(never)]
+fn global_fold_exact<E: Env + ?Sized>(
+    env: &mut E,
+    op: crate::instr::BinOp,
+    global: GlobalId,
+    rhs: &Value,
+) -> Result<(), ExecError> {
+    let lhs = env.load_global(global)?; // Load (pre-charged)
+    charge(env)?; // Bin
+    let v = op.eval(&lhs, rhs)?;
+    charge(env)?; // Store
+    env.store_global(global, v)
+}
+
+/// Fused `Lock`+`StoreGlobal`+`Unlock` single-store critical section.
+#[inline]
+fn step_locked_store<E: Env + ?Sized>(
+    env: &mut E,
+    global: GlobalId,
+    src: &Value,
+) -> Result<(), ExecError> {
+    if !try_batch_charge(env, 2) {
+        return locked_store_exact(env, global, src);
+    }
+    env.cost().lock_ops += 1;
+    if let Err(e) = env.lock(global) {
+        refund_charges(env, 2); // Store, Unlock never ran
+        return Err(e);
+    }
+    if let Err(e) = env.store_global(global, src.clone()) {
+        refund_charges(env, 1); // Unlock never ran
+        return Err(e);
+    }
+    env.cost().lock_ops += 1;
+    env.unlock(global)
+}
+
+/// Exact per-constituent replay of [`step_locked_store`].
+#[cold]
+#[inline(never)]
+fn locked_store_exact<E: Env + ?Sized>(
+    env: &mut E,
+    global: GlobalId,
+    src: &Value,
+) -> Result<(), ExecError> {
+    env.cost().lock_ops += 1; // Lock (pre-charged)
+    env.lock(global)?;
+    charge(env)?; // Store
+    env.store_global(global, src.clone())?;
+    charge(env)?; // Unlock
+    env.cost().lock_ops += 1;
+    env.unlock(global)
 }
 
 /// A boxed native implementation.
@@ -408,6 +736,8 @@ pub struct BasicEnv {
     pub cost: CostCounter,
     /// Optional instruction budget.
     pub fuel: Option<u64>,
+    /// Optional opcode/pair frequency profile (`None` = profiling off).
+    pub profile: Option<Box<OpcodeProfile>>,
 }
 
 impl fmt::Debug for BasicEnv {
@@ -431,7 +761,13 @@ impl BasicEnv {
             raised: Vec::new(),
             cost: CostCounter::new(),
             fuel: None,
+            profile: None,
         }
+    }
+
+    /// Turns opcode/pair profiling on (fresh counters).
+    pub fn enable_profiling(&mut self) {
+        self.profile = Some(Box::new(OpcodeProfile::new()));
     }
 
     /// Binds a native implementation to a slot.
@@ -527,12 +863,17 @@ impl Env for BasicEnv {
     fn fuel(&mut self) -> Option<&mut u64> {
         self.fuel.as_mut()
     }
+
+    fn opcode_profile(&mut self) -> Option<&mut OpcodeProfile> {
+        self.profile.as_deref_mut()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::builder::FunctionBuilder;
+    use crate::cost::Opcode;
     use crate::instr::BinOp;
 
     fn run(module: &Module, name: &str, args: &[Value]) -> Result<Value, ExecError> {
@@ -804,5 +1145,191 @@ mod tests {
         call(&m, &mut env, f, &[]).unwrap();
         // 2 consts + 1 terminator.
         assert_eq!(env.cost.instrs, 3);
+    }
+
+    use crate::ids::{GlobalId as G, Reg};
+
+    /// The unfused locked counter bump and its module-level twin with every
+    /// body replaced by one `LockedFoldImm`.
+    fn bump_modules() -> (Module, Module, FuncId) {
+        let mut m = Module::new();
+        let g = m.add_global("acc", Value::Int(0));
+        let mut b = FunctionBuilder::new("bump", 0);
+        b.lock(g);
+        let v = b.load_global(g);
+        let k = b.const_int(3);
+        let s = b.bin(BinOp::Add, v, k);
+        b.store_global(g, s);
+        b.unlock(g);
+        b.ret(None);
+        let f = m.add_function(b.finish());
+
+        let mut fused = m.clone();
+        fused.functions[f.index()].blocks[0].instrs = vec![Instr::LockedFoldImm {
+            op: BinOp::Add,
+            global: g,
+            imm: Value::Int(3),
+        }];
+        (m, fused, f)
+    }
+
+    #[test]
+    fn fused_cost_equals_sum_of_constituents() {
+        // Satellite: fuel/budget semantics are unchanged by fusion. The
+        // fused run must charge exactly the same instrs and lock_ops as the
+        // six-instruction sequence it replaces.
+        let (plain, fused, f) = bump_modules();
+        let mut e1 = BasicEnv::new(&plain);
+        call(&plain, &mut e1, f, &[]).unwrap();
+        let mut e2 = BasicEnv::new(&fused);
+        call(&fused, &mut e2, f, &[]).unwrap();
+        assert_eq!(e1.cost, e2.cost);
+        assert_eq!(e1.cost.instrs, 7); // 6 instrs + terminator
+        assert_eq!(e1.cost.lock_ops, 2);
+        assert_eq!(e1.global(G(0)), e2.global(G(0)));
+        assert_eq!(
+            Instr::LockedFoldImm {
+                op: BinOp::Add,
+                global: G(0),
+                imm: Value::Int(3)
+            }
+            .charge_units(),
+            6
+        );
+    }
+
+    #[test]
+    fn fused_fuel_exhaustion_matches_unfused() {
+        // Run both forms at every fuel level and require identical outcomes
+        // AND identical partial effects (lock depth, global value).
+        let (plain, fused, f) = bump_modules();
+        for fuel in 0..10u64 {
+            let mut e1 = BasicEnv::new(&plain);
+            e1.fuel = Some(fuel);
+            let r1 = call(&plain, &mut e1, f, &[]);
+            let mut e2 = BasicEnv::new(&fused);
+            e2.fuel = Some(fuel);
+            let r2 = call(&fused, &mut e2, f, &[]);
+            assert_eq!(r1, r2, "fuel={fuel}");
+            assert_eq!(e1.cost, e2.cost, "fuel={fuel}");
+            assert_eq!(e1.global(G(0)), e2.global(G(0)), "fuel={fuel}");
+            assert_eq!(e1.locks_balanced(), e2.locks_balanced(), "fuel={fuel}");
+        }
+    }
+
+    #[test]
+    fn bin_imm_semantics_and_faults() {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("f", 1);
+        b.ret(Some(b.param(0)));
+        let f = m.add_function(b.finish());
+        m.functions[f.index()].reg_count = 2;
+        m.functions[f.index()].blocks[0].instrs = vec![Instr::BinImm {
+            op: BinOp::Div,
+            dst: Reg(1),
+            lhs: Reg(0),
+            imm: Value::Int(2),
+        }];
+        m.functions[f.index()].blocks[0].term = Terminator::Ret(Some(Reg(1)));
+        let mut env = BasicEnv::new(&m);
+        assert_eq!(
+            call(&m, &mut env, f, &[Value::Int(9)]).unwrap(),
+            Value::Int(4)
+        );
+        // instrs: fused BinImm charges 2 (Const + Bin) + terminator.
+        assert_eq!(env.cost.instrs, 3);
+
+        // Faults surface exactly like the unfused Bin.
+        m.functions[f.index()].blocks[0].instrs = vec![Instr::BinImm {
+            op: BinOp::Div,
+            dst: Reg(1),
+            lhs: Reg(0),
+            imm: Value::Int(0),
+        }];
+        let mut env = BasicEnv::new(&m);
+        assert_eq!(
+            call(&m, &mut env, f, &[Value::Int(9)]),
+            Err(ExecError::Eval(EvalError::DivisionByZero))
+        );
+    }
+
+    #[test]
+    fn global_fold_variants_semantics() {
+        let mut m = Module::new();
+        let g = m.add_global("acc", Value::Int(10));
+        let mut b = FunctionBuilder::new("f", 1);
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        m.functions[f.index()].blocks[0].instrs = vec![
+            Instr::GlobalFold {
+                op: BinOp::Add,
+                global: g,
+                src: Reg(0),
+            },
+            Instr::GlobalFoldImm {
+                op: BinOp::Mul,
+                global: g,
+                imm: Value::Int(31),
+            },
+            Instr::LockedStore {
+                global: g,
+                src: Reg(0),
+            },
+        ];
+        let mut env = BasicEnv::new(&m);
+        call(&m, &mut env, f, &[Value::Int(5)]).unwrap();
+        // GlobalFold: 10+5=15; GlobalFoldImm: 15*31=465; LockedStore: 5.
+        assert_eq!(env.global(g), &Value::Int(5));
+        assert!(env.locks_balanced());
+        assert_eq!(env.cost.lock_ops, 2);
+        // 3 + 4 + 3 constituent charges + terminator.
+        assert_eq!(env.cost.instrs, 11);
+    }
+
+    #[test]
+    fn profile_records_opcodes_and_pairs() {
+        let (plain, fused, f) = bump_modules();
+        let mut env = BasicEnv::new(&plain);
+        env.enable_profiling();
+        call(&plain, &mut env, f, &[]).unwrap();
+        let p = env.profile.as_ref().unwrap();
+        assert_eq!(p.count(Opcode::Lock), 1);
+        assert_eq!(p.count(Opcode::LoadGlobal), 1);
+        assert_eq!(p.pair_count(Opcode::Lock, Opcode::LoadGlobal), 1);
+        assert_eq!(p.pair_count(Opcode::Const, Opcode::Bin), 1);
+        assert_eq!(p.total(), 6);
+        assert_eq!(p.fused_total(), 0);
+
+        let mut env = BasicEnv::new(&fused);
+        env.enable_profiling();
+        call(&fused, &mut env, f, &[]).unwrap();
+        let p = env.profile.as_ref().unwrap();
+        assert_eq!(p.count(Opcode::LockedFoldImm), 1);
+        assert_eq!(p.fused_total(), 1);
+    }
+
+    #[test]
+    fn profile_pairs_do_not_span_calls() {
+        let mut m = Module::new();
+        let mut inner = FunctionBuilder::new("inner", 0);
+        let _ = inner.const_int(1);
+        inner.ret(None);
+        let inner_id = m.add_function(inner.finish());
+        let mut outer = FunctionBuilder::new("outer", 0);
+        let _ = outer.call(inner_id, &[]);
+        let _ = outer.const_int(2);
+        outer.ret(None);
+        let f = m.add_function(outer.finish());
+
+        let mut env = BasicEnv::new(&m);
+        env.enable_profiling();
+        call(&m, &mut env, f, &[]).unwrap();
+        let p = env.profile.as_ref().unwrap();
+        // Neither (Call, inner's Const) nor (inner's Const, outer's Const)
+        // may be paired across the call boundary.
+        assert_eq!(p.pair_count(Opcode::Call, Opcode::Const), 0);
+        assert_eq!(p.pair_count(Opcode::Const, Opcode::Const), 0);
+        assert_eq!(p.count(Opcode::Const), 2);
+        assert_eq!(p.count(Opcode::Call), 1);
     }
 }

@@ -286,6 +286,33 @@ fn parse_arg_regs(args: &[&str], ln: usize) -> Result<Vec<Reg>, ParseError> {
     args.iter().map(|a| parse_reg(a, ln)).collect()
 }
 
+fn parse_bin_op(tok: &str, ln: usize) -> Result<BinOp, ParseError> {
+    BinOp::ALL
+        .iter()
+        .copied()
+        .find(|o| o.mnemonic() == tok)
+        .ok_or_else(|| ParseError {
+            line: ln,
+            message: format!("unknown operator `{tok}`"),
+        })
+}
+
+/// Splits `<op> $g, <tail>` — the shared shape of the `gfold`/`lfold`
+/// superinstruction forms (the tail is a register or a value literal, which
+/// may itself contain no comma before the first one).
+fn split_fold(rest: &str, ln: usize, form: &str) -> Result<(BinOp, String, String), ParseError> {
+    let (op_tok, rest) = rest.split_once(' ').ok_or_else(|| ParseError {
+        line: ln,
+        message: format!("`{form}` needs `<op> $global, <operand>`"),
+    })?;
+    let op = parse_bin_op(op_tok.trim(), ln)?;
+    let (g_tok, tail) = rest.split_once(',').ok_or_else(|| ParseError {
+        line: ln,
+        message: format!("`{form}` needs `<op> $global, <operand>`"),
+    })?;
+    Ok((op, g_tok.trim().to_string(), tail.trim().to_string()))
+}
+
 #[allow(clippy::too_many_lines)]
 fn parse_function_body(
     lines: &[(usize, &str)],
@@ -453,6 +480,47 @@ fn parse_function_body(
             continue;
         }
 
+        // Superinstructions (effect-only forms). `gfold.i` must be checked
+        // before `gfold`; the prefixes are otherwise unambiguous.
+        if let Some(rest) = line.strip_prefix("gfold.i ") {
+            let (op, g, tail) = split_fold(rest, ln, "gfold.i")?;
+            instrs.push(Instr::GlobalFoldImm {
+                op,
+                global: ctx.resolve_global(&g, ln)?,
+                imm: parse_value(&tail, ln)?,
+            });
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("gfold ") {
+            let (op, g, tail) = split_fold(rest, ln, "gfold")?;
+            instrs.push(Instr::GlobalFold {
+                op,
+                global: ctx.resolve_global(&g, ln)?,
+                src: track(parse_reg(&tail, ln)?, &mut max_reg),
+            });
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("lfold.i ") {
+            let (op, g, tail) = split_fold(rest, ln, "lfold.i")?;
+            instrs.push(Instr::LockedFoldImm {
+                op,
+                global: ctx.resolve_global(&g, ln)?,
+                imm: parse_value(&tail, ln)?,
+            });
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("lstore ") {
+            let parts: Vec<&str> = rest.split(',').map(str::trim).collect();
+            if parts.len() != 2 {
+                return err(ln, "lstore needs `$global, reg`");
+            }
+            instrs.push(Instr::LockedStore {
+                global: ctx.resolve_global(parts[0], ln)?,
+                src: track(parse_reg(parts[1], ln)?, &mut max_reg),
+            });
+            continue;
+        }
+
         // `dst = op ...` forms.
         let (dst_tok, rhs) = line.split_once('=').ok_or_else(|| ParseError {
             line: ln,
@@ -561,7 +629,22 @@ fn parse_function_body(
                 }
             }
             mnemonic => {
-                if let Some(bin) = BinOp::ALL.iter().find(|o| o.mnemonic() == mnemonic) {
+                if let Some(base) = mnemonic.strip_suffix(".i") {
+                    // `dst = <op>.i lhs, <value>`: fused Const+Bin with an
+                    // immediate. The immediate is everything after the first
+                    // comma (value literals contain no leading comma).
+                    let op = parse_bin_op(base, ln)?;
+                    let (lhs_tok, imm_tok) = rest.split_once(',').ok_or_else(|| ParseError {
+                        line: ln,
+                        message: format!("`{mnemonic}` needs `reg, <value>`"),
+                    })?;
+                    Instr::BinImm {
+                        op,
+                        dst,
+                        lhs: track(parse_reg(lhs_tok.trim(), ln)?, &mut max_reg),
+                        imm: parse_value(imm_tok.trim(), ln)?,
+                    }
+                } else if let Some(bin) = BinOp::ALL.iter().find(|o| o.mnemonic() == mnemonic) {
                     need(2)?;
                     Instr::Bin {
                         op: *bin,
@@ -713,6 +796,67 @@ mod tests {
     fn out_of_order_blocks_rejected() {
         let e = parse_module("func @f(0) {\nb1:\n  ret\n}\n").unwrap_err();
         assert!(e.message.contains("order"), "{e}");
+    }
+
+    #[test]
+    fn superinstructions_roundtrip() {
+        // Every fused form, each with a distinct operator and operand shape.
+        let text = "global acc = int 0\n\
+                    func @f(1) {\n\
+                    b0:\n\
+                      r1 = add.i r0, int 5\n\
+                      r2 = mul.i r1, int -3\n\
+                      gfold add $acc, r2\n\
+                      gfold.i mul $acc, int 31\n\
+                      lstore $acc, r1\n\
+                      lfold.i add $acc, int 1\n\
+                      ret\n\
+                    }\n";
+        let m1 = parse_module(text).unwrap();
+        let f = &m1.functions[0];
+        assert!(matches!(f.blocks[0].instrs[0], Instr::BinImm { .. }));
+        assert!(matches!(f.blocks[0].instrs[2], Instr::GlobalFold { .. }));
+        assert!(matches!(f.blocks[0].instrs[3], Instr::GlobalFoldImm { .. }));
+        assert!(matches!(f.blocks[0].instrs[4], Instr::LockedStore { .. }));
+        assert!(matches!(f.blocks[0].instrs[5], Instr::LockedFoldImm { .. }));
+        let printed = print_module(&m1);
+        let m2 = parse_module(&printed).unwrap();
+        assert_eq!(m1, m2, "printed form was:\n{printed}");
+    }
+
+    #[test]
+    fn superinstructions_roundtrip_all_value_kinds() {
+        // Immediates of every value kind survive the printer.
+        let text = "global g = int 0\n\
+                    func @f(1) {\n\
+                    b0:\n\
+                      r1 = eq.i r0, bool true\n\
+                      r2 = ne.i r0, bytes ab01\n\
+                      r3 = eq.i r0, str \"x\"\n\
+                      r4 = eq.i r0, unit\n\
+                      lfold.i xor $g, int 255\n\
+                      ret\n\
+                    }\n";
+        let m1 = parse_module(text).unwrap();
+        let m2 = parse_module(&print_module(&m1)).unwrap();
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn malformed_superinstructions_rejected() {
+        // Unknown operator in a fold.
+        let e =
+            parse_module("global g = int 0\nfunc @f(0) {\nb0:\n  gfold bogus $g, r0\n  ret\n}\n")
+                .unwrap_err();
+        assert!(e.message.contains("bogus"), "{e}");
+        // Missing comma.
+        let e = parse_module("global g = int 0\nfunc @f(0) {\nb0:\n  lfold.i add $g\n  ret\n}\n")
+            .unwrap_err();
+        assert!(e.message.contains("lfold.i"), "{e}");
+        // `.i` suffix on a non-binop mnemonic.
+        let e =
+            parse_module("func @f(0) {\nb0:\n  r0 = bogus.i r0, int 1\n  ret\n}\n").unwrap_err();
+        assert!(e.message.contains("bogus"), "{e}");
     }
 
     #[test]

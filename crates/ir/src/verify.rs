@@ -179,6 +179,10 @@ pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
                     | Instr::StoreGlobal { global, .. }
                     | Instr::Lock { global }
                     | Instr::Unlock { global }
+                    | Instr::GlobalFold { global, .. }
+                    | Instr::GlobalFoldImm { global, .. }
+                    | Instr::LockedStore { global, .. }
+                    | Instr::LockedFoldImm { global, .. }
                         if global.index() >= m.globals.len() =>
                     {
                         return Err(VerifyError::UnknownGlobal {
@@ -288,6 +292,89 @@ mod tests {
         b2.ret(None);
         m2.add_function(b2.finish());
         assert_eq!(verify_module(&m2), Ok(()));
+    }
+
+    #[test]
+    fn fused_unknown_global_detected() {
+        // Every fused form that references a global must be range-checked.
+        let forms = [
+            Instr::GlobalFold {
+                op: BinOp::Add,
+                global: crate::ids::GlobalId(9),
+                src: Reg(0),
+            },
+            Instr::GlobalFoldImm {
+                op: BinOp::Add,
+                global: crate::ids::GlobalId(9),
+                imm: Value::Int(1),
+            },
+            Instr::LockedStore {
+                global: crate::ids::GlobalId(9),
+                src: Reg(0),
+            },
+            Instr::LockedFoldImm {
+                op: BinOp::Add,
+                global: crate::ids::GlobalId(9),
+                imm: Value::Int(1),
+            },
+        ];
+        for instr in forms {
+            let mut m = Module::new();
+            m.add_global("g", Value::Int(0));
+            let f = Function {
+                name: "f".into(),
+                params: 1,
+                reg_count: 1,
+                blocks: vec![Block {
+                    instrs: vec![instr.clone()],
+                    term: Terminator::Ret(None),
+                }],
+            };
+            m.functions.push(f);
+            assert!(
+                matches!(verify_module(&m), Err(VerifyError::UnknownGlobal { .. })),
+                "{instr:?} escaped the global range check"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_register_out_of_range_detected() {
+        // Register operands of fused forms flow through def/use checks.
+        let f = Function {
+            name: "f".into(),
+            params: 0,
+            reg_count: 1,
+            blocks: vec![Block {
+                instrs: vec![Instr::BinImm {
+                    op: BinOp::Add,
+                    dst: Reg(0),
+                    lhs: Reg(7),
+                    imm: Value::Int(1),
+                }],
+                term: Terminator::Ret(None),
+            }],
+        };
+        assert!(matches!(
+            verify_function(&f),
+            Err(VerifyError::RegisterOutOfRange { reg: Reg(7), .. })
+        ));
+        let f = Function {
+            name: "f".into(),
+            params: 0,
+            reg_count: 1,
+            blocks: vec![Block {
+                instrs: vec![Instr::LockedStore {
+                    global: crate::ids::GlobalId(0),
+                    src: Reg(4),
+                }],
+                term: Terminator::Ret(None),
+            }],
+        };
+        assert!(matches!(
+            verify_function(&f),
+            Err(VerifyError::RegisterOutOfRange { reg: Reg(4), .. })
+        ));
     }
 
     #[test]

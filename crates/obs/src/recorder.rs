@@ -148,6 +148,20 @@ pub enum ObsKind {
         /// Which limit fired: `"permits"`, `"queue"`, or `"quiesced"`.
         reason: &'static str,
     },
+    /// The fusion pass rewrote hot instruction sequences in a function
+    /// into a superinstruction — the flight record of which pattern fired
+    /// where, with the frequency evidence that justified it.
+    SequenceFused {
+        /// Raw function id of the rewritten function.
+        func: u32,
+        /// Fused mnemonic (e.g. `"lfold.i"`).
+        pattern: &'static str,
+        /// Sites rewritten to this pattern in this function.
+        sites: u32,
+        /// Minimum adjacent-pair frequency along the sequence (0 when
+        /// fusion ran unconditionally).
+        evidence: u64,
+    },
 }
 
 impl fmt::Display for ObsKind {
@@ -198,6 +212,15 @@ impl fmt::Display for ObsKind {
             ObsKind::RequestShed { conn, reason } => {
                 write!(f, "request-shed c{conn} reason={reason}")
             }
+            ObsKind::SequenceFused {
+                func,
+                pattern,
+                sites,
+                evidence,
+            } => write!(
+                f,
+                "sequence-fused f{func} pattern={pattern} sites={sites} evidence={evidence}"
+            ),
         }
     }
 }

@@ -51,6 +51,7 @@ pub mod constfold;
 pub mod copyprop;
 pub mod cse;
 pub mod dce;
+pub mod fuse;
 pub mod inline;
 pub mod locks;
 
@@ -59,6 +60,7 @@ pub use constfold::ConstFold;
 pub use copyprop::CopyProp;
 pub use cse::Cse;
 pub use dce::Dce;
+pub use fuse::{fuse_function, fuse_module, Fuse, FusionRecord};
 pub use inline::Inline;
 pub use locks::{LockCoalesce, RedundantLoadElim};
 

@@ -57,9 +57,11 @@ fn find_pair(instrs: &[Instr]) -> Option<(usize, usize)> {
             match candidate {
                 Instr::Lock { global: g2 } if g2 == global => return Some((i, j)),
                 // Anything that could observe or contend the lock ends the
-                // window.
+                // window. Fused locked forms contain a lock/unlock pair.
                 Instr::Lock { .. }
                 | Instr::Unlock { .. }
+                | Instr::LockedStore { .. }
+                | Instr::LockedFoldImm { .. }
                 | Instr::Call { .. }
                 | Instr::CallNative { .. }
                 | Instr::Raise { .. } => break,
@@ -133,8 +135,18 @@ pub(crate) fn forward_function(f: &mut Function) -> bool {
                 }
                 // Lock operations are barriers out of caution: in the
                 // unlocked window another activation could mutate state.
-                Instr::Lock { .. } | Instr::Unlock { .. } => {
+                // Fused locked forms embed a lock/unlock pair, so they
+                // barrier too (and write their global besides).
+                Instr::Lock { .. }
+                | Instr::Unlock { .. }
+                | Instr::LockedStore { .. }
+                | Instr::LockedFoldImm { .. } => {
                     held.clear();
+                }
+                // Fused folds write their global with a value held in no
+                // register: forget any register mapping for it.
+                Instr::GlobalFold { global, .. } | Instr::GlobalFoldImm { global, .. } => {
+                    held.remove(global);
                 }
                 // In-place buffer mutation diverges the register from the
                 // global's snapshot.
